@@ -1,0 +1,107 @@
+//! Tiny argument parser shared by the figure binaries (no external deps).
+
+/// Common experiment knobs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Keys per keyspace (figures 7-10) or particles (11-12).
+    pub keys: u64,
+    /// Value size in bytes where applicable.
+    pub value_bytes: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Maximum thread count to sweep to.
+    pub max_threads: u32,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self { keys: 100_000, value_bytes: 32, seed: 2023, max_threads: 32 }
+    }
+}
+
+impl Args {
+    /// Parse `--keys N --value-bytes N --seed N --max-threads N` from the
+    /// process arguments, falling back to defaults. Unknown flags abort
+    /// with a usage message.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> u64 {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} expects an integer"))
+            };
+            match flag.as_str() {
+                "--keys" => out.keys = take("--keys"),
+                "--value-bytes" => out.value_bytes = take("--value-bytes") as usize,
+                "--seed" => out.seed = take("--seed"),
+                "--max-threads" => out.max_threads = take("--max-threads") as u32,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--keys N] [--value-bytes N] [--seed N] [--max-threads N]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        out
+    }
+
+    /// Thread counts swept by the scaling figures (1..=max, powers of 2).
+    pub fn thread_sweep(&self) -> Vec<u32> {
+        let mut v = vec![1u32];
+        while *v.last().unwrap() < self.max_threads {
+            v.push((v.last().unwrap() * 2).min(self.max_threads));
+        }
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = Args::parse_from(Vec::<String>::new());
+        assert_eq!(a.keys, 100_000);
+        assert_eq!(a.value_bytes, 32);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = Args::parse_from(
+            ["--keys", "5000", "--value-bytes", "128", "--seed", "7", "--max-threads", "8"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.keys, 5000);
+        assert_eq!(a.value_bytes, 128);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.max_threads, 8);
+    }
+
+    #[test]
+    fn thread_sweep_is_powers_of_two() {
+        let a = Args { max_threads: 32, ..Args::default() };
+        assert_eq!(a.thread_sweep(), vec![1, 2, 4, 8, 16, 32]);
+        let a = Args { max_threads: 12, ..Args::default() };
+        assert_eq!(a.thread_sweep(), vec![1, 2, 4, 8, 12]);
+        let a = Args { max_threads: 1, ..Args::default() };
+        assert_eq!(a.thread_sweep(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flags() {
+        Args::parse_from(["--bogus".to_string()]);
+    }
+}

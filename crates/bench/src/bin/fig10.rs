@@ -1,0 +1,60 @@
+//! Figure 10: performance of random GET operations over the Figure 9
+//! dataset (32 keyspaces), with I/O statistics.
+//!
+//! Paper result: KV-CSD is up to 1.3x faster; RocksDB's query time
+//! improves as more keys are queried thanks to aggressive client-side
+//! caching, while KV-CSD (which does not cache) stays linear. RocksDB
+//! shows high read inflation.
+
+use kvcsd_bench::report::{fmt_io, fmt_secs, speedup};
+use kvcsd_bench::{baseline, kvcsd, Args, Testbed};
+use kvcsd_lsm::CompactionMode;
+use kvcsd_sim::stats::TextTable;
+use kvcsd_workloads::PutWorkload;
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.max_threads;
+    println!(
+        "Fig 10: random GETs over {} keyspaces of {} keys each, {} query threads\n",
+        threads, args.keys, threads
+    );
+
+    let wl = PutWorkload::new(args.keys, 16, args.value_bytes, args.seed);
+
+    // Load both systems once (the Fig 9 dataset), then sweep query counts.
+    let mut tb_b = Testbed::new();
+    let b = baseline::load(&mut tb_b, threads, threads, &wl, CompactionMode::Automatic);
+
+    let mut tb_k = Testbed::new();
+    let k = kvcsd::load(&mut tb_k, threads, threads, &wl, true);
+
+    let mut t10a = TextTable::new(["queries", "rocksdb", "kvcsd", "speedup"]);
+    let mut t10b = TextTable::new(["queries", "system", "i/o"]);
+
+    // Paper sweeps 32K..320K total queries over 1B keys (a 1:10 span of
+    // query counts); sweep the same span as a fraction of our dataset,
+    // sparse enough that caching has room to matter.
+    let total_keys = args.keys * threads as u64;
+    let sweep: Vec<u64> =
+        [4u64, 8, 16, 28, 40].iter().map(|f| (total_keys * f / 1000).max(64)).collect();
+
+    for (i, &total_queries) in sweep.iter().enumerate() {
+        let per_thread = (total_queries / threads as u64).max(1);
+        let (bs, bw) = baseline::get_phase(&mut tb_b, &b, threads, per_thread, &wl, 77 + i as u64);
+        let (ks, kw) = kvcsd::get_phase(&mut tb_k, &k, threads, per_thread, &wl, 77 + i as u64);
+        t10a.row([
+            format!("{}", per_thread * threads as u64),
+            fmt_secs(bs),
+            fmt_secs(ks),
+            speedup(bs, ks),
+        ]);
+        t10b.row([format!("{}", per_thread * threads as u64), "rocksdb".into(), fmt_io(&bw)]);
+        t10b.row([format!("{}", per_thread * threads as u64), "kvcsd".into(), fmt_io(&kw)]);
+    }
+
+    println!("(a) Query time");
+    print!("{}", t10a.render());
+    println!("\n(b) I/O statistics (query phases)");
+    print!("{}", t10b.render());
+}

@@ -1,0 +1,47 @@
+//! Figure 7: time to insert keys into a single shared keyspace using a
+//! varying number of host CPU cores, plus the underlying I/O statistics.
+//!
+//! Paper result: RocksDB needs all 32 cores to peak; KV-CSD peaks at ~2.
+//! At 32 cores KV-CSD is 4.2x faster; at 2 cores, 7.9x.
+
+use kvcsd_bench::report::{fmt_io, fmt_secs, speedup};
+use kvcsd_bench::{baseline, kvcsd, Args, Testbed};
+use kvcsd_lsm::CompactionMode;
+use kvcsd_sim::stats::TextTable;
+use kvcsd_workloads::PutWorkload;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Fig 7: insert {} keys (16B keys, {}B values) into one shared keyspace\n",
+        args.keys, args.value_bytes
+    );
+
+    let mut t7a = TextTable::new(["threads", "rocksdb", "kvcsd", "kvcsd-bg-compact", "speedup"]);
+    let mut t7b = TextTable::new(["threads", "system", "i/o"]);
+
+    for threads in args.thread_sweep() {
+        let wl = PutWorkload::new(args.keys, 16, args.value_bytes, args.seed);
+
+        let mut tb_b = Testbed::new();
+        let b = baseline::load(&mut tb_b, threads, 1, &wl, CompactionMode::Automatic);
+
+        let mut tb_k = Testbed::new();
+        let k = kvcsd::load(&mut tb_k, threads, 1, &wl, true);
+
+        t7a.row([
+            threads.to_string(),
+            fmt_secs(b.insert_s),
+            fmt_secs(k.insert_s),
+            fmt_secs(k.compact_s),
+            speedup(b.insert_s, k.insert_s),
+        ]);
+        t7b.row([threads.to_string(), "rocksdb".into(), fmt_io(&b.insert_work)]);
+        t7b.row([threads.to_string(), "kvcsd".into(), fmt_io(&k.insert_work)]);
+    }
+
+    println!("(a) Put time");
+    print!("{}", t7a.render());
+    println!("\n(b) I/O statistics (insert phase)");
+    print!("{}", t7b.render());
+}

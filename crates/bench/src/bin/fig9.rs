@@ -1,0 +1,58 @@
+//! Figure 9: RocksDB vs KV-CSD insertion time as keyspace count and data
+//! size increase (per-thread keyspaces / DB instances).
+//!
+//! Paper result at 32 keyspaces: KV-CSD is 7.8x, 6.1x and 2.9x faster
+//! than RocksDB with automatic, deferred and disabled compaction.
+
+use kvcsd_bench::report::{fmt_secs, speedup};
+use kvcsd_bench::{baseline, kvcsd, Args, Testbed};
+use kvcsd_lsm::CompactionMode;
+use kvcsd_sim::stats::TextTable;
+use kvcsd_workloads::PutWorkload;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Fig 9: each of N threads inserts {} keys into its own keyspace/DB\n",
+        args.keys
+    );
+
+    let mut t = TextTable::new([
+        "keyspaces",
+        "rocksdb-auto",
+        "rocksdb-deferred",
+        "rocksdb-none",
+        "kvcsd",
+        "speedups (auto/deferred/none)",
+    ]);
+
+    for threads in args.thread_sweep() {
+        let wl = PutWorkload::new(args.keys, 16, args.value_bytes, args.seed);
+
+        let run_mode = |mode| {
+            let mut tb = Testbed::new();
+            baseline::load(&mut tb, threads, threads, &wl, mode).insert_s
+        };
+        let auto_s = run_mode(CompactionMode::Automatic);
+        let defer_s = run_mode(CompactionMode::Deferred);
+        let none_s = run_mode(CompactionMode::Disabled);
+
+        let mut tb_k = Testbed::new();
+        let k = kvcsd::load(&mut tb_k, threads, threads, &wl, true);
+
+        t.row([
+            threads.to_string(),
+            fmt_secs(auto_s),
+            fmt_secs(defer_s),
+            fmt_secs(none_s),
+            fmt_secs(k.insert_s),
+            format!(
+                "{} / {} / {}",
+                speedup(auto_s, k.insert_s),
+                speedup(defer_s, k.insert_s),
+                speedup(none_s, k.insert_s)
+            ),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,64 @@
+//! Filesystem error type.
+
+use kvcsd_flash::FlashError;
+use std::fmt;
+
+/// Errors surfaced by [`crate::BlockFs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No file with the given path.
+    NotFound(String),
+    /// A file with the given path already exists.
+    AlreadyExists(String),
+    /// The filesystem ran out of space.
+    NoSpace,
+    /// Read past end of file with `exact` semantics.
+    ShortRead { requested: usize, available: usize },
+    /// A stale file handle (file deleted while open).
+    StaleHandle,
+    /// Error from the underlying flash device.
+    Flash(FlashError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::ShortRead { requested, available } => {
+                write!(f, "short read: requested {requested}, available {available}")
+            }
+            FsError::StaleHandle => write!(f, "stale file handle"),
+            FsError::Flash(e) => write!(f, "flash error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<FlashError> for FsError {
+    fn from(e: FlashError) -> Self {
+        match e {
+            FlashError::DeviceFull => FsError::NoSpace,
+            other => FsError::Flash(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_full_maps_to_no_space() {
+        assert_eq!(FsError::from(FlashError::DeviceFull), FsError::NoSpace);
+    }
+
+    #[test]
+    fn other_flash_errors_are_wrapped() {
+        let e = FsError::from(FlashError::AddressOutOfRange { addr: 9, limit: 4 });
+        assert!(matches!(e, FsError::Flash(_)));
+        assert!(e.to_string().contains("flash error"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Client-side error type.
+
+use kvcsd_proto::KvStatus;
+use std::fmt;
+
+/// Errors surfaced by the client library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The device reported a status error.
+    Device(KvStatus),
+    /// The device answered with a response of an unexpected shape
+    /// (protocol bug; should never happen).
+    UnexpectedResponse(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Device(s) => write!(f, "device error: {s}"),
+            ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<KvStatus> for ClientError {
+    fn from(s: KvStatus) -> Self {
+        ClientError::Device(s)
+    }
+}
+
+impl ClientError {
+    /// True if this is a "key not found" miss (a common, non-fatal case).
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, ClientError::Device(KvStatus::KeyNotFound))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_found_detection() {
+        assert!(ClientError::from(KvStatus::KeyNotFound).is_not_found());
+        assert!(!ClientError::from(KvStatus::DeviceFull).is_not_found());
+        assert!(!ClientError::UnexpectedResponse("x".into()).is_not_found());
+    }
+
+    #[test]
+    fn display() {
+        let e = ClientError::Device(KvStatus::KeyspaceNotFound);
+        assert!(e.to_string().contains("keyspace not found"));
+    }
+}

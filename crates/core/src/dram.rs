@@ -1,0 +1,128 @@
+//! SoC DRAM budget accounting.
+//!
+//! The SoC has 8 GB of DRAM (scaled down together with the dataset in
+//! laptop runs). Ingest buffers and external-sort runs allocate from this
+//! budget; the sort degrades to more merge passes instead of failing when
+//! memory is tight — exactly the trade-off the paper describes for
+//! LSM-trees vs. memory-hungry bitmap indexes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared DRAM budget with atomic reserve/release.
+#[derive(Debug)]
+pub struct DramBudget {
+    limit: u64,
+    used: AtomicU64,
+}
+
+impl DramBudget {
+    pub fn new(limit_bytes: u64) -> Self {
+        Self { limit: limit_bytes, used: AtomicU64::new(0) }
+    }
+
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Acquire)
+    }
+
+    pub fn available(&self) -> u64 {
+        self.limit.saturating_sub(self.used())
+    }
+
+    /// Try to reserve exactly `bytes`; false if it would exceed the limit.
+    pub fn try_reserve(&self, bytes: u64) -> bool {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            if cur + bytes > self.limit {
+                return false;
+            }
+            match self.used.compare_exchange_weak(
+                cur,
+                cur + bytes,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reserve as much as possible up to `want`, at least `min`.
+    /// Returns the granted amount, or `None` if even `min` does not fit.
+    pub fn reserve_up_to(&self, want: u64, min: u64) -> Option<u64> {
+        let mut ask = want.max(min);
+        loop {
+            if self.try_reserve(ask) {
+                return Some(ask);
+            }
+            if ask == min {
+                return None;
+            }
+            ask = (ask / 2).max(min);
+        }
+    }
+
+    /// Return `bytes` to the pool.
+    pub fn release(&self, bytes: u64) {
+        let prev = self.used.fetch_sub(bytes, Ordering::AcqRel);
+        debug_assert!(prev >= bytes, "double release");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let b = DramBudget::new(1000);
+        assert!(b.try_reserve(600));
+        assert_eq!(b.used(), 600);
+        assert_eq!(b.available(), 400);
+        assert!(!b.try_reserve(500));
+        b.release(600);
+        assert!(b.try_reserve(1000));
+    }
+
+    #[test]
+    fn reserve_up_to_halves_until_fit() {
+        let b = DramBudget::new(1000);
+        b.try_reserve(800);
+        let got = b.reserve_up_to(1000, 100).unwrap();
+        assert!(got <= 200 && got >= 100, "got {got}");
+    }
+
+    #[test]
+    fn reserve_up_to_fails_below_min() {
+        let b = DramBudget::new(100);
+        b.try_reserve(90);
+        assert_eq!(b.reserve_up_to(50, 20), None);
+        assert_eq!(b.used(), 90, "failed reservation must not leak");
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_limit() {
+        use std::sync::Arc;
+        let b = Arc::new(DramBudget::new(10_000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    if b.try_reserve(7) {
+                        assert!(b.used() <= 10_000);
+                        b.release(7);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.used(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Device-side error type and its mapping onto protocol status codes.
+
+use kvcsd_flash::FlashError;
+use kvcsd_proto::KvStatus;
+use std::fmt;
+
+/// Errors raised inside the KV-CSD device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// No keyspace with that id/name.
+    KeyspaceNotFound,
+    /// Keyspace name collision at creation.
+    KeyspaceExists,
+    /// Operation not legal in the keyspace's current state.
+    BadState { state: &'static str, op: &'static str },
+    /// Key missing on a point query.
+    KeyNotFound,
+    /// Secondary index name not found.
+    IndexNotFound,
+    /// Secondary index name collision.
+    IndexExists,
+    /// Index spec does not fit the stored values.
+    BadIndexSpec,
+    /// Malformed key or value in a request.
+    BadPayload(String),
+    /// Out of zones / DRAM.
+    OutOfResources(String),
+    /// Underlying flash error.
+    Flash(FlashError),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::KeyspaceNotFound => write!(f, "keyspace not found"),
+            DeviceError::KeyspaceExists => write!(f, "keyspace exists"),
+            DeviceError::BadState { state, op } => {
+                write!(f, "operation {op} not allowed in state {state}")
+            }
+            DeviceError::KeyNotFound => write!(f, "key not found"),
+            DeviceError::IndexNotFound => write!(f, "secondary index not found"),
+            DeviceError::IndexExists => write!(f, "secondary index exists"),
+            DeviceError::BadIndexSpec => write!(f, "bad secondary index spec"),
+            DeviceError::BadPayload(m) => write!(f, "bad payload: {m}"),
+            DeviceError::OutOfResources(m) => write!(f, "out of resources: {m}"),
+            DeviceError::Flash(e) => write!(f, "flash: {e}"),
+            DeviceError::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<FlashError> for DeviceError {
+    fn from(e: FlashError) -> Self {
+        DeviceError::Flash(e)
+    }
+}
+
+impl From<DeviceError> for KvStatus {
+    fn from(e: DeviceError) -> KvStatus {
+        match e {
+            DeviceError::KeyspaceNotFound => KvStatus::KeyspaceNotFound,
+            DeviceError::KeyspaceExists => KvStatus::KeyspaceExists,
+            DeviceError::BadState { state, op } => KvStatus::BadKeyspaceState { state, op },
+            DeviceError::KeyNotFound => KvStatus::KeyNotFound,
+            DeviceError::IndexNotFound => KvStatus::IndexNotFound,
+            DeviceError::IndexExists => KvStatus::IndexExists,
+            DeviceError::BadIndexSpec => KvStatus::BadIndexSpec,
+            DeviceError::BadPayload(_) => KvStatus::BadValue,
+            DeviceError::OutOfResources(m) => {
+                if m.contains("zone") {
+                    KvStatus::DeviceFull
+                } else {
+                    KvStatus::Internal(m)
+                }
+            }
+            DeviceError::Flash(FlashError::DeviceFull) => KvStatus::DeviceFull,
+            DeviceError::Flash(e) => KvStatus::Internal(e.to_string()),
+            DeviceError::Internal(m) => KvStatus::Internal(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_to_protocol_statuses() {
+        assert_eq!(KvStatus::from(DeviceError::KeyspaceNotFound), KvStatus::KeyspaceNotFound);
+        assert_eq!(
+            KvStatus::from(DeviceError::Flash(FlashError::DeviceFull)),
+            KvStatus::DeviceFull
+        );
+        assert_eq!(
+            KvStatus::from(DeviceError::OutOfResources("no free zones".into())),
+            KvStatus::DeviceFull
+        );
+        assert!(matches!(
+            KvStatus::from(DeviceError::Internal("x".into())),
+            KvStatus::Internal(_)
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = DeviceError::BadState { state: "COMPACTING", op: "put" };
+        assert!(e.to_string().contains("COMPACTING"));
+    }
+}

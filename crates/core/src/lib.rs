@@ -1,0 +1,63 @@
+//! The KV-CSD on-SoC key-value store — the paper's primary contribution.
+//!
+//! This crate implements the device side of KV-CSD: an ordered key-value
+//! store running *inside* a computational storage device, directly on a
+//! zoned-namespace SSD, with all performance-critical work offloaded from
+//! the host:
+//!
+//! * [`zone_mgr`] — the zone manager: allocates zones in **zone clusters**
+//!   and stripes 4 KiB blocks across them with a per-cluster randomized
+//!   offset, spreading writes over all NAND channels (Section IV);
+//! * [`keyspace`] — the keyspace manager: named containers of key-value
+//!   pairs with the EMPTY / WRITABLE / COMPACTING / COMPACTED lifecycle,
+//!   persisted to a metadata zone;
+//! * [`ingest`] — the write path: a 192 KiB SoC DRAM buffer packing
+//!   key-value pairs with **key-value separation** into KLOG (keys +
+//!   value pointers) and VLOG (raw values) zone clusters;
+//! * [`extsort`] — DRAM-bounded external merge sort, the engine behind
+//!   deferred compaction (multiple rounds of merge sorts, Section V);
+//! * [`compact`] — offloaded compaction: sort the keys, then reorder the
+//!   values, producing PIDX + SORTED_VALUES clusters and an in-memory
+//!   block **sketch** (one pivot key per 4 KiB index block);
+//! * [`sidx`] — offloaded secondary-index construction and the SIDX
+//!   cluster format;
+//! * [`query`] — point and range query processing over both indexes,
+//!   entirely device-side: only results cross the bus;
+//! * [`device`] — [`KvCsdDevice`], the command processor implementing
+//!   [`kvcsd_proto::DeviceHandler`], with the deferred background-job
+//!   queue (compaction and index builds run asynchronously from the
+//!   host's perspective).
+//!
+//! All SoC CPU work is charged at `soc_slowdown` times host cost; all
+//! storage I/O goes through the real ZNS rules in `kvcsd-flash`.
+
+pub mod compact;
+pub mod device;
+pub mod dram;
+pub mod error;
+pub mod extsort;
+pub mod ingest;
+pub mod keyspace;
+pub mod meta;
+pub mod query;
+pub mod sidx;
+pub mod snapshot;
+pub mod soc;
+pub mod wal;
+pub mod zone_mgr;
+
+pub use device::{DeviceConfig, KvCsdDevice};
+pub use dram::DramBudget;
+pub use error::DeviceError;
+pub use zone_mgr::{BlockAddr, ClusterId, ZoneManager};
+
+/// Result alias for device-side operations.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+/// The device's fixed data block size: one NAND page, as in the paper
+/// ("both store data as a series of 4 KB data blocks").
+pub const BLOCK_BYTES: usize = 4096;
+
+/// Default SoC DRAM ingest buffer per keyspace ("192 KB for the current
+/// prototype").
+pub const INGEST_BUFFER_BYTES: usize = 192 * 1024;

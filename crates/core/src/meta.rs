@@ -1,0 +1,177 @@
+//! The metadata zone: a framed append log of device snapshots.
+//!
+//! The keyspace manager's "in-memory keyspace table [is] backed by a
+//! metadata zone in the underlying ZNS SSD for data persistence". Each
+//! snapshot is appended as `magic | len | crc | payload`; because zone
+//! appends are page-granular, every frame starts on a 4 KiB block
+//! boundary. When the zone fills, it is reset and the newest snapshot is
+//! rewritten first, so the zone always contains at least one valid frame.
+
+use std::sync::Arc;
+
+use kvcsd_flash::ZonedNamespace;
+
+use crate::error::DeviceError;
+use crate::Result;
+
+const FRAME_MAGIC: u32 = 0x4B56_4D45; // "KVME"
+
+/// CRC-32 (IEEE) for snapshot integrity.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Writes and recovers snapshots in a reserved metadata zone.
+#[derive(Debug)]
+pub struct MetaStore {
+    zns: Arc<ZonedNamespace>,
+    zone: u32,
+    snapshots: u64,
+}
+
+impl MetaStore {
+    pub fn new(zns: Arc<ZonedNamespace>, zone: u32) -> Self {
+        Self { zns, zone, snapshots: 0 }
+    }
+
+    /// Snapshots written since this handle was created.
+    pub fn snapshots_written(&self) -> u64 {
+        self.snapshots
+    }
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + payload.len());
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Append a snapshot; resets and rewrites when the zone is full.
+    pub fn write(&mut self, payload: &[u8]) -> Result<()> {
+        let framed = Self::frame(payload);
+        let page_bytes = self.zns.nand().geometry().page_bytes as u64;
+        let need_pages = (framed.len() as u64).div_ceil(page_bytes);
+        let info = self.zns.zone_info(self.zone)?;
+        if info.write_pointer_pages as u64 + need_pages > info.capacity_pages as u64 {
+            self.zns.reset(self.zone)?;
+        }
+        if framed.len() as u64 > self.zns.zone_capacity_bytes() {
+            return Err(DeviceError::Internal(format!(
+                "snapshot of {} bytes exceeds the metadata zone",
+                framed.len()
+            )));
+        }
+        self.zns.append(self.zone, &framed)?;
+        self.snapshots += 1;
+        Ok(())
+    }
+
+    /// Return the newest valid snapshot in the zone, if any.
+    pub fn read_latest(&self) -> Result<Option<Vec<u8>>> {
+        let info = self.zns.zone_info(self.zone)?;
+        let page_bytes = self.zns.nand().geometry().page_bytes as u64;
+        let mut latest = None;
+        let mut page = 0u32;
+        while (page as u64) < info.write_pointer_pages as u64 {
+            let header = self.zns.read_pages(self.zone, page, 1)?;
+            let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            if magic != FRAME_MAGIC {
+                break; // end of valid frames
+            }
+            let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as u64;
+            let crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
+            let total_pages = (12 + len).div_ceil(page_bytes) as u32;
+            if page as u64 + total_pages as u64 > info.write_pointer_pages as u64 {
+                break; // torn frame at the tail
+            }
+            let raw = self.zns.read_pages(self.zone, page, total_pages)?;
+            let payload = &raw[12..12 + len as usize];
+            if crc32(payload) != crc {
+                break; // corrupt tail
+            }
+            latest = Some(payload.to_vec());
+            page += total_pages;
+        }
+        Ok(latest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcsd_flash::{FlashGeometry, NandArray, ZnsConfig};
+    use kvcsd_sim::{HardwareSpec, IoLedger};
+
+    fn store() -> MetaStore {
+        let geom = FlashGeometry {
+            channels: 4,
+            blocks_per_channel: 16,
+            pages_per_block: 4,
+            page_bytes: 4096,
+        };
+        let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
+        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), ledger));
+        let zns = Arc::new(ZonedNamespace::new(
+            nand,
+            ZnsConfig { zone_blocks: 4, max_open_zones: 64 },
+        ));
+        MetaStore::new(zns, 0)
+    }
+
+    #[test]
+    fn crc_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_zone_has_no_snapshot() {
+        let s = store();
+        assert_eq!(s.read_latest().unwrap(), None);
+    }
+
+    #[test]
+    fn latest_snapshot_wins() {
+        let mut s = store();
+        s.write(b"first").unwrap();
+        s.write(b"second").unwrap();
+        s.write(b"third").unwrap();
+        assert_eq!(s.read_latest().unwrap().unwrap(), b"third");
+        assert_eq!(s.snapshots_written(), 3);
+    }
+
+    #[test]
+    fn large_snapshots_span_pages() {
+        let mut s = store();
+        let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        s.write(&big).unwrap();
+        assert_eq!(s.read_latest().unwrap().unwrap(), big);
+    }
+
+    #[test]
+    fn zone_wraps_and_survives() {
+        let mut s = store();
+        // Zone = 16 pages of 4 KiB = 64 KiB; 100 x 5 KiB snapshots force
+        // many resets.
+        for i in 0..100u32 {
+            let payload = vec![i as u8; 5000];
+            s.write(&payload).unwrap();
+        }
+        assert_eq!(s.read_latest().unwrap().unwrap(), vec![99u8; 5000]);
+    }
+
+    #[test]
+    fn oversized_snapshot_rejected() {
+        let mut s = store();
+        assert!(s.write(&vec![0u8; 100_000]).is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! Device snapshot serialization: everything the device must remember
+//! across a restart — the zone manager's cluster map and the full
+//! keyspace table, including index sketches.
+//!
+//! What is deliberately *not* persisted: WRITABLE keyspaces' in-flight
+//! write logs (their DRAM tails are volatile; without the device WAL the
+//! unsynced data is lost, exactly as an fsync-less store loses buffered
+//! writes) and the background job queue (COMPACTING keyspaces are
+//! re-enqueued on restore from their sealed logs).
+
+use kvcsd_proto::{KeyspaceState, SecondaryIndexSpec, SecondaryKeyType};
+
+use crate::error::DeviceError;
+use crate::keyspace::{Keyspace, KsStorage, SecondaryIndex, Sketch};
+use crate::zone_mgr::{ClusterId, ClusterState, ZoneManagerState};
+use crate::Result;
+
+const VERSION: u8 = 1;
+
+/// The complete persisted state of a device.
+#[derive(Debug, Default)]
+pub struct DeviceSnapshot {
+    pub zones: ZoneManagerState,
+    pub keyspaces: Vec<Keyspace>,
+}
+
+// ---------------------------------------------------------------------------
+// little codec helpers
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct W(Vec<u8>);
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
+    fn opt_bytes(&mut self, b: &Option<Vec<u8>>) {
+        match b {
+            Some(b) => {
+                self.u8(1);
+                self.bytes(b);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn sketch(&mut self, s: &Sketch) {
+        self.u32(s.pivots().len() as u32);
+        for p in s.pivots() {
+            self.bytes(p);
+        }
+    }
+}
+
+struct R<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> R<'a> {
+    fn bad() -> DeviceError {
+        DeviceError::Internal("malformed device snapshot".into())
+    }
+    fn u8(&mut self) -> Result<u8> {
+        let v = *self.b.get(self.p).ok_or_else(R::bad)?;
+        self.p += 1;
+        Ok(v)
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let v = u32::from_le_bytes(
+            self.b.get(self.p..self.p + 4).ok_or_else(R::bad)?.try_into().unwrap(),
+        );
+        self.p += 4;
+        Ok(v)
+    }
+    fn u64(&mut self) -> Result<u64> {
+        let v = u64::from_le_bytes(
+            self.b.get(self.p..self.p + 8).ok_or_else(R::bad)?.try_into().unwrap(),
+        );
+        self.p += 8;
+        Ok(v)
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        let v = self.b.get(self.p..self.p + n).ok_or_else(R::bad)?.to_vec();
+        self.p += n;
+        Ok(v)
+    }
+    fn opt_bytes(&mut self) -> Result<Option<Vec<u8>>> {
+        Ok(if self.u8()? == 1 { Some(self.bytes()?) } else { None })
+    }
+    fn sketch(&mut self) -> Result<Sketch> {
+        let n = self.u32()? as usize;
+        let mut pivots = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            pivots.push(self.bytes()?);
+        }
+        Ok(Sketch::from_pivots(pivots))
+    }
+}
+
+fn state_byte(s: KeyspaceState) -> u8 {
+    match s {
+        KeyspaceState::Empty => 0,
+        KeyspaceState::Writable => 1,
+        KeyspaceState::Compacting => 2,
+        KeyspaceState::Compacted => 3,
+    }
+}
+
+fn byte_state(b: u8) -> Result<KeyspaceState> {
+    Ok(match b {
+        0 => KeyspaceState::Empty,
+        1 => KeyspaceState::Writable,
+        2 => KeyspaceState::Compacting,
+        3 => KeyspaceState::Compacted,
+        _ => return Err(R::bad()),
+    })
+}
+
+fn type_byte(t: SecondaryKeyType) -> u8 {
+    match t {
+        SecondaryKeyType::U32 => 0,
+        SecondaryKeyType::I32 => 1,
+        SecondaryKeyType::U64 => 2,
+        SecondaryKeyType::I64 => 3,
+        SecondaryKeyType::F32 => 4,
+        SecondaryKeyType::F64 => 5,
+        SecondaryKeyType::Bytes => 6,
+    }
+}
+
+fn byte_type(b: u8) -> Result<SecondaryKeyType> {
+    Ok(match b {
+        0 => SecondaryKeyType::U32,
+        1 => SecondaryKeyType::I32,
+        2 => SecondaryKeyType::U64,
+        3 => SecondaryKeyType::I64,
+        4 => SecondaryKeyType::F32,
+        5 => SecondaryKeyType::F64,
+        6 => SecondaryKeyType::Bytes,
+        _ => return Err(R::bad()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// encode / decode
+// ---------------------------------------------------------------------------
+
+/// Serialize a snapshot.
+pub fn encode(snap: &DeviceSnapshot) -> Vec<u8> {
+    let refs: Vec<&Keyspace> = snap.keyspaces.iter().collect();
+    encode_parts(&snap.zones, &refs)
+}
+
+/// Serialize from borrowed parts (what the device does under its locks).
+pub fn encode_parts(zones: &ZoneManagerState, keyspaces: &[&Keyspace]) -> Vec<u8> {
+    let mut w = W::default();
+    w.u8(VERSION);
+
+    // Zone manager.
+    w.u32(zones.next_id);
+    w.u32(zones.clusters.len() as u32);
+    for c in &zones.clusters {
+        w.u32(c.id);
+        w.u32(c.width);
+        w.u32(c.offset);
+        w.u64(c.blocks);
+        w.u32(c.groups.len() as u32);
+        for g in &c.groups {
+            w.u32(g.len() as u32);
+            for &z in g {
+                w.u32(z);
+            }
+        }
+    }
+
+    // Keyspace table.
+    w.u32(keyspaces.len() as u32);
+    for ks in keyspaces {
+        w.u32(ks.id);
+        w.u8(state_byte(ks.state));
+        w.bytes(ks.name.as_bytes());
+        w.u64(ks.pairs);
+        w.u64(ks.data_bytes);
+        w.opt_bytes(&ks.min_key);
+        w.opt_bytes(&ks.max_key);
+
+        let s = &ks.storage;
+        // WRITABLE write logs are volatile; record only the durable refs.
+        let mut flags = 0u8;
+        if s.klog.is_some() {
+            flags |= 1;
+        }
+        if s.vlog.is_some() {
+            flags |= 2;
+        }
+        if s.pidx.is_some() {
+            flags |= 4;
+        }
+        if s.svalues.is_some() {
+            flags |= 8;
+        }
+        if s.wlog.is_some() {
+            flags |= 16;
+        }
+        if s.dwal.is_some() {
+            flags |= 32;
+        }
+        w.u8(flags);
+        if let Some(dwal) = &s.dwal {
+            w.u32(dwal.cluster().0);
+        }
+        if let Some((c, len)) = s.klog {
+            w.u32(c.0);
+            w.u64(len);
+        }
+        if let Some((c, len)) = s.vlog {
+            w.u32(c.0);
+            w.u64(len);
+        }
+        if let Some((c, blocks)) = s.pidx {
+            w.u32(c.0);
+            w.u32(blocks);
+            w.sketch(&s.pidx_sketch);
+        }
+        if let Some((c, len)) = s.svalues {
+            w.u32(c.0);
+            w.u64(len);
+        }
+        w.u32(s.sidx.len() as u32);
+        for (name, idx) in &s.sidx {
+            w.bytes(name.as_bytes());
+            w.u32(idx.spec.value_offset as u32);
+            w.u32(idx.spec.value_len as u32);
+            w.u8(type_byte(idx.spec.key_type));
+            w.u32(idx.cluster.0);
+            w.u32(idx.blocks);
+            w.u64(idx.entries);
+            w.sketch(&idx.sketch);
+        }
+    }
+    w.0
+}
+
+/// Deserialize a snapshot.
+pub fn decode(payload: &[u8]) -> Result<DeviceSnapshot> {
+    let mut r = R { b: payload, p: 0 };
+    if r.u8()? != VERSION {
+        return Err(DeviceError::Internal("unsupported snapshot version".into()));
+    }
+
+    let next_id = r.u32()?;
+    let n_clusters = r.u32()? as usize;
+    let mut clusters = Vec::with_capacity(n_clusters.min(1 << 16));
+    for _ in 0..n_clusters {
+        let id = r.u32()?;
+        let width = r.u32()?;
+        let offset = r.u32()?;
+        let blocks = r.u64()?;
+        let n_groups = r.u32()? as usize;
+        let mut groups = Vec::with_capacity(n_groups.min(1 << 16));
+        for _ in 0..n_groups {
+            let n = r.u32()? as usize;
+            let mut g = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                g.push(r.u32()?);
+            }
+            groups.push(g);
+        }
+        clusters.push(ClusterState { id, width, offset, blocks, groups });
+    }
+
+    let n_ks = r.u32()? as usize;
+    let mut keyspaces = Vec::with_capacity(n_ks.min(1 << 16));
+    for _ in 0..n_ks {
+        let id = r.u32()?;
+        let state = byte_state(r.u8()?)?;
+        let name = String::from_utf8(r.bytes()?).map_err(|_| R::bad())?;
+        let mut ks = Keyspace::new(id, name);
+        ks.state = state;
+        ks.pairs = r.u64()?;
+        ks.data_bytes = r.u64()?;
+        ks.min_key = r.opt_bytes()?;
+        ks.max_key = r.opt_bytes()?;
+
+        let flags = r.u8()?;
+        let mut storage = KsStorage::default();
+        if flags & 32 != 0 {
+            // WAL cluster: block count is recomputed from zone write
+            // pointers by the device's reopen path.
+            storage.dwal = Some(crate::wal::DeviceWal::resume(ClusterId(r.u32()?), 0));
+        }
+        if flags & 1 != 0 {
+            storage.klog = Some((ClusterId(r.u32()?), r.u64()?));
+        }
+        if flags & 2 != 0 {
+            storage.vlog = Some((ClusterId(r.u32()?), r.u64()?));
+        }
+        if flags & 4 != 0 {
+            storage.pidx = Some((ClusterId(r.u32()?), r.u32()?));
+            storage.pidx_sketch = r.sketch()?;
+        }
+        if flags & 8 != 0 {
+            storage.svalues = Some((ClusterId(r.u32()?), r.u64()?));
+        }
+        // flags & 16 (live write log) intentionally dropped: volatile.
+        let n_sidx = r.u32()? as usize;
+        for _ in 0..n_sidx {
+            let name = String::from_utf8(r.bytes()?).map_err(|_| R::bad())?;
+            let value_offset = r.u32()? as usize;
+            let value_len = r.u32()? as usize;
+            let key_type = byte_type(r.u8()?)?;
+            let cluster = ClusterId(r.u32()?);
+            let blocks = r.u32()?;
+            let entries = r.u64()?;
+            let sketch = r.sketch()?;
+            storage.sidx.insert(
+                name.clone(),
+                SecondaryIndex {
+                    spec: SecondaryIndexSpec { name, value_offset, value_len, key_type },
+                    cluster,
+                    blocks,
+                    sketch,
+                    entries,
+                },
+            );
+        }
+        ks.storage = storage;
+        keyspaces.push(ks);
+    }
+
+    Ok(DeviceSnapshot { zones: ZoneManagerState { next_id, clusters }, keyspaces })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeviceSnapshot {
+        let mut ks = Keyspace::new(3, "dump".into());
+        ks.state = KeyspaceState::Compacted;
+        ks.pairs = 1000;
+        ks.data_bytes = 48_000;
+        ks.min_key = Some(b"aaa".to_vec());
+        ks.max_key = Some(b"zzz".to_vec());
+        ks.storage.pidx = Some((ClusterId(9), 12));
+        ks.storage.pidx_sketch =
+            Sketch::from_pivots(vec![b"aaa".to_vec(), b"mmm".to_vec(), b"ttt".to_vec()]);
+        ks.storage.svalues = Some((ClusterId(10), 32_000));
+        ks.storage.sidx.insert(
+            "energy".into(),
+            SecondaryIndex {
+                spec: SecondaryIndexSpec {
+                    name: "energy".into(),
+                    value_offset: 28,
+                    value_len: 4,
+                    key_type: SecondaryKeyType::F32,
+                },
+                cluster: ClusterId(11),
+                blocks: 7,
+                sketch: Sketch::from_pivots(vec![vec![0, 1], vec![9, 9]]),
+                entries: 1000,
+            },
+        );
+
+        let mut compacting = Keyspace::new(4, "inflight".into());
+        compacting.state = KeyspaceState::Compacting;
+        compacting.pairs = 50;
+        compacting.storage.klog = Some((ClusterId(20), 1234));
+        compacting.storage.vlog = Some((ClusterId(21), 5678));
+
+        DeviceSnapshot {
+            zones: ZoneManagerState {
+                next_id: 30,
+                clusters: vec![ClusterState {
+                    id: 9,
+                    width: 4,
+                    offset: 2,
+                    blocks: 12,
+                    groups: vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]],
+                }],
+            },
+            keyspaces: vec![ks, compacting],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let snap = sample();
+        let decoded = decode(&encode(&snap)).unwrap();
+        assert_eq!(decoded.zones, snap.zones);
+        assert_eq!(decoded.keyspaces.len(), 2);
+        let ks = &decoded.keyspaces[0];
+        assert_eq!(ks.id, 3);
+        assert_eq!(ks.name, "dump");
+        assert_eq!(ks.state, KeyspaceState::Compacted);
+        assert_eq!(ks.pairs, 1000);
+        assert_eq!(ks.min_key.as_deref(), Some(b"aaa".as_slice()));
+        assert_eq!(ks.storage.pidx, Some((ClusterId(9), 12)));
+        assert_eq!(ks.storage.pidx_sketch.blocks(), 3);
+        assert_eq!(ks.storage.svalues, Some((ClusterId(10), 32_000)));
+        let idx = &ks.storage.sidx["energy"];
+        assert_eq!(idx.spec.value_offset, 28);
+        assert_eq!(idx.spec.key_type, SecondaryKeyType::F32);
+        assert_eq!(idx.blocks, 7);
+        assert_eq!(idx.entries, 1000);
+        assert_eq!(idx.sketch.blocks(), 2);
+        let c = &decoded.keyspaces[1];
+        assert_eq!(c.state, KeyspaceState::Compacting);
+        assert_eq!(c.storage.klog, Some((ClusterId(20), 1234)));
+        assert_eq!(c.storage.vlog, Some((ClusterId(21), 5678)));
+    }
+
+    #[test]
+    fn live_write_log_is_not_persisted() {
+        // A WRITABLE keyspace with a live wlog round-trips without it
+        // (only the flag is encoded and then dropped).
+        let mut ks = Keyspace::new(1, "w".into());
+        ks.state = KeyspaceState::Writable;
+        // No wlog attached in this test (WriteLog is not constructible
+        // without a zone manager), but flags=16 would simply be ignored.
+        let snap = DeviceSnapshot { zones: ZoneManagerState::default(), keyspaces: vec![ks] };
+        let decoded = decode(&encode(&snap)).unwrap();
+        assert!(decoded.keyspaces[0].storage.wlog.is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[99]).is_err(), "unknown version");
+        let mut good = encode(&sample());
+        good.truncate(good.len() / 2);
+        assert!(decode(&good).is_err(), "truncated snapshot");
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = DeviceSnapshot::default();
+        let decoded = decode(&encode(&snap)).unwrap();
+        assert!(decoded.keyspaces.is_empty());
+        assert!(decoded.zones.clusters.is_empty());
+    }
+}

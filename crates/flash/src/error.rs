@@ -1,0 +1,83 @@
+//! Error type for flash operations.
+
+use std::fmt;
+
+/// Errors surfaced by the NAND model and its namespaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// Attempt to program a page that was already programmed since its
+    /// block was last erased (NAND program-once rule).
+    PageAlreadyProgrammed { channel: u32, block: u64, page: u32 },
+    /// Physical or logical address outside the device.
+    AddressOutOfRange { addr: u64, limit: u64 },
+    /// A ZNS write did not land on the zone's write pointer.
+    NotSequential { zone: u32, write_pointer: u64, offset: u64 },
+    /// A ZNS read reached past the zone's write pointer.
+    ReadPastWritePointer { zone: u32, write_pointer: u64, end: u64 },
+    /// Zone is in a state that does not permit the operation.
+    BadZoneState { zone: u32, state: &'static str, op: &'static str },
+    /// The device ran out of free zones/blocks even after reclaim.
+    DeviceFull,
+    /// Too many zones simultaneously open.
+    TooManyOpenZones { limit: u32 },
+    /// Payload length is not acceptable for the operation.
+    BadLength { len: usize, expect: String },
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::PageAlreadyProgrammed { channel, block, page } => write!(
+                f,
+                "NAND program-once violation: channel {channel}, block {block}, page {page}"
+            ),
+            FlashError::AddressOutOfRange { addr, limit } => {
+                write!(f, "address {addr} out of range (limit {limit})")
+            }
+            FlashError::NotSequential { zone, write_pointer, offset } => write!(
+                f,
+                "zone {zone}: write at offset {offset} is not at write pointer {write_pointer}"
+            ),
+            FlashError::ReadPastWritePointer { zone, write_pointer, end } => write!(
+                f,
+                "zone {zone}: read ends at {end}, past write pointer {write_pointer}"
+            ),
+            FlashError::BadZoneState { zone, state, op } => {
+                write!(f, "zone {zone} is {state}; operation {op} not permitted")
+            }
+            FlashError::DeviceFull => write!(f, "device is full"),
+            FlashError::TooManyOpenZones { limit } => {
+                write!(f, "open-zone limit ({limit}) exceeded")
+            }
+            FlashError::BadLength { len, expect } => {
+                write!(f, "bad payload length {len}, expected {expect}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FlashError::NotSequential { zone: 3, write_pointer: 4096, offset: 0 };
+        let s = e.to_string();
+        assert!(s.contains("zone 3"));
+        assert!(s.contains("4096"));
+        let e = FlashError::TooManyOpenZones { limit: 14 };
+        assert!(e.to_string().contains("14"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FlashError::DeviceFull, FlashError::DeviceFull);
+        assert_ne!(
+            FlashError::DeviceFull,
+            FlashError::AddressOutOfRange { addr: 0, limit: 1 }
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Physical layout of the simulated NAND array and address arithmetic.
+
+/// Geometry of the NAND array.
+///
+/// Physical page addresses (PPAs) are dense `u64`s laid out
+/// block-major: `ppa = block_index * pages_per_block + page_in_block`,
+/// where blocks are numbered `0..total_blocks` and block `b` lives on
+/// channel `b % channels`. Striping consecutive blocks across channels is
+/// what both namespaces rely on for I/O parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashGeometry {
+    /// Independent NAND channels (the parallelism unit of the cost model).
+    pub channels: u32,
+    /// Erase blocks per channel.
+    pub blocks_per_channel: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Page size in bytes (program/read granularity).
+    pub page_bytes: u32,
+}
+
+impl Default for FlashGeometry {
+    /// A scaled-down device: 16 channels x 64 blocks x 64 pages x 4 KiB
+    /// = 256 MiB. Experiments construct larger or smaller arrays to fit
+    /// the dataset being replayed.
+    fn default() -> Self {
+        Self {
+            channels: 16,
+            blocks_per_channel: 64,
+            pages_per_block: 64,
+            page_bytes: 4096,
+        }
+    }
+}
+
+impl FlashGeometry {
+    /// Geometry with enough capacity for `bytes` of data plus the given
+    /// over-provisioning fraction, preserving default channel/page shape.
+    pub fn for_capacity(bytes: u64, op_fraction: f64) -> Self {
+        let mut g = Self::default();
+        let need = (bytes as f64 * (1.0 + op_fraction)).ceil() as u64;
+        let block_bytes = g.block_bytes();
+        let blocks = need.div_ceil(block_bytes).max(1);
+        g.blocks_per_channel = (blocks.div_ceil(g.channels as u64) as u32).max(16);
+        g
+    }
+
+    /// Total erase blocks in the device.
+    pub fn total_blocks(&self) -> u64 {
+        self.channels as u64 * self.blocks_per_channel as u64
+    }
+
+    /// Total pages in the device.
+    pub fn total_pages(&self) -> u64 {
+        self.total_blocks() * self.pages_per_block as u64
+    }
+
+    /// Usable capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_bytes as u64
+    }
+
+    /// Bytes per erase block.
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_bytes as u64
+    }
+
+    /// Channel on which erase block `block` lives.
+    pub fn channel_of_block(&self, block: u64) -> u32 {
+        (block % self.channels as u64) as u32
+    }
+
+    /// Erase block containing physical page `ppa`.
+    pub fn block_of_ppa(&self, ppa: u64) -> u64 {
+        ppa / self.pages_per_block as u64
+    }
+
+    /// Page index within its erase block.
+    pub fn page_in_block(&self, ppa: u64) -> u32 {
+        (ppa % self.pages_per_block as u64) as u32
+    }
+
+    /// Channel on which physical page `ppa` lives.
+    pub fn channel_of_ppa(&self, ppa: u64) -> u32 {
+        self.channel_of_block(self.block_of_ppa(ppa))
+    }
+
+    /// First PPA of erase block `block`.
+    pub fn first_ppa_of_block(&self, block: u64) -> u64 {
+        block * self.pages_per_block as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_capacity() {
+        let g = FlashGeometry::default();
+        assert_eq!(g.total_blocks(), 16 * 64);
+        assert_eq!(g.capacity_bytes(), 16 * 64 * 64 * 4096);
+        assert_eq!(g.block_bytes(), 64 * 4096);
+    }
+
+    #[test]
+    fn address_math_roundtrip() {
+        let g = FlashGeometry::default();
+        for block in [0u64, 1, 17, 1023] {
+            for page in [0u32, 1, 63] {
+                let ppa = g.first_ppa_of_block(block) + page as u64;
+                assert_eq!(g.block_of_ppa(ppa), block);
+                assert_eq!(g.page_in_block(ppa), page);
+                assert_eq!(g.channel_of_ppa(ppa), (block % 16) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_blocks_stripe_channels() {
+        let g = FlashGeometry::default();
+        let chans: Vec<u32> = (0..16).map(|b| g.channel_of_block(b)).collect();
+        assert_eq!(chans, (0..16).collect::<Vec<_>>());
+        assert_eq!(g.channel_of_block(16), 0);
+    }
+
+    #[test]
+    fn for_capacity_is_sufficient() {
+        let g = FlashGeometry::for_capacity(100 << 20, 0.25);
+        assert!(g.capacity_bytes() >= (100 << 20) as u64 * 5 / 4);
+        // And not absurdly oversized (within one block per channel).
+        assert!(g.capacity_bytes() <= (100 << 20) as u64 * 5 / 4 + g.block_bytes() * 17);
+    }
+
+    #[test]
+    fn for_capacity_handles_tiny_requests() {
+        let g = FlashGeometry::for_capacity(1, 0.0);
+        assert!(g.blocks_per_channel >= 4);
+        assert!(g.capacity_bytes() > 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The raw NAND array: real storage plus NAND-rule enforcement.
+//!
+//! Three rules of NAND flash are enforced because both namespaces' logic
+//! depends on them being real:
+//!
+//! 1. **program-once** — a page cannot be reprogrammed until its erase
+//!    block is erased;
+//! 2. **sequential-within-block** — pages of an erase block are programmed
+//!    in order (this is what makes ZNS zones natural on flash);
+//! 3. **erase granularity** — an erase affects an entire block.
+//!
+//! Every operation charges the shared [`IoLedger`] with busy time on the
+//! channel that served it; the cost model's SSD term is the maximum channel
+//! busy time, so striping quality directly shows in simulated results.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kvcsd_sim::{HardwareSpec, IoLedger};
+use parking_lot::Mutex;
+
+use crate::error::FlashError;
+use crate::geometry::FlashGeometry;
+use crate::Result;
+
+#[derive(Debug, Default)]
+struct ChannelState {
+    /// Programmed page payloads keyed by PPA.
+    pages: HashMap<u64, Box<[u8]>>,
+    /// Next programmable page index per erase block (sequential rule).
+    next_page: HashMap<u64, u32>,
+}
+
+/// The simulated NAND array shared by all namespaces on a device.
+#[derive(Debug)]
+pub struct NandArray {
+    geom: FlashGeometry,
+    ledger: Arc<IoLedger>,
+    channels: Vec<Mutex<ChannelState>>,
+    read_busy_ns: u64,
+    program_busy_ns: u64,
+    erase_busy_ns: u64,
+}
+
+impl NandArray {
+    /// Build a NAND array. `spec` supplies the timing constants; its
+    /// channel count and page size must agree with `geom` (the geometry is
+    /// authoritative for layout, the spec for time).
+    pub fn new(geom: FlashGeometry, spec: &HardwareSpec, ledger: Arc<IoLedger>) -> Self {
+        let per_byte = |bps: f64| (geom.page_bytes as f64 / bps * 1e9) as u64;
+        Self {
+            geom,
+            ledger,
+            channels: (0..geom.channels).map(|_| Mutex::new(ChannelState::default())).collect(),
+            read_busy_ns: spec.page_op_ns + per_byte(spec.channel_read_bps),
+            program_busy_ns: spec.page_op_ns + per_byte(spec.channel_write_bps),
+            erase_busy_ns: spec.erase_ns,
+        }
+    }
+
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geom
+    }
+
+    pub fn ledger(&self) -> &Arc<IoLedger> {
+        &self.ledger
+    }
+
+    fn check_ppa(&self, ppa: u64) -> Result<()> {
+        let limit = self.geom.total_pages();
+        if ppa >= limit {
+            return Err(FlashError::AddressOutOfRange { addr: ppa, limit });
+        }
+        Ok(())
+    }
+
+    /// Program one page. `data` may be shorter than the page (it is
+    /// zero-padded) but never longer.
+    pub fn program(&self, ppa: u64, data: &[u8]) -> Result<()> {
+        self.check_ppa(ppa)?;
+        let page_bytes = self.geom.page_bytes as usize;
+        if data.len() > page_bytes {
+            return Err(FlashError::BadLength {
+                len: data.len(),
+                expect: format!("<= {page_bytes}"),
+            });
+        }
+        let block = self.geom.block_of_ppa(ppa);
+        let page_ix = self.geom.page_in_block(ppa);
+        let chan = self.geom.channel_of_ppa(ppa);
+        {
+            let mut st = self.channels[chan as usize].lock();
+            let next = st.next_page.entry(block).or_insert(0);
+            if page_ix < *next {
+                return Err(FlashError::PageAlreadyProgrammed { channel: chan, block, page: page_ix });
+            }
+            if page_ix != *next {
+                // NAND requires in-order programming within a block.
+                return Err(FlashError::NotSequential {
+                    zone: 0,
+                    write_pointer: *next as u64,
+                    offset: page_ix as u64,
+                });
+            }
+            *next += 1;
+            let mut page = vec![0u8; page_bytes];
+            page[..data.len()].copy_from_slice(data);
+            st.pages.insert(ppa, page.into_boxed_slice());
+        }
+        self.ledger.nand_program(chan, 1, self.program_busy_ns);
+        Ok(())
+    }
+
+    /// Read one page back. Reading a page that was never programmed since
+    /// the last erase is an internal error (namespaces guard against it).
+    pub fn read(&self, ppa: u64) -> Result<Box<[u8]>> {
+        self.check_ppa(ppa)?;
+        let chan = self.geom.channel_of_ppa(ppa);
+        let data = {
+            let st = self.channels[chan as usize].lock();
+            st.pages.get(&ppa).cloned()
+        };
+        match data {
+            Some(d) => {
+                self.ledger.nand_read(chan, 1, self.read_busy_ns);
+                Ok(d)
+            }
+            None => Err(FlashError::AddressOutOfRange {
+                addr: ppa,
+                limit: self.geom.total_pages(),
+            }),
+        }
+    }
+
+    /// True if `ppa` currently holds programmed data.
+    pub fn is_programmed(&self, ppa: u64) -> bool {
+        if self.check_ppa(ppa).is_err() {
+            return false;
+        }
+        let chan = self.geom.channel_of_ppa(ppa);
+        self.channels[chan as usize].lock().pages.contains_key(&ppa)
+    }
+
+    /// Erase a whole block, discarding its pages.
+    pub fn erase(&self, block: u64) -> Result<()> {
+        if block >= self.geom.total_blocks() {
+            return Err(FlashError::AddressOutOfRange {
+                addr: block,
+                limit: self.geom.total_blocks(),
+            });
+        }
+        let chan = self.geom.channel_of_block(block);
+        {
+            let mut st = self.channels[chan as usize].lock();
+            let first = self.geom.first_ppa_of_block(block);
+            for p in 0..self.geom.pages_per_block as u64 {
+                st.pages.remove(&(first + p));
+            }
+            st.next_page.remove(&block);
+        }
+        self.ledger.nand_erase(chan, self.erase_busy_ns);
+        Ok(())
+    }
+
+    /// Number of currently programmed pages (for memory-usage diagnostics).
+    pub fn programmed_pages(&self) -> u64 {
+        self.channels.iter().map(|c| c.lock().pages.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> NandArray {
+        let geom = FlashGeometry {
+            channels: 4,
+            blocks_per_channel: 8,
+            pages_per_block: 4,
+            page_bytes: 256,
+        };
+        let spec = HardwareSpec::default();
+        let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
+        NandArray::new(geom, &spec, ledger)
+    }
+
+    #[test]
+    fn program_read_roundtrip() {
+        let n = array();
+        let data = vec![7u8; 256];
+        n.program(0, &data).unwrap();
+        assert_eq!(&*n.read(0).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn short_payload_is_zero_padded() {
+        let n = array();
+        n.program(0, &[1, 2, 3]).unwrap();
+        let page = n.read(0).unwrap();
+        assert_eq!(&page[..3], &[1, 2, 3]);
+        assert!(page[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let n = array();
+        let e = n.program(0, &vec![0u8; 257]).unwrap_err();
+        assert!(matches!(e, FlashError::BadLength { .. }));
+    }
+
+    #[test]
+    fn program_once_enforced() {
+        let n = array();
+        n.program(0, &[1]).unwrap();
+        let e = n.program(0, &[2]).unwrap_err();
+        assert!(matches!(e, FlashError::PageAlreadyProgrammed { .. }));
+    }
+
+    #[test]
+    fn sequential_within_block_enforced() {
+        let n = array();
+        // Block 0 holds ppas 0..4; skipping page 0 is illegal.
+        let e = n.program(1, &[1]).unwrap_err();
+        assert!(matches!(e, FlashError::NotSequential { .. }));
+        n.program(0, &[1]).unwrap();
+        n.program(1, &[1]).unwrap();
+    }
+
+    #[test]
+    fn erase_allows_reprogramming() {
+        let n = array();
+        n.program(0, &[1]).unwrap();
+        n.program(1, &[2]).unwrap();
+        n.erase(0).unwrap();
+        assert!(!n.is_programmed(0));
+        n.program(0, &[3]).unwrap();
+        assert_eq!(n.read(0).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn read_unprogrammed_is_error() {
+        let n = array();
+        assert!(n.read(2).is_err());
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let n = array();
+        let total = n.geometry().total_pages();
+        assert!(matches!(
+            n.program(total, &[0]),
+            Err(FlashError::AddressOutOfRange { .. })
+        ));
+        assert!(n.read(total).is_err());
+        assert!(n.erase(n.geometry().total_blocks()).is_err());
+    }
+
+    #[test]
+    fn ledger_records_channel_busy() {
+        let n = array();
+        // Block 1 is on channel 1.
+        let ppa = n.geometry().first_ppa_of_block(1);
+        n.program(ppa, &[1]).unwrap();
+        let s = n.ledger().snapshot();
+        assert_eq!(s.nand_program_pages, 1);
+        assert!(s.channel_busy_ns[1] > 0);
+        assert_eq!(s.channel_busy_ns[0], 0);
+    }
+
+    #[test]
+    fn erase_charges_ledger() {
+        let n = array();
+        n.erase(2).unwrap();
+        let s = n.ledger().snapshot();
+        assert_eq!(s.nand_erase_blocks, 1);
+        assert_eq!(s.channel_busy_ns[2], HardwareSpec::default().erase_ns);
+    }
+
+    #[test]
+    fn programmed_page_count_tracks_state() {
+        let n = array();
+        assert_eq!(n.programmed_pages(), 0);
+        n.program(0, &[1]).unwrap();
+        n.program(1, &[1]).unwrap();
+        assert_eq!(n.programmed_pages(), 2);
+        n.erase(0).unwrap();
+        assert_eq!(n.programmed_pages(), 0);
+    }
+}

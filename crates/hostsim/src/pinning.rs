@@ -1,0 +1,62 @@
+//! Thread-to-core pinning descriptions.
+
+use kvcsd_sim::HardwareSpec;
+
+/// A pinning plan: which host cores a phase's threads occupy.
+///
+/// "To control host resource usage, we assigned each test thread to a
+/// specific CPU core for both KV-CSD and RocksDB runs. RocksDB creates
+/// two worker threads per DB instance ... We allow these threads to
+/// operate on any CPU core that had a test thread pinned on it."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pinning {
+    cores: Vec<u32>,
+}
+
+impl Pinning {
+    /// Pin `threads` threads to the first `threads` cores (clamped to the
+    /// machine size).
+    pub fn first_n(spec: &HardwareSpec, threads: u32) -> Self {
+        let n = threads.clamp(1, spec.host_cores);
+        Self { cores: (0..n).collect() }
+    }
+
+    /// Number of distinct cores the phase may use — the parallelism the
+    /// time model divides host work by.
+    pub fn core_count(&self) -> u32 {
+        self.cores.len() as u32
+    }
+
+    /// The pinned core ids.
+    pub fn cores(&self) -> &[u32] {
+        &self.cores
+    }
+
+    /// Core assigned to logical thread `t` (threads beyond the core count
+    /// wrap around, as oversubscribed pinning does).
+    pub fn core_of(&self, t: u32) -> u32 {
+        self.cores[(t as usize) % self.cores.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_to_machine() {
+        let spec = HardwareSpec::default();
+        assert_eq!(Pinning::first_n(&spec, 0).core_count(), 1);
+        assert_eq!(Pinning::first_n(&spec, 8).core_count(), 8);
+        assert_eq!(Pinning::first_n(&spec, 1000).core_count(), 32);
+    }
+
+    #[test]
+    fn wraps_oversubscribed_threads() {
+        let spec = HardwareSpec::default();
+        let p = Pinning::first_n(&spec, 4);
+        assert_eq!(p.core_of(0), 0);
+        assert_eq!(p.core_of(5), 1);
+        assert_eq!(p.cores(), &[0, 1, 2, 3]);
+    }
+}

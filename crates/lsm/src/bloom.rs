@@ -1,0 +1,154 @@
+//! Bloom filters for SSTables (RocksDB-style full filters).
+//!
+//! Double hashing over two 64-bit seeds gives the `k` probe positions;
+//! `k` is derived from the configured bits-per-key as `0.69 * bits`,
+//! clamped to `[1, 30]`, matching the classic optimum `k = ln2 * m/n`.
+
+/// An immutable bloom filter over a set of keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    k: u32,
+}
+
+fn hash64(data: &[u8], seed: u64) -> u64 {
+    // FNV-1a with a seed fold; cheap and adequate for filter probes.
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl BloomFilter {
+    /// Build a filter over `keys` with `bits_per_key` bits of budget each.
+    pub fn build<'a>(keys: impl Iterator<Item = &'a [u8]>, n_keys: usize, bits_per_key: usize) -> Self {
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let n_bits = (n_keys * bits_per_key).max(64);
+        let n_bytes = n_bits.div_ceil(8);
+        let mut bits = vec![0u8; n_bytes];
+        let n_bits = n_bytes * 8;
+        for key in keys {
+            let h1 = hash64(key, 0x51_7c_c1_b7);
+            let h2 = hash64(key, 0x27_22_0a_95);
+            for i in 0..k {
+                let pos = (h1.wrapping_add((i as u64).wrapping_mul(h2)) % n_bits as u64) as usize;
+                bits[pos / 8] |= 1 << (pos % 8);
+            }
+        }
+        Self { bits, k }
+    }
+
+    /// True if `key` *may* be in the set; false means definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let n_bits = self.bits.len() * 8;
+        if n_bits == 0 {
+            return true;
+        }
+        let h1 = hash64(key, 0x51_7c_c1_b7);
+        let h2 = hash64(key, 0x27_22_0a_95);
+        for i in 0..self.k {
+            let pos = (h1.wrapping_add((i as u64).wrapping_mul(h2)) % n_bits as u64) as usize;
+            if self.bits[pos / 8] & (1 << (pos % 8)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serialize as `k:u32 | bits`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.bits.len());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Deserialize a filter produced by [`BloomFilter::encode`].
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        if data.len() < 4 {
+            return None;
+        }
+        let k = u32::from_le_bytes(data[0..4].try_into().ok()?);
+        if !(1..=30).contains(&k) {
+            return None;
+        }
+        Some(Self { bits: data[4..].to_vec(), k })
+    }
+
+    /// Size of the encoded filter in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key-{i:08}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(2000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        for k in &ks {
+            assert!(f.may_contain(k), "false negative for {k:?}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let ks = keys(2000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            if f.may_contain(format!("absent-{i:08}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        // 10 bits/key targets ~1%; allow generous slack for the cheap hash.
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ks = keys(100);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        let enc = f.encode();
+        assert_eq!(enc.len(), f.encoded_len());
+        let g = BloomFilter::decode(&enc).unwrap();
+        assert_eq!(f, g);
+        for k in &ks {
+            assert!(g.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(BloomFilter::decode(&[]).is_none());
+        assert!(BloomFilter::decode(&[0, 0, 0, 0]).is_none()); // k = 0
+        assert!(BloomFilter::decode(&[200, 0, 0, 0, 1]).is_none()); // k = 200
+    }
+
+    #[test]
+    fn empty_set_filter_rejects_probes_mostly() {
+        let f = BloomFilter::build(std::iter::empty(), 0, 10);
+        // An empty filter has no bits set: everything is definitely absent.
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn one_bit_per_key_still_works() {
+        let ks = keys(50);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 1);
+        for k in &ks {
+            assert!(f.may_contain(k));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for the LSM baseline.
+
+use kvcsd_blockfs::FsError;
+use std::fmt;
+
+/// Errors surfaced by [`crate::Db`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsmError {
+    /// Underlying filesystem error.
+    Fs(FsError),
+    /// A persisted structure failed validation (checksum, framing).
+    Corruption(String),
+    /// Operation invalid for the current configuration or state.
+    InvalidState(String),
+}
+
+impl fmt::Display for LsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsmError::Fs(e) => write!(f, "filesystem error: {e}"),
+            LsmError::Corruption(m) => write!(f, "corruption: {m}"),
+            LsmError::InvalidState(m) => write!(f, "invalid state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LsmError {}
+
+impl From<FsError> for LsmError {
+    fn from(e: FsError) -> Self {
+        LsmError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_fs_errors() {
+        let e = LsmError::from(FsError::NoSpace);
+        assert_eq!(e, LsmError::Fs(FsError::NoSpace));
+        assert!(e.to_string().contains("no space"));
+    }
+
+    #[test]
+    fn corruption_displays_detail() {
+        assert!(LsmError::Corruption("bad crc".into()).to_string().contains("bad crc"));
+    }
+}

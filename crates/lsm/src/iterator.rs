@@ -1,0 +1,214 @@
+//! K-way merging iterator with newest-wins semantics.
+//!
+//! Sources are supplied newest-first (memtable, then L0 newest to oldest,
+//! then L1, L2, ...). For keys present in several sources, only the entry
+//! from the newest source is emitted; tombstones are emitted too (callers
+//! drop or keep them depending on context — compaction to the bottom level
+//! drops them, reads treat them as "absent").
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::sstable::Entry;
+use crate::Result;
+
+/// A sorted entry stream feeding the merge.
+pub type Source<'a> = Box<dyn Iterator<Item = Result<Entry>> + 'a>;
+
+struct HeapItem {
+    key: Vec<u8>,
+    /// Source rank; lower = newer.
+    rank: usize,
+    entry: Entry,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.rank == other.rank
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for (key asc, rank asc).
+        other.key.cmp(&self.key).then(other.rank.cmp(&self.rank))
+    }
+}
+
+/// Merges N sorted entry streams, newest source first.
+pub struct MergeIter<'a> {
+    heap: BinaryHeap<HeapItem>,
+    sources: Vec<Source<'a>>,
+    error: Option<crate::LsmError>,
+}
+
+impl<'a> MergeIter<'a> {
+    /// Build a merge over `sources`; index 0 is the newest.
+    pub fn new(mut sources: Vec<Source<'a>>) -> Self {
+        let mut it = Self { heap: BinaryHeap::new(), sources: Vec::new(), error: None };
+        for (rank, src) in sources.iter_mut().enumerate() {
+            it.advance_source(src, rank);
+        }
+        it.sources = sources;
+        it
+    }
+
+    fn advance_source(&mut self, src: &mut Source<'a>, rank: usize) {
+        match src.next() {
+            Some(Ok(entry)) => {
+                self.heap.push(HeapItem { key: entry.key.clone(), rank, entry });
+            }
+            Some(Err(e)) => self.error = Some(e),
+            None => {}
+        }
+    }
+
+    fn pop_and_refill(&mut self) -> Option<HeapItem> {
+        let item = self.heap.pop()?;
+        let rank = item.rank;
+        let mut src = std::mem::replace(&mut self.sources[rank], Box::new(std::iter::empty()));
+        self.advance_source(&mut src, rank);
+        self.sources[rank] = src;
+        Some(item)
+    }
+}
+
+impl Iterator for MergeIter<'_> {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.error.take() {
+            return Some(Err(e));
+        }
+        let winner = self.pop_and_refill()?;
+        // Skip older versions of the same key.
+        while let Some(top) = self.heap.peek() {
+            if top.key != winner.key {
+                break;
+            }
+            self.pop_and_refill();
+            if let Some(e) = self.error.take() {
+                return Some(Err(e));
+            }
+        }
+        Some(Ok(winner.entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(entries: Vec<(&str, u64, Option<&str>)>) -> Source<'static> {
+        let owned: Vec<Entry> = entries
+            .into_iter()
+            .map(|(k, seq, v)| Entry {
+                key: k.as_bytes().to_vec(),
+                seq,
+                value: v.map(|s| s.as_bytes().to_vec()),
+            })
+            .collect();
+        Box::new(owned.into_iter().map(Ok))
+    }
+
+    fn keys_of(it: MergeIter<'_>) -> Vec<(String, u64)> {
+        it.map(|e| {
+            let e = e.unwrap();
+            (String::from_utf8(e.key).unwrap(), e.seq)
+        })
+        .collect()
+    }
+
+    #[test]
+    fn merges_disjoint_sources_in_order() {
+        let it = MergeIter::new(vec![
+            src(vec![("b", 1, Some("x"))]),
+            src(vec![("a", 2, Some("y")), ("c", 3, Some("z"))]),
+        ]);
+        assert_eq!(
+            keys_of(it),
+            vec![("a".into(), 2), ("b".into(), 1), ("c".into(), 3)]
+        );
+    }
+
+    #[test]
+    fn newest_source_wins_duplicates() {
+        let it = MergeIter::new(vec![
+            src(vec![("k", 9, Some("new"))]),
+            src(vec![("k", 3, Some("old"))]),
+        ]);
+        let got: Vec<Entry> = it.map(|e| e.unwrap()).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 9);
+        assert_eq!(got[0].value, Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn tombstones_shadow_older_puts() {
+        let it = MergeIter::new(vec![
+            src(vec![("k", 9, None)]),
+            src(vec![("k", 3, Some("old"))]),
+        ]);
+        let got: Vec<Entry> = it.map(|e| e.unwrap()).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, None, "tombstone must be the surviving version");
+    }
+
+    #[test]
+    fn triple_overlap_resolves_by_rank() {
+        let it = MergeIter::new(vec![
+            src(vec![("a", 30, Some("v3")), ("b", 31, Some("b3"))]),
+            src(vec![("a", 20, Some("v2"))]),
+            src(vec![("a", 10, Some("v1")), ("z", 11, Some("zz"))]),
+        ]);
+        let got = keys_of(it);
+        assert_eq!(got, vec![("a".into(), 30), ("b".into(), 31), ("z".into(), 11)]);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let it = MergeIter::new(vec![src(vec![]), src(vec![("x", 1, Some("y"))]), src(vec![])]);
+        assert_eq!(keys_of(it).len(), 1);
+        let it = MergeIter::new(vec![]);
+        assert_eq!(keys_of(it).len(), 0);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let bad: Source<'static> = Box::new(
+            vec![Err(crate::LsmError::Corruption("boom".into()))].into_iter(),
+        );
+        let mut it = MergeIter::new(vec![bad, src(vec![("a", 1, Some("x"))])]);
+        assert!(it.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn large_interleaved_merge_is_sorted_and_deduped() {
+        let a: Vec<(String, u64)> = (0..500).map(|i| (format!("k{:05}", i * 2), 100 + i)).collect();
+        let b: Vec<(String, u64)> =
+            (0..500).map(|i| (format!("k{:05}", i * 3), 1000 + i)).collect();
+        let sa: Source<'static> = Box::new(a.clone().into_iter().map(|(k, s)| {
+            Ok(Entry { key: k.into_bytes(), seq: s, value: Some(vec![]) })
+        }));
+        let sb: Source<'static> = Box::new(b.clone().into_iter().map(|(k, s)| {
+            Ok(Entry { key: k.into_bytes(), seq: s, value: Some(vec![]) })
+        }));
+        let got = keys_of(MergeIter::new(vec![sa, sb]));
+        // Sorted...
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        // ...deduped with source-0 priority on multiples of 6.
+        let six = got.iter().find(|(k, _)| k == "k00006").unwrap();
+        assert!(six.1 >= 100 && six.1 < 1000, "rank-0 source must win, got seq {}", six.1);
+        let expected: std::collections::BTreeSet<String> = a
+            .iter()
+            .map(|(k, _)| k.clone())
+            .chain(b.iter().map(|(k, _)| k.clone()))
+            .collect();
+        assert_eq!(got.len(), expected.len());
+    }
+}

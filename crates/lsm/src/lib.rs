@@ -1,0 +1,51 @@
+//! A software LSM-tree key-value store: the RocksDB-analog baseline.
+//!
+//! The paper evaluates KV-CSD against RocksDB running on ext4. This crate
+//! is a from-scratch reimplementation of the RocksDB architecture *on top
+//! of the simulated stack* (`kvcsd-blockfs` over the conventional-namespace
+//! SSD), so that its write amplification, read inflation and host CPU
+//! consumption are measured from real execution:
+//!
+//! * [`memtable`] — an ordered in-memory write buffer with sequence
+//!   numbers and tombstones;
+//! * [`wal`] — a checksummed write-ahead log with replay;
+//! * [`bloom`] — per-table bloom filters;
+//! * [`sstable`] — the on-disk table format: prefix-compressed 4 KiB data
+//!   blocks with restart points, an index block and a bloom filter;
+//! * [`compaction`] — leveled compaction with L0 file triggers, write
+//!   stalls, and the three modes the paper benchmarks (automatic,
+//!   deferred, disabled);
+//! * [`db`] — the embedding API: `put/get/delete/scan/compact_all/flush`;
+//! * [`secondary`] — the host-side auxiliary-key secondary index scheme
+//!   the paper's macro benchmark uses (1-byte prefix namespacing).
+//!
+//! ### A note on background threads
+//!
+//! RocksDB runs compaction on background threads that, in the paper's
+//! setup, are pinned to the same cores as the foreground test threads. In
+//! this reproduction compaction executes inline at the trigger points but
+//! is *attributed* identically: all host CPU work lands in the same
+//! ledger, and the time model divides total work by the cores available —
+//! which is exactly the steady-state behaviour of pinned background
+//! threads sharing cores with the foreground. This keeps runs
+//! deterministic without changing the phase-time arithmetic.
+
+pub mod bloom;
+pub mod compaction;
+pub mod db;
+pub mod error;
+pub mod iterator;
+pub mod memtable;
+pub mod options;
+pub mod secondary;
+pub mod sstable;
+pub mod version;
+pub mod wal;
+
+pub use db::{Db, DbStats};
+pub use error::LsmError;
+pub use options::{CompactionMode, Options};
+pub use secondary::{aux_key, primary_key, split_aux, AUX_PREFIX, PRIMARY_PREFIX};
+
+/// Result alias for LSM operations.
+pub type Result<T> = std::result::Result<T, LsmError>;

@@ -1,0 +1,169 @@
+//! The in-memory write buffer (memtable).
+//!
+//! An ordered map from user key to the *newest* entry for that key, where
+//! an entry is a sequence number plus either a value or a tombstone.
+//! RocksDB's default memtable is a skiplist; an ordered tree gives the
+//! same O(log n) comparison behaviour, which is what the cost model
+//! charges for. Concurrency is provided one level up ([`crate::Db`] holds
+//! the memtable behind a lock, as the single-writer path does in RocksDB).
+
+use std::collections::BTreeMap;
+use std::ops::Bound as StdBound;
+
+/// A value or a deletion marker.
+pub type Slot = Option<Vec<u8>>;
+
+/// The memtable.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, (u64, Slot)>,
+    bytes: usize,
+}
+
+impl MemTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a put (`Some(value)`) or tombstone (`None`). The newest
+    /// sequence number wins; replacing an entry adjusts the byte estimate.
+    pub fn insert(&mut self, key: Vec<u8>, seq: u64, value: Slot) {
+        let key_len = key.len();
+        let new_val_len = value.as_ref().map_or(0, Vec::len);
+        match self.map.insert(key, (seq, value)) {
+            Some((_, old)) => {
+                // Key bytes were already counted; swap the value bytes.
+                self.bytes = self.bytes - old.as_ref().map_or(0, Vec::len) + new_val_len;
+            }
+            None => self.bytes += key_len + new_val_len,
+        }
+    }
+
+    /// Newest entry for `key`: `None` if absent, `Some((seq, None))` if
+    /// deleted, `Some((seq, Some(v)))` if present.
+    pub fn get(&self, key: &[u8]) -> Option<(u64, Option<&[u8]>)> {
+        self.map.get(key).map(|(seq, v)| (*seq, v.as_deref()))
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate raw bytes held (keys + live values).
+    pub fn approximate_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], u64, Option<&[u8]>)> {
+        self.map.iter().map(|(k, (s, v))| (k.as_slice(), *s, v.as_deref()))
+    }
+
+    /// Iterate entries with keys in `[lo, hi)` style bounds.
+    pub fn range<'a>(
+        &'a self,
+        lo: StdBound<&'a [u8]>,
+        hi: StdBound<&'a [u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], u64, Option<&'a [u8]>)> + 'a {
+        self.map
+            .range::<[u8], _>((lo, hi))
+            .map(|(k, (s, v))| (k.as_slice(), *s, v.as_deref()))
+    }
+
+    /// Drain into a sorted vector (used by flush).
+    pub fn into_sorted_entries(self) -> Vec<(Vec<u8>, u64, Slot)> {
+        self.map.into_iter().map(|(k, (s, v))| (k, s, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = MemTable::new();
+        m.insert(b"k1".to_vec(), 1, Some(b"v1".to_vec()));
+        assert_eq!(m.get(b"k1"), Some((1, Some(b"v1".as_slice()))));
+        assert_eq!(m.get(b"k2"), None);
+    }
+
+    #[test]
+    fn newest_write_wins() {
+        let mut m = MemTable::new();
+        m.insert(b"k".to_vec(), 1, Some(b"old".to_vec()));
+        m.insert(b"k".to_vec(), 2, Some(b"new".to_vec()));
+        assert_eq!(m.get(b"k"), Some((2, Some(b"new".as_slice()))));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_are_distinguishable_from_absence() {
+        let mut m = MemTable::new();
+        m.insert(b"k".to_vec(), 5, None);
+        assert_eq!(m.get(b"k"), Some((5, None)));
+        assert_eq!(m.get(b"other"), None);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut m = MemTable::new();
+        for k in [b"c".to_vec(), b"a".to_vec(), b"b".to_vec()] {
+            m.insert(k, 1, Some(vec![]));
+        }
+        let keys: Vec<&[u8]> = m.iter().map(|(k, _, _)| k).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c"]);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut m = MemTable::new();
+        for i in 0..10u8 {
+            m.insert(vec![i], 1, Some(vec![i]));
+        }
+        let got: Vec<u8> = m
+            .range(StdBound::Included([3u8].as_slice()), StdBound::Excluded([7u8].as_slice()))
+            .map(|(k, _, _)| k[0])
+            .collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_growth() {
+        let mut m = MemTable::new();
+        m.insert(vec![0; 16], 1, Some(vec![0; 32]));
+        assert_eq!(m.approximate_bytes(), 48);
+        m.insert(vec![1; 16], 2, Some(vec![0; 32]));
+        assert_eq!(m.approximate_bytes(), 96);
+    }
+
+    #[test]
+    fn byte_accounting_on_replacement() {
+        let mut m = MemTable::new();
+        m.insert(vec![0; 16], 1, Some(vec![0; 32]));
+        m.insert(vec![0; 16], 2, Some(vec![0; 8]));
+        assert_eq!(m.approximate_bytes(), 24);
+        m.insert(vec![0; 16], 3, None); // tombstone drops the value bytes
+        assert_eq!(m.approximate_bytes(), 16);
+    }
+
+    #[test]
+    fn into_sorted_entries_preserves_everything() {
+        let mut m = MemTable::new();
+        m.insert(b"b".to_vec(), 2, None);
+        m.insert(b"a".to_vec(), 1, Some(b"x".to_vec()));
+        let entries = m.into_sorted_entries();
+        assert_eq!(
+            entries,
+            vec![
+                (b"a".to_vec(), 1, Some(b"x".to_vec())),
+                (b"b".to_vec(), 2, None),
+            ]
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Tuning options for the LSM baseline, mirroring the RocksDB options the
+//! paper's evaluation exercises.
+
+/// When compaction work is performed — the three modes of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionMode {
+    /// RocksDB default: compaction runs as data is inserted.
+    Automatic,
+    /// "Compaction is manually held until after all keys are inserted":
+    /// nothing runs until [`crate::Db::compact_all`].
+    Deferred,
+    /// Compaction disabled entirely; reads merge across all L0 runs.
+    Disabled,
+}
+
+/// Database options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Flush the memtable to an L0 table once it holds this many bytes of
+    /// raw key+value data (RocksDB `write_buffer_size`).
+    pub memtable_bytes: usize,
+    /// Schedule an L0->L1 compaction at this many L0 files
+    /// (`level0_file_num_compaction_trigger`).
+    pub l0_compaction_trigger: usize,
+    /// Stall writes at this many L0 files (`level0_stop_writes_trigger`).
+    /// Stalled work is surfaced in [`crate::DbStats::stall_events`].
+    pub l0_stall_trigger: usize,
+    /// Target size of L1 in bytes (`max_bytes_for_level_base`).
+    pub level_base_bytes: u64,
+    /// Size ratio between adjacent levels (`max_bytes_for_level_multiplier`).
+    pub level_multiplier: u64,
+    /// Split compaction outputs at this many raw bytes (`target_file_size_base`).
+    pub target_file_bytes: usize,
+    /// Number of levels below L0.
+    pub max_levels: usize,
+    /// Data block size (RocksDB default 4 KiB, matching the NAND page).
+    pub block_bytes: usize,
+    /// Bloom filter bits per key (0 disables blooms).
+    pub bloom_bits_per_key: usize,
+    /// Restart-point interval inside data blocks.
+    pub restart_interval: usize,
+    /// Compaction scheduling mode.
+    pub compaction: CompactionMode,
+    /// Write WAL records for every put/delete.
+    pub wal: bool,
+    /// fsync the WAL on every write (the paper notes production HPC apps
+    /// usually leave this off and rely on checkpoint/restart).
+    pub sync_wal: bool,
+    /// Block cache capacity in blocks (RocksDB's "aggressive client-side
+    /// caching" in the paper's GET experiments).
+    pub block_cache_blocks: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            memtable_bytes: 1 << 20,
+            l0_compaction_trigger: 4,
+            l0_stall_trigger: 20,
+            level_base_bytes: 4 << 20,
+            level_multiplier: 10,
+            target_file_bytes: 1 << 20,
+            max_levels: 6,
+            block_bytes: 4096,
+            bloom_bits_per_key: 10,
+            restart_interval: 16,
+            compaction: CompactionMode::Automatic,
+            wal: true,
+            sync_wal: false,
+            block_cache_blocks: 8192,
+        }
+    }
+}
+
+impl Options {
+    /// Byte budget of level `n` (1-based below L0).
+    pub fn level_target_bytes(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        self.level_base_bytes * self.level_multiplier.pow(level as u32 - 1)
+    }
+
+    /// Options scaled for small experiment datasets: shrinks the memtable
+    /// and level sizes proportionally so flushes and compactions occur at
+    /// the same *relative* frequency as a full-size run.
+    pub fn scaled(scale_divisor: u64) -> Self {
+        let mut o = Self::default();
+        let d = scale_divisor.max(1) as usize;
+        o.memtable_bytes = (o.memtable_bytes / d).max(64 << 10);
+        o.level_base_bytes = (o.level_base_bytes / d as u64).max(256 << 10);
+        o.target_file_bytes = (o.target_file_bytes / d).max(64 << 10);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_targets_grow_by_multiplier() {
+        let o = Options::default();
+        assert_eq!(o.level_target_bytes(1), 4 << 20);
+        assert_eq!(o.level_target_bytes(2), 40 << 20);
+        assert_eq!(o.level_target_bytes(3), 400 << 20);
+    }
+
+    #[test]
+    fn scaled_options_have_floors() {
+        let o = Options::scaled(1_000_000);
+        assert_eq!(o.memtable_bytes, 64 << 10);
+        assert_eq!(o.level_base_bytes, 256 << 10);
+    }
+
+    #[test]
+    fn default_matches_rocksdb_flavor() {
+        let o = Options::default();
+        assert_eq!(o.l0_compaction_trigger, 4);
+        assert_eq!(o.block_bytes, 4096);
+        assert_eq!(o.compaction, CompactionMode::Automatic);
+        assert!(o.wal && !o.sync_wal);
+    }
+}

@@ -1,0 +1,732 @@
+//! The on-disk sorted table format.
+//!
+//! Layout (offsets grow left to right):
+//!
+//! ```text
+//! [data block]*  [filter block]  [index block]  [footer: 36 B]
+//! ```
+//!
+//! * **Data blocks** hold entries in key order with RocksDB-style restart
+//!   points: every `restart_interval`-th entry stores its full key, the
+//!   ones in between share a prefix with their predecessor
+//!   (`shared:u16 | non_shared:u16 | vlen:u32 | kind:u8 | seq:u64 |
+//!   key_suffix | value`). A trailer lists restart offsets.
+//! * The **filter block** is a bloom filter over all user keys.
+//! * The **index block** maps each data block's last key to its file span.
+//! * The **footer** locates index and filter and carries a magic number.
+//!
+//! Readers keep the decoded index and filter in memory (as RocksDB pins
+//! them via its table cache) and fetch data blocks through a shared block
+//! cache.
+
+use std::sync::Arc;
+
+use kvcsd_blockfs::{fs::FileId, BlockFs, LruCache};
+use kvcsd_sim::config::CostModel;
+use parking_lot::Mutex;
+
+use crate::bloom::BloomFilter;
+use crate::error::LsmError;
+use crate::Result;
+
+const MAGIC: u32 = 0x4B56_5353; // "KVSS"
+const FOOTER_BYTES: usize = 36;
+
+const KIND_PUT: u8 = 1;
+const KIND_DEL: u8 = 2;
+
+/// One decoded table entry. `value == None` is a tombstone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub key: Vec<u8>,
+    pub seq: u64,
+    pub value: Option<Vec<u8>>,
+}
+
+/// Shared cache of decoded data blocks, keyed by (table id, block index).
+pub type BlockCache = Mutex<LruCache<(u64, u32), Arc<Vec<Entry>>>>;
+
+/// Create a block cache holding `blocks` decoded blocks.
+pub fn new_block_cache(blocks: usize) -> Arc<BlockCache> {
+    Arc::new(Mutex::new(LruCache::new(blocks)))
+}
+
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    last_key: Vec<u8>,
+    offset: u64,
+    len: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Streams sorted entries into a new table file.
+pub struct TableBuilder<'a> {
+    fs: &'a BlockFs,
+    file: FileId,
+    path: String,
+    id: u64,
+    block_bytes: usize,
+    restart_interval: usize,
+    bloom_bits_per_key: usize,
+    // current block state
+    block: Vec<u8>,
+    restarts: Vec<u32>,
+    entries_in_block: usize,
+    prev_key: Vec<u8>,
+    // table state
+    offset: u64,
+    index: Vec<IndexEntry>,
+    keys: Vec<Vec<u8>>,
+    first_key: Option<Vec<u8>>,
+    last_key: Vec<u8>,
+    count: u64,
+}
+
+impl<'a> TableBuilder<'a> {
+    /// Start building `path` on `fs`.
+    pub fn create(
+        fs: &'a BlockFs,
+        path: &str,
+        id: u64,
+        block_bytes: usize,
+        restart_interval: usize,
+        bloom_bits_per_key: usize,
+    ) -> Result<Self> {
+        let file = fs.create(path)?;
+        Ok(Self {
+            fs,
+            file,
+            path: path.to_string(),
+            id,
+            block_bytes,
+            restart_interval: restart_interval.max(1),
+            bloom_bits_per_key,
+            block: Vec::with_capacity(block_bytes + 256),
+            restarts: Vec::new(),
+            entries_in_block: 0,
+            prev_key: Vec::new(),
+            offset: 0,
+            index: Vec::new(),
+            keys: Vec::new(),
+            first_key: None,
+            last_key: Vec::new(),
+            count: 0,
+        })
+    }
+
+    /// Append an entry. Keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: &[u8], seq: u64, value: Option<&[u8]>) -> Result<()> {
+        debug_assert!(
+            self.count == 0 || key > self.last_key.as_slice(),
+            "keys must be strictly increasing"
+        );
+        if self.first_key.is_none() {
+            self.first_key = Some(key.to_vec());
+        }
+
+        let restart = self.entries_in_block % self.restart_interval == 0;
+        if restart {
+            self.restarts.push(self.block.len() as u32);
+        }
+        let shared = if restart {
+            0
+        } else {
+            self.prev_key.iter().zip(key).take_while(|(a, b)| a == b).count()
+        };
+        let non_shared = key.len() - shared;
+        let (kind, vbytes): (u8, &[u8]) = match value {
+            Some(v) => (KIND_PUT, v),
+            None => (KIND_DEL, &[]),
+        };
+        self.block.extend_from_slice(&(shared as u16).to_le_bytes());
+        self.block.extend_from_slice(&(non_shared as u16).to_le_bytes());
+        self.block.extend_from_slice(&(vbytes.len() as u32).to_le_bytes());
+        self.block.push(kind);
+        self.block.extend_from_slice(&seq.to_le_bytes());
+        self.block.extend_from_slice(&key[shared..]);
+        self.block.extend_from_slice(vbytes);
+
+        self.entries_in_block += 1;
+        self.prev_key = key.to_vec();
+        self.last_key = key.to_vec();
+        self.keys.push(key.to_vec());
+        self.count += 1;
+        // Encoding work (framing + checksummable bytes) on the host.
+        self.fs.device().nand().ledger().charge_host_cpu(
+            (key.len() + vbytes.len() + 17) as f64 * self.fs.cost().codec_ns_per_byte,
+        );
+
+        if self.block.len() >= self.block_bytes {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.entries_in_block == 0 {
+            return Ok(());
+        }
+        for r in &self.restarts {
+            self.block.extend_from_slice(&r.to_le_bytes());
+        }
+        self.block.extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
+        self.fs.append(self.file, &self.block)?;
+        self.index.push(IndexEntry {
+            last_key: self.last_key.clone(),
+            offset: self.offset,
+            len: self.block.len() as u32,
+        });
+        self.offset += self.block.len() as u64;
+        self.block.clear();
+        self.restarts.clear();
+        self.entries_in_block = 0;
+        self.prev_key.clear();
+        Ok(())
+    }
+
+    /// Finish the table: write filter, index and footer, fsync, and return
+    /// an opened [`Table`].
+    pub fn finish(mut self) -> Result<Table> {
+        self.flush_block()?;
+
+        self.fs
+            .device()
+            .nand()
+            .ledger()
+            .charge_host_cpu(self.keys.len() as f64 * self.fs.cost().bloom_op_ns);
+        let filter = if self.bloom_bits_per_key > 0 && !self.keys.is_empty() {
+            Some(BloomFilter::build(
+                self.keys.iter().map(|k| k.as_slice()),
+                self.keys.len(),
+                self.bloom_bits_per_key,
+            ))
+        } else {
+            None
+        };
+        let filter_bytes = filter.as_ref().map(|f| f.encode()).unwrap_or_default();
+        let filter_off = self.offset;
+        self.fs.append(self.file, &filter_bytes)?;
+        self.offset += filter_bytes.len() as u64;
+
+        let mut index_bytes = Vec::new();
+        index_bytes.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        for e in &self.index {
+            index_bytes.extend_from_slice(&(e.last_key.len() as u16).to_le_bytes());
+            index_bytes.extend_from_slice(&e.last_key);
+            index_bytes.extend_from_slice(&e.offset.to_le_bytes());
+            index_bytes.extend_from_slice(&e.len.to_le_bytes());
+        }
+        let index_off = self.offset;
+        self.fs.append(self.file, &index_bytes)?;
+        self.offset += index_bytes.len() as u64;
+
+        let mut footer = Vec::with_capacity(FOOTER_BYTES);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_bytes.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&filter_off.to_le_bytes());
+        footer.extend_from_slice(&(filter_bytes.len() as u32).to_le_bytes());
+        footer.extend_from_slice(&self.count.to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        self.fs.append(self.file, &footer)?;
+        self.fs.fsync(self.file)?;
+
+        Ok(Table {
+            id: self.id,
+            path: self.path,
+            file: self.file,
+            first_key: self.first_key.unwrap_or_default(),
+            last_key: self.last_key,
+            entry_count: self.count,
+            file_bytes: self.offset + FOOTER_BYTES as u64,
+            index: self.index,
+            filter,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// An open, immutable sorted table.
+#[derive(Debug)]
+pub struct Table {
+    pub id: u64,
+    pub path: String,
+    file: FileId,
+    pub first_key: Vec<u8>,
+    pub last_key: Vec<u8>,
+    pub entry_count: u64,
+    pub file_bytes: u64,
+    index: Vec<IndexEntry>,
+    filter: Option<BloomFilter>,
+}
+
+impl Table {
+    /// Open an existing table file, loading footer, index and filter.
+    pub fn open(fs: &BlockFs, path: &str, id: u64) -> Result<Table> {
+        let file = fs.open(path)?;
+        let size = fs.len(file)?;
+        if size < FOOTER_BYTES as u64 {
+            return Err(LsmError::Corruption(format!("{path}: too small for footer")));
+        }
+        let footer = fs.read_exact_at(file, size - FOOTER_BYTES as u64, FOOTER_BYTES)?;
+        let magic = u32::from_le_bytes(footer[32..36].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(LsmError::Corruption(format!("{path}: bad magic {magic:#x}")));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let index_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
+        let filter_off = u64::from_le_bytes(footer[12..20].try_into().unwrap());
+        let filter_len = u32::from_le_bytes(footer[20..24].try_into().unwrap()) as usize;
+        let entry_count = u64::from_le_bytes(footer[24..32].try_into().unwrap());
+
+        let index_bytes = fs.read_exact_at(file, index_off, index_len)?;
+        let mut index = Vec::new();
+        let mut p = 4usize;
+        let n = u32::from_le_bytes(
+            index_bytes.get(0..4).ok_or_else(|| corrupt(path, "index header"))?.try_into().unwrap(),
+        ) as usize;
+        for _ in 0..n {
+            let klen = u16::from_le_bytes(
+                index_bytes.get(p..p + 2).ok_or_else(|| corrupt(path, "index klen"))?.try_into().unwrap(),
+            ) as usize;
+            p += 2;
+            let last_key =
+                index_bytes.get(p..p + klen).ok_or_else(|| corrupt(path, "index key"))?.to_vec();
+            p += klen;
+            let offset = u64::from_le_bytes(
+                index_bytes.get(p..p + 8).ok_or_else(|| corrupt(path, "index off"))?.try_into().unwrap(),
+            );
+            p += 8;
+            let len = u32::from_le_bytes(
+                index_bytes.get(p..p + 4).ok_or_else(|| corrupt(path, "index len"))?.try_into().unwrap(),
+            );
+            p += 4;
+            index.push(IndexEntry { last_key, offset, len });
+        }
+
+        let filter = if filter_len > 0 {
+            let fb = fs.read_exact_at(file, filter_off, filter_len)?;
+            Some(BloomFilter::decode(&fb).ok_or_else(|| corrupt(path, "filter"))?)
+        } else {
+            None
+        };
+
+        let (first_key, last_key) = if index.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            // First key requires decoding the first block's first entry.
+            let block = Self::decode_block_raw(&fs.read_exact_at(
+                file,
+                index[0].offset,
+                index[0].len as usize,
+            )?)
+            .map_err(|e| LsmError::Corruption(format!("{path}: {e}")))?;
+            (
+                block.first().map(|e| e.key.clone()).unwrap_or_default(),
+                index.last().unwrap().last_key.clone(),
+            )
+        };
+
+        Ok(Table {
+            id,
+            path: path.to_string(),
+            file,
+            first_key,
+            last_key,
+            entry_count,
+            file_bytes: size,
+            index,
+            filter,
+        })
+    }
+
+    /// Number of data blocks.
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn decode_block_raw(raw: &[u8]) -> std::result::Result<Vec<Entry>, String> {
+        if raw.len() < 4 {
+            return Err("block too small".into());
+        }
+        let n_restarts =
+            u32::from_le_bytes(raw[raw.len() - 4..].try_into().unwrap()) as usize;
+        let trailer = 4 + n_restarts * 4;
+        if raw.len() < trailer {
+            return Err("bad restart trailer".into());
+        }
+        let data_end = raw.len() - trailer;
+        let mut entries = Vec::new();
+        let mut p = 0usize;
+        let mut prev_key: Vec<u8> = Vec::new();
+        while p < data_end {
+            if p + 17 > data_end {
+                return Err("truncated entry header".into());
+            }
+            let shared = u16::from_le_bytes(raw[p..p + 2].try_into().unwrap()) as usize;
+            let non_shared = u16::from_le_bytes(raw[p + 2..p + 4].try_into().unwrap()) as usize;
+            let vlen = u32::from_le_bytes(raw[p + 4..p + 8].try_into().unwrap()) as usize;
+            let kind = raw[p + 8];
+            let seq = u64::from_le_bytes(raw[p + 9..p + 17].try_into().unwrap());
+            p += 17;
+            if p + non_shared + vlen > data_end || shared > prev_key.len() {
+                return Err("truncated entry body".into());
+            }
+            let mut key = Vec::with_capacity(shared + non_shared);
+            key.extend_from_slice(&prev_key[..shared]);
+            key.extend_from_slice(&raw[p..p + non_shared]);
+            p += non_shared;
+            let value = match kind {
+                KIND_PUT => Some(raw[p..p + vlen].to_vec()),
+                KIND_DEL => None,
+                other => return Err(format!("bad entry kind {other}")),
+            };
+            p += vlen;
+            prev_key = key.clone();
+            entries.push(Entry { key, seq, value });
+        }
+        Ok(entries)
+    }
+
+    /// Fetch (and decode) data block `ix`, through the shared cache.
+    pub fn load_block(
+        &self,
+        fs: &BlockFs,
+        cost: &CostModel,
+        cache: &BlockCache,
+        ix: u32,
+    ) -> Result<Arc<Vec<Entry>>> {
+        if let Some(hit) = cache.lock().get(&(self.id, ix)).map(Arc::clone) {
+            fs.device().nand().ledger().bump("lsm_block_cache_hit", 1);
+            return Ok(hit);
+        }
+        fs.device().nand().ledger().bump("lsm_block_cache_miss", 1);
+        let ie = &self.index[ix as usize];
+        let raw = fs.read_exact_at(self.file, ie.offset, ie.len as usize)?;
+        fs.device()
+            .nand()
+            .ledger()
+            .charge_host_cpu(raw.len() as f64 * cost.codec_ns_per_byte);
+        let entries = Arc::new(
+            Self::decode_block_raw(&raw)
+                .map_err(|e| LsmError::Corruption(format!("{}: {e}", self.path)))?,
+        );
+        cache.lock().insert((self.id, ix), Arc::clone(&entries));
+        Ok(entries)
+    }
+
+    /// Point lookup. Charges bloom and comparison costs to the ledger.
+    pub fn get(
+        &self,
+        fs: &BlockFs,
+        cost: &CostModel,
+        cache: &BlockCache,
+        key: &[u8],
+    ) -> Result<Option<Entry>> {
+        let ledger = fs.device().nand().ledger();
+        if let Some(f) = &self.filter {
+            ledger.charge_host_cpu(cost.bloom_op_ns);
+            if !f.may_contain(key) {
+                ledger.bump("lsm_bloom_negative", 1);
+                return Ok(None);
+            }
+        }
+        // Binary search the index for the first block whose last_key >= key.
+        let ix = self.index.partition_point(|e| e.last_key.as_slice() < key);
+        ledger.charge_host_cpu(cost.key_cmp_ns * (self.index.len().max(2) as f64).log2());
+        if ix == self.index.len() {
+            return Ok(None);
+        }
+        let block = self.load_block(fs, cost, cache, ix as u32)?;
+        ledger.charge_host_cpu(cost.key_cmp_ns * (block.len().max(2) as f64).log2());
+        match block.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+            Ok(i) => Ok(Some(block[i].clone())),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Iterate every entry of the table in key order.
+    pub fn iter<'t>(
+        &'t self,
+        fs: &'t BlockFs,
+        cost: &'t CostModel,
+        cache: &'t BlockCache,
+    ) -> TableIter<'t> {
+        TableIter { table: self, fs, cost, cache, block_ix: 0, block: None, pos: 0 }
+    }
+
+    /// Iterate from the first entry with key >= `lo`, skipping earlier
+    /// blocks entirely (no I/O for them).
+    pub fn iter_from<'t>(
+        &'t self,
+        fs: &'t BlockFs,
+        cost: &'t CostModel,
+        cache: &'t BlockCache,
+        lo: &[u8],
+    ) -> TableIter<'t> {
+        let start = self.index.partition_point(|e| e.last_key.as_slice() < lo) as u32;
+        let mut it =
+            TableIter { table: self, fs, cost, cache, block_ix: start, block: None, pos: 0 };
+        // Position within the starting block.
+        if (start as usize) < self.index.len() {
+            if let Ok(block) = self.load_block(fs, cost, cache, start) {
+                it.pos = block.partition_point(|e| e.key.as_slice() < lo);
+                it.block = Some(block);
+            }
+        }
+        it
+    }
+
+    /// Delete the table's file.
+    pub fn remove(&self, fs: &BlockFs) -> Result<()> {
+        fs.unlink(&self.path)?;
+        Ok(())
+    }
+}
+
+fn corrupt(path: &str, what: &str) -> LsmError {
+    LsmError::Corruption(format!("{path}: malformed {what}"))
+}
+
+/// Sequential iterator over a table's entries.
+pub struct TableIter<'t> {
+    table: &'t Table,
+    fs: &'t BlockFs,
+    cost: &'t CostModel,
+    cache: &'t BlockCache,
+    block_ix: u32,
+    block: Option<Arc<Vec<Entry>>>,
+    pos: usize,
+}
+
+impl Iterator for TableIter<'_> {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(block) = &self.block {
+                if self.pos < block.len() {
+                    let e = block[self.pos].clone();
+                    self.pos += 1;
+                    return Some(Ok(e));
+                }
+                self.block = None;
+                self.block_ix += 1;
+                self.pos = 0;
+            }
+            if self.block_ix as usize >= self.table.block_count() {
+                return None;
+            }
+            match self.table.load_block(self.fs, self.cost, self.cache, self.block_ix) {
+                Ok(b) => self.block = Some(b),
+                Err(e) => {
+                    self.block_ix = u32::MAX; // poison
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcsd_blockfs::FsConfig;
+    use kvcsd_flash::{ConvConfig, ConventionalNamespace, FlashGeometry, NandArray};
+    use kvcsd_sim::{HardwareSpec, IoLedger};
+
+    fn fs() -> BlockFs {
+        let geom = FlashGeometry {
+            channels: 8,
+            blocks_per_channel: 128,
+            pages_per_block: 32,
+            page_bytes: 4096,
+        };
+        let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
+        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), ledger));
+        let dev = Arc::new(ConventionalNamespace::new(nand, ConvConfig::default()));
+        BlockFs::format(dev, CostModel::default(), FsConfig::default())
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key-{i:08}").into_bytes()
+    }
+
+    fn build(fs: &BlockFs, n: u32, bloom: usize) -> Table {
+        let mut b = TableBuilder::create(fs, "000001.sst", 1, 4096, 16, bloom).unwrap();
+        for i in 0..n {
+            if i % 10 == 3 {
+                b.add(&key(i), i as u64, None).unwrap(); // sprinkle tombstones
+            } else {
+                b.add(&key(i), i as u64, Some(format!("value-{i}").as_bytes())).unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_open_get_roundtrip() {
+        let fs = fs();
+        let t = build(&fs, 1000, 10);
+        assert_eq!(t.entry_count, 1000);
+        assert_eq!(t.first_key, key(0));
+        assert_eq!(t.last_key, key(999));
+        assert!(t.block_count() > 1, "1000 entries should span multiple blocks");
+
+        let reopened = Table::open(&fs, "000001.sst", 1).unwrap();
+        assert_eq!(reopened.entry_count, 1000);
+        assert_eq!(reopened.first_key, t.first_key);
+        assert_eq!(reopened.last_key, t.last_key);
+
+        let cost = CostModel::default();
+        let cache = new_block_cache(64);
+        for i in [0u32, 1, 3, 499, 999] {
+            let e = reopened.get(&fs, &cost, &cache, &key(i)).unwrap().unwrap();
+            assert_eq!(e.seq, i as u64);
+            if i % 10 == 3 {
+                assert_eq!(e.value, None, "tombstone preserved");
+            } else {
+                assert_eq!(e.value, Some(format!("value-{i}").into_bytes()));
+            }
+        }
+        assert!(reopened.get(&fs, &cost, &cache, b"zzz").unwrap().is_none());
+        assert!(reopened.get(&fs, &cost, &cache, b"absent").unwrap().is_none());
+    }
+
+    #[test]
+    fn iterator_returns_all_entries_in_order() {
+        let fs = fs();
+        let t = build(&fs, 500, 10);
+        let cost = CostModel::default();
+        let cache = new_block_cache(64);
+        let entries: Vec<Entry> = t.iter(&fs, &cost, &cache).map(|e| e.unwrap()).collect();
+        assert_eq!(entries.len(), 500);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.key, key(i as u32));
+        }
+        assert!(entries.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn bloom_filter_short_circuits_absent_keys() {
+        let fs = fs();
+        let t = build(&fs, 200, 10);
+        let cost = CostModel::default();
+        let cache = new_block_cache(64);
+        let ledger = fs.device().nand().ledger();
+        let miss0 = ledger.custom("lsm_block_cache_miss");
+        let mut negatives = 0;
+        for i in 0..200 {
+            if t.get(&fs, &cost, &cache, format!("nope-{i}").as_bytes()).unwrap().is_none() {
+                negatives += 1;
+            }
+        }
+        assert_eq!(negatives, 200);
+        let bloom_neg = ledger.custom("lsm_bloom_negative");
+        assert!(bloom_neg > 180, "bloom should reject most absent keys, got {bloom_neg}");
+        // Bloom negatives never touch data blocks.
+        assert!(ledger.custom("lsm_block_cache_miss") - miss0 <= (200 - bloom_neg) + 1);
+    }
+
+    #[test]
+    fn block_cache_hits_avoid_device_reads() {
+        let fs = fs();
+        let t = build(&fs, 300, 10);
+        fs.drop_caches();
+        let cost = CostModel::default();
+        let cache = new_block_cache(64);
+        let before = fs.device().nand().ledger().snapshot();
+        t.get(&fs, &cost, &cache, &key(42)).unwrap().unwrap();
+        let after_first = fs.device().nand().ledger().snapshot();
+        assert!(after_first.since(&before).nand_read_pages > 0);
+        t.get(&fs, &cost, &cache, &key(42)).unwrap().unwrap();
+        let after_second = fs.device().nand().ledger().snapshot();
+        assert_eq!(after_second.since(&after_first).nand_read_pages, 0);
+    }
+
+    #[test]
+    fn no_bloom_still_correct() {
+        let fs = fs();
+        let t = build(&fs, 100, 0);
+        let cost = CostModel::default();
+        let cache = new_block_cache(16);
+        assert!(t.get(&fs, &cost, &cache, &key(5)).unwrap().is_some());
+        assert!(t.get(&fs, &cost, &cache, b"absent").unwrap().is_none());
+    }
+
+    #[test]
+    fn single_entry_table() {
+        let fs = fs();
+        let mut b = TableBuilder::create(&fs, "t.sst", 9, 4096, 16, 10).unwrap();
+        b.add(b"only", 7, Some(b"one")).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.entry_count, 1);
+        assert_eq!(t.first_key, b"only");
+        assert_eq!(t.last_key, b"only");
+        let cost = CostModel::default();
+        let cache = new_block_cache(4);
+        let e = t.get(&fs, &cost, &cache, b"only").unwrap().unwrap();
+        assert_eq!(e.value, Some(b"one".to_vec()));
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let fs = fs();
+        let f = fs.create("junk.sst").unwrap();
+        fs.append(f, &[0u8; 100]).unwrap();
+        assert!(matches!(Table::open(&fs, "junk.sst", 1), Err(LsmError::Corruption(_))));
+        let g = fs.create("short.sst").unwrap();
+        fs.append(g, &[0u8; 10]).unwrap();
+        assert!(Table::open(&fs, "short.sst", 2).is_err());
+    }
+
+    #[test]
+    fn remove_deletes_file() {
+        let fs = fs();
+        let t = build(&fs, 10, 10);
+        t.remove(&fs).unwrap();
+        assert!(!fs.exists("000001.sst"));
+    }
+
+    #[test]
+    fn prefix_compression_shrinks_files() {
+        let fs = fs();
+        // Highly shared prefixes.
+        let mut b = TableBuilder::create(&fs, "a.sst", 1, 4096, 16, 0).unwrap();
+        for i in 0..1000u32 {
+            b.add(format!("common/long/prefix/{i:08}").as_bytes(), 0, Some(b"x")).unwrap();
+        }
+        let ta = b.finish().unwrap();
+        // Same data but restart at every entry (no sharing).
+        let mut b = TableBuilder::create(&fs, "b.sst", 2, 4096, 1, 0).unwrap();
+        for i in 0..1000u32 {
+            b.add(format!("common/long/prefix/{i:08}").as_bytes(), 0, Some(b"x")).unwrap();
+        }
+        let tb = b.finish().unwrap();
+        assert!(
+            (ta.file_bytes as f64) < 0.8 * tb.file_bytes as f64,
+            "prefix compression should shrink the file: {} vs {}",
+            ta.file_bytes,
+            tb.file_bytes
+        );
+    }
+
+    #[test]
+    fn values_up_to_pages_roundtrip() {
+        let fs = fs();
+        let mut b = TableBuilder::create(&fs, "big.sst", 3, 4096, 16, 10).unwrap();
+        let big = vec![0xCD; 4096];
+        b.add(b"big0", 1, Some(&big)).unwrap();
+        b.add(b"big1", 2, Some(&big)).unwrap();
+        let t = b.finish().unwrap();
+        let cost = CostModel::default();
+        let cache = new_block_cache(8);
+        let e = t.get(&fs, &cost, &cache, b"big1").unwrap().unwrap();
+        assert_eq!(e.value.unwrap(), big);
+    }
+}

@@ -1,0 +1,175 @@
+//! The level structure: which tables live where.
+//!
+//! L0 holds whole memtable flushes, newest first, with overlapping key
+//! ranges. L1 and below are runs of non-overlapping tables kept sorted by
+//! first key. This mirrors RocksDB's default leveled layout.
+
+use std::sync::Arc;
+
+use crate::sstable::Table;
+
+/// An immutable-ish snapshot of the table tree.
+#[derive(Debug, Default)]
+pub struct Version {
+    /// L0: newest flush first.
+    pub l0: Vec<Arc<Table>>,
+    /// `levels[i]` is L(i+1): sorted by first key, non-overlapping.
+    pub levels: Vec<Vec<Arc<Table>>>,
+}
+
+impl Version {
+    pub fn new(max_levels: usize) -> Self {
+        Self { l0: Vec::new(), levels: vec![Vec::new(); max_levels] }
+    }
+
+    /// Total file bytes at `level` (0 = L0).
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.tables_at(level).iter().map(|t| t.file_bytes).sum()
+    }
+
+    /// Tables at `level` (0 = L0).
+    pub fn tables_at(&self, level: usize) -> &[Arc<Table>] {
+        if level == 0 {
+            &self.l0
+        } else {
+            &self.levels[level - 1]
+        }
+    }
+
+    /// Total number of live tables.
+    pub fn table_count(&self) -> usize {
+        self.l0.len() + self.levels.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Total entries across all live tables.
+    pub fn entry_count(&self) -> u64 {
+        self.l0.iter().chain(self.levels.iter().flatten()).map(|t| t.entry_count).sum()
+    }
+
+    /// Tables in a sorted level whose key range intersects `[first, last]`.
+    pub fn overlapping(&self, level: usize, first: &[u8], last: &[u8]) -> Vec<Arc<Table>> {
+        debug_assert!(level >= 1);
+        self.levels[level - 1]
+            .iter()
+            .filter(|t| t.last_key.as_slice() >= first && t.first_key.as_slice() <= last)
+            .cloned()
+            .collect()
+    }
+
+    /// Insert `table` into a sorted level, keeping first-key order.
+    pub fn insert_sorted(&mut self, level: usize, table: Arc<Table>) {
+        debug_assert!(level >= 1);
+        let v = &mut self.levels[level - 1];
+        let pos = v.partition_point(|t| t.first_key < table.first_key);
+        v.insert(pos, table);
+    }
+
+    /// Remove tables by id from `level`.
+    pub fn remove_tables(&mut self, level: usize, ids: &[u64]) {
+        let v = if level == 0 { &mut self.l0 } else { &mut self.levels[level - 1] };
+        v.retain(|t| !ids.contains(&t.id));
+    }
+
+    /// In a sorted level, the single table that may contain `key`.
+    pub fn table_for_key(&self, level: usize, key: &[u8]) -> Option<&Arc<Table>> {
+        debug_assert!(level >= 1);
+        let v = &self.levels[level - 1];
+        // First table whose last_key >= key; it contains key iff its
+        // first_key <= key.
+        let ix = v.partition_point(|t| t.last_key.as_slice() < key);
+        v.get(ix).filter(|t| t.first_key.as_slice() <= key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcsd_blockfs::{BlockFs, FsConfig};
+    use kvcsd_flash::{ConvConfig, ConventionalNamespace, FlashGeometry, NandArray};
+    use kvcsd_sim::{config::CostModel, HardwareSpec, IoLedger};
+
+    fn fs() -> BlockFs {
+        let geom = FlashGeometry {
+            channels: 4,
+            blocks_per_channel: 64,
+            pages_per_block: 32,
+            page_bytes: 4096,
+        };
+        let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
+        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), ledger));
+        let dev = Arc::new(ConventionalNamespace::new(nand, ConvConfig::default()));
+        BlockFs::format(dev, CostModel::default(), FsConfig::default())
+    }
+
+    fn table(fs: &BlockFs, id: u64, lo: u8, hi: u8) -> Arc<Table> {
+        let path = format!("{id:06}.sst");
+        let mut b =
+            crate::sstable::TableBuilder::create(fs, &path, id, 4096, 16, 10).unwrap();
+        for k in lo..=hi {
+            b.add(&[k], 1, Some(&[k])).unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn sorted_insert_keeps_order() {
+        let fs = fs();
+        let mut v = Version::new(3);
+        v.insert_sorted(1, table(&fs, 2, 50, 60));
+        v.insert_sorted(1, table(&fs, 1, 0, 10));
+        v.insert_sorted(1, table(&fs, 3, 80, 90));
+        let firsts: Vec<u8> = v.levels[0].iter().map(|t| t.first_key[0]).collect();
+        assert_eq!(firsts, vec![0, 50, 80]);
+        assert_eq!(v.table_count(), 3);
+    }
+
+    #[test]
+    fn overlapping_selects_intersections() {
+        let fs = fs();
+        let mut v = Version::new(3);
+        v.insert_sorted(1, table(&fs, 1, 0, 10));
+        v.insert_sorted(1, table(&fs, 2, 20, 30));
+        v.insert_sorted(1, table(&fs, 3, 40, 50));
+        let hits = v.overlapping(1, &[25], &[45]);
+        let ids: Vec<u64> = hits.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert!(v.overlapping(1, &[11], &[19]).is_empty());
+        // Boundary inclusivity.
+        assert_eq!(v.overlapping(1, &[10], &[10]).len(), 1);
+    }
+
+    #[test]
+    fn table_for_key_binary_search() {
+        let fs = fs();
+        let mut v = Version::new(3);
+        v.insert_sorted(1, table(&fs, 1, 0, 10));
+        v.insert_sorted(1, table(&fs, 2, 20, 30));
+        assert_eq!(v.table_for_key(1, &[5]).unwrap().id, 1);
+        assert_eq!(v.table_for_key(1, &[20]).unwrap().id, 2);
+        assert!(v.table_for_key(1, &[15]).is_none(), "gap between tables");
+        assert!(v.table_for_key(1, &[99]).is_none());
+    }
+
+    #[test]
+    fn remove_tables_by_id() {
+        let fs = fs();
+        let mut v = Version::new(3);
+        v.l0.push(table(&fs, 7, 0, 5));
+        v.insert_sorted(1, table(&fs, 8, 0, 5));
+        v.remove_tables(0, &[7]);
+        v.remove_tables(1, &[8]);
+        assert_eq!(v.table_count(), 0);
+    }
+
+    #[test]
+    fn byte_and_entry_accounting() {
+        let fs = fs();
+        let mut v = Version::new(3);
+        let t = table(&fs, 1, 0, 9);
+        let bytes = t.file_bytes;
+        v.l0.push(t);
+        assert_eq!(v.level_bytes(0), bytes);
+        assert_eq!(v.entry_count(), 10);
+        assert_eq!(v.level_bytes(1), 0);
+    }
+}

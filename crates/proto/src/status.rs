@@ -1,0 +1,77 @@
+//! Status codes returned by the device, in the spirit of NVMe status fields.
+
+use std::fmt;
+
+/// Errors a KV-CSD device can report for a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvStatus {
+    /// The named keyspace does not exist.
+    KeyspaceNotFound,
+    /// A keyspace with this name already exists.
+    KeyspaceExists,
+    /// The keyspace is in a state that forbids the operation (e.g. PUT
+    /// while COMPACTING, query before COMPACTED).
+    BadKeyspaceState { state: &'static str, op: &'static str },
+    /// The key was not found (point query miss).
+    KeyNotFound,
+    /// A key in the request is malformed (empty or oversized).
+    BadKey,
+    /// Value payload malformed or oversized.
+    BadValue,
+    /// The requested secondary index does not exist.
+    IndexNotFound,
+    /// A secondary index with this name already exists.
+    IndexExists,
+    /// The secondary index spec references bytes outside the value.
+    BadIndexSpec,
+    /// The referenced background job is unknown.
+    JobNotFound,
+    /// Storage capacity exhausted.
+    DeviceFull,
+    /// Internal device error (wraps a flash-layer message).
+    Internal(String),
+}
+
+impl fmt::Display for KvStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvStatus::KeyspaceNotFound => write!(f, "keyspace not found"),
+            KvStatus::KeyspaceExists => write!(f, "keyspace already exists"),
+            KvStatus::BadKeyspaceState { state, op } => {
+                write!(f, "operation {op} invalid in keyspace state {state}")
+            }
+            KvStatus::KeyNotFound => write!(f, "key not found"),
+            KvStatus::BadKey => write!(f, "malformed key"),
+            KvStatus::BadValue => write!(f, "malformed value"),
+            KvStatus::IndexNotFound => write!(f, "secondary index not found"),
+            KvStatus::IndexExists => write!(f, "secondary index already exists"),
+            KvStatus::BadIndexSpec => write!(f, "secondary index spec out of value bounds"),
+            KvStatus::JobNotFound => write!(f, "background job not found"),
+            KvStatus::DeviceFull => write!(f, "device full"),
+            KvStatus::Internal(msg) => write!(f, "internal device error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KvStatus {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(KvStatus, &str)> = vec![
+            (KvStatus::KeyspaceNotFound, "keyspace not found"),
+            (KvStatus::KeyNotFound, "key not found"),
+            (
+                KvStatus::BadKeyspaceState { state: "COMPACTING", op: "put" },
+                "put invalid in keyspace state COMPACTING",
+            ),
+            (KvStatus::Internal("zone fault".into()), "zone fault"),
+        ];
+        for (s, needle) in cases {
+            assert!(s.to_string().contains(needle), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! A monotonically advancing virtual clock in nanoseconds.
+//!
+//! The clock is advisory: phase elapsed times are computed analytically by
+//! [`crate::TimeModel`], and harnesses advance the clock by those amounts so
+//! that multi-phase experiments report consistent cumulative timestamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Virtual time in nanoseconds since simulation start.
+///
+/// Shared freely across threads; all operations are atomic. Time never goes
+/// backwards: [`VirtualClock::advance_to`] is a max-update.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Acquire)
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.now_ns() as f64 / 1e9
+    }
+
+    /// Advance the clock by `delta_ns`, returning the new time.
+    pub fn advance(&self, delta_ns: u64) -> u64 {
+        self.now_ns.fetch_add(delta_ns, Ordering::AcqRel) + delta_ns
+    }
+
+    /// Move the clock forward to at least `target_ns` (max-update).
+    pub fn advance_to(&self, target_ns: u64) {
+        self.now_ns.fetch_max(target_ns, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_secs(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = VirtualClock::new();
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance(10), 15);
+        assert_eq!(c.now_ns(), 15);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = VirtualClock::new();
+        c.advance_to(100);
+        assert_eq!(c.now_ns(), 100);
+        c.advance_to(50); // must not move backwards
+        assert_eq!(c.now_ns(), 100);
+        c.advance_to(200);
+        assert_eq!(c.now_ns(), 200);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let c = VirtualClock::new();
+        c.advance(1_500_000_000);
+        assert!((c.now_secs() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_advance() {
+        use std::sync::Arc;
+        let c = Arc::new(VirtualClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.advance(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now_ns(), 4000);
+    }
+}

@@ -1,0 +1,130 @@
+//! Small reporting helpers shared by the benchmark harnesses.
+
+/// Format a byte count with binary-prefix units ("3.2 GiB").
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = bytes as f64;
+    let mut i = 0;
+    while v >= 1024.0 && i + 1 < UNITS.len() {
+        v /= 1024.0;
+        i += 1;
+    }
+    if i == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[i])
+    }
+}
+
+/// Format a duration in seconds with adaptive units ("18.2 ms").
+pub fn human_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.2} us", secs * 1e6)
+    } else {
+        format!("{:.0} ns", secs * 1e9)
+    }
+}
+
+/// A simple fixed-width text table used by the per-figure harness binaries
+/// to print the same rows/series the paper reports.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .chain(std::iter::once(&self.header))
+            .map(|r| r.len())
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00 MiB");
+        assert_eq!(human_bytes(5 << 30), "5.00 GiB");
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(human_secs(2.5), "2.50 s");
+        assert_eq!(human_secs(0.0185), "18.50 ms");
+        assert_eq!(human_secs(42e-6), "42.00 us");
+        assert_eq!(human_secs(120e-9), "120 ns");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["threads", "time"]);
+        t.row(["1", "10.0"]);
+        t.row(["32", "1.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("threads"));
+        assert!(lines[2].starts_with("1"));
+        assert!(lines[3].starts_with("32"));
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["x", "extra"]);
+        let s = t.render();
+        assert!(s.contains("extra"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Synthetic VPIC particle dump.
+//!
+//! "Our sample dataset is a partial VPIC simulation dump consisting of
+//! 256M particles in the form of 16 binary files. Each VPIC particle is
+//! 48 bytes, consisting of a 16B particle ID and a 32B payload made up of
+//! 8 numeric attributes with one of them being the kinetic energy that we
+//! used for secondary index construction and queries."
+//!
+//! The real dump is LANL data we do not have; this generator produces the
+//! same record schema with physically plausible attribute distributions.
+//! Kinetic energy follows an exponential distribution (the classic tail
+//! shape of particle energies in kinetic plasma simulations), which makes
+//! "energy > t" thresholds map to selectivities analytically:
+//! `P(E > t) = exp(-t/mean)`, so `t = -mean * ln(selectivity)`.
+
+use kvcsd_sim::XorShift64;
+
+/// Bytes per particle ID.
+pub const PARTICLE_ID_BYTES: usize = 16;
+/// Bytes per particle payload (8 x f32 attributes).
+pub const PAYLOAD_BYTES: usize = 32;
+/// Bytes per particle record.
+pub const PARTICLE_BYTES: usize = PARTICLE_ID_BYTES + PAYLOAD_BYTES;
+
+/// Index of the kinetic-energy attribute within the payload.
+pub const ENERGY_ATTR: usize = 7;
+/// Byte offset of the kinetic energy within the *value* (payload).
+pub const ENERGY_OFFSET: usize = ENERGY_ATTR * 4;
+
+/// One decoded particle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Particle {
+    /// 16-byte particle ID (unique across the dump).
+    pub id: [u8; PARTICLE_ID_BYTES],
+    /// The 8 f32 attributes: x, y, z, ux, uy, uz, w(eight), energy.
+    pub attrs: [f32; 8],
+}
+
+impl Particle {
+    /// The 32-byte payload as stored in the value.
+    pub fn payload(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(PAYLOAD_BYTES);
+        for a in self.attrs {
+            v.extend_from_slice(&a.to_le_bytes());
+        }
+        v
+    }
+
+    /// Kinetic energy.
+    pub fn energy(&self) -> f32 {
+        self.attrs[ENERGY_ATTR]
+    }
+}
+
+/// A deterministic synthetic dump: `particles` records over `files`
+/// shards (the paper's dump has 16 files, one loader thread each).
+#[derive(Debug, Clone)]
+pub struct VpicDump {
+    pub particles: u64,
+    pub files: u32,
+    pub mean_energy: f64,
+    seed: u64,
+}
+
+impl VpicDump {
+    pub fn new(particles: u64, files: u32, seed: u64) -> Self {
+        Self { particles, files, mean_energy: 1.0, seed }
+    }
+
+    /// Particles in shard `file` (the last shard absorbs the remainder).
+    pub fn shard_len(&self, file: u32) -> u64 {
+        let base = self.particles / self.files as u64;
+        if file == self.files - 1 {
+            self.particles - base * (self.files as u64 - 1)
+        } else {
+            base
+        }
+    }
+
+    /// Global index of particle `i` of shard `file`.
+    fn global_index(&self, file: u32, i: u64) -> u64 {
+        (self.particles / self.files as u64) * file as u64 + i
+    }
+
+    /// Generate particle `g` (global index). Deterministic.
+    pub fn particle(&self, g: u64) -> Particle {
+        let mut rng = XorShift64::new(self.seed ^ g.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 1);
+        let mut id = [0u8; PARTICLE_ID_BYTES];
+        // IDs: 8-byte mixed global index (unique) + 8 random tag bytes.
+        id[..8].copy_from_slice(&mix(self.seed ^ g).to_be_bytes());
+        id[8..].copy_from_slice(&rng.next_u64().to_be_bytes());
+        let mut attrs = [0f32; 8];
+        // Position in [0, 100)^3, momentum ~ N(0,1)-ish via CLT.
+        for a in attrs.iter_mut().take(3) {
+            *a = (rng.next_f64() * 100.0) as f32;
+        }
+        for a in attrs.iter_mut().take(6).skip(3) {
+            let clt: f64 = (0..4).map(|_| rng.next_f64()).sum::<f64>() - 2.0;
+            *a = clt as f32;
+        }
+        attrs[6] = (0.5 + rng.next_f64()) as f32; // statistical weight
+        // Exponential energy: -mean * ln(1-u).
+        let u = rng.next_f64();
+        attrs[ENERGY_ATTR] = (-self.mean_energy * (1.0 - u).ln().max(-60.0)) as f32;
+        Particle { id, attrs }
+    }
+
+    /// Iterate one file shard.
+    pub fn shard(&self, file: u32) -> impl Iterator<Item = Particle> + '_ {
+        let n = self.shard_len(file);
+        (0..n).map(move |i| self.particle(self.global_index(file, i)))
+    }
+
+    /// Energy threshold `t` such that approximately `selectivity` of
+    /// particles have `energy > t` (exponential tail: `t = -mean ln s`).
+    pub fn energy_threshold(&self, selectivity: f64) -> f32 {
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        (-self.mean_energy * selectivity.ln()) as f32
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn record_shape_matches_paper() {
+        let d = VpicDump::new(100, 16, 1);
+        let p = d.particle(0);
+        assert_eq!(p.id.len(), 16);
+        assert_eq!(p.payload().len(), 32);
+        assert_eq!(PARTICLE_BYTES, 48);
+    }
+
+    #[test]
+    fn shards_cover_all_particles() {
+        let d = VpicDump::new(1003, 16, 2);
+        let total: u64 = (0..16).map(|f| d.shard_len(f)).sum();
+        assert_eq!(total, 1003);
+        // Last shard has the remainder.
+        assert_eq!(d.shard_len(15), 1003 - 62 * 15);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let d = VpicDump::new(20_000, 16, 3);
+        let mut seen = HashSet::new();
+        for f in 0..16 {
+            for p in d.shard(f) {
+                assert!(seen.insert(p.id), "duplicate particle id");
+            }
+        }
+        assert_eq!(seen.len(), 20_000);
+    }
+
+    #[test]
+    fn particles_are_deterministic() {
+        let d = VpicDump::new(100, 4, 7);
+        assert_eq!(d.particle(42), d.particle(42));
+        let d2 = VpicDump::new(100, 4, 8);
+        assert_ne!(d.particle(42), d2.particle(42));
+    }
+
+    #[test]
+    fn energy_is_positive_with_exponential_tail() {
+        let d = VpicDump::new(50_000, 16, 5);
+        let energies: Vec<f32> = (0..50_000).map(|g| d.particle(g).energy()).collect();
+        assert!(energies.iter().all(|&e| e >= 0.0));
+        let mean: f64 = energies.iter().map(|&e| e as f64).sum::<f64>() / 50_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean energy {mean} should be ~1.0");
+    }
+
+    #[test]
+    fn threshold_hits_requested_selectivity() {
+        let d = VpicDump::new(100_000, 16, 6);
+        for sel in [0.001, 0.01, 0.05, 0.20] {
+            let t = d.energy_threshold(sel);
+            let hits = (0..100_000).filter(|&g| d.particle(g).energy() > t).count();
+            let got = hits as f64 / 100_000.0;
+            assert!(
+                (got - sel).abs() / sel < 0.25,
+                "selectivity {sel}: threshold {t} hit {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_roundtrips_energy() {
+        let d = VpicDump::new(10, 2, 9);
+        let p = d.particle(3);
+        let payload = p.payload();
+        let e = f32::from_le_bytes(payload[ENERGY_OFFSET..ENERGY_OFFSET + 4].try_into().unwrap());
+        assert_eq!(e, p.energy());
+    }
+
+    #[test]
+    fn attributes_look_physical() {
+        let d = VpicDump::new(1000, 4, 11);
+        for g in 0..1000 {
+            let p = d.particle(g);
+            for i in 0..3 {
+                assert!((0.0..100.0).contains(&p.attrs[i]), "position in box");
+            }
+            assert!(p.attrs[6] > 0.0, "weight positive");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Property-based tests over the core data structures and invariants.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use kvcsd::blockfs::{BlockFs, FsConfig};
+use kvcsd::device::{DeviceConfig, KvCsdDevice};
+use kvcsd::flash::{
+    ConvConfig, ConventionalNamespace, FlashGeometry, NandArray, ZnsConfig, ZonedNamespace,
+};
+use kvcsd::lsm::{CompactionMode, Db, Options};
+use kvcsd::proto::{Bound, BulkBuilder, DeviceHandler, SidxKey};
+use kvcsd::sim::config::SimConfig;
+use kvcsd::sim::IoLedger;
+use kvcsd_client::KvCsd;
+
+fn geom(blocks_per_channel: u32) -> FlashGeometry {
+    FlashGeometry { channels: 8, blocks_per_channel, pages_per_block: 16, page_bytes: 4096 }
+}
+
+fn make_device() -> (Arc<KvCsdDevice>, KvCsd) {
+    let cfg = SimConfig::default();
+    let g = geom(512);
+    let ledger = Arc::new(IoLedger::new(g.channels, g.page_bytes));
+    let nand = Arc::new(NandArray::new(g, &cfg.hw, Arc::clone(&ledger)));
+    let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig { zone_blocks: 1, max_open_zones: 1 << 16 }));
+    let dev = Arc::new(KvCsdDevice::new(
+        zns,
+        cfg.cost.clone(),
+        DeviceConfig { cluster_width: 8, soc_dram_bytes: 8 << 20, seed: 5, ..DeviceConfig::default() },
+    ));
+    let client = KvCsd::connect(Arc::clone(&dev) as Arc<dyn DeviceHandler>, ledger);
+    (dev, client)
+}
+
+fn make_db(memtable_bytes: usize) -> Arc<Db> {
+    let cfg = SimConfig::default();
+    let g = geom(1024);
+    let ledger = Arc::new(IoLedger::new(g.channels, g.page_bytes));
+    let nand = Arc::new(NandArray::new(g, &cfg.hw, ledger));
+    let conv = Arc::new(ConventionalNamespace::new(nand, ConvConfig::default()));
+    let fs = Arc::new(BlockFs::format(conv, cfg.cost.clone(), FsConfig::default()));
+    Arc::new(
+        Db::open(
+            fs,
+            "",
+            Options {
+                memtable_bytes,
+                compaction: CompactionMode::Automatic,
+                level_base_bytes: (memtable_bytes as u64) * 4,
+                target_file_bytes: memtable_bytes,
+                ..Options::default()
+            },
+        )
+        .unwrap(),
+    )
+}
+
+/// An op in the LSM model test.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key universe guarantees overwrites and delete hits.
+    let key = (0u8..40).prop_map(|i| format!("key-{i:03}").into_bytes());
+    prop_oneof![
+        3 => (key.clone(), vec(any::<u8>(), 0..80)).prop_map(|(k, v)| Op::Put(k, v)),
+        1 => key.prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The software LSM behaves exactly like an ordered map under
+    /// arbitrary put/delete sequences, across flushes and compactions.
+    #[test]
+    fn lsm_equals_btreemap(ops in vec(op_strategy(), 1..300)) {
+        let db = make_db(2 << 10); // tiny memtable: force flush/compaction
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Delete(k) => {
+                    db.delete(k).unwrap();
+                    model.remove(k);
+                }
+            }
+        }
+        // Point queries.
+        for i in 0..40u8 {
+            let k = format!("key-{i:03}").into_bytes();
+            prop_assert_eq!(db.get(&k).unwrap(), model.get(&k).cloned());
+        }
+        // Ordered scan.
+        let got = db.scan(&[], &[], None).unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// KV-CSD's compacted keyspace equals the sorted map of its inserts
+    /// (unique keys), for arbitrary data.
+    #[test]
+    fn kvcsd_equals_sorted_input(
+        entries in proptest::collection::btree_map(
+            vec(1u8..=255, 1..24),
+            vec(any::<u8>(), 0..100),
+            1..200,
+        )
+    ) {
+        let (dev, client) = make_device();
+        let ks = client.create_keyspace("prop").unwrap();
+        let mut bulk = ks.bulk_writer();
+        // Insert in reverse so the device really sorts.
+        for (k, v) in entries.iter().rev() {
+            bulk.put(k, v).unwrap();
+        }
+        bulk.finish().unwrap();
+        ks.compact().unwrap();
+        dev.run_pending_jobs();
+
+        let scan = ks.range(Bound::Unbounded, Bound::Unbounded, None).unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            entries.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        prop_assert_eq!(scan, want);
+        for (k, v) in entries.iter().take(20) {
+            prop_assert_eq!(&ks.get(k).unwrap(), v);
+        }
+    }
+
+    /// Bulk payloads round-trip arbitrary pair sets exactly.
+    #[test]
+    fn bulk_payload_roundtrip(
+        pairs in vec((vec(any::<u8>(), 0..64), vec(any::<u8>(), 0..200)), 0..100)
+    ) {
+        let mut b = BulkBuilder::new(1 << 20);
+        for (k, v) in &pairs {
+            prop_assert!(b.push(k, v));
+        }
+        let payload = b.finish();
+        let got: Vec<(Vec<u8>, Vec<u8>)> =
+            payload.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        prop_assert_eq!(got, pairs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Order-preserving encodings: the defining property, for every type.
+    #[test]
+    fn sidx_encoding_preserves_order_i64(a in any::<i64>(), b in any::<i64>()) {
+        let (ea, eb) = (SidxKey::I64(a).encode(), SidxKey::I64(b).encode());
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+    }
+
+    #[test]
+    fn sidx_encoding_preserves_order_u64(a in any::<u64>(), b in any::<u64>()) {
+        let (ea, eb) = (SidxKey::U64(a).encode(), SidxKey::U64(b).encode());
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+    }
+
+    #[test]
+    fn sidx_encoding_preserves_order_f64(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(a.is_finite() && b.is_finite());
+        let (ea, eb) = (SidxKey::F64(a).encode(), SidxKey::F64(b).encode());
+        if a < b {
+            prop_assert!(ea < eb);
+        } else if a > b {
+            prop_assert!(ea > eb);
+        } else {
+            // -0.0 == 0.0 but encodes differently; both orderings of the
+            // two encodings are admissible for equal values.
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ZNS invariants under arbitrary append/reset sequences: the write
+    /// pointer is exactly the sum of appended pages and reads below it
+    /// return exactly what was appended.
+    #[test]
+    fn zns_append_reset_invariants(
+        ops in vec((0u32..8, 1usize..6000, any::<bool>()), 1..60)
+    ) {
+        let cfg = SimConfig::default();
+        let g = geom(64);
+        let ledger = Arc::new(IoLedger::new(g.channels, g.page_bytes));
+        let nand = Arc::new(NandArray::new(g, &cfg.hw, ledger));
+        let zns = ZonedNamespace::new(
+            nand,
+            ZnsConfig { zone_blocks: 2, max_open_zones: 1 << 16 },
+        );
+        // Shadow state per zone: the byte payloads appended.
+        let mut shadow: Vec<Vec<Vec<u8>>> = vec![Vec::new(); 8];
+        for (zone, len, reset) in ops {
+            if reset {
+                zns.reset(zone).unwrap();
+                shadow[zone as usize].clear();
+                prop_assert_eq!(zns.zone_info(zone).unwrap().write_pointer_pages, 0);
+                continue;
+            }
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let pages: u32 = len.div_ceil(4096) as u32;
+            let wp = zns.zone_info(zone).unwrap().write_pointer_pages;
+            if wp + pages > zns.zone_capacity_pages() {
+                prop_assert!(zns.append(zone, &data).is_err());
+                continue;
+            }
+            let start = zns.append(zone, &data).unwrap();
+            prop_assert_eq!(start, wp);
+            shadow[zone as usize].push(data);
+            prop_assert_eq!(
+                zns.zone_info(zone).unwrap().write_pointer_pages,
+                wp + pages
+            );
+        }
+        // Every appended payload reads back.
+        for (zone, payloads) in shadow.iter().enumerate() {
+            let mut page = 0u32;
+            for p in payloads {
+                let pages = p.len().div_ceil(4096) as u32;
+                let back = zns.read_pages(zone as u32, page, pages).unwrap();
+                prop_assert_eq!(&back[..p.len()], &p[..]);
+                page += pages;
+            }
+        }
+    }
+
+    /// The FTL never loses live data under arbitrary overwrite/trim
+    /// pressure that forces garbage collection.
+    #[test]
+    fn ftl_preserves_live_pages(
+        ops in vec((0u64..60, any::<u8>(), any::<bool>()), 50..400)
+    ) {
+        let cfg = SimConfig::default();
+        let g = FlashGeometry {
+            channels: 4, blocks_per_channel: 8, pages_per_block: 4, page_bytes: 512,
+        };
+        let ledger = Arc::new(IoLedger::new(g.channels, g.page_bytes));
+        let nand = Arc::new(NandArray::new(g, &cfg.hw, ledger));
+        let conv = ConventionalNamespace::new(
+            nand,
+            ConvConfig { op_fraction: 0.6, gc_free_blocks: 3, ..ConvConfig::default() },
+        );
+        let logical = conv.logical_pages();
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        for (lpa, fill, trim) in ops {
+            let lpa = lpa % logical.min(60);
+            if trim {
+                conv.trim(lpa).unwrap();
+                model.remove(&lpa);
+            } else {
+                conv.write(lpa, &[fill; 16]).unwrap();
+                model.insert(lpa, fill);
+            }
+        }
+        for (lpa, fill) in &model {
+            prop_assert_eq!(conv.read(*lpa).unwrap()[0], *fill);
+        }
+    }
+}
