@@ -1,101 +1,97 @@
-//! Criterion wrappers that execute each paper-figure experiment at a
-//! reduced scale. `cargo bench` therefore exercises every figure's full
-//! code path (and tracks the harness's own wall-clock cost); the figure
-//! *results* — simulated seconds, speedups — are printed by the
-//! `fig7..fig12` binaries.
+//! Smoke wrappers that execute each paper-figure experiment at a reduced
+//! scale. `cargo bench --bench figures` therefore exercises every
+//! figure's full code path (and tracks the harness's own wall-clock
+//! cost); the figure *results* — simulated seconds, speedups — are
+//! printed by the `fig7..fig12` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use kvcsd_bench::{baseline, kvcsd, vpic_exp, Testbed};
 use kvcsd_lsm::CompactionMode;
 use kvcsd_workloads::{PutWorkload, VpicDump};
 
-fn fig7_shared_keyspace(c: &mut Criterion) {
-    let wl = PutWorkload::paper_micro(5_000, 7);
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("kvcsd_8threads", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new();
-            kvcsd::load(&mut tb, 8, 1, &wl, true).insert_s
-        })
-    });
-    g.bench_function("rocksdb_8threads", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new();
-            baseline::load(&mut tb, 8, 1, &wl, CompactionMode::Automatic).insert_s
-        })
-    });
-    g.finish();
+/// Time `iters` runs of `f` and print the mean wall-clock per run.
+fn bench<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) {
+    black_box(f()); // warmup
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{name:<36} {iters:>3} iters  {ms:>9.2} ms/run");
 }
 
-fn fig9_multi_keyspace(c: &mut Criterion) {
+fn fig7_shared_keyspace() {
+    let wl = PutWorkload::paper_micro(5_000, 7);
+    bench("fig7/kvcsd_8threads", 3, || {
+        let mut tb = Testbed::new();
+        kvcsd::load(&mut tb, 8, 1, &wl, true).insert_s
+    });
+    bench("fig7/rocksdb_8threads", 3, || {
+        let mut tb = Testbed::new();
+        baseline::load(&mut tb, 8, 1, &wl, CompactionMode::Automatic).insert_s
+    });
+}
+
+fn fig9_multi_keyspace() {
     let wl = PutWorkload::paper_micro(2_000, 9);
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
-    for mode in [CompactionMode::Automatic, CompactionMode::Deferred, CompactionMode::Disabled] {
-        g.bench_function(format!("rocksdb_{mode:?}_4ks"), |b| {
-            b.iter(|| {
-                let mut tb = Testbed::new();
-                baseline::load(&mut tb, 4, 4, &wl, mode).insert_s
-            })
+    for mode in [
+        CompactionMode::Automatic,
+        CompactionMode::Deferred,
+        CompactionMode::Disabled,
+    ] {
+        bench(&format!("fig9/rocksdb_{mode:?}_4ks"), 3, || {
+            let mut tb = Testbed::new();
+            baseline::load(&mut tb, 4, 4, &wl, mode).insert_s
         });
     }
-    g.bench_function("kvcsd_4ks", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new();
-            kvcsd::load(&mut tb, 4, 4, &wl, true).insert_s
-        })
+    bench("fig9/kvcsd_4ks", 3, || {
+        let mut tb = Testbed::new();
+        kvcsd::load(&mut tb, 4, 4, &wl, true).insert_s
     });
-    g.finish();
 }
 
-fn fig10_random_gets(c: &mut Criterion) {
+fn fig10_random_gets() {
     let wl = PutWorkload::paper_micro(3_000, 10);
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
     let mut tb_k = Testbed::new();
     let loaded_k = kvcsd::load(&mut tb_k, 4, 4, &wl, true);
     let mut tb_b = Testbed::new();
     let loaded_b = baseline::load(&mut tb_b, 4, 4, &wl, CompactionMode::Automatic);
-    g.bench_function("kvcsd_gets", |b| {
-        b.iter(|| kvcsd::get_phase(&mut tb_k, &loaded_k, 4, 50, &wl, 1).0)
+    bench("fig10/kvcsd_gets", 3, || {
+        kvcsd::get_phase(&mut tb_k, &loaded_k, 4, 50, &wl, 1).0
     });
-    g.bench_function("rocksdb_gets", |b| {
-        b.iter(|| baseline::get_phase(&mut tb_b, &loaded_b, 4, 50, &wl, 1).0)
+    bench("fig10/rocksdb_gets", 3, || {
+        baseline::get_phase(&mut tb_b, &loaded_b, 4, 50, &wl, 1).0
     });
-    g.finish();
 }
 
-fn fig11_fig12_vpic(c: &mut Criterion) {
+fn fig11_fig12_vpic() {
     let dump = VpicDump::new(8_000, 4, 11);
-    let mut g = c.benchmark_group("vpic");
-    g.sample_size(10);
-    g.bench_function("fig11_kvcsd_write_phase", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new();
-            vpic_exp::load_kvcsd(&mut tb, &dump).write_s
-        })
+    bench("vpic/fig11_kvcsd_write_phase", 3, || {
+        let mut tb = Testbed::new();
+        vpic_exp::load_kvcsd(&mut tb, &dump).write_s
     });
-    g.bench_function("fig11_rocksdb_write_phase", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new();
-            vpic_exp::load_baseline(&mut tb, &dump).write_s
-        })
+    bench("vpic/fig11_rocksdb_write_phase", 3, || {
+        let mut tb = Testbed::new();
+        vpic_exp::load_baseline(&mut tb, &dump).write_s
     });
     let mut tb_k = Testbed::new();
     let k = vpic_exp::load_kvcsd(&mut tb_k, &dump);
     let mut tb_b = Testbed::new();
     let bl = vpic_exp::load_baseline(&mut tb_b, &dump);
     let threshold = dump.energy_threshold(0.01);
-    g.bench_function("fig12_kvcsd_query_1pct", |b| {
-        b.iter(|| vpic_exp::query_kvcsd(&mut tb_k, &k, threshold).0)
+    bench("vpic/fig12_kvcsd_query_1pct", 3, || {
+        vpic_exp::query_kvcsd(&mut tb_k, &k, threshold).0
     });
-    g.bench_function("fig12_rocksdb_query_1pct", |b| {
-        b.iter(|| vpic_exp::query_baseline(&mut tb_b, &bl, threshold).0)
+    bench("vpic/fig12_rocksdb_query_1pct", 3, || {
+        vpic_exp::query_baseline(&mut tb_b, &bl, threshold).0
     });
-    g.finish();
 }
 
-criterion_group!(figures, fig7_shared_keyspace, fig9_multi_keyspace, fig10_random_gets, fig11_fig12_vpic);
-criterion_main!(figures);
+fn main() {
+    fig7_shared_keyspace();
+    fig9_multi_keyspace();
+    fig10_random_gets();
+    fig11_fig12_vpic();
+}

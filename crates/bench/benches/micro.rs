@@ -1,11 +1,14 @@
-//! Criterion microbenchmarks of the core data structures: wall-clock
-//! performance of the real algorithms that the simulation executes.
-//! (Simulated experiment times come from the figure binaries; these
-//! benches guard the implementation's own speed.)
+//! Microbenchmarks of the core data structures: wall-clock performance
+//! of the real algorithms that the simulation executes. (Simulated
+//! experiment times come from the figure binaries; these benches guard
+//! the implementation's own speed.)
+//!
+//! Self-timed (no external harness): each case runs a fixed iteration
+//! count and prints ns/op. Run with `cargo bench --bench micro`.
 
+use std::hint::black_box;
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant;
 
 use kvcsd_blockfs::{BlockFs, FsConfig};
 use kvcsd_core::compact::{decode_pidx_block, PidxBlockBuilder, PidxEntry};
@@ -21,65 +24,61 @@ use kvcsd_lsm::bloom::BloomFilter;
 use kvcsd_lsm::memtable::MemTable;
 use kvcsd_lsm::sstable::{new_block_cache, TableBuilder};
 use kvcsd_proto::BulkBuilder;
-use kvcsd_sim::config::{CostModel, SimConfig};
+use kvcsd_sim::config::CostModel;
 use kvcsd_sim::{HardwareSpec, IoLedger};
 
-fn keys(n: usize) -> Vec<Vec<u8>> {
-    (0..n).map(|i| format!("key-{:012}", (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).into_bytes()).collect()
+/// Time `iters` runs of `f` and print per-element cost.
+fn bench<R>(name: &str, iters: u64, elements: u64, mut f: impl FnMut() -> R) {
+    // One warmup run, then the timed loop.
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total = start.elapsed();
+    let per_elem = total.as_nanos() as f64 / (iters * elements.max(1)) as f64;
+    println!("{name:<28} {iters:>6} iters  {per_elem:>12.1} ns/elem");
 }
 
-fn bench_bloom(c: &mut Criterion) {
+fn keys(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| format!("key-{:012}", (i as u64).wrapping_mul(0x9E3779B97F4A7C15)).into_bytes())
+        .collect()
+}
+
+fn bench_bloom() {
     let ks = keys(10_000);
-    let mut g = c.benchmark_group("bloom");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("build_10k", |b| {
-        b.iter(|| BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10))
+    bench("bloom/build_10k", 20, 10_000, || {
+        BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10)
     });
     let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("probe", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 1) % ks.len();
-            f.may_contain(&ks[i])
-        })
+    let mut i = 0usize;
+    bench("bloom/probe", 100_000, 1, || {
+        i = (i + 1) % ks.len();
+        f.may_contain(&ks[i])
     });
-    g.finish();
 }
 
-fn bench_memtable(c: &mut Criterion) {
+fn bench_memtable() {
     let ks = keys(10_000);
-    let mut g = c.benchmark_group("memtable");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("insert_10k", |b| {
-        b.iter_batched(
-            MemTable::new,
-            |mut m| {
-                for (i, k) in ks.iter().enumerate() {
-                    m.insert(k.clone(), i as u64, Some(vec![0u8; 32]));
-                }
-                m
-            },
-            BatchSize::SmallInput,
-        )
+    bench("memtable/insert_10k", 20, 10_000, || {
+        let mut m = MemTable::new();
+        for (i, k) in ks.iter().enumerate() {
+            m.insert(k.clone(), i as u64, Some(vec![0u8; 32]));
+        }
+        m
     });
-    g.finish();
 }
 
-fn bench_bulk_pack(c: &mut Criterion) {
+fn bench_bulk_pack() {
     let ks = keys(2_000);
-    let mut g = c.benchmark_group("proto");
-    g.throughput(Throughput::Elements(2_000));
-    g.bench_function("bulk_pack_2k_pairs", |b| {
-        b.iter(|| {
-            let mut bb = BulkBuilder::new(1 << 20);
-            for k in &ks {
-                bb.push(k, &[7u8; 32]);
-            }
-            bb.finish()
-        })
+    bench("proto/bulk_pack_2k_pairs", 50, 2_000, || {
+        let mut bb = BulkBuilder::new(1 << 20);
+        for k in &ks {
+            bb.push(k, &[7u8; 32]);
+        }
+        bb.finish()
     });
-    g.finish();
 }
 
 fn fresh_fs() -> BlockFs {
@@ -95,28 +94,19 @@ fn fresh_fs() -> BlockFs {
     BlockFs::format(conv, CostModel::default(), FsConfig::default())
 }
 
-fn bench_sstable(c: &mut Criterion) {
+fn bench_sstable() {
     let ks = keys(5_000);
     let mut sorted = ks.clone();
     sorted.sort();
-    let mut g = c.benchmark_group("sstable");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(5_000));
-    g.bench_function("build_5k", |b| {
-        let mut id = 0u64;
-        b.iter_batched(
-            fresh_fs,
-            |fs| {
-                id += 1;
-                let mut tb =
-                    TableBuilder::create(&fs, &format!("{id}.sst"), id, 4096, 16, 10).unwrap();
-                for (i, k) in sorted.iter().enumerate() {
-                    tb.add(k, i as u64, Some(&[1u8; 32])).unwrap();
-                }
-                tb.finish().unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+    let mut id = 0u64;
+    bench("sstable/build_5k", 10, 5_000, || {
+        let fs = fresh_fs();
+        id += 1;
+        let mut tb = TableBuilder::create(&fs, &format!("{id}.sst"), id, 4096, 16, 10).unwrap();
+        for (i, k) in sorted.iter().enumerate() {
+            tb.add(k, i as u64, Some(&[1u8; 32])).unwrap();
+        }
+        tb.finish().unwrap()
     });
     // Random point gets through the block cache.
     let fs = fresh_fs();
@@ -127,15 +117,11 @@ fn bench_sstable(c: &mut Criterion) {
     let table = tb.finish().unwrap();
     let cache = new_block_cache(4096);
     let cost = CostModel::default();
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("get_warm", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 7919) % sorted.len();
-            table.get(&fs, &cost, &cache, &sorted[i]).unwrap().unwrap()
-        })
+    let mut i = 0usize;
+    bench("sstable/get_warm", 10_000, 1, || {
+        i = (i + 7919) % sorted.len();
+        table.get(&fs, &cost, &cache, &sorted[i]).unwrap().unwrap()
     });
-    g.finish();
 }
 
 fn zone_mgr() -> (ZoneManager, SocCharger) {
@@ -146,66 +132,67 @@ fn zone_mgr() -> (ZoneManager, SocCharger) {
         page_bytes: 4096,
     };
     let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
-    let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), Arc::clone(&ledger)));
+    let nand = Arc::new(NandArray::new(
+        geom,
+        &HardwareSpec::default(),
+        Arc::clone(&ledger),
+    ));
     let zns = Arc::new(ZonedNamespace::new(
         nand,
-        ZnsConfig { zone_blocks: 4, max_open_zones: 1 << 16 },
+        ZnsConfig {
+            zone_blocks: 4,
+            max_open_zones: 1 << 16,
+        },
     ));
-    (ZoneManager::new(zns, 1, 7), SocCharger::new(ledger, CostModel::default()))
+    (
+        ZoneManager::new(zns, 1, 7),
+        SocCharger::new(ledger, CostModel::default()),
+    )
 }
 
-fn bench_device_paths(c: &mut Criterion) {
+fn bench_device_paths() {
     let ks = keys(5_000);
-    let mut g = c.benchmark_group("device");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(5_000));
-    g.bench_function("ingest_5k_pairs", |b| {
-        b.iter_batched(
-            zone_mgr,
-            |(mgr, soc)| {
-                let kc = mgr.alloc_cluster(8).unwrap();
-                let vc = mgr.alloc_cluster(8).unwrap();
-                let mut log = WriteLog::new(kc, vc);
-                for k in &ks {
-                    log.put(&mgr, &soc, k, &[9u8; 32]).unwrap();
-                }
-                log.seal(&mgr).unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+    bench("device/ingest_5k_pairs", 10, 5_000, || {
+        let (mgr, soc) = zone_mgr();
+        let kc = mgr.alloc_cluster(8).unwrap();
+        let vc = mgr.alloc_cluster(8).unwrap();
+        let mut log = WriteLog::new(kc, vc);
+        for k in &ks {
+            log.put(&mgr, &soc, k, &[9u8; 32]).unwrap();
+        }
+        log.seal(&mgr).unwrap()
     });
-    g.bench_function("extsort_5k", |b| {
-        b.iter_batched(
-            || {
-                let (mgr, soc) = zone_mgr();
-                (mgr, soc, DramBudget::new(128 << 10)) // tight: forces spills
-            },
-            |(mgr, soc, dram)| {
-                let mut s: ExtSorter<'_, KlogRecord> =
-                    ExtSorter::new(&mgr, &soc, &dram, 4).unwrap();
-                for (i, k) in ks.iter().enumerate() {
-                    s.push(KlogRecord { key: k.clone(), voff: i as u64 * 32, vlen: 32 })
-                        .unwrap();
-                }
-                let mut n = 0u64;
-                s.finish_into(|_| {
-                    n += 1;
-                    Ok(())
-                })
-                .unwrap();
-                n
-            },
-            BatchSize::SmallInput,
-        )
+    bench("device/extsort_5k", 10, 5_000, || {
+        let (mgr, soc) = zone_mgr();
+        let dram = DramBudget::new(128 << 10); // tight: forces spills
+        let mut s: ExtSorter<'_, KlogRecord> = ExtSorter::new(&mgr, &soc, &dram, 4).unwrap();
+        for (i, k) in ks.iter().enumerate() {
+            s.push(KlogRecord {
+                key: k.clone(),
+                voff: i as u64 * 32,
+                vlen: 32,
+            })
+            .unwrap();
+        }
+        let mut n = 0u64;
+        s.finish_into(|_| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        n
     });
-    g.finish();
 }
 
-fn bench_pidx_block(c: &mut Criterion) {
+fn bench_pidx_block() {
     let mut builder = PidxBlockBuilder::new();
     let mut n = 0u64;
     loop {
-        let e = PidxEntry { key: format!("key-{n:012}").into_bytes(), voff: n * 32, vlen: 32 };
+        let e = PidxEntry {
+            key: format!("key-{n:012}").into_bytes(),
+            voff: n * 32,
+            vlen: 32,
+        };
         if !builder.fits(e.key.len()) {
             break;
         }
@@ -213,50 +200,32 @@ fn bench_pidx_block(c: &mut Criterion) {
         n += 1;
     }
     let (block, _) = builder.finish();
-    let mut g = c.benchmark_group("pidx");
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("decode_block", |b| b.iter(|| decode_pidx_block(&block).unwrap()));
-    g.finish();
+    bench("pidx/decode_block", 1_000, n, || {
+        decode_pidx_block(&block).unwrap()
+    });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     use kvcsd_bench::Testbed;
     use kvcsd_workloads::PutWorkload;
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
     let wl = PutWorkload::paper_micro(5_000, 99);
-    g.throughput(Throughput::Elements(5_000));
-    g.bench_function("kvcsd_load_5k", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new();
-            kvcsd_bench::kvcsd::load(&mut tb, 4, 1, &wl, true).insert_s
-        })
+    bench("end_to_end/kvcsd_load_5k", 5, 5_000, || {
+        let mut tb = Testbed::new();
+        kvcsd_bench::kvcsd::load(&mut tb, 4, 1, &wl, true).insert_s
     });
-    g.bench_function("lsm_load_5k", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new();
-            kvcsd_bench::baseline::load(
-                &mut tb,
-                4,
-                1,
-                &wl,
-                kvcsd_lsm::CompactionMode::Automatic,
-            )
+    bench("end_to_end/lsm_load_5k", 5, 5_000, || {
+        let mut tb = Testbed::new();
+        kvcsd_bench::baseline::load(&mut tb, 4, 1, &wl, kvcsd_lsm::CompactionMode::Automatic)
             .insert_s
-        })
     });
-    let _ = SimConfig::default();
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_bloom,
-    bench_memtable,
-    bench_bulk_pack,
-    bench_sstable,
-    bench_device_paths,
-    bench_pidx_block,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_bloom();
+    bench_memtable();
+    bench_bulk_pack();
+    bench_sstable();
+    bench_device_paths();
+    bench_pidx_block();
+    bench_end_to_end();
+}

@@ -15,7 +15,12 @@ pub struct Args {
 
 impl Default for Args {
     fn default() -> Self {
-        Self { keys: 100_000, value_bytes: 32, seed: 2023, max_threads: 32 }
+        Self {
+            keys: 100_000,
+            value_bytes: 32,
+            seed: 2023,
+            max_threads: 32,
+        }
     }
 }
 
@@ -43,9 +48,7 @@ impl Args {
                 "--seed" => out.seed = take("--seed"),
                 "--max-threads" => out.max_threads = take("--max-threads") as u32,
                 "--help" | "-h" => {
-                    eprintln!(
-                        "usage: [--keys N] [--value-bytes N] [--seed N] [--max-threads N]"
-                    );
+                    eprintln!("usage: [--keys N] [--value-bytes N] [--seed N] [--max-threads N]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),
@@ -79,9 +82,18 @@ mod tests {
     #[test]
     fn parses_flags() {
         let a = Args::parse_from(
-            ["--keys", "5000", "--value-bytes", "128", "--seed", "7", "--max-threads", "8"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--keys",
+                "5000",
+                "--value-bytes",
+                "128",
+                "--seed",
+                "7",
+                "--max-threads",
+                "8",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(a.keys, 5000);
         assert_eq!(a.value_bytes, 128);
@@ -91,11 +103,20 @@ mod tests {
 
     #[test]
     fn thread_sweep_is_powers_of_two() {
-        let a = Args { max_threads: 32, ..Args::default() };
+        let a = Args {
+            max_threads: 32,
+            ..Args::default()
+        };
         assert_eq!(a.thread_sweep(), vec![1, 2, 4, 8, 16, 32]);
-        let a = Args { max_threads: 12, ..Args::default() };
+        let a = Args {
+            max_threads: 12,
+            ..Args::default()
+        };
         assert_eq!(a.thread_sweep(), vec![1, 2, 4, 8, 12]);
-        let a = Args { max_threads: 1, ..Args::default() };
+        let a = Args {
+            max_threads: 1,
+            ..Args::default()
+        };
         assert_eq!(a.thread_sweep(), vec![1]);
     }
 

@@ -53,8 +53,7 @@ pub fn load(
     let dbs: Vec<Arc<Db>> = (0..n_dbs)
         .map(|i| {
             Arc::new(
-                Db::open(Arc::clone(&fs), &format!("db{i:04}/"), opts.clone())
-                    .expect("open db"),
+                Db::open(Arc::clone(&fs), &format!("db{i:04}/"), opts.clone()).expect("open db"),
             )
         })
         .collect();
@@ -73,7 +72,7 @@ pub fn load(
                     workload.keys,
                     workload.key_bytes,
                     workload.value_bytes,
-                    0x1000_0000u64 * (t as u64 + 1) ^ workload.key(0)[0] as u64,
+                    (0x1000_0000u64 * (t as u64 + 1)) ^ workload.key(0)[0] as u64,
                 );
                 for (k, v) in wl.shard(0, 1) {
                     dbs[t as usize].put(&k, &v).expect("put");
@@ -106,7 +105,12 @@ pub fn load(
     let insert_work = tb.ledger.snapshot().since(&before);
     let insert_s = tb.runner.last_elapsed_s();
 
-    LoadedBaseline { fs, dbs, insert_s, insert_work }
+    LoadedBaseline {
+        fs,
+        dbs,
+        insert_s,
+        insert_work,
+    }
 }
 
 /// Random GET phase against the loaded baseline. Each phase models a
@@ -138,7 +142,7 @@ pub fn get_phase(
                     workload.keys,
                     workload.key_bytes,
                     workload.value_bytes,
-                    0x1000_0000u64 * (t as u64 % loaded.dbs.len() as u64 + 1)
+                    (0x1000_0000u64 * (t as u64 % loaded.dbs.len() as u64 + 1))
                         ^ workload.key(0)[0] as u64,
                 )
             };
@@ -150,7 +154,10 @@ pub fn get_phase(
             }
         });
     });
-    (tb.runner.last_elapsed_s(), tb.ledger.snapshot().since(&before))
+    (
+        tb.runner.last_elapsed_s(),
+        tb.ledger.snapshot().since(&before),
+    )
 }
 
 #[cfg(test)]

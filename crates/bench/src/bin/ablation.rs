@@ -20,7 +20,10 @@ use kvcsd_workloads::PutWorkload;
 fn main() {
     let args = Args::parse();
     let wl = PutWorkload::new(args.keys, 16, args.value_bytes, args.seed);
-    println!("Ablations over {} keys x {}B values\n", args.keys, args.value_bytes);
+    println!(
+        "Ablations over {} keys x {}B values\n",
+        args.keys, args.value_bytes
+    );
 
     // ---- 1. bulk vs single PUT -------------------------------------------
     let mut tb = Testbed::new();
@@ -29,8 +32,16 @@ fn main() {
     let single = kvcsd::load(&mut tb, 4, 1, &wl, false);
     println!("1) Bulk PUT vs regular PUT (4 threads):");
     let mut t = TextTable::new(["mode", "insert", "speedup"]);
-    t.row(["regular put".into(), fmt_secs(single.insert_s), "1.0x".into()]);
-    t.row(["bulk put (128KiB)".into(), fmt_secs(bulk.insert_s), speedup(single.insert_s, bulk.insert_s)]);
+    t.row([
+        "regular put".into(),
+        fmt_secs(single.insert_s),
+        "1.0x".into(),
+    ]);
+    t.row([
+        "bulk put (128KiB)".into(),
+        fmt_secs(bulk.insert_s),
+        speedup(single.insert_s, bulk.insert_s),
+    ]);
     print!("{}", t.render());
 
     // ---- 2. zone-cluster stripe width --------------------------------------
@@ -84,7 +95,10 @@ fn main() {
         tbm.runner.background("compact", || {
             dev.run_pending_jobs();
         });
-        t.row([format!("{dram_mb} MiB"), fmt_secs(tbm.runner.last_elapsed_s())]);
+        t.row([
+            format!("{dram_mb} MiB"),
+            fmt_secs(tbm.runner.last_elapsed_s()),
+        ]);
     }
     print!("{}", t.render());
 
@@ -94,7 +108,10 @@ fn main() {
     let l = kvcsd::load(&mut tb, 4, 1, &wl, true);
     let mut t = TextTable::new(["policy", "host-visible time"]);
     t.row(["deferred (paper)".into(), fmt_secs(l.insert_s)]);
-    t.row(["blocking (host waits)".into(), fmt_secs(l.insert_s + l.compact_s)]);
+    t.row([
+        "blocking (host waits)".into(),
+        fmt_secs(l.insert_s + l.compact_s),
+    ]);
     print!("{}", t.render());
 
     // ---- 5. separated vs single-pass index construction ------------------------
@@ -138,12 +155,23 @@ fn main() {
     let (sep_s, sep_read) = run(false);
     let (one_s, one_read) = run(true);
     let mut t = TextTable::new(["path", "bg time", "device bytes read"]);
-    t.row(["separated (current design)".into(), fmt_secs(sep_s), format!("{sep_read}")]);
-    t.row(["single pass (future work)".into(), fmt_secs(one_s), format!("{one_read}")]);
+    t.row([
+        "separated (current design)".into(),
+        fmt_secs(sep_s),
+        format!("{sep_read}"),
+    ]);
+    t.row([
+        "single pass (future work)".into(),
+        fmt_secs(one_s),
+        format!("{one_read}"),
+    ]);
     t.row([
         "saving".into(),
         speedup(sep_s, one_s),
-        format!("{:.0}% fewer reads", 100.0 * (1.0 - one_read as f64 / sep_read as f64)),
+        format!(
+            "{:.0}% fewer reads",
+            100.0 * (1.0 - one_read as f64 / sep_read as f64)
+        ),
     ]);
     print!("{}", t.render());
 
@@ -163,7 +191,8 @@ fn main() {
             let ks = client.create_keyspace(&format!("gen{round}")).unwrap();
             let mut w = ks.bulk_writer();
             for i in 0..8_000u32 {
-                w.put(format!("k{i:06}").as_bytes(), &[round as u8; 32]).unwrap();
+                w.put(format!("k{i:06}").as_bytes(), &[round as u8; 32])
+                    .unwrap();
             }
             w.finish().unwrap();
             ks.compact().unwrap();
@@ -197,7 +226,10 @@ fn main() {
         let fs = Arc::new(BlockFs::format(
             conv,
             cfg.cost.clone(),
-            FsConfig { page_cache_pages: 512, journal: true },
+            FsConfig {
+                page_cache_pages: 512,
+                journal: true,
+            },
         ));
         let n_logs = 24u32;
         let chunk = vec![7u8; 16 << 10];
@@ -211,9 +243,13 @@ fn main() {
         // Long-lived data interleaved with the churn: its pages share
         // erase blocks with short-lived log pages, so reclaiming those
         // blocks forces the FTL to relocate live data.
-        let cold: Vec<_> = (0..8).map(|i| fs.create(&format!("cold{i}")).unwrap()).collect();
+        let cold: Vec<_> = (0..8)
+            .map(|i| fs.create(&format!("cold{i}")).unwrap())
+            .collect();
         let mut logical = 0u64;
         let mut next_id = n_logs;
+        // next_id tracks file names across rounds, not the loop index.
+        #[allow(clippy::explicit_counter_loop)]
         for round in 0..90u32 {
             // Interleave appends across all live logs.
             for (_, f) in &handles {
@@ -223,7 +259,8 @@ fn main() {
             if round < 30 {
                 // ~7 MiB of long-lived data laid down amid the churn.
                 for c in &cold {
-                    fs.append(*c, &chunk[..(30 << 10).min(chunk.len())]).unwrap();
+                    fs.append(*c, &chunk[..(30 << 10).min(chunk.len())])
+                        .unwrap();
                     logical += (30 << 10).min(chunk.len()) as u64;
                 }
             }
@@ -243,8 +280,20 @@ fn main() {
             s.storage_write_bytes() as f64 / logical as f64,
         )
     };
-    let mut t = TextTable::new(["storage design", "GC-relocated pages", "write amplification"]);
-    t.row(["ZNS keyspace churn (resets)".into(), zns_moved.to_string(), "1.0x (log padding only)".into()]);
-    t.row(["FTL file churn".into(), ftl_moved.to_string(), format!("{ftl_amp:.2}x")]);
+    let mut t = TextTable::new([
+        "storage design",
+        "GC-relocated pages",
+        "write amplification",
+    ]);
+    t.row([
+        "ZNS keyspace churn (resets)".into(),
+        zns_moved.to_string(),
+        "1.0x (log padding only)".into(),
+    ]);
+    t.row([
+        "FTL file churn".into(),
+        ftl_moved.to_string(),
+        format!("{ftl_amp:.2}x"),
+    ]);
     print!("{}", t.render());
 }

@@ -36,8 +36,10 @@ fn main() {
     // query counts); sweep the same span as a fraction of our dataset,
     // sparse enough that caching has room to matter.
     let total_keys = args.keys * threads as u64;
-    let sweep: Vec<u64> =
-        [4u64, 8, 16, 28, 40].iter().map(|f| (total_keys * f / 1000).max(64)).collect();
+    let sweep: Vec<u64> = [4u64, 8, 16, 28, 40]
+        .iter()
+        .map(|f| (total_keys * f / 1000).max(64))
+        .collect();
 
     for (i, &total_queries) in sweep.iter().enumerate() {
         let per_thread = (total_queries / threads as u64).max(1);
@@ -49,8 +51,16 @@ fn main() {
             fmt_secs(ks),
             speedup(bs, ks),
         ]);
-        t10b.row([format!("{}", per_thread * threads as u64), "rocksdb".into(), fmt_io(&bw)]);
-        t10b.row([format!("{}", per_thread * threads as u64), "kvcsd".into(), fmt_io(&kw)]);
+        t10b.row([
+            format!("{}", per_thread * threads as u64),
+            "rocksdb".into(),
+            fmt_io(&bw),
+        ]);
+        t10b.row([
+            format!("{}", per_thread * threads as u64),
+            "kvcsd".into(),
+            fmt_io(&kw),
+        ]);
     }
 
     println!("(a) Query time");

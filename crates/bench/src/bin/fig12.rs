@@ -24,13 +24,15 @@ fn main() {
     let mut tb_b = Testbed::new();
     let b = vpic_exp::load_baseline(&mut tb_b, &dump);
 
-    let mut t =
-        TextTable::new(["selectivity", "hits", "rocksdb", "kvcsd", "speedup"]);
+    let mut t = TextTable::new(["selectivity", "hits", "rocksdb", "kvcsd", "speedup"]);
     for sel in [0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.10, 0.20] {
         let threshold = dump.energy_threshold(sel);
         let (bs, hits_b, _) = vpic_exp::query_baseline(&mut tb_b, &b, threshold);
         let (ks, hits_k, _) = vpic_exp::query_kvcsd(&mut tb_k, &k, threshold);
-        assert_eq!(hits_b, hits_k, "both systems must return identical result sets");
+        assert_eq!(
+            hits_b, hits_k,
+            "both systems must return identical result sets"
+        );
         t.row([
             format!("{:.1}%", sel * 100.0),
             hits_k.to_string(),

@@ -36,7 +36,11 @@ fn main() {
             fmt_secs(k.compact_s),
             speedup(b.insert_s, k.insert_s),
         ]);
-        t7b.row([threads.to_string(), "rocksdb".into(), fmt_io(&b.insert_work)]);
+        t7b.row([
+            threads.to_string(),
+            "rocksdb".into(),
+            fmt_io(&b.insert_work),
+        ]);
         t7b.row([threads.to_string(), "kvcsd".into(), fmt_io(&k.insert_work)]);
     }
 

@@ -14,7 +14,10 @@ use kvcsd_workloads::PutWorkload;
 
 fn main() {
     let args = Args::parse();
-    println!("Fig 8: insert {} keys, value sizes 32B..4KB, shared keyspace\n", args.keys);
+    println!(
+        "Fig 8: insert {} keys, value sizes 32B..4KB, shared keyspace\n",
+        args.keys
+    );
 
     let mut t = TextTable::new([
         "value",

@@ -8,16 +8,34 @@ fn main() {
     let hw = &cfg.hw;
     println!("TABLE I: Hardware Specification (simulated)\n");
     let mut t = TextTable::new(["", "Host", "KV-CSD CSD"]);
-    t.row(["CPU", &format!("{} AMD EPYC cores", hw.host_cores), "4 ARM Cortex A53 cores"]);
-    t.row(["RAM", "512GB DDR4", &format!("{} DDR4", human_bytes(hw.soc_dram_bytes))]);
+    t.row([
+        "CPU",
+        &format!("{} AMD EPYC cores", hw.host_cores),
+        "4 ARM Cortex A53 cores",
+    ]);
+    t.row([
+        "RAM",
+        "512GB DDR4",
+        &format!("{} DDR4", human_bytes(hw.soc_dram_bytes)),
+    ]);
     t.row(["OS", "Ubuntu 18.04", "Ubuntu 16.04"]);
-    t.row(["Storage", "KV-CSD CSD", "15TB NVMe ZNS SSD (scaled per run)"]);
+    t.row([
+        "Storage",
+        "KV-CSD CSD",
+        "15TB NVMe ZNS SSD (scaled per run)",
+    ]);
     print!("{}", t.render());
 
     println!("\nDerived cost-model constants:");
     let mut t = TextTable::new(["parameter", "value"]);
-    t.row(["PCIe bandwidth", &format!("{:.1} GB/s", hw.pcie_bw_bps / 1e9)]);
-    t.row(["PCIe command round trip", &format!("{} us", hw.pcie_cmd_ns / 1000)]);
+    t.row([
+        "PCIe bandwidth",
+        &format!("{:.1} GB/s", hw.pcie_bw_bps / 1e9),
+    ]);
+    t.row([
+        "PCIe command round trip",
+        &format!("{} us", hw.pcie_cmd_ns / 1000),
+    ]);
     t.row(["NAND channels", &hw.flash_channels.to_string()]);
     t.row([
         "per-channel write / read",
@@ -28,6 +46,9 @@ fn main() {
         ),
     ]);
     t.row(["page size", &format!("{} B", hw.page_bytes)]);
-    t.row(["SoC slowdown vs host core", &format!("{:.1}x", cfg.cost.soc_slowdown)]);
+    t.row([
+        "SoC slowdown vs host core",
+        &format!("{:.1}x", cfg.cost.soc_slowdown),
+    ]);
     print!("{}", t.render());
 }

@@ -45,7 +45,11 @@ pub fn load(
     let (dev, client) = tb.kvcsd(capacity, soc_dram, n_keyspaces);
 
     let keyspaces: Vec<Keyspace> = (0..n_keyspaces)
-        .map(|i| client.create_keyspace(&format!("ks{i:04}")).expect("create keyspace"))
+        .map(|i| {
+            client
+                .create_keyspace(&format!("ks{i:04}"))
+                .expect("create keyspace")
+        })
         .collect();
 
     let before = tb.ledger.snapshot();
@@ -73,7 +77,7 @@ pub fn load(
                     workload.key_bytes,
                     workload.value_bytes,
                     // Distinct data per keyspace.
-                    0x1000_0000u64 * (t as u64 + 1) ^ workload.key(0)[0] as u64,
+                    (0x1000_0000u64 * (t as u64 + 1)) ^ workload.key(0)[0] as u64,
                 );
                 if bulk {
                     let mut w = ks.bulk_writer();
@@ -103,7 +107,14 @@ pub fn load(
     });
     let compact_s = tb.runner.last_elapsed_s();
 
-    LoadedKvcsd { dev, client, keyspaces, insert_s, compact_s, insert_work }
+    LoadedKvcsd {
+        dev,
+        client,
+        keyspaces,
+        insert_s,
+        compact_s,
+        insert_work,
+    }
 }
 
 /// Run `queries_per_thread` random GETs per thread, thread `t` targeting
@@ -129,7 +140,7 @@ pub fn get_phase(
                     workload.keys,
                     workload.key_bytes,
                     workload.value_bytes,
-                    0x1000_0000u64 * (t as u64 % loaded.keyspaces.len() as u64 + 1)
+                    (0x1000_0000u64 * (t as u64 % loaded.keyspaces.len() as u64 + 1))
                         ^ workload.key(0)[0] as u64,
                 )
             };
@@ -141,7 +152,10 @@ pub fn get_phase(
             }
         });
     });
-    (tb.runner.last_elapsed_s(), tb.ledger.snapshot().since(&before))
+    (
+        tb.runner.last_elapsed_s(),
+        tb.ledger.snapshot().since(&before),
+    )
 }
 
 #[cfg(test)]
@@ -154,7 +168,10 @@ mod tests {
         let wl = PutWorkload::paper_micro(2_000, 11);
         let loaded = load(&mut tb, 4, 1, &wl, true);
         assert!(loaded.insert_s > 0.0);
-        assert!(loaded.compact_s > 0.0, "deferred compaction happens in background");
+        assert!(
+            loaded.compact_s > 0.0,
+            "deferred compaction happens in background"
+        );
         let stat = loaded.keyspaces[0].stat().unwrap();
         assert_eq!(stat.num_pairs, 2_000);
         let (get_s, work) = get_phase(&mut tb, &loaded, 4, 50, &wl, 99);

@@ -38,7 +38,10 @@ mod tests {
 
     #[test]
     fn io_formatting_mentions_all_three() {
-        let s = LedgerSnapshot { page_bytes: 4096, ..Default::default() };
+        let s = LedgerSnapshot {
+            page_bytes: 4096,
+            ..Default::default()
+        };
         let txt = fmt_io(&s);
         assert!(txt.contains("read") && txt.contains("written") && txt.contains("pcie"));
     }

@@ -9,8 +9,9 @@ use std::sync::Arc;
 use kvcsd_blockfs::{BlockFs, FsConfig};
 use kvcsd_client::KvCsd;
 use kvcsd_core::{DeviceConfig, KvCsdDevice};
-use kvcsd_flash::{ConvConfig, ConventionalNamespace, FlashGeometry, NandArray, ZnsConfig,
-    ZonedNamespace};
+use kvcsd_flash::{
+    ConvConfig, ConventionalNamespace, FlashGeometry, NandArray, ZnsConfig, ZonedNamespace,
+};
 use kvcsd_proto::DeviceHandler;
 use kvcsd_sim::config::SimConfig;
 use kvcsd_sim::{IoLedger, PhaseRunner, TimeModel};
@@ -32,7 +33,11 @@ impl Testbed {
     pub fn with_config(cfg: SimConfig) -> Self {
         let ledger = Arc::new(IoLedger::new(cfg.hw.flash_channels, cfg.hw.page_bytes));
         let runner = PhaseRunner::new(Arc::clone(&ledger), TimeModel::new(cfg.clone()));
-        Self { cfg, ledger, runner }
+        Self {
+            cfg,
+            ledger,
+            runner,
+        }
     }
 
     fn geometry(&self, capacity_bytes: u64) -> FlashGeometry {
@@ -62,7 +67,12 @@ impl Testbed {
         soc_dram_bytes: u64,
         keyspaces: u32,
     ) -> (Arc<KvCsdDevice>, KvCsd) {
-        self.kvcsd_with_width(capacity_bytes, soc_dram_bytes, keyspaces, self.cfg.hw.flash_channels)
+        self.kvcsd_with_width(
+            capacity_bytes,
+            soc_dram_bytes,
+            keyspaces,
+            self.cfg.hw.flash_channels,
+        )
     }
 
     /// As [`Testbed::kvcsd`] but with an explicit zone-cluster stripe
@@ -79,22 +89,28 @@ impl Testbed {
         // pre-reserves one stripe group of `channels` zones; a keyspace
         // plus its in-flight jobs holds at most ~12 clusters.
         let zone_bytes = 16 * self.cfg.hw.page_bytes as u64; // one 64 KiB block per zone
-        let reserved = keyspaces.max(1) as u64
-            * 12
-            * self.cfg.hw.flash_channels as u64
-            * zone_bytes;
+        let reserved =
+            keyspaces.max(1) as u64 * 12 * self.cfg.hw.flash_channels as u64 * zone_bytes;
         let geom = self.geometry(capacity_bytes.max(1 << 20) * 6 + reserved);
         let nand = Arc::new(NandArray::new(geom, &self.cfg.hw, Arc::clone(&self.ledger)));
         let zns = Arc::new(ZonedNamespace::new(
             nand,
-            ZnsConfig { zone_blocks: 1, max_open_zones: 1 << 20 },
+            ZnsConfig {
+                zone_blocks: 1,
+                max_open_zones: 1 << 20,
+            },
         ));
         let mut cfg = self.cfg.clone();
         cfg.hw.soc_dram_bytes = soc_dram_bytes;
         let dev = Arc::new(KvCsdDevice::new(
             zns,
             cfg.cost.clone(),
-            DeviceConfig { cluster_width, soc_dram_bytes, seed: 0xC5D, ..DeviceConfig::default() },
+            DeviceConfig {
+                cluster_width,
+                soc_dram_bytes,
+                seed: 0xC5D,
+                ..DeviceConfig::default()
+            },
         ));
         let client = KvCsd::connect(
             Arc::clone(&dev) as Arc<dyn DeviceHandler>,
@@ -113,12 +129,15 @@ impl Testbed {
         // Scale the OS page cache with the dataset, as the paper's
         // data-size-to-memory-size ratio intends (a cache that swallows
         // the whole experiment would hide all read traffic).
-        let cache_pages = (capacity_bytes / 16 / self.cfg.hw.page_bytes as u64)
-            .clamp(256, 65_536) as usize;
+        let cache_pages =
+            (capacity_bytes / 16 / self.cfg.hw.page_bytes as u64).clamp(256, 65_536) as usize;
         Arc::new(BlockFs::format(
             conv,
             self.cfg.cost.clone(),
-            FsConfig { page_cache_pages: cache_pages, journal: true },
+            FsConfig {
+                page_cache_pages: cache_pages,
+                journal: true,
+            },
         ))
     }
 }

@@ -62,7 +62,11 @@ pub fn load_kvcsd(tb: &mut Testbed, dump: &VpicDump) -> VpicKvcsd {
     let soc_dram = (data_bytes / 2).clamp(8 << 20, 2 << 30);
     let (dev, client) = tb.kvcsd(data_bytes, soc_dram, dump.files);
     let keyspaces: Vec<Keyspace> = (0..dump.files)
-        .map(|f| client.create_keyspace(&format!("vpic{f:02}")).expect("create"))
+        .map(|f| {
+            client
+                .create_keyspace(&format!("vpic{f:02}"))
+                .expect("create")
+        })
         .collect();
 
     let before = tb.ledger.snapshot();
@@ -90,14 +94,23 @@ pub fn load_kvcsd(tb: &mut Testbed, dump: &VpicDump) -> VpicKvcsd {
     // Index construction is requested after compaction completes and also
     // runs in the device background.
     for ks in &keyspaces {
-        ks.build_secondary_index(energy_spec()).expect("sidx request");
+        ks.build_secondary_index(energy_spec())
+            .expect("sidx request");
     }
     tb.runner.background("vpic-indexing", || {
         dev.run_pending_jobs();
     });
     let index_s = tb.runner.last_elapsed_s();
 
-    VpicKvcsd { dev, client, keyspaces, write_s, compact_s, index_s, write_work }
+    VpicKvcsd {
+        dev,
+        client,
+        keyspaces,
+        write_s,
+        compact_s,
+        index_s,
+        write_work,
+    }
 }
 
 /// Query phase on KV-CSD: `energy > threshold` across all keyspaces, 16
@@ -109,22 +122,27 @@ pub fn query_kvcsd(
 ) -> (f64, u64, LedgerSnapshot) {
     let before = tb.ledger.snapshot();
     let mut total_hits = 0u64;
-    tb.runner.foreground("vpic-kvcsd-query", loaded.keyspaces.len() as u32, || {
-        let hits: Vec<u64> = run_threads(loaded.keyspaces.len() as u32, |f| {
-            let ks = &loaded.keyspaces[f as usize];
-            let es = ks
-                .sidx_range(
-                    ENERGY_INDEX,
-                    Bound::Excluded(SidxKey::F32(threshold).encode()),
-                    Bound::Unbounded,
-                    None,
-                )
-                .expect("sidx range");
-            es.len() as u64
+    tb.runner
+        .foreground("vpic-kvcsd-query", loaded.keyspaces.len() as u32, || {
+            let hits: Vec<u64> = run_threads(loaded.keyspaces.len() as u32, |f| {
+                let ks = &loaded.keyspaces[f as usize];
+                let es = ks
+                    .sidx_range(
+                        ENERGY_INDEX,
+                        Bound::Excluded(SidxKey::F32(threshold).encode()),
+                        Bound::Unbounded,
+                        None,
+                    )
+                    .expect("sidx range");
+                es.len() as u64
+            });
+            total_hits = hits.iter().sum();
         });
-        total_hits = hits.iter().sum();
-    });
-    (tb.runner.last_elapsed_s(), total_hits, tb.ledger.snapshot().since(&before))
+    (
+        tb.runner.last_elapsed_s(),
+        total_hits,
+        tb.ledger.snapshot().since(&before),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -176,7 +194,12 @@ pub fn load_baseline(tb: &mut Testbed, dump: &VpicDump) -> VpicBaseline {
     let write_work = tb.ledger.snapshot().since(&before);
     let write_s = tb.runner.last_elapsed_s();
 
-    VpicBaseline { dbs, fs, write_s, write_work }
+    VpicBaseline {
+        dbs,
+        fs,
+        write_s,
+        write_work,
+    }
 }
 
 /// Query phase on the baseline: the paper's two-step read. Each call
@@ -194,29 +217,34 @@ pub fn query_baseline(
     }
     let before = tb.ledger.snapshot();
     let mut total_hits = 0u64;
-    tb.runner.foreground("vpic-lsm-query", loaded.dbs.len() as u32, || {
-        let hits: Vec<u64> = run_threads(loaded.dbs.len() as u32, |f| {
-            let db = &loaded.dbs[f as usize];
-            // Step 1: scan the auxiliary namespace for matching IDs.
-            let lo = aux_key(&SidxKey::F32(threshold).encode(), &[]);
-            let ids: Vec<Vec<u8>> = db
-                .scan(&lo, &[], None)
-                .expect("aux scan")
-                .into_iter()
-                .map(|(_, id)| id)
-                .collect();
-            // Step 2: point-GET each full particle by primary key.
-            let mut n = 0u64;
-            for id in ids {
-                let rec = db.get(&primary_key(&id)).expect("primary get");
-                debug_assert!(rec.is_some());
-                n += 1;
-            }
-            n
+    tb.runner
+        .foreground("vpic-lsm-query", loaded.dbs.len() as u32, || {
+            let hits: Vec<u64> = run_threads(loaded.dbs.len() as u32, |f| {
+                let db = &loaded.dbs[f as usize];
+                // Step 1: scan the auxiliary namespace for matching IDs.
+                let lo = aux_key(&SidxKey::F32(threshold).encode(), &[]);
+                let ids: Vec<Vec<u8>> = db
+                    .scan(&lo, &[], None)
+                    .expect("aux scan")
+                    .into_iter()
+                    .map(|(_, id)| id)
+                    .collect();
+                // Step 2: point-GET each full particle by primary key.
+                let mut n = 0u64;
+                for id in ids {
+                    let rec = db.get(&primary_key(&id)).expect("primary get");
+                    debug_assert!(rec.is_some());
+                    n += 1;
+                }
+                n
+            });
+            total_hits = hits.iter().sum();
         });
-        total_hits = hits.iter().sum();
-    });
-    (tb.runner.last_elapsed_s(), total_hits, tb.ledger.snapshot().since(&before))
+    (
+        tb.runner.last_elapsed_s(),
+        total_hits,
+        tb.ledger.snapshot().since(&before),
+    )
 }
 
 #[cfg(test)]
@@ -248,7 +276,10 @@ mod tests {
         let dump = VpicDump::new(3_000, 4, 101);
         let mut tb = Testbed::new();
         let k = load_kvcsd(&mut tb, &dump);
-        assert!(k.compact_s + k.index_s > k.write_s, "offloaded work dominates");
+        assert!(
+            k.compact_s + k.index_s > k.write_s,
+            "offloaded work dominates"
+        );
         // All keyspaces ended COMPACTED with the index present.
         for ks in &k.keyspaces {
             let stat = ks.stat().unwrap();

@@ -229,7 +229,7 @@ mod tests {
         for _ in 0..10_000 {
             x = x.wrapping_mul(1664525).wrapping_add(1013904223);
             let key = x % 48;
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 if c.get(&key).is_some() {
                     model.retain(|&k| k != key);
                     model.push_back(key);

@@ -26,8 +26,14 @@ impl fmt::Display for FsError {
             FsError::NotFound(p) => write!(f, "file not found: {p}"),
             FsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
             FsError::NoSpace => write!(f, "no space left on device"),
-            FsError::ShortRead { requested, available } => {
-                write!(f, "short read: requested {requested}, available {available}")
+            FsError::ShortRead {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "short read: requested {requested}, available {available}"
+                )
             }
             FsError::StaleHandle => write!(f, "stale file handle"),
             FsError::Flash(e) => write!(f, "flash error: {e}"),

@@ -10,8 +10,8 @@ use std::sync::Arc;
 
 use kvcsd_flash::ConventionalNamespace;
 use kvcsd_sim::config::CostModel;
+use kvcsd_sim::sync::Mutex;
 use kvcsd_sim::IoLedger;
-use parking_lot::Mutex;
 
 use crate::cache::LruCache;
 use crate::error::FsError;
@@ -29,7 +29,10 @@ pub struct FsConfig {
 
 impl Default for FsConfig {
     fn default() -> Self {
-        Self { page_cache_pages: 16 * 1024, journal: true }
+        Self {
+            page_cache_pages: 16 * 1024,
+            journal: true,
+        }
     }
 }
 
@@ -89,7 +92,9 @@ pub struct BlockFs {
 
 impl std::fmt::Debug for BlockFs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BlockFs").field("cfg", &self.cfg).finish_non_exhaustive()
+        f.debug_struct("BlockFs")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
     }
 }
 
@@ -181,9 +186,15 @@ impl BlockFs {
         let ino = inner.next_ino;
         inner.next_ino += 1;
         inner.files.insert(path.to_string(), ino);
-        inner
-            .inodes
-            .insert(ino, Inode { size: 0, pages: Vec::new(), tail: Vec::new(), tail_lpa: None });
+        inner.inodes.insert(
+            ino,
+            Inode {
+                size: 0,
+                pages: Vec::new(),
+                tail: Vec::new(),
+                tail_lpa: None,
+            },
+        );
         self.journal_write(&mut inner)?;
         self.inode_write(&mut inner, ino)?;
         Ok(FileId(ino))
@@ -215,9 +226,14 @@ impl BlockFs {
     pub fn unlink(&self, path: &str) -> Result<()> {
         self.ledger().fs_call();
         let mut inner = self.inner.lock();
-        let ino =
-            inner.files.remove(path).ok_or_else(|| FsError::NotFound(path.to_string()))?;
-        let inode = inner.inodes.remove(&ino).expect("inode for directory entry");
+        let ino = inner
+            .files
+            .remove(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let inode = inner
+            .inodes
+            .remove(&ino)
+            .expect("inode for directory entry");
         for lpa in inode.pages.iter().chain(inode.tail_lpa.iter()) {
             self.dev.trim(*lpa)?;
             inner.free_lpas.push(*lpa);
@@ -260,8 +276,11 @@ impl BlockFs {
             }
         }
         for (page_idx, page, lpa_hint) in to_flush {
-            let lpa =
-                if lpa_hint == u64::MAX { self.alloc_lpa(&mut inner)? } else { lpa_hint };
+            let lpa = if lpa_hint == u64::MAX {
+                self.alloc_lpa(&mut inner)?
+            } else {
+                lpa_hint
+            };
             self.ledger().host_block_io();
             self.dev.write(lpa, &page)?;
             inner.stats.data_page_writes += 1;
@@ -276,7 +295,11 @@ impl BlockFs {
     /// Current file size in bytes.
     pub fn len(&self, id: FileId) -> Result<u64> {
         let inner = self.inner.lock();
-        inner.inodes.get(&id.0).map(|i| i.size).ok_or(FsError::StaleHandle)
+        inner
+            .inodes
+            .get(&id.0)
+            .map(|i| i.size)
+            .ok_or(FsError::StaleHandle)
     }
 
     /// Read up to `len` bytes at `offset`. Returns fewer bytes at EOF.
@@ -325,7 +348,10 @@ impl BlockFs {
     pub fn read_exact_at(&self, id: FileId, offset: u64, len: usize) -> Result<Vec<u8>> {
         let out = self.read_at(id, offset, len)?;
         if out.len() != len {
-            return Err(FsError::ShortRead { requested: len, available: out.len() });
+            return Err(FsError::ShortRead {
+                requested: len,
+                available: out.len(),
+            });
         }
         Ok(out)
     }
@@ -336,7 +362,11 @@ impl BlockFs {
         let mut inner = self.inner.lock();
         let tail: Option<(Vec<u8>, Option<u64>)> = {
             let inode = inner.inodes.get(&id.0).ok_or(FsError::StaleHandle)?;
-            if inode.tail.is_empty() { None } else { Some((inode.tail.clone(), inode.tail_lpa)) }
+            if inode.tail.is_empty() {
+                None
+            } else {
+                Some((inode.tail.clone(), inode.tail_lpa))
+            }
         };
         if let Some((tail, lpa)) = tail {
             let lpa = match lpa {
@@ -392,7 +422,10 @@ mod tests {
         BlockFs::format(
             dev,
             CostModel::default(),
-            FsConfig { page_cache_pages: pages_cache, journal: true },
+            FsConfig {
+                page_cache_pages: pages_cache,
+                journal: true,
+            },
         )
     }
 
@@ -407,7 +440,10 @@ mod tests {
         assert!(fs.exists("wal.log"));
         assert_eq!(fs.open("wal.log").unwrap(), f);
         assert!(matches!(fs.open("nope"), Err(FsError::NotFound(_))));
-        assert!(matches!(fs.create("wal.log"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.create("wal.log"),
+            Err(FsError::AlreadyExists(_))
+        ));
         assert_eq!(fs.list(), vec!["wal.log".to_string()]);
     }
 
@@ -445,7 +481,10 @@ mod tests {
         assert_eq!(fs.read_at(f, 5, 10).unwrap(), Vec::<u8>::new());
         assert!(matches!(
             fs.read_exact_at(f, 0, 6),
-            Err(FsError::ShortRead { requested: 6, available: 5 })
+            Err(FsError::ShortRead {
+                requested: 6,
+                available: 5
+            })
         ));
     }
 

@@ -4,45 +4,141 @@
 use std::sync::Arc;
 
 use kvcsd_proto::{
-    Bound, BulkBuilder, DeviceHandler, JobId, JobState, KeyspaceDesc, KeyspaceState,
-    KeyspaceStat, KvCommand, KvResponse, QueuePair, SecondaryIndexSpec, SidxKey,
-    DEFAULT_BULK_BYTES,
+    Bound, BulkBuilder, DeviceHandler, JobId, JobState, KeyspaceDesc, KeyspaceStat, KeyspaceState,
+    KvCommand, KvResponse, QueuePair, SecondaryIndexSpec, SidxKey, DEFAULT_BULK_BYTES,
 };
 use kvcsd_sim::IoLedger;
 
 use crate::error::ClientError;
 use crate::Result;
 
+/// Bounded retry with exponential backoff for retryable device errors.
+///
+/// Only statuses where [`kvcsd_proto::KvStatus::is_retryable`] is true
+/// (transient device errors) are resent; media errors, power loss, and
+/// logical errors surface immediately. Backoff doubles per attempt from
+/// `base_backoff_ns`, capped at `max_backoff_ns`; in simulation the wait
+/// is charged to the ledger (`client_retry_backoff_ns`) rather than slept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Resends after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff_ns: u64,
+    /// Ceiling on the per-retry backoff.
+    pub max_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_backoff_ns: 100_000,
+            max_backoff_ns: 10_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail fast: surface the first error, retryable or not.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based), doubling and capped.
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1);
+        if shift >= self.base_backoff_ns.leading_zeros() {
+            return self.max_backoff_ns; // doubling further would drop bits
+        }
+        (self.base_backoff_ns << shift).min(self.max_backoff_ns)
+    }
+}
+
+/// Send `cmd`, resending on retryable statuses within the policy budget.
+fn exec_with_retry(qp: &QueuePair, policy: &RetryPolicy, cmd: KvCommand) -> Result<KvResponse> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match qp.execute(cmd.clone()).into_result() {
+            Ok(resp) => return Ok(resp),
+            Err(status) if status.is_retryable() => {
+                let retry = attempts - 1; // retries spent so far
+                if retry >= policy.max_retries {
+                    if policy.max_retries == 0 {
+                        return Err(ClientError::Device(status));
+                    }
+                    return Err(ClientError::RetriesExhausted {
+                        attempts,
+                        last: status,
+                    });
+                }
+                qp.ledger().bump("client_retries", 1);
+                qp.ledger()
+                    .bump("client_retry_backoff_ns", policy.backoff_ns(retry + 1));
+            }
+            Err(status) => return Err(ClientError::Device(status)),
+        }
+    }
+}
+
 /// Handle to one KV-CSD device.
 #[derive(Debug, Clone)]
 pub struct KvCsd {
     qp: QueuePair,
+    policy: RetryPolicy,
 }
 
 impl KvCsd {
     /// Connect to a device through a new queue pair.
     pub fn connect(device: Arc<dyn DeviceHandler>, ledger: Arc<IoLedger>) -> Self {
-        Self { qp: QueuePair::new(device, ledger) }
+        Self {
+            qp: QueuePair::new(device, ledger),
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Replace the retry policy; sessions and jobs opened afterwards
+    /// inherit it.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     fn exec(&self, cmd: KvCommand) -> Result<KvResponse> {
-        Ok(self.qp.execute(cmd).into_result()?)
+        exec_with_retry(&self.qp, &self.policy, cmd)
     }
 
     /// Create a keyspace and open a session on it.
     pub fn create_keyspace(&self, name: &str) -> Result<Keyspace> {
-        match self.exec(KvCommand::CreateKeyspace { name: name.to_string() })? {
-            KvResponse::Created { ks } => Ok(Keyspace { qp: self.qp.clone(), id: ks }),
+        match self.exec(KvCommand::CreateKeyspace {
+            name: name.to_string(),
+        })? {
+            KvResponse::Created { ks } => Ok(Keyspace {
+                qp: self.qp.clone(),
+                id: ks,
+                policy: self.policy,
+            }),
             other => Err(unexpected("Created", &other)),
         }
     }
 
     /// Open an existing keyspace by name.
     pub fn open_keyspace(&self, name: &str) -> Result<(Keyspace, KeyspaceState)> {
-        match self.exec(KvCommand::OpenKeyspace { name: name.to_string() })? {
-            KvResponse::Opened { ks, state } => {
-                Ok((Keyspace { qp: self.qp.clone(), id: ks }, state))
-            }
+        match self.exec(KvCommand::OpenKeyspace {
+            name: name.to_string(),
+        })? {
+            KvResponse::Opened { ks, state } => Ok((
+                Keyspace {
+                    qp: self.qp.clone(),
+                    id: ks,
+                    policy: self.policy,
+                },
+                state,
+            )),
             other => Err(unexpected("Opened", &other)),
         }
     }
@@ -65,6 +161,7 @@ fn unexpected(wanted: &str, got: &KvResponse) -> ClientError {
 pub struct Keyspace {
     qp: QueuePair,
     id: u32,
+    policy: RetryPolicy,
 }
 
 impl Keyspace {
@@ -74,14 +171,18 @@ impl Keyspace {
     }
 
     fn exec(&self, cmd: KvCommand) -> Result<KvResponse> {
-        Ok(self.qp.execute(cmd).into_result()?)
+        exec_with_retry(&self.qp, &self.policy, cmd)
     }
 
     /// Insert a single key-value pair (one command round trip; prefer
     /// [`Keyspace::bulk_writer`] for load phases — the paper measures
     /// bulk PUT as 7x faster).
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        match self.exec(KvCommand::Put { ks: self.id, key: key.to_vec(), value: value.to_vec() })? {
+        match self.exec(KvCommand::Put {
+            ks: self.id,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })? {
             KvResponse::PutOk => Ok(()),
             other => Err(unexpected("PutOk", &other)),
         }
@@ -110,7 +211,11 @@ impl Keyspace {
     /// Invoke offloaded compaction; returns the background job handle.
     pub fn compact(&self) -> Result<Job> {
         match self.exec(KvCommand::Compact { ks: self.id })? {
-            KvResponse::JobStarted { job } => Ok(Job { qp: self.qp.clone(), id: job }),
+            KvResponse::JobStarted { job } => Ok(Job {
+                qp: self.qp.clone(),
+                id: job,
+                policy: self.policy,
+            }),
             other => Err(unexpected("JobStarted", &other)),
         }
     }
@@ -120,7 +225,11 @@ impl Keyspace {
     /// the device falls back to separated passes when its DRAM is tight).
     pub fn compact_with_indexes(&self, specs: Vec<SecondaryIndexSpec>) -> Result<Job> {
         match self.exec(KvCommand::CompactAndIndex { ks: self.id, specs })? {
-            KvResponse::JobStarted { job } => Ok(Job { qp: self.qp.clone(), id: job }),
+            KvResponse::JobStarted { job } => Ok(Job {
+                qp: self.qp.clone(),
+                id: job,
+                policy: self.policy,
+            }),
             other => Err(unexpected("JobStarted", &other)),
         }
     }
@@ -128,22 +237,39 @@ impl Keyspace {
     /// Request construction of a secondary index; returns the job handle.
     pub fn build_secondary_index(&self, spec: SecondaryIndexSpec) -> Result<Job> {
         match self.exec(KvCommand::BuildSecondaryIndex { ks: self.id, spec })? {
-            KvResponse::JobStarted { job } => Ok(Job { qp: self.qp.clone(), id: job }),
+            KvResponse::JobStarted { job } => Ok(Job {
+                qp: self.qp.clone(),
+                id: job,
+                policy: self.policy,
+            }),
             other => Err(unexpected("JobStarted", &other)),
         }
     }
 
     /// Point query over the primary key.
     pub fn get(&self, key: &[u8]) -> Result<Vec<u8>> {
-        match self.exec(KvCommand::Get { ks: self.id, key: key.to_vec() })? {
+        match self.exec(KvCommand::Get {
+            ks: self.id,
+            key: key.to_vec(),
+        })? {
             KvResponse::Value(v) => Ok(v),
             other => Err(unexpected("Value", &other)),
         }
     }
 
     /// Range query over the primary key.
-    pub fn range(&self, lo: Bound, hi: Bound, limit: Option<u64>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        match self.exec(KvCommand::Range { ks: self.id, lo, hi, limit })? {
+    pub fn range(
+        &self,
+        lo: Bound,
+        hi: Bound,
+        limit: Option<u64>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match self.exec(KvCommand::Range {
+            ks: self.id,
+            lo,
+            hi,
+            limit,
+        })? {
             KvResponse::Entries(es) => Ok(es),
             other => Err(unexpected("Entries", &other)),
         }
@@ -151,7 +277,11 @@ impl Keyspace {
 
     /// Point query over a secondary index; returns full matching records.
     pub fn sidx_get(&self, index: &str, key: SidxKey) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        match self.exec(KvCommand::SidxGet { ks: self.id, index: index.to_string(), key })? {
+        match self.exec(KvCommand::SidxGet {
+            ks: self.id,
+            index: index.to_string(),
+            key,
+        })? {
             KvResponse::Entries(es) => Ok(es),
             other => Err(unexpected("Entries", &other)),
         }
@@ -165,7 +295,13 @@ impl Keyspace {
         hi: Bound,
         limit: Option<u64>,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        match self.exec(KvCommand::SidxRange { ks: self.id, index: index.to_string(), lo, hi, limit })? {
+        match self.exec(KvCommand::SidxRange {
+            ks: self.id,
+            index: index.to_string(),
+            lo,
+            hi,
+            limit,
+        })? {
             KvResponse::Entries(es) => Ok(es),
             other => Err(unexpected("Entries", &other)),
         }
@@ -228,7 +364,10 @@ impl BulkWriter {
         let full = std::mem::replace(&mut self.builder, BulkBuilder::new(self.message_bytes));
         let payload = full.finish();
         let n = payload.len() as u64;
-        match self.ks.exec(KvCommand::BulkPut { ks: self.ks.id, payload })? {
+        match self.ks.exec(KvCommand::BulkPut {
+            ks: self.ks.id,
+            payload,
+        })? {
             KvResponse::BulkPutOk { inserted } => {
                 debug_assert_eq!(inserted, n);
                 self.inserted += inserted;
@@ -250,6 +389,7 @@ impl BulkWriter {
 pub struct Job {
     qp: QueuePair,
     id: JobId,
+    policy: RetryPolicy,
 }
 
 impl Job {
@@ -259,7 +399,7 @@ impl Job {
 
     /// Ask the device for the job's state (one command round trip).
     pub fn poll(&self) -> Result<JobState> {
-        match self.qp.execute(KvCommand::PollJob { job: self.id }).into_result()? {
+        match exec_with_retry(&self.qp, &self.policy, KvCommand::PollJob { job: self.id })? {
             KvResponse::Job { state } => Ok(state),
             other => Err(unexpected("Job", &other)),
         }
@@ -287,14 +427,26 @@ mod tests {
             page_bytes: 4096,
         };
         let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
-        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), Arc::clone(&ledger)));
+        let nand = Arc::new(NandArray::new(
+            geom,
+            &HardwareSpec::default(),
+            Arc::clone(&ledger),
+        ));
         let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
         let dev = Arc::new(KvCsdDevice::new(
             zns,
             CostModel::default(),
-            DeviceConfig { cluster_width: 8, soc_dram_bytes: 8 << 20, seed: 3, ..DeviceConfig::default() },
+            DeviceConfig {
+                cluster_width: 8,
+                soc_dram_bytes: 8 << 20,
+                seed: 3,
+                ..DeviceConfig::default()
+            },
         ));
-        let client = KvCsd::connect(Arc::<KvCsdDevice>::clone(&dev) as Arc<dyn DeviceHandler>, Arc::clone(&ledger));
+        let client = KvCsd::connect(
+            Arc::<KvCsdDevice>::clone(&dev) as Arc<dyn DeviceHandler>,
+            Arc::clone(&ledger),
+        );
         (client, dev, ledger)
     }
 
@@ -367,13 +519,18 @@ mod tests {
         let before = ledger.snapshot();
         let mut bulk = ks.bulk_writer();
         for i in 0..5000u32 {
-            bulk.put(&[&[0u8][..], &key(i)[..]].concat(), &value(i)).unwrap();
+            bulk.put(&[&[0u8][..], &key(i)[..]].concat(), &value(i))
+                .unwrap();
         }
         bulk.finish().unwrap();
         let d = ledger.snapshot().since(&before);
         // 5000 pairs * ~47B entries ~ 235 KB: a handful of messages, not
         // 5000.
-        assert!(d.pcie_msgs < 20, "bulk writer sent {} messages", d.pcie_msgs);
+        assert!(
+            d.pcie_msgs < 20,
+            "bulk writer sent {} messages",
+            d.pcie_msgs
+        );
     }
 
     #[test]
@@ -431,6 +588,117 @@ mod tests {
         let (ks2, state) = client.open_keyspace("s").unwrap();
         assert_eq!(state, KeyspaceState::Compacted);
         assert_eq!(ks2.get(b"a").unwrap(), b"1");
+    }
+
+    /// Wraps a real device but fails the first `failures` commands with a
+    /// transient error (deterministic flaky transport).
+    struct Flaky {
+        inner: Arc<KvCsdDevice>,
+        remaining: std::sync::atomic::AtomicU32,
+        status: KvStatus,
+    }
+
+    impl DeviceHandler for Flaky {
+        fn handle(&self, cmd: KvCommand) -> KvResponse {
+            use std::sync::atomic::Ordering;
+            let left = self.remaining.load(Ordering::SeqCst);
+            if left > 0 {
+                self.remaining.store(left - 1, Ordering::SeqCst);
+                return KvResponse::Err(self.status.clone());
+            }
+            self.inner.handle(cmd)
+        }
+    }
+
+    fn flaky_testbed(failures: u32, status: KvStatus) -> (KvCsd, Arc<IoLedger>) {
+        let (_, dev, ledger) = testbed();
+        let flaky = Arc::new(Flaky {
+            inner: dev,
+            remaining: std::sync::atomic::AtomicU32::new(failures),
+            status,
+        });
+        let client = KvCsd::connect(flaky as Arc<dyn DeviceHandler>, Arc::clone(&ledger));
+        (client, ledger)
+    }
+
+    fn transient() -> KvStatus {
+        KvStatus::TransientDeviceError("injected".into())
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let (client, ledger) = flaky_testbed(3, transient());
+        let ks = client.create_keyspace("flaky").unwrap();
+        assert_eq!(ledger.custom("client_retries"), 3);
+        // Backoff doubles from 100us: 100k + 200k + 400k.
+        assert_eq!(ledger.custom("client_retry_backoff_ns"), 700_000);
+        // Subsequent healthy traffic spends no more retries.
+        ks.put(b"k", b"v").unwrap();
+        assert_eq!(ledger.custom("client_retries"), 3);
+    }
+
+    #[test]
+    fn retries_exhausted_is_typed_and_fatal() {
+        let (client, ledger) = flaky_testbed(100, transient());
+        let err = client.create_keyspace("never").unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::RetriesExhausted {
+                attempts: 5,
+                last: transient()
+            }
+        );
+        assert!(err.is_fatal());
+        // Default budget: 4 retries after the initial attempt.
+        assert_eq!(ledger.custom("client_retries"), 4);
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let (client, ledger) = flaky_testbed(100, KvStatus::MediaError("die 3".into()));
+        let err = client.create_keyspace("dead").unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::Device(KvStatus::MediaError("die 3".into()))
+        );
+        assert_eq!(ledger.custom("client_retries"), 0);
+    }
+
+    #[test]
+    fn retry_policy_none_fails_fast_with_device_error() {
+        let (client, ledger) = flaky_testbed(1, transient());
+        let client = client.with_retry_policy(RetryPolicy::none());
+        let err = client.create_keyspace("fast").unwrap_err();
+        assert_eq!(err, ClientError::Device(transient()));
+        assert!(err.is_retryable()); // caller may resend by hand
+        assert_eq!(ledger.custom("client_retries"), 0);
+        // The device is healthy now; a plain resend works.
+        client.create_keyspace("fast").unwrap();
+    }
+
+    #[test]
+    fn keyspace_sessions_inherit_the_retry_policy() {
+        let (client, ledger) = flaky_testbed(0, transient());
+        let client = client.with_retry_policy(RetryPolicy {
+            max_retries: 2,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 1_500,
+        });
+        let ks = client.create_keyspace("inherit").unwrap();
+        // Replace the queue pair's device? Not possible; instead verify the
+        // policy arithmetic surface: backoff caps at max_backoff_ns.
+        assert_eq!(client.policy.backoff_ns(1), 1_000);
+        assert_eq!(client.policy.backoff_ns(2), 1_500);
+        assert_eq!(ks.policy, client.policy);
+        assert_eq!(ledger.custom("client_retries"), 0);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ns(1), 100_000);
+        assert_eq!(p.backoff_ns(2), 200_000);
+        assert_eq!(p.backoff_ns(1_000), p.max_backoff_ns);
     }
 
     #[test]

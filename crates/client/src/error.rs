@@ -4,10 +4,16 @@ use kvcsd_proto::KvStatus;
 use std::fmt;
 
 /// Errors surfaced by the client library.
+///
+/// Errors split into *retryable* (the device said an identical resend may
+/// succeed; the built-in [`crate::RetryPolicy`] already spent its budget
+/// before surfacing one) and *fatal* (resending cannot help).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
     /// The device reported a status error.
     Device(KvStatus),
+    /// A retryable device error kept failing past the retry budget.
+    RetriesExhausted { attempts: u32, last: KvStatus },
     /// The device answered with a response of an unexpected shape
     /// (protocol bug; should never happen).
     UnexpectedResponse(String),
@@ -17,6 +23,9 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Device(s) => write!(f, "device error: {s}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "device error after {attempts} attempts: {last}")
+            }
             ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
         }
     }
@@ -35,6 +44,18 @@ impl ClientError {
     pub fn is_not_found(&self) -> bool {
         matches!(self, ClientError::Device(KvStatus::KeyNotFound))
     }
+
+    /// True when resending the same command may succeed. Note that
+    /// [`ClientError::RetriesExhausted`] is *not* retryable: the policy
+    /// already spent its budget on a transient error that never cleared.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Device(s) if s.is_retryable())
+    }
+
+    /// True when resending the same command cannot help.
+    pub fn is_fatal(&self) -> bool {
+        !self.is_retryable()
+    }
 }
 
 #[cfg(test)]
@@ -52,5 +73,28 @@ mod tests {
     fn display() {
         let e = ClientError::Device(KvStatus::KeyspaceNotFound);
         assert!(e.to_string().contains("keyspace not found"));
+        let e = ClientError::RetriesExhausted {
+            attempts: 5,
+            last: KvStatus::TransientDeviceError("busy".into()),
+        };
+        assert!(e.to_string().contains("5 attempts"));
+    }
+
+    #[test]
+    fn retryable_fatal_split() {
+        assert!(ClientError::Device(KvStatus::TransientDeviceError("soft".into())).is_retryable());
+        for fatal in [
+            ClientError::Device(KvStatus::MediaError("die".into())),
+            ClientError::Device(KvStatus::PowerLoss),
+            ClientError::Device(KvStatus::KeyNotFound),
+            ClientError::RetriesExhausted {
+                attempts: 3,
+                last: KvStatus::TransientDeviceError("soft".into()),
+            },
+            ClientError::UnexpectedResponse("x".into()),
+        ] {
+            assert!(fatal.is_fatal(), "{fatal:?}");
+            assert!(!fatal.is_retryable(), "{fatal:?}");
+        }
     }
 }

@@ -16,7 +16,7 @@
 pub mod api;
 pub mod error;
 
-pub use api::{BulkWriter, Job, Keyspace, KvCsd};
+pub use api::{BulkWriter, Job, Keyspace, KvCsd, RetryPolicy};
 pub use error::ClientError;
 
 /// Result alias for client operations.

@@ -54,7 +54,11 @@ pub struct PidxBlockBuilder {
 
 impl PidxBlockBuilder {
     pub fn new() -> Self {
-        Self { buf: Vec::with_capacity(BLOCK_BYTES), count: 0, first_key: None }
+        Self {
+            buf: Vec::with_capacity(BLOCK_BYTES),
+            count: 0,
+            first_key: None,
+        }
     }
 
     /// True if an entry with `key_len`-byte key fits in the current block.
@@ -72,7 +76,8 @@ impl PidxBlockBuilder {
         if self.first_key.is_none() {
             self.first_key = Some(e.key.clone());
         }
-        self.buf.extend_from_slice(&(e.key.len() as u16).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(e.key.len() as u16).to_le_bytes());
         self.buf.extend_from_slice(&e.voff.to_le_bytes());
         self.buf.extend_from_slice(&e.vlen.to_le_bytes());
         self.buf.extend_from_slice(&e.key);
@@ -100,9 +105,20 @@ pub fn decode_pidx_block(block: &[u8]) -> Result<Vec<PidxEntry>> {
     for _ in 0..count {
         let klen =
             u16::from_le_bytes(block.get(p..p + 2).ok_or_else(bad)?.try_into().unwrap()) as usize;
-        let voff = u64::from_le_bytes(block.get(p + 2..p + 10).ok_or_else(bad)?.try_into().unwrap());
-        let vlen =
-            u32::from_le_bytes(block.get(p + 10..p + 14).ok_or_else(bad)?.try_into().unwrap());
+        let voff = u64::from_le_bytes(
+            block
+                .get(p + 2..p + 10)
+                .ok_or_else(bad)?
+                .try_into()
+                .unwrap(),
+        );
+        let vlen = u32::from_le_bytes(
+            block
+                .get(p + 10..p + 14)
+                .ok_or_else(bad)?
+                .try_into()
+                .unwrap(),
+        );
         p += PIDX_ENTRY_HEADER;
         let key = block.get(p..p + klen).ok_or_else(bad)?.to_vec();
         p += klen;
@@ -170,7 +186,10 @@ impl SortRecord for ValueRec {
         let hdr = r.read(12)?;
         let rank = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
         let vlen = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
-        Ok(ValueRec { rank, value: r.read(vlen)? })
+        Ok(ValueRec {
+            rank,
+            value: r.read(vlen)?,
+        })
     }
     fn cmp_key(&self, other: &Self) -> Ordering {
         self.rank.cmp(&other.rank)
@@ -202,8 +221,7 @@ pub fn run_compaction(
     cluster_width: u32,
 ) -> Result<CompactionOutput> {
     // ---- Step 1: sort the keys -------------------------------------------
-    let mut key_sorter: ExtSorter<'_, KlogRecord> =
-        ExtSorter::new(mgr, soc, dram, cluster_width)?;
+    let mut key_sorter: ExtSorter<'_, KlogRecord> = ExtSorter::new(mgr, soc, dram, cluster_width)?;
     {
         let mut r = StreamReader::new(mgr, klog.0, klog.1);
         for _ in 0..pairs {
@@ -223,7 +241,11 @@ pub fn run_compaction(
     let mut rank = 0u64;
     let mut out_voff = 0u64;
     key_sorter.finish_into(|rec| {
-        let e = PidxEntry { key: rec.key, voff: out_voff, vlen: rec.vlen };
+        let e = PidxEntry {
+            key: rec.key,
+            voff: out_voff,
+            vlen: rec.vlen,
+        };
         if !builder.fits(e.key.len()) {
             let (block, first) = builder.finish();
             mgr.append_block(pidx_cluster, &block)?;
@@ -231,7 +253,11 @@ pub fn run_compaction(
             pidx_blocks += 1;
         }
         builder.add(&e);
-        gather_sorter.push(GatherRec { voff: rec.voff, vlen: rec.vlen, rank })?;
+        gather_sorter.push(GatherRec {
+            voff: rec.voff,
+            vlen: rec.vlen,
+            rank,
+        })?;
         rank += 1;
         out_voff += rec.vlen as u64;
         Ok(())
@@ -246,15 +272,17 @@ pub fn run_compaction(
     // ---- Step 2: sort the values -----------------------------------------
     // 2a: tags back into VLOG order (they are a permutation of the VLOG
     //     byte sequence, so this merge restores sequential read order).
-    let mut value_sorter: ExtSorter<'_, ValueRec> =
-        ExtSorter::new(mgr, soc, dram, cluster_width)?;
+    let mut value_sorter: ExtSorter<'_, ValueRec> = ExtSorter::new(mgr, soc, dram, cluster_width)?;
     {
         let mut vread = StreamReader::new(mgr, vlog.0, vlog.1);
         gather_sorter.finish_into(|tag| {
             debug_assert_eq!(vread.position(), tag.voff, "VLOG reads must be sequential");
             let value = vread.read(tag.vlen as usize)?;
             soc.memcpy(value.len());
-            value_sorter.push(ValueRec { rank: tag.rank, value })?;
+            value_sorter.push(ValueRec {
+                rank: tag.rank,
+                value,
+            })?;
             Ok(())
         })?;
     }
@@ -317,7 +345,12 @@ impl SortRecord for GatherRecK {
         let vlen = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
         let rank = u64::from_le_bytes(hdr[12..20].try_into().unwrap());
         let klen = u16::from_le_bytes(hdr[20..22].try_into().unwrap()) as usize;
-        Ok(GatherRecK { voff, vlen, rank, key: r.read(klen)? })
+        Ok(GatherRecK {
+            voff,
+            vlen,
+            rank,
+            key: r.read(klen)?,
+        })
     }
     fn cmp_key(&self, other: &Self) -> Ordering {
         self.voff.cmp(&other.voff).then(self.vlen.cmp(&other.vlen))
@@ -348,7 +381,11 @@ impl SortRecord for ValueRecK {
         let rank = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
         let klen = u16::from_le_bytes(hdr[8..10].try_into().unwrap()) as usize;
         let vlen = u32::from_le_bytes(hdr[10..14].try_into().unwrap()) as usize;
-        Ok(ValueRecK { rank, key: r.read(klen)?, value: r.read(vlen)? })
+        Ok(ValueRecK {
+            rank,
+            key: r.read(klen)?,
+            value: r.read(vlen)?,
+        })
     }
     fn cmp_key(&self, other: &Self) -> Ordering {
         self.rank.cmp(&other.rank)
@@ -369,6 +406,7 @@ impl SortRecord for ValueRecK {
 /// concurrently with the value sorter, and primary keys ride through the
 /// value passes. When any sorter cannot reserve its minimum DRAM this
 /// returns `OutOfResources`; the device falls back to the separated path.
+#[allow(clippy::too_many_arguments)]
 pub fn run_compaction_with_indexes(
     mgr: &ZoneManager,
     soc: &SocCharger,
@@ -382,8 +420,7 @@ pub fn run_compaction_with_indexes(
     use crate::sidx::SidxEntry;
 
     // ---- Step 1: sort the keys (identical to the separated path) --------
-    let mut key_sorter: ExtSorter<'_, KlogRecord> =
-        ExtSorter::new(mgr, soc, dram, cluster_width)?;
+    let mut key_sorter: ExtSorter<'_, KlogRecord> = ExtSorter::new(mgr, soc, dram, cluster_width)?;
     {
         let mut r = StreamReader::new(mgr, klog.0, klog.1);
         for _ in 0..pairs {
@@ -402,7 +439,11 @@ pub fn run_compaction_with_indexes(
     let mut rank = 0u64;
     let mut out_voff = 0u64;
     key_sorter.finish_into(|rec| {
-        let e = PidxEntry { key: rec.key.clone(), voff: out_voff, vlen: rec.vlen };
+        let e = PidxEntry {
+            key: rec.key.clone(),
+            voff: out_voff,
+            vlen: rec.vlen,
+        };
         if !builder.fits(e.key.len()) {
             let (block, first) = builder.finish();
             mgr.append_block(pidx_cluster, &block)?;
@@ -434,15 +475,18 @@ pub fn run_compaction_with_indexes(
         sidx_sorters.push(ExtSorter::new(mgr, soc, dram, cluster_width)?);
     }
 
-    let mut value_sorter: ExtSorter<'_, ValueRecK> =
-        ExtSorter::new(mgr, soc, dram, cluster_width)?;
+    let mut value_sorter: ExtSorter<'_, ValueRecK> = ExtSorter::new(mgr, soc, dram, cluster_width)?;
     {
         let mut vread = StreamReader::new(mgr, vlog.0, vlog.1);
         gather_sorter.finish_into(|tag| {
             debug_assert_eq!(vread.position(), tag.voff);
             let value = vread.read(tag.vlen as usize)?;
             soc.memcpy(value.len());
-            value_sorter.push(ValueRecK { rank: tag.rank, key: tag.key, value })?;
+            value_sorter.push(ValueRecK {
+                rank: tag.rank,
+                key: tag.key,
+                value,
+            })?;
             Ok(())
         })?;
     }
@@ -508,7 +552,11 @@ mod tests {
             page_bytes: 4096,
         };
         let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
-        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), Arc::clone(&ledger)));
+        let nand = Arc::new(NandArray::new(
+            geom,
+            &HardwareSpec::default(),
+            Arc::clone(&ledger),
+        ));
         let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
         (
             ZoneManager::new(zns, 1, 123),
@@ -519,6 +567,7 @@ mod tests {
 
     /// Load `n` pairs with shuffled keys, compact, and return everything
     /// needed to verify the output.
+    #[allow(clippy::type_complexity)]
     fn load_and_compact(
         n: u64,
         mgr: &ZoneManager,
@@ -542,15 +591,14 @@ mod tests {
         (out, pairs)
     }
 
-    fn read_all_entries(
-        mgr: &ZoneManager,
-        out: &CompactionOutput,
-    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn read_all_entries(mgr: &ZoneManager, out: &CompactionOutput) -> Vec<(Vec<u8>, Vec<u8>)> {
         let mut got = Vec::new();
         for b in 0..out.pidx.1 {
             let block = mgr.read_block(out.pidx.0, b as u64).unwrap();
             for e in decode_pidx_block(&block).unwrap() {
-                let v = mgr.read_bytes(out.svalues.0, e.voff, e.vlen as usize).unwrap();
+                let v = mgr
+                    .read_bytes(out.svalues.0, e.voff, e.vlen as usize)
+                    .unwrap();
                 got.push((e.key, v));
             }
         }
@@ -561,7 +609,11 @@ mod tests {
     fn pidx_block_roundtrip() {
         let mut b = PidxBlockBuilder::new();
         let entries: Vec<PidxEntry> = (0..50)
-            .map(|i| PidxEntry { key: format!("key{i:04}").into_bytes(), voff: i * 100, vlen: 100 })
+            .map(|i| PidxEntry {
+                key: format!("key{i:04}").into_bytes(),
+                voff: i * 100,
+                vlen: 100,
+            })
             .collect();
         for e in &entries {
             assert!(b.fits(e.key.len()));
@@ -578,7 +630,11 @@ mod tests {
         let mut b = PidxBlockBuilder::new();
         let mut added = 0;
         loop {
-            let e = PidxEntry { key: vec![b'k'; 16], voff: 0, vlen: 1 };
+            let e = PidxEntry {
+                key: vec![b'k'; 16],
+                voff: 0,
+                vlen: 1,
+            };
             if !b.fits(e.key.len()) {
                 break;
             }
@@ -636,8 +692,15 @@ mod tests {
         load_and_compact(5_000, &mgr, &soc, &dram);
         let d = soc.ledger().snapshot().since(&before);
         assert!(d.soc_cpu_ns > 0);
-        assert_eq!(d.host_cpu_ns, 0, "offloaded compaction must not use host CPU");
-        assert_eq!(d.pcie_bytes(), 0, "compaction must not move data over the bus");
+        assert_eq!(
+            d.host_cpu_ns, 0,
+            "offloaded compaction must not use host CPU"
+        );
+        assert_eq!(
+            d.pcie_bytes(),
+            0,
+            "compaction must not move data over the bus"
+        );
         assert!(d.nand_read_pages > 0 && d.nand_program_pages > 0);
     }
 
@@ -646,7 +709,7 @@ mod tests {
         let (mgr, soc, dram) = setup(64);
         let kc = mgr.alloc_cluster(2).unwrap();
         let vc = mgr.alloc_cluster(2).unwrap();
-        let log = WriteLog::new(kc, vc);
+        let mut log = WriteLog::new(kc, vc);
         let (klen, vlen) = log.seal(&mgr).unwrap();
         let out = run_compaction(&mgr, &soc, &dram, (kc, klen), (vc, vlen), 0, 2).unwrap();
         assert_eq!(out.pairs, 0);
@@ -665,7 +728,8 @@ mod tests {
         let vc = mgr.alloc_cluster(2).unwrap();
         let mut log = WriteLog::new(kc, vc);
         for i in 0..10u32 {
-            log.put(&mgr, &soc, b"same-key", format!("v{i}").as_bytes()).unwrap();
+            log.put(&mgr, &soc, b"same-key", format!("v{i}").as_bytes())
+                .unwrap();
         }
         let (klen, vlen) = log.seal(&mgr).unwrap();
         let out = run_compaction(&mgr, &soc, &dram, (kc, klen), (vc, vlen), 10, 2).unwrap();
@@ -705,7 +769,13 @@ mod tests {
         let (klog, vlog) = load(&mgr_a, &soc_a);
         let cout_a = run_compaction(&mgr_a, &soc_a, &dram_a, klog, vlog, 2_000, 4).unwrap();
         let sout_a = build_secondary_index(
-            &mgr_a, &soc_a, &dram_a, cout_a.pidx, cout_a.svalues, &spec, 4,
+            &mgr_a,
+            &soc_a,
+            &dram_a,
+            cout_a.pidx,
+            cout_a.svalues,
+            &spec,
+            4,
         )
         .unwrap();
 
@@ -726,7 +796,10 @@ mod tests {
         let sout_b = &souts_b[0];
 
         // Identical primary data.
-        assert_eq!(read_all_entries(&mgr_a, &cout_a), read_all_entries(&mgr_b, &cout_b));
+        assert_eq!(
+            read_all_entries(&mgr_a, &cout_a),
+            read_all_entries(&mgr_b, &cout_b)
+        );
         // Identical secondary indexes.
         assert_eq!(sout_a.entries, sout_b.entries);
         let read_sidx = |mgr: &ZoneManager, out: &crate::sidx::SidxOutput| {
@@ -758,7 +831,8 @@ mod tests {
         let vc = mgr.alloc_cluster(2).unwrap();
         let mut log = WriteLog::new(kc, vc);
         for i in 0..100u32 {
-            log.put(&mgr, &soc, format!("k{i:05}").as_bytes(), &[0u8; 16]).unwrap();
+            log.put(&mgr, &soc, format!("k{i:05}").as_bytes(), &[0u8; 16])
+                .unwrap();
         }
         let (klen, vlen) = log.seal(&mgr).unwrap();
         // Barely enough DRAM for two sorters, not four.
@@ -769,17 +843,9 @@ mod tests {
             value_len: 4,
             key_type: SecondaryKeyType::U32,
         }];
-        let err = run_compaction_with_indexes(
-            &mgr,
-            &soc,
-            &tight,
-            (kc, klen),
-            (vc, vlen),
-            100,
-            2,
-            &specs,
-        )
-        .unwrap_err();
+        let err =
+            run_compaction_with_indexes(&mgr, &soc, &tight, (kc, klen), (vc, vlen), 100, 2, &specs)
+                .unwrap_err();
         assert!(matches!(err, DeviceError::OutOfResources(_)));
     }
 

@@ -10,16 +10,16 @@
 //! [`kvcsd_client`]'s `wait_for`) polls the job and triggers execution,
 //! paying the time in its own foreground phase instead.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use kvcsd_flash::ZonedNamespace;
 use kvcsd_proto::{
-    DeviceHandler, JobId, JobState, KeyspaceDesc, KeyspaceState, KeyspaceStat, KvCommand,
+    DeviceHandler, JobId, JobState, KeyspaceDesc, KeyspaceStat, KeyspaceState, KvCommand,
     KvResponse, KvStatus, SecondaryIndexSpec,
 };
 use kvcsd_sim::config::CostModel;
-use parking_lot::Mutex;
+use kvcsd_sim::sync::Mutex;
 
 use crate::compact::run_compaction;
 use crate::dram::DramBudget;
@@ -53,15 +53,28 @@ pub struct DeviceConfig {
 
 impl Default for DeviceConfig {
     fn default() -> Self {
-        Self { cluster_width: 16, soc_dram_bytes: 8 << 30, seed: 0x5EED, wal: false }
+        Self {
+            cluster_width: 16,
+            soc_dram_bytes: 8 << 30,
+            seed: 0x5EED,
+            wal: false,
+        }
     }
 }
 
 #[derive(Debug)]
 enum Job {
-    Compact { ks: u32 },
-    CompactAndIndex { ks: u32, specs: Vec<SecondaryIndexSpec> },
-    BuildSidx { ks: u32, spec: SecondaryIndexSpec },
+    Compact {
+        ks: u32,
+    },
+    CompactAndIndex {
+        ks: u32,
+        specs: Vec<SecondaryIndexSpec>,
+    },
+    BuildSidx {
+        ks: u32,
+        spec: SecondaryIndexSpec,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -70,6 +83,10 @@ struct JobTable {
     states: HashMap<u64, JobState>,
     queue: VecDeque<(u64, Job)>,
 }
+
+/// Zones 0..META_ZONES are reserved for the [`MetaStore`]'s ping-pong
+/// snapshot pair and never enter the data zone pool.
+const META_ZONES: u32 = 2;
 
 /// The KV-CSD device: SoC + ZNS SSD behind an NVMe-KV interface.
 pub struct KvCsdDevice {
@@ -84,19 +101,24 @@ pub struct KvCsdDevice {
 
 impl std::fmt::Debug for KvCsdDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KvCsdDevice").field("cfg", &self.cfg).finish_non_exhaustive()
+        f.debug_struct("KvCsdDevice")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
     }
 }
 
 impl KvCsdDevice {
-    /// Assemble a fresh device over a zoned namespace. Zone 0 is reserved
-    /// as the metadata zone backing the keyspace table.
+    /// Assemble a fresh device over a zoned namespace. Zones 0 and 1 are
+    /// reserved as the metadata ping-pong pair backing the keyspace table.
     pub fn new(zns: Arc<ZonedNamespace>, cost: CostModel, cfg: DeviceConfig) -> Self {
         let ledger = Arc::clone(zns.nand().ledger());
         let cluster_width = cfg.cluster_width.min(zns.nand().geometry().channels);
-        let cfg = DeviceConfig { cluster_width, ..cfg };
+        let cfg = DeviceConfig {
+            cluster_width,
+            ..cfg
+        };
         Self {
-            mgr: ZoneManager::new(Arc::clone(&zns), 1, cfg.seed),
+            mgr: ZoneManager::new(Arc::clone(&zns), META_ZONES, cfg.seed),
             km: KeyspaceManager::new(),
             meta: Mutex::new(MetaStore::new(zns, 0)),
             soc: SocCharger::new(ledger, cost),
@@ -121,15 +143,50 @@ impl KvCsdDevice {
     ///   dropped write logs) are reset and returned to the zone pool.
     pub fn reopen(zns: Arc<ZonedNamespace>, cost: CostModel, cfg: DeviceConfig) -> Result<Self> {
         let meta = MetaStore::new(Arc::clone(&zns), 0);
-        let Some(payload) = meta.read_latest()? else {
+        let generations = meta.read_generations()?;
+        if generations.is_empty() {
             return Ok(Self::new(zns, cost, cfg));
-        };
-        let snap = snapshot::decode(&payload)?;
+        }
 
         let ledger = Arc::clone(zns.nand().ledger());
         let cluster_width = cfg.cluster_width.min(zns.nand().geometry().channels);
-        let cfg = DeviceConfig { cluster_width, ..cfg };
-        let mgr = ZoneManager::restore(Arc::clone(&zns), 1, cfg.seed, &snap.zones)?;
+        let cfg = DeviceConfig {
+            cluster_width,
+            ..cfg
+        };
+
+        // Snapshots are tried newest first. A generation that passes its
+        // CRC but fails to decode or restore (format damage the CRC does
+        // not cover) is skipped in favour of the previous one rather than
+        // bricking the device.
+        let mut recovered = None;
+        let mut last_err = None;
+        let mut skipped = 0u64;
+        for payload in &generations {
+            let attempt = snapshot::decode(payload).and_then(|snap| {
+                let mgr =
+                    ZoneManager::restore(Arc::clone(&zns), META_ZONES, cfg.seed, &snap.zones)?;
+                Ok((snap, mgr))
+            });
+            match attempt {
+                Ok(pair) => {
+                    recovered = Some(pair);
+                    break;
+                }
+                Err(e) => {
+                    skipped += 1;
+                    last_err = Some(e);
+                }
+            }
+        }
+        let Some((snap, mgr)) = recovered else {
+            return Err(
+                last_err.unwrap_or_else(|| DeviceError::Internal("no recoverable snapshot".into()))
+            );
+        };
+        if skipped > 0 {
+            ledger.bump("dev_snapshot_generations_skipped", skipped);
+        }
         let km = KeyspaceManager::new();
 
         let mut referenced: Vec<ClusterId> = Vec::new();
@@ -196,11 +253,11 @@ impl KvCsdDevice {
     /// Rebuild a WRITABLE keyspace's ingest state by replaying its WAL.
     fn replay_wal(&self, ks: u32) -> Result<()> {
         let wal_cluster = self.km.with(ks, |k| {
-            Ok(k.storage
+            k.storage
                 .dwal
                 .as_ref()
                 .map(|w| w.cluster())
-                .ok_or_else(|| DeviceError::Internal("replay without wal".into()))?)
+                .ok_or_else(|| DeviceError::Internal("replay without wal".into()))
         })?;
         // Block count comes from the zones' write pointers (ground truth).
         let wal_blocks = self.mgr.cluster_blocks(wal_cluster)?;
@@ -210,9 +267,10 @@ impl KvCsdDevice {
         let kc = self.mgr.alloc_cluster(self.cfg.cluster_width)?;
         let vc = self.mgr.alloc_cluster(self.cfg.cluster_width)?;
         let mut wlog = WriteLog::new(kc, vc);
-        let replayed = crate::wal::DeviceWal::replay(&self.mgr, wal_cluster, wal_blocks, |k, v| {
-            wlog.put(&self.mgr, &self.soc, &k, &v)
-        })?;
+        let replayed =
+            crate::wal::DeviceWal::replay(&self.mgr, wal_cluster, wal_blocks, |k, v| {
+                wlog.put(&self.mgr, &self.soc, &k, &v)
+            })?;
         self.soc.ledger().bump("dev_wal_replayed_records", replayed);
         self.km.with_mut(ks, |k| {
             k.state = KeyspaceState::Writable;
@@ -221,8 +279,7 @@ impl KvCsdDevice {
             k.min_key = wlog.min_key.clone();
             k.max_key = wlog.max_key.clone();
             k.storage.wlog = Some(wlog);
-            k.storage.dwal =
-                Some(crate::wal::DeviceWal::resume(wal_cluster, wal_blocks));
+            k.storage.dwal = Some(crate::wal::DeviceWal::resume(wal_cluster, wal_blocks));
             Ok(())
         })
     }
@@ -231,7 +288,9 @@ impl KvCsdDevice {
     /// every keyspace-table mutation.
     pub fn persist(&self) -> Result<()> {
         let zones = self.mgr.export_state();
-        let payload = self.km.with_all(|list| snapshot::encode_parts(&zones, list));
+        let payload = self
+            .km
+            .with_all(|list| snapshot::encode_parts(&zones, list));
         self.meta.lock().write(&payload)
     }
 
@@ -279,33 +338,155 @@ impl KvCsdDevice {
     /// Execute all queued background jobs. Call inside a *background*
     /// phase to model the device's asynchronous processing; call inline to
     /// model a host that blocks on completion.
+    ///
+    /// Transient flash errors are retried with bounded exponential
+    /// backoff; a compaction that still fails leaves its keyspace
+    /// DEGRADED (sealed logs intact, deletable, re-compactable) rather
+    /// than poisoned.
     pub fn run_pending_jobs(&self) -> usize {
         let mut ran = 0;
         loop {
             let next = {
                 let mut jobs = self.jobs.lock();
-                let Some((id, job)) = jobs.queue.pop_front() else { break };
+                let Some((id, job)) = jobs.queue.pop_front() else {
+                    break;
+                };
                 jobs.states.insert(id, JobState::Running);
                 (id, job)
             };
             let (id, job) = next;
-            let outcome = match job {
-                Job::Compact { ks } => self.exec_compact(ks),
-                Job::CompactAndIndex { ks, specs } => self.exec_compact_and_index(ks, &specs),
-                Job::BuildSidx { ks, spec } => self.exec_build_sidx(ks, &spec),
-            };
-            let mut jobs = self.jobs.lock();
+            let outcome = self.exec_job_with_retry(&job);
             match outcome {
                 Ok(()) => {
-                    jobs.states.insert(id, JobState::Done);
+                    self.jobs.lock().states.insert(id, JobState::Done);
                 }
                 Err(e) => {
-                    jobs.states.insert(id, JobState::Failed(KvStatus::from(e)));
+                    // A compaction that died on the media leaves the
+                    // keyspace DEGRADED: its sealed logs are intact, it
+                    // can be deleted or re-compacted, and no other
+                    // keyspace is affected.
+                    let degrade = matches!(e, DeviceError::Flash(_))
+                        && matches!(job, Job::Compact { .. } | Job::CompactAndIndex { .. });
+                    let ks = match &job {
+                        Job::Compact { ks }
+                        | Job::CompactAndIndex { ks, .. }
+                        | Job::BuildSidx { ks, .. } => *ks,
+                    };
+                    self.jobs
+                        .lock()
+                        .states
+                        .insert(id, JobState::Failed(KvStatus::from(e)));
+                    if degrade {
+                        let _ = self.km.with_mut(ks, |k| {
+                            if k.state == KeyspaceState::Compacting {
+                                k.state = KeyspaceState::Degraded;
+                            }
+                            Ok(())
+                        });
+                        self.soc.ledger().bump("dev_keyspaces_degraded", 1);
+                        // Persisting may itself fail under power loss;
+                        // reopen re-derives the state from the sealed logs.
+                        let _ = self.persist();
+                    }
                 }
             }
             ran += 1;
         }
         ran
+    }
+
+    /// Retry budget for transient flash errors inside background jobs.
+    const JOB_MAX_RETRIES: u32 = 4;
+    /// First backoff step; doubles per retry (simulated time, ledger only).
+    const JOB_BACKOFF_BASE_NS: u64 = 50_000;
+
+    fn exec_job(&self, job: &Job) -> Result<()> {
+        match job {
+            Job::Compact { ks } => self.exec_compact(*ks),
+            Job::CompactAndIndex { ks, specs } => self.exec_compact_and_index(*ks, specs),
+            Job::BuildSidx { ks, spec } => self.exec_build_sidx(*ks, spec),
+        }
+    }
+
+    /// Run one job, retrying transient flash errors with bounded
+    /// exponential backoff. Clusters allocated by a failed attempt are
+    /// swept immediately so retries do not leak zones.
+    fn exec_job_with_retry(&self, job: &Job) -> Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            let before: HashSet<u32> = self
+                .mgr
+                .export_state()
+                .clusters
+                .iter()
+                .map(|c| c.id)
+                .collect();
+            let r = self.exec_job(job);
+            if r.is_err() {
+                self.sweep_job_orphans(&before);
+            }
+            match r {
+                Err(DeviceError::Flash(ref f))
+                    if f.is_transient() && attempt < Self::JOB_MAX_RETRIES =>
+                {
+                    attempt += 1;
+                    self.soc.ledger().bump("dev_job_retries", 1);
+                    self.soc.ledger().bump(
+                        "dev_job_backoff_ns",
+                        Self::JOB_BACKOFF_BASE_NS << (attempt - 1),
+                    );
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Release clusters a failed job allocated that no keyspace ended up
+    /// referencing — the in-session analogue of reopen's orphan cleanup.
+    fn sweep_job_orphans(&self, before: &HashSet<u32>) {
+        let after = self.mgr.export_state();
+        let referenced = self.referenced_clusters();
+        for cs in &after.clusters {
+            if !before.contains(&cs.id) && !referenced.contains(&cs.id) {
+                // Zone resets can fail too under power loss; reopen's
+                // orphan sweep is the backstop.
+                if self.mgr.release_cluster(ClusterId(cs.id)).is_ok() {
+                    self.soc.ledger().bump("dev_job_orphans_released", 1);
+                }
+            }
+        }
+    }
+
+    /// Every cluster currently referenced by some keyspace's storage.
+    fn referenced_clusters(&self) -> HashSet<u32> {
+        self.km.with_all(|list| {
+            let mut set = HashSet::new();
+            for ks in list {
+                let s = &ks.storage;
+                if let Some(w) = &s.wlog {
+                    set.insert(w.klog.cluster().0);
+                    set.insert(w.vlog.cluster().0);
+                }
+                if let Some(w) = &s.dwal {
+                    set.insert(w.cluster().0);
+                }
+                for c in [
+                    s.klog.map(|c| c.0),
+                    s.vlog.map(|c| c.0),
+                    s.pidx.map(|c| c.0),
+                    s.svalues.map(|c| c.0),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    set.insert(c.0);
+                }
+                for i in s.sidx.values() {
+                    set.insert(i.cluster.0);
+                }
+            }
+            set
+        })
     }
 
     /// Run queued jobs that belong to keyspace `ks` (used before delete).
@@ -328,8 +509,14 @@ impl KvCsdDevice {
 
     fn exec_compact(&self, ks: u32) -> Result<()> {
         let (klog, vlog, pairs) = self.km.with(ks, |k| {
-            let klog = k.storage.klog.ok_or_else(|| DeviceError::Internal("no klog".into()))?;
-            let vlog = k.storage.vlog.ok_or_else(|| DeviceError::Internal("no vlog".into()))?;
+            let klog = k
+                .storage
+                .klog
+                .ok_or_else(|| DeviceError::Internal("no klog".into()))?;
+            let vlog = k
+                .storage
+                .vlog
+                .ok_or_else(|| DeviceError::Internal("no vlog".into()))?;
             Ok((klog, vlog, k.pairs))
         })?;
         let out = run_compaction(
@@ -360,8 +547,14 @@ impl KvCsdDevice {
     /// resources become a bottleneck".
     fn exec_compact_and_index(&self, ks: u32, specs: &[SecondaryIndexSpec]) -> Result<()> {
         let (klog, vlog, pairs) = self.km.with(ks, |k| {
-            let klog = k.storage.klog.ok_or_else(|| DeviceError::Internal("no klog".into()))?;
-            let vlog = k.storage.vlog.ok_or_else(|| DeviceError::Internal("no vlog".into()))?;
+            let klog = k
+                .storage
+                .klog
+                .ok_or_else(|| DeviceError::Internal("no klog".into()))?;
+            let vlog = k
+                .storage
+                .vlog
+                .ok_or_else(|| DeviceError::Internal("no vlog".into()))?;
             Ok((klog, vlog, k.pairs))
         })?;
         match crate::compact::run_compaction_with_indexes(
@@ -417,8 +610,12 @@ impl KvCsdDevice {
         let (pidx, svalues) = self.km.with(ks, |k| {
             k.require_state(KeyspaceState::Compacted, "build_sidx")?;
             Ok((
-                k.storage.pidx.ok_or_else(|| DeviceError::Internal("no pidx".into()))?,
-                k.storage.svalues.ok_or_else(|| DeviceError::Internal("no svalues".into()))?,
+                k.storage
+                    .pidx
+                    .ok_or_else(|| DeviceError::Internal("no pidx".into()))?,
+                k.storage
+                    .svalues
+                    .ok_or_else(|| DeviceError::Internal("no svalues".into()))?,
             ))
         })?;
         let out = build_secondary_index(
@@ -456,7 +653,10 @@ impl KvCsdDevice {
         let needs_open = self.km.with(ks, |k| match k.state {
             KeyspaceState::Writable => Ok(false),
             KeyspaceState::Empty => Ok(true),
-            _ => Err(DeviceError::BadState { state: k.state.name(), op: "put" }),
+            _ => Err(DeviceError::BadState {
+                state: k.state.name(),
+                op: "put",
+            }),
         })?;
         if !needs_open {
             return Ok(());
@@ -467,7 +667,9 @@ impl KvCsdDevice {
         let kc = self.mgr.alloc_cluster(self.cfg.cluster_width)?;
         let vc = self.mgr.alloc_cluster(self.cfg.cluster_width)?;
         let wal = if self.cfg.wal {
-            Some(crate::wal::DeviceWal::new(self.mgr.alloc_cluster(self.cfg.cluster_width)?))
+            Some(crate::wal::DeviceWal::new(
+                self.mgr.alloc_cluster(self.cfg.cluster_width)?,
+            ))
         } else {
             None
         };
@@ -514,6 +716,14 @@ impl KvCsdDevice {
     }
 
     fn do_compact_inner(&self, ks: u32, specs: Option<Vec<SecondaryIndexSpec>>) -> Result<JobId> {
+        enum Seal {
+            /// Logs sealed now; the WAL cluster (if any) can be released.
+            Sealed(Option<ClusterId>),
+            /// DEGRADED keyspace: logs were already sealed, just re-run.
+            Resealed,
+            /// Empty keyspace: trivially compacted, no job to run.
+            Empty,
+        }
         // Seal the logs and flip to COMPACTING synchronously (cheap); the
         // sort itself is the deferred job.
         let sealed = self.km.with_mut(ks, |k| {
@@ -522,38 +732,55 @@ impl KvCsdDevice {
                 KeyspaceState::Empty => {
                     // Compacting an empty keyspace: trivially queryable.
                     k.state = KeyspaceState::Compacted;
-                    return Ok(None);
+                    return Ok(Seal::Empty);
                 }
-                _ => return Err(DeviceError::BadState { state: k.state.name(), op: "compact" }),
+                // A DEGRADED keyspace keeps its sealed logs; re-compaction
+                // is just re-entering COMPACTING and re-running the job.
+                KeyspaceState::Degraded if k.storage.klog.is_some() && k.storage.vlog.is_some() => {
+                    k.state = KeyspaceState::Compacting;
+                    return Ok(Seal::Resealed);
+                }
+                _ => {
+                    return Err(DeviceError::BadState {
+                        state: k.state.name(),
+                        op: "compact",
+                    })
+                }
             }
-            let wlog = k
-                .storage
-                .wlog
-                .take()
-                .ok_or_else(|| DeviceError::Internal("writable without wlog".into()))?;
-            let kc = wlog.klog.cluster();
-            let vc = wlog.vlog.cluster();
-            let (klen, vlen) = wlog.seal(&self.mgr)?;
+            // Seal in place: if the flush hits a transient flash error the
+            // wlog stays in `storage` (still WRITABLE) and the client can
+            // retry the whole COMPACT command; only a successful seal takes
+            // the log out.
+            let (kc, vc, klen, vlen) = {
+                let wlog = k
+                    .storage
+                    .wlog
+                    .as_mut()
+                    .ok_or_else(|| DeviceError::Internal("writable without wlog".into()))?;
+                let (klen, vlen) = wlog.seal(&self.mgr)?;
+                (wlog.klog.cluster(), wlog.vlog.cluster(), klen, vlen)
+            };
+            k.storage.wlog = None;
             k.storage.klog = Some((kc, klen));
             k.storage.vlog = Some((vc, vlen));
             k.state = KeyspaceState::Compacting;
             // Once the logs are sealed every pair is durable on flash;
             // the WAL has served its purpose.
-            Ok(Some(k.storage.dwal.take().map(|w| w.cluster())))
+            Ok(Seal::Sealed(k.storage.dwal.take().map(|w| w.cluster())))
         })?;
-        let was_sealed = sealed.is_some();
-        if let Some(wal_cluster) = sealed {
+        if let Seal::Sealed(wal_cluster) = &sealed {
             self.dram.release(INGEST_BUFFER_BYTES as u64);
             if let Some(c) = wal_cluster {
-                self.mgr.release_cluster(c)?;
+                self.mgr.release_cluster(*c)?;
             }
         }
         self.persist()?;
+        let runnable = !matches!(sealed, Seal::Empty);
         let job = match specs {
-            Some(specs) if was_sealed => self.enqueue(Job::CompactAndIndex { ks, specs }),
+            Some(specs) if runnable => self.enqueue(Job::CompactAndIndex { ks, specs }),
             _ => self.enqueue(Job::Compact { ks }),
         };
-        if !was_sealed {
+        if !runnable {
             // Empty keyspace: nothing to do; complete immediately.
             let mut jobs = self.jobs.lock();
             jobs.queue.retain(|(id, _)| *id != job.0);
@@ -578,9 +805,14 @@ impl KvCsdDevice {
         if let Some(dwal) = s.dwal {
             self.mgr.release_cluster(dwal.cluster())?;
         }
-        for c in [s.klog.map(|c| c.0), s.vlog.map(|c| c.0), s.pidx.map(|c| c.0), s.svalues.map(|c| c.0)]
-            .into_iter()
-            .flatten()
+        for c in [
+            s.klog.map(|c| c.0),
+            s.vlog.map(|c| c.0),
+            s.pidx.map(|c| c.0),
+            s.svalues.map(|c| c.0),
+        ]
+        .into_iter()
+        .flatten()
         {
             self.mgr.release_cluster(c)?;
         }
@@ -731,18 +963,18 @@ impl DeviceHandler for KvCsdDevice {
                         Ok(KvResponse::Entries(es))
                     })
                 }
-                KvCommand::SidxRange { ks, index, lo, hi, limit } => {
+                KvCommand::SidxRange {
+                    ks,
+                    index,
+                    lo,
+                    hi,
+                    limit,
+                } => {
                     self.soc.ledger().bump("dev_sidx_ranges", 1);
                     self.km.with(ks, |k| {
                         k.require_state(KeyspaceState::Compacted, "sidx_range")?;
                         let es = query::sidx_range(
-                            &self.mgr,
-                            &self.soc,
-                            &k.storage,
-                            &index,
-                            &lo,
-                            &hi,
-                            limit,
+                            &self.mgr, &self.soc, &k.storage, &index, &lo, &hi, limit,
                         )?;
                         Ok(KvResponse::Entries(es))
                     })
@@ -761,7 +993,7 @@ impl DeviceHandler for KvCsdDevice {
 mod tests {
     use super::*;
     use kvcsd_flash::{FlashGeometry, NandArray, ZnsConfig};
-    use kvcsd_proto::{BulkBuilder, Bound, SecondaryKeyType, SidxKey};
+    use kvcsd_proto::{Bound, BulkBuilder, SecondaryKeyType, SidxKey};
     use kvcsd_sim::{HardwareSpec, IoLedger};
 
     fn device() -> KvCsdDevice {
@@ -777,7 +1009,12 @@ mod tests {
         KvCsdDevice::new(
             zns,
             CostModel::default(),
-            DeviceConfig { cluster_width: 8, soc_dram_bytes: 8 << 20, seed: 1, ..DeviceConfig::default() },
+            DeviceConfig {
+                cluster_width: 8,
+                soc_dram_bytes: 8 << 20,
+                seed: 1,
+                ..DeviceConfig::default()
+            },
         )
     }
 
@@ -806,7 +1043,11 @@ mod tests {
 
     fn load_and_compact(dev: &KvCsdDevice, ks: u32, n: u32) {
         for i in (0..n).rev() {
-            ok(dev.handle(KvCommand::Put { ks, key: key(i), value: value(i) }));
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
         }
         ok(dev.handle(KvCommand::Compact { ks }));
         dev.run_pending_jobs();
@@ -816,12 +1057,18 @@ mod tests {
     fn keyspace_lifecycle_states() {
         let dev = device();
         let ks = create(&dev, "a");
-        let state = |dev: &KvCsdDevice| match ok(dev.handle(KvCommand::OpenKeyspace { name: "a".into() })) {
+        let state = |dev: &KvCsdDevice| match ok(
+            dev.handle(KvCommand::OpenKeyspace { name: "a".into() })
+        ) {
             KvResponse::Opened { state, .. } => state,
             other => panic!("{other:?}"),
         };
         assert_eq!(state(&dev), KeyspaceState::Empty);
-        ok(dev.handle(KvCommand::Put { ks, key: key(1), value: value(1) }));
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        }));
         assert_eq!(state(&dev), KeyspaceState::Writable);
         ok(dev.handle(KvCommand::Compact { ks }));
         assert_eq!(state(&dev), KeyspaceState::Compacting);
@@ -833,22 +1080,47 @@ mod tests {
     fn put_rejected_while_compacting_and_after() {
         let dev = device();
         let ks = create(&dev, "a");
-        ok(dev.handle(KvCommand::Put { ks, key: key(1), value: value(1) }));
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        }));
         ok(dev.handle(KvCommand::Compact { ks }));
-        let r = dev.handle(KvCommand::Put { ks, key: key(2), value: value(2) });
-        assert!(matches!(r, KvResponse::Err(KvStatus::BadKeyspaceState { .. })));
+        let r = dev.handle(KvCommand::Put {
+            ks,
+            key: key(2),
+            value: value(2),
+        });
+        assert!(matches!(
+            r,
+            KvResponse::Err(KvStatus::BadKeyspaceState { .. })
+        ));
         dev.run_pending_jobs();
-        let r = dev.handle(KvCommand::Put { ks, key: key(2), value: value(2) });
-        assert!(matches!(r, KvResponse::Err(KvStatus::BadKeyspaceState { .. })));
+        let r = dev.handle(KvCommand::Put {
+            ks,
+            key: key(2),
+            value: value(2),
+        });
+        assert!(matches!(
+            r,
+            KvResponse::Err(KvStatus::BadKeyspaceState { .. })
+        ));
     }
 
     #[test]
     fn queries_rejected_before_compaction() {
         let dev = device();
         let ks = create(&dev, "a");
-        ok(dev.handle(KvCommand::Put { ks, key: key(1), value: value(1) }));
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        }));
         let r = dev.handle(KvCommand::Get { ks, key: key(1) });
-        assert!(matches!(r, KvResponse::Err(KvStatus::BadKeyspaceState { .. })));
+        assert!(matches!(
+            r,
+            KvResponse::Err(KvStatus::BadKeyspaceState { .. })
+        ));
     }
 
     #[test]
@@ -862,7 +1134,10 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
-        let r = dev.handle(KvCommand::Get { ks, key: b"missing".to_vec() });
+        let r = dev.handle(KvCommand::Get {
+            ks,
+            key: b"missing".to_vec(),
+        });
         assert!(matches!(r, KvResponse::Err(KvStatus::KeyNotFound)));
     }
 
@@ -875,7 +1150,10 @@ mod tests {
         while b.push(&key(n), &value(n)) {
             n += 1;
         }
-        match ok(dev.handle(KvCommand::BulkPut { ks, payload: b.finish() })) {
+        match ok(dev.handle(KvCommand::BulkPut {
+            ks,
+            payload: b.finish(),
+        })) {
             KvResponse::BulkPutOk { inserted } => assert_eq!(inserted, n as u64),
             other => panic!("{other:?}"),
         }
@@ -957,7 +1235,11 @@ mod tests {
         let dev = device();
         let ks = create(&dev, "onepass");
         for i in (0..800).rev() {
-            ok(dev.handle(KvCommand::Put { ks, key: key(i), value: value(i) }));
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
         }
         let specs = vec![SecondaryIndexSpec {
             name: "energy".into(),
@@ -1014,7 +1296,11 @@ mod tests {
         );
         let ks = create(&dev, "tight");
         for i in 0..500 {
-            ok(dev.handle(KvCommand::Put { ks, key: key(i), value: value(i) }));
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
         }
         let specs = vec![
             SecondaryIndexSpec {
@@ -1052,7 +1338,11 @@ mod tests {
     fn sidx_on_uncompacted_keyspace_fails_sync() {
         let dev = device();
         let ks = create(&dev, "x");
-        ok(dev.handle(KvCommand::Put { ks, key: key(1), value: value(1) }));
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        }));
         let spec = SecondaryIndexSpec {
             name: "energy".into(),
             value_offset: 28,
@@ -1060,7 +1350,10 @@ mod tests {
             key_type: SecondaryKeyType::F32,
         };
         let r = dev.handle(KvCommand::BuildSecondaryIndex { ks, spec });
-        assert!(matches!(r, KvResponse::Err(KvStatus::BadKeyspaceState { .. })));
+        assert!(matches!(
+            r,
+            KvResponse::Err(KvStatus::BadKeyspaceState { .. })
+        ));
     }
 
     #[test]
@@ -1074,7 +1367,10 @@ mod tests {
             value_len: 4,
             key_type: SecondaryKeyType::F32,
         };
-        ok(dev.handle(KvCommand::BuildSecondaryIndex { ks, spec: spec.clone() }));
+        ok(dev.handle(KvCommand::BuildSecondaryIndex {
+            ks,
+            spec: spec.clone(),
+        }));
         dev.run_pending_jobs();
         let r = dev.handle(KvCommand::BuildSecondaryIndex { ks, spec });
         assert!(matches!(r, KvResponse::Err(KvStatus::IndexExists)));
@@ -1111,7 +1407,11 @@ mod tests {
         dev.run_pending_jobs();
         assert!(dev.zone_manager().free_zones() < free0);
         ok(dev.handle(KvCommand::DeleteKeyspace { ks }));
-        assert_eq!(dev.zone_manager().free_zones(), free0, "all zones reclaimed");
+        assert_eq!(
+            dev.zone_manager().free_zones(),
+            free0,
+            "all zones reclaimed"
+        );
         assert_eq!(dev.dram().used(), 0);
         let r = dev.handle(KvCommand::Get { ks, key: key(1) });
         assert!(matches!(r, KvResponse::Err(KvStatus::KeyspaceNotFound)));
@@ -1121,7 +1421,11 @@ mod tests {
     fn delete_writable_keyspace_releases_ingest_buffer() {
         let dev = device();
         let ks = create(&dev, "w");
-        ok(dev.handle(KvCommand::Put { ks, key: key(1), value: value(1) }));
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        }));
         assert!(dev.dram().used() >= INGEST_BUFFER_BYTES as u64);
         ok(dev.handle(KvCommand::DeleteKeyspace { ks }));
         assert_eq!(dev.dram().used(), 0);
@@ -1132,7 +1436,11 @@ mod tests {
         let dev = device();
         let ks = create(&dev, "pending");
         for i in 0..100 {
-            ok(dev.handle(KvCommand::Put { ks, key: key(i), value: value(i) }));
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
         }
         ok(dev.handle(KvCommand::Compact { ks }));
         assert_eq!(dev.pending_jobs(), 1);
@@ -1146,7 +1454,11 @@ mod tests {
     fn job_states_progress() {
         let dev = device();
         let ks = create(&dev, "j");
-        ok(dev.handle(KvCommand::Put { ks, key: key(1), value: value(1) }));
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        }));
         let job = match ok(dev.handle(KvCommand::Compact { ks })) {
             KvResponse::JobStarted { job } => job,
             other => panic!("{other:?}"),
@@ -1194,8 +1506,16 @@ mod tests {
         // Same keys, different values, per the paper keys may be reused
         // across keyspaces without conflict.
         for i in 0..50 {
-            ok(dev.handle(KvCommand::Put { ks: a, key: key(i), value: vec![1; 8] }));
-            ok(dev.handle(KvCommand::Put { ks: b, key: key(i), value: vec![2; 8] }));
+            ok(dev.handle(KvCommand::Put {
+                ks: a,
+                key: key(i),
+                value: vec![1; 8],
+            }));
+            ok(dev.handle(KvCommand::Put {
+                ks: b,
+                key: key(i),
+                value: vec![2; 8],
+            }));
         }
         ok(dev.handle(KvCommand::Compact { ks: a }));
         ok(dev.handle(KvCommand::Compact { ks: b }));
@@ -1240,7 +1560,12 @@ mod tests {
         let dev = KvCsdDevice::new(
             Arc::clone(&zns),
             CostModel::default(),
-            DeviceConfig { cluster_width: 8, soc_dram_bytes: 8 << 20, seed: 1, ..DeviceConfig::default() },
+            DeviceConfig {
+                cluster_width: 8,
+                soc_dram_bytes: 8 << 20,
+                seed: 1,
+                ..DeviceConfig::default()
+            },
         );
         (dev, zns)
     }
@@ -1249,7 +1574,12 @@ mod tests {
         KvCsdDevice::reopen(
             zns,
             CostModel::default(),
-            DeviceConfig { cluster_width: 8, soc_dram_bytes: 8 << 20, seed: 1, ..DeviceConfig::default() },
+            DeviceConfig {
+                cluster_width: 8,
+                soc_dram_bytes: 8 << 20,
+                seed: 1,
+                ..DeviceConfig::default()
+            },
         )
         .unwrap()
     }
@@ -1270,7 +1600,9 @@ mod tests {
         drop(dev); // crash
 
         let dev2 = reopen(zns);
-        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace { name: "persist-me".into() })) {
+        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace {
+            name: "persist-me".into(),
+        })) {
             KvResponse::Opened { ks, state } => {
                 assert_eq!(state, KeyspaceState::Compacted);
                 ks
@@ -1279,7 +1611,10 @@ mod tests {
         };
         // Point, range and secondary queries all work after restart.
         for i in [0u32, 700, 1499] {
-            match ok(dev2.handle(KvCommand::Get { ks: ks2, key: key(i) })) {
+            match ok(dev2.handle(KvCommand::Get {
+                ks: ks2,
+                key: key(i),
+            })) {
                 KvResponse::Value(v) => assert_eq!(v, value(i), "key {i}"),
                 other => panic!("{other:?}"),
             }
@@ -1309,7 +1644,11 @@ mod tests {
         let (dev, zns) = device_with_zns();
         let ks = create(&dev, "inflight");
         for i in 0..300 {
-            ok(dev.handle(KvCommand::Put { ks, key: key(i), value: value(i) }));
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
         }
         ok(dev.handle(KvCommand::Compact { ks }));
         // Crash before the background job runs.
@@ -1317,9 +1656,15 @@ mod tests {
         drop(dev);
 
         let dev2 = reopen(zns);
-        assert_eq!(dev2.pending_jobs(), 1, "compaction re-enqueued from sealed logs");
+        assert_eq!(
+            dev2.pending_jobs(),
+            1,
+            "compaction re-enqueued from sealed logs"
+        );
         dev2.run_pending_jobs();
-        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace { name: "inflight".into() })) {
+        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace {
+            name: "inflight".into(),
+        })) {
             KvResponse::Opened { ks, state } => {
                 assert_eq!(state, KeyspaceState::Compacted);
                 ks
@@ -1327,7 +1672,10 @@ mod tests {
             other => panic!("{other:?}"),
         };
         for i in (0..300).step_by(37) {
-            match ok(dev2.handle(KvCommand::Get { ks: ks2, key: key(i) })) {
+            match ok(dev2.handle(KvCommand::Get {
+                ks: ks2,
+                key: key(i),
+            })) {
                 KvResponse::Value(v) => assert_eq!(v, value(i)),
                 other => panic!("{other:?}"),
             }
@@ -1340,26 +1688,41 @@ mod tests {
         let baseline_free = dev.zone_manager().free_zones();
         let ks = create(&dev, "volatile");
         for i in 0..200 {
-            ok(dev.handle(KvCommand::Put { ks, key: key(i), value: value(i) }));
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
         }
         drop(dev); // crash with unsynced buffered data
 
         let dev2 = reopen(zns);
-        match ok(dev2.handle(KvCommand::OpenKeyspace { name: "volatile".into() })) {
+        match ok(dev2.handle(KvCommand::OpenKeyspace {
+            name: "volatile".into(),
+        })) {
             KvResponse::Opened { state, .. } => assert_eq!(state, KeyspaceState::Empty),
             other => panic!("{other:?}"),
         }
         // The crashed write log's clusters were reclaimed as orphans.
         assert_eq!(dev2.zone_manager().free_zones(), baseline_free);
         // The keyspace is writable again from scratch.
-        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace { name: "volatile".into() })) {
+        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace {
+            name: "volatile".into(),
+        })) {
             KvResponse::Opened { ks, .. } => ks,
             other => panic!("{other:?}"),
         };
-        ok(dev2.handle(KvCommand::Put { ks: ks2, key: key(1), value: value(1) }));
+        ok(dev2.handle(KvCommand::Put {
+            ks: ks2,
+            key: key(1),
+            value: value(1),
+        }));
         ok(dev2.handle(KvCommand::Compact { ks: ks2 }));
         dev2.run_pending_jobs();
-        match ok(dev2.handle(KvCommand::Get { ks: ks2, key: key(1) })) {
+        match ok(dev2.handle(KvCommand::Get {
+            ks: ks2,
+            key: key(1),
+        })) {
             KvResponse::Value(v) => assert_eq!(v, value(1)),
             other => panic!("{other:?}"),
         }
@@ -1382,7 +1745,12 @@ mod tests {
         KvCsdDevice::reopen(
             zns,
             CostModel::default(),
-            DeviceConfig { cluster_width: 8, soc_dram_bytes: 8 << 20, seed: 1, wal: true },
+            DeviceConfig {
+                cluster_width: 8,
+                soc_dram_bytes: 8 << 20,
+                seed: 1,
+                wal: true,
+            },
         )
         .unwrap()
     }
@@ -1394,33 +1762,57 @@ mod tests {
         let dev = device_with_wal(&zns);
         let ks = create(&dev, "durable");
         for i in 0..200 {
-            ok(dev.handle(KvCommand::Put { ks, key: key(i), value: value(i) }));
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
         }
         ok(dev.handle(KvCommand::Flush { ks })); // explicit fsync
         for i in 200..230 {
-            ok(dev.handle(KvCommand::Put { ks, key: key(i), value: value(i) }));
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
         }
         drop(dev); // crash: 200 synced + 30 unsynced (some may sit in full blocks)
 
         let dev2 = reopen_with_wal(zns);
-        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace { name: "durable".into() })) {
+        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace {
+            name: "durable".into(),
+        })) {
             KvResponse::Opened { ks, state } => {
-                assert_eq!(state, KeyspaceState::Writable, "WAL keeps the keyspace writable");
+                assert_eq!(
+                    state,
+                    KeyspaceState::Writable,
+                    "WAL keeps the keyspace writable"
+                );
                 ks
             }
             other => panic!("{other:?}"),
         };
         // The keyspace can keep taking writes, then compact and query.
-        ok(dev2.handle(KvCommand::Put { ks: ks2, key: key(900), value: value(900) }));
+        ok(dev2.handle(KvCommand::Put {
+            ks: ks2,
+            key: key(900),
+            value: value(900),
+        }));
         ok(dev2.handle(KvCommand::Compact { ks: ks2 }));
         dev2.run_pending_jobs();
         for i in (0..200).step_by(23) {
-            match ok(dev2.handle(KvCommand::Get { ks: ks2, key: key(i) })) {
+            match ok(dev2.handle(KvCommand::Get {
+                ks: ks2,
+                key: key(i),
+            })) {
                 KvResponse::Value(v) => assert_eq!(v, value(i), "synced key {i} must survive"),
                 other => panic!("{other:?}"),
             }
         }
-        match ok(dev2.handle(KvCommand::Get { ks: ks2, key: key(900) })) {
+        match ok(dev2.handle(KvCommand::Get {
+            ks: ks2,
+            key: key(900),
+        })) {
             KvResponse::Value(v) => assert_eq!(v, value(900)),
             other => panic!("{other:?}"),
         }
@@ -1435,12 +1827,22 @@ mod tests {
         let ks = create(&dev, "torn");
         // A couple of tiny writes, never synced: they fit in the WAL's
         // volatile tail and vanish.
-        ok(dev.handle(KvCommand::Put { ks, key: key(1), value: value(1) }));
-        ok(dev.handle(KvCommand::Put { ks, key: key(2), value: value(2) }));
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        }));
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(2),
+            value: value(2),
+        }));
         drop(dev);
 
         let dev2 = reopen_with_wal(zns);
-        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace { name: "torn".into() })) {
+        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace {
+            name: "torn".into(),
+        })) {
             KvResponse::Opened { ks, .. } => ks,
             other => panic!("{other:?}"),
         };
@@ -1449,10 +1851,17 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Still fully usable.
-        ok(dev2.handle(KvCommand::Put { ks: ks2, key: key(3), value: value(3) }));
+        ok(dev2.handle(KvCommand::Put {
+            ks: ks2,
+            key: key(3),
+            value: value(3),
+        }));
         ok(dev2.handle(KvCommand::Compact { ks: ks2 }));
         dev2.run_pending_jobs();
-        match ok(dev2.handle(KvCommand::Get { ks: ks2, key: key(3) })) {
+        match ok(dev2.handle(KvCommand::Get {
+            ks: ks2,
+            key: key(3),
+        })) {
             KvResponse::Value(v) => assert_eq!(v, value(3)),
             other => panic!("{other:?}"),
         }
@@ -1466,20 +1875,32 @@ mod tests {
         let free0 = dev.zone_manager().free_zones();
         let ks = create(&dev, "w");
         for i in 0..100 {
-            ok(dev.handle(KvCommand::Put { ks, key: key(i), value: value(i) }));
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
         }
         ok(dev.handle(KvCommand::Flush { ks }));
         ok(dev.handle(KvCommand::Compact { ks }));
         dev.run_pending_jobs();
         ok(dev.handle(KvCommand::DeleteKeyspace { ks }));
-        assert_eq!(dev.zone_manager().free_zones(), free0, "wal zones reclaimed");
+        assert_eq!(
+            dev.zone_manager().free_zones(),
+            free0,
+            "wal zones reclaimed"
+        );
     }
 
     #[test]
     fn flush_without_wal_is_a_cheap_noop() {
         let dev = device();
         let ks = create(&dev, "nowal");
-        ok(dev.handle(KvCommand::Put { ks, key: key(1), value: value(1) }));
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        }));
         match ok(dev.handle(KvCommand::Flush { ks })) {
             KvResponse::Flushed => {}
             other => panic!("{other:?}"),
@@ -1504,7 +1925,11 @@ mod tests {
         let ks = create(&dev, "snap");
         assert!(dev.persisted_snapshots() > n0);
         let n1 = dev.persisted_snapshots();
-        ok(dev.handle(KvCommand::Put { ks, key: key(1), value: value(1) })); // EMPTY->WRITABLE
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        })); // EMPTY->WRITABLE
         assert!(dev.persisted_snapshots() > n1);
         let n2 = dev.persisted_snapshots();
         ok(dev.handle(KvCommand::Compact { ks }));
@@ -1514,11 +1939,311 @@ mod tests {
         assert!(dev.persisted_snapshots() > n3);
     }
 
+    /// Install a fault injector on a live device's NAND array.
+    fn arm_faults(dev: &KvCsdDevice, plan: kvcsd_sim::FaultPlan) -> Arc<kvcsd_sim::FaultInjector> {
+        let inj = Arc::new(kvcsd_sim::FaultInjector::new(plan));
+        dev.zone_manager()
+            .zns()
+            .nand()
+            .set_fault_injector(Some(Arc::clone(&inj)));
+        inj
+    }
+
+    fn disarm_faults(dev: &KvCsdDevice) {
+        dev.zone_manager().zns().nand().set_fault_injector(None);
+    }
+
+    #[test]
+    fn persistent_media_failure_degrades_keyspace_not_device() {
+        let dev = device();
+        let healthy = create(&dev, "healthy");
+        load_and_compact(&dev, healthy, 100);
+        let ks = create(&dev, "victim");
+        for i in 0..200 {
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
+        }
+        ok(dev.handle(KvCommand::Compact { ks }));
+        // Arm a hard media failure only for the background job.
+        arm_faults(
+            &dev,
+            kvcsd_sim::FaultPlan {
+                seed: 9,
+                ..kvcsd_sim::FaultPlan::none()
+            }
+            .with_error_prob(1.0)
+            .with_persistent_fraction(1.0),
+        );
+        dev.run_pending_jobs();
+        disarm_faults(&dev);
+        match ok(dev.handle(KvCommand::OpenKeyspace {
+            name: "victim".into(),
+        })) {
+            KvResponse::Opened { state, .. } => assert_eq!(state, KeyspaceState::Degraded),
+            other => panic!("{other:?}"),
+        }
+        // Queries on the degraded keyspace fail with a state error...
+        let r = dev.handle(KvCommand::Get { ks, key: key(1) });
+        assert!(matches!(
+            r,
+            KvResponse::Err(KvStatus::BadKeyspaceState { .. })
+        ));
+        // ...but the healthy keyspace is untouched.
+        match ok(dev.handle(KvCommand::Get {
+            ks: healthy,
+            key: key(7),
+        })) {
+            KvResponse::Value(v) => assert_eq!(v, value(7)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(dev.soc().ledger().custom("dev_keyspaces_degraded"), 1);
+    }
+
+    #[test]
+    fn degraded_keyspace_is_recompactable_once_media_recovers() {
+        let dev = device();
+        let ks = create(&dev, "heal");
+        for i in 0..150 {
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
+        }
+        ok(dev.handle(KvCommand::Compact { ks }));
+        arm_faults(
+            &dev,
+            kvcsd_sim::FaultPlan {
+                seed: 5,
+                ..kvcsd_sim::FaultPlan::none()
+            }
+            .with_error_prob(1.0)
+            .with_persistent_fraction(1.0),
+        );
+        dev.run_pending_jobs();
+        disarm_faults(&dev);
+        // The sealed logs survived the failed job: re-compact and query.
+        ok(dev.handle(KvCommand::Compact { ks }));
+        dev.run_pending_jobs();
+        for i in [0u32, 75, 149] {
+            match ok(dev.handle(KvCommand::Get { ks, key: key(i) })) {
+                KvResponse::Value(v) => assert_eq!(v, value(i), "key {i}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_keyspace_is_deletable_and_releases_zones() {
+        let dev = device();
+        let free0 = dev.zone_manager().free_zones();
+        let ks = create(&dev, "doomed");
+        for i in 0..100 {
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
+        }
+        ok(dev.handle(KvCommand::Compact { ks }));
+        arm_faults(
+            &dev,
+            kvcsd_sim::FaultPlan {
+                seed: 11,
+                ..kvcsd_sim::FaultPlan::none()
+            }
+            .with_error_prob(1.0)
+            .with_persistent_fraction(1.0),
+        );
+        dev.run_pending_jobs();
+        disarm_faults(&dev);
+        ok(dev.handle(KvCommand::DeleteKeyspace { ks }));
+        assert_eq!(
+            dev.zone_manager().free_zones(),
+            free0,
+            "all zones reclaimed"
+        );
+    }
+
+    #[test]
+    fn transient_job_failures_are_retried_with_backoff() {
+        let dev = device();
+        let ks = create(&dev, "flaky");
+        for i in 0..100 {
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
+        }
+        let job = match ok(dev.handle(KvCommand::Compact { ks })) {
+            KvResponse::JobStarted { job } => job,
+            other => panic!("{other:?}"),
+        };
+        // Every op fails transiently: the job retries its full budget,
+        // charges backoff to the ledger, then degrades the keyspace.
+        arm_faults(
+            &dev,
+            kvcsd_sim::FaultPlan {
+                seed: 2,
+                ..kvcsd_sim::FaultPlan::none()
+            }
+            .with_error_prob(1.0),
+        );
+        dev.run_pending_jobs();
+        disarm_faults(&dev);
+        assert_eq!(dev.soc().ledger().custom("dev_job_retries"), 4);
+        assert!(dev.soc().ledger().custom("dev_job_backoff_ns") >= 50_000 * 15);
+        match ok(dev.handle(KvCommand::PollJob { job })) {
+            KvResponse::Job { state } => {
+                assert!(matches!(
+                    state,
+                    JobState::Failed(KvStatus::TransientDeviceError(_))
+                ))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_compaction_does_not_leak_clusters() {
+        let dev = device();
+        let ks = create(&dev, "leaky");
+        for i in 0..300 {
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
+        }
+        ok(dev.handle(KvCommand::Compact { ks }));
+        let free_sealed = dev.zone_manager().free_zones();
+        // Fail reads with ~15% probability: compaction gets partway
+        // through (allocating output clusters) before dying.
+        arm_faults(
+            &dev,
+            kvcsd_sim::FaultPlan {
+                seed: 21,
+                read_error_prob: 0.15,
+                ..kvcsd_sim::FaultPlan::none()
+            }
+            .with_persistent_fraction(1.0),
+        );
+        dev.run_pending_jobs();
+        disarm_faults(&dev);
+        assert_eq!(
+            dev.zone_manager().free_zones(),
+            free_sealed,
+            "failed job must release every cluster it allocated"
+        );
+        // And the keyspace still recovers.
+        ok(dev.handle(KvCommand::Compact { ks }));
+        dev.run_pending_jobs();
+        match ok(dev.handle(KvCommand::Get { ks, key: key(42) })) {
+            KvResponse::Value(v) => assert_eq!(v, value(42)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reopen_falls_back_to_previous_snapshot_generation() {
+        let (dev, zns) = device_with_zns();
+        let ks = create(&dev, "fallback");
+        load_and_compact(&dev, ks, 400);
+        drop(dev);
+        // Append a CRC-valid but undecodable frame as the newest
+        // generation (version byte 99): reopen must skip it.
+        let mut meta = MetaStore::new(Arc::clone(&zns), 0);
+        meta.write(&[99u8, 1, 2, 3]).unwrap();
+
+        let dev2 = reopen(zns);
+        assert_eq!(
+            dev2.soc()
+                .ledger()
+                .custom("dev_snapshot_generations_skipped"),
+            1,
+            "the bad generation must be counted"
+        );
+        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace {
+            name: "fallback".into(),
+        })) {
+            KvResponse::Opened { ks, state } => {
+                assert_eq!(state, KeyspaceState::Compacted);
+                ks
+            }
+            other => panic!("{other:?}"),
+        };
+        match ok(dev2.handle(KvCommand::Get {
+            ks: ks2,
+            key: key(123),
+        })) {
+            KvResponse::Value(v) => assert_eq!(v, value(123)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_state_survives_restart() {
+        let (dev, zns) = device_with_zns();
+        let ks = create(&dev, "scar");
+        for i in 0..120 {
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
+        }
+        ok(dev.handle(KvCommand::Compact { ks }));
+        // Fail only reads: the compaction dies on its first klog read but
+        // the device can still persist the DEGRADED state to the
+        // metadata zone (appends are unaffected).
+        arm_faults(
+            &dev,
+            kvcsd_sim::FaultPlan {
+                seed: 31,
+                read_error_prob: 1.0,
+                ..kvcsd_sim::FaultPlan::none()
+            }
+            .with_persistent_fraction(1.0),
+        );
+        dev.run_pending_jobs();
+        disarm_faults(&dev);
+        drop(dev);
+
+        let dev2 = reopen(zns);
+        let ks2 = match ok(dev2.handle(KvCommand::OpenKeyspace {
+            name: "scar".into(),
+        })) {
+            KvResponse::Opened { ks, state } => {
+                assert_eq!(state, KeyspaceState::Degraded, "degraded state persisted");
+                ks
+            }
+            other => panic!("{other:?}"),
+        };
+        // Still re-compactable after the restart.
+        ok(dev2.handle(KvCommand::Compact { ks: ks2 }));
+        dev2.run_pending_jobs();
+        match ok(dev2.handle(KvCommand::Get {
+            ks: ks2,
+            key: key(60),
+        })) {
+            KvResponse::Value(v) => assert_eq!(v, value(60)),
+            other => panic!("{other:?}"),
+        }
+    }
+
     #[test]
     fn empty_key_rejected() {
         let dev = device();
         let ks = create(&dev, "k");
-        let r = dev.handle(KvCommand::Put { ks, key: vec![], value: vec![1] });
+        let r = dev.handle(KvCommand::Put {
+            ks,
+            key: vec![],
+            value: vec![1],
+        });
         assert!(matches!(r, KvResponse::Err(KvStatus::BadValue)));
     }
 }

@@ -17,7 +17,10 @@ pub struct DramBudget {
 
 impl DramBudget {
     pub fn new(limit_bytes: u64) -> Self {
-        Self { limit: limit_bytes, used: AtomicU64::new(0) }
+        Self {
+            limit: limit_bytes,
+            used: AtomicU64::new(0),
+        }
     }
 
     pub fn limit(&self) -> u64 {
@@ -93,7 +96,7 @@ mod tests {
         let b = DramBudget::new(1000);
         b.try_reserve(800);
         let got = b.reserve_up_to(1000, 100).unwrap();
-        assert!(got <= 200 && got >= 100, "got {got}");
+        assert!((100..=200).contains(&got), "got {got}");
     }
 
     #[test]

@@ -12,7 +12,10 @@ pub enum DeviceError {
     /// Keyspace name collision at creation.
     KeyspaceExists,
     /// Operation not legal in the keyspace's current state.
-    BadState { state: &'static str, op: &'static str },
+    BadState {
+        state: &'static str,
+        op: &'static str,
+    },
     /// Key missing on a point query.
     KeyNotFound,
     /// Secondary index name not found.
@@ -78,6 +81,13 @@ impl From<DeviceError> for KvStatus {
                 }
             }
             DeviceError::Flash(FlashError::DeviceFull) => KvStatus::DeviceFull,
+            DeviceError::Flash(e @ FlashError::InjectedTransient { .. }) => {
+                KvStatus::TransientDeviceError(e.to_string())
+            }
+            DeviceError::Flash(e @ FlashError::InjectedPersistent { .. }) => {
+                KvStatus::MediaError(e.to_string())
+            }
+            DeviceError::Flash(FlashError::PowerLoss) => KvStatus::PowerLoss,
             DeviceError::Flash(e) => KvStatus::Internal(e.to_string()),
             DeviceError::Internal(m) => KvStatus::Internal(m),
         }
@@ -90,7 +100,10 @@ mod tests {
 
     #[test]
     fn maps_to_protocol_statuses() {
-        assert_eq!(KvStatus::from(DeviceError::KeyspaceNotFound), KvStatus::KeyspaceNotFound);
+        assert_eq!(
+            KvStatus::from(DeviceError::KeyspaceNotFound),
+            KvStatus::KeyspaceNotFound
+        );
         assert_eq!(
             KvStatus::from(DeviceError::Flash(FlashError::DeviceFull)),
             KvStatus::DeviceFull
@@ -107,7 +120,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DeviceError::BadState { state: "COMPACTING", op: "put" };
+        let e = DeviceError::BadState {
+            state: "COMPACTING",
+            op: "put",
+        };
         assert!(e.to_string().contains("COMPACTING"));
     }
 }

@@ -137,7 +137,11 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
             w.append(self.mgr, &enc)?;
         }
         let len = w.seal(self.mgr)?;
-        self.runs.push(Run { cluster, len, count });
+        self.runs.push(Run {
+            cluster,
+            len,
+            count,
+        });
         self.buf_bytes = 0;
         Ok(())
     }
@@ -157,7 +161,11 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
             let mut cursors: Vec<(StreamReader<'_>, u64, Option<R>)> = Vec::new();
             for run in &group {
                 let mut r = StreamReader::new(self.mgr, run.cluster, run.len);
-                let first = if run.count > 0 { Some(R::read_from(&mut r)?) } else { None };
+                let first = if run.count > 0 {
+                    Some(R::read_from(&mut r)?)
+                } else {
+                    None
+                };
                 cursors.push((r, run.count.saturating_sub(1), first));
             }
             let k = cursors.len();
@@ -195,7 +203,11 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
             self.mgr.release_cluster(run.cluster)?;
         }
         let len = w.seal(self.mgr)?;
-        Ok(Run { cluster, len, count })
+        Ok(Run {
+            cluster,
+            len,
+            count,
+        })
     }
 
     /// Finish sorting, streaming every record in order into `consume`.
@@ -218,7 +230,11 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
             let mut cursors: Vec<(StreamReader<'_>, u64, Option<R>)> = Vec::new();
             for run in &runs {
                 let mut r = StreamReader::new(self.mgr, run.cluster, run.len);
-                let first = if run.count > 0 { Some(R::read_from(&mut r)?) } else { None };
+                let first = if run.count > 0 {
+                    Some(R::read_from(&mut r)?)
+                } else {
+                    None
+                };
                 cursors.push((r, run.count.saturating_sub(1), first));
             }
             let k = cursors.len().max(1);
@@ -284,13 +300,24 @@ mod tests {
             page_bytes: 4096,
         };
         let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
-        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), Arc::clone(&ledger)));
+        let nand = Arc::new(NandArray::new(
+            geom,
+            &HardwareSpec::default(),
+            Arc::clone(&ledger),
+        ));
         let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
-        (ZoneManager::new(zns, 1, 99), SocCharger::new(ledger, CostModel::default()))
+        (
+            ZoneManager::new(zns, 1, 99),
+            SocCharger::new(ledger, CostModel::default()),
+        )
     }
 
     fn rec(i: u64) -> KlogRecord {
-        KlogRecord { key: format!("{i:010}").into_bytes(), voff: i * 32, vlen: 32 }
+        KlogRecord {
+            key: format!("{i:010}").into_bytes(),
+            voff: i * 32,
+            vlen: 32,
+        }
     }
 
     #[test]
@@ -305,15 +332,19 @@ mod tests {
         }
         assert_eq!(s.spilled_runs(), 0, "everything fits in DRAM");
         let mut out = Vec::new();
-        let n = s.finish_into(|r| {
-            out.push(r);
-            Ok(())
-        })
-        .unwrap();
+        let n = s
+            .finish_into(|r| {
+                out.push(r);
+                Ok(())
+            })
+            .unwrap();
         assert_eq!(n, 1000);
         keys.sort();
         let got: Vec<Vec<u8>> = out.iter().map(|r| r.key.clone()).collect();
-        let want: Vec<Vec<u8>> = keys.iter().map(|k| format!("{k:010}").into_bytes()).collect();
+        let want: Vec<Vec<u8>> = keys
+            .iter()
+            .map(|k| format!("{k:010}").into_bytes())
+            .collect();
         assert_eq!(got, want);
         assert_eq!(dram.used(), 0, "reservation returned");
     }
@@ -329,7 +360,11 @@ mod tests {
         for _ in 0..n {
             s.push(rec(rng.next_below(10_000_000))).unwrap();
         }
-        assert!(s.spilled_runs() > 1, "tight DRAM must spill: {}", s.spilled_runs());
+        assert!(
+            s.spilled_runs() > 1,
+            "tight DRAM must spill: {}",
+            s.spilled_runs()
+        );
         let before_zones = mgr.cluster_count();
         let mut prev: Option<Vec<u8>> = None;
         let mut count = 0u64;
@@ -344,7 +379,10 @@ mod tests {
         .unwrap();
         assert_eq!(count, n);
         assert_eq!(dram.used(), 0);
-        assert!(mgr.cluster_count() <= before_zones, "temp clusters released");
+        assert!(
+            mgr.cluster_count() <= before_zones,
+            "temp clusters released"
+        );
     }
 
     #[test]

@@ -22,11 +22,17 @@ pub struct BlockStreamWriter {
     cluster: ClusterId,
     tail: Vec<u8>,
     flushed_blocks: u64,
+    sealed_len: Option<u64>,
 }
 
 impl BlockStreamWriter {
     pub fn new(cluster: ClusterId) -> Self {
-        Self { cluster, tail: Vec::with_capacity(BLOCK_BYTES), flushed_blocks: 0 }
+        Self {
+            cluster,
+            tail: Vec::with_capacity(BLOCK_BYTES),
+            flushed_blocks: 0,
+            sealed_len: None,
+        }
     }
 
     pub fn cluster(&self) -> ClusterId {
@@ -56,15 +62,24 @@ impl BlockStreamWriter {
         Ok(at)
     }
 
-    /// Flush the padded tail and return the stream's total byte length
-    /// (excluding padding).
-    pub fn seal(mut self, mgr: &ZoneManager) -> Result<u64> {
+    /// Flush the DRAM tail and return the stream's logical length
+    /// (excluding tail padding).
+    ///
+    /// Idempotent: a seal that fails mid-flush (e.g. a transient NAND
+    /// error) leaves the tail buffered so the caller can retry, and a
+    /// repeated seal after success returns the memoized length rather
+    /// than re-counting the padded tail block.
+    pub fn seal(&mut self, mgr: &ZoneManager) -> Result<u64> {
+        if let Some(len) = self.sealed_len {
+            return Ok(len);
+        }
         let len = self.position();
         if !self.tail.is_empty() {
             mgr.append_block(self.cluster, &self.tail)?;
             self.flushed_blocks += 1;
             self.tail.clear();
         }
+        self.sealed_len = Some(len);
         Ok(len)
     }
 }
@@ -82,7 +97,14 @@ pub struct StreamReader<'a> {
 
 impl<'a> StreamReader<'a> {
     pub fn new(mgr: &'a ZoneManager, cluster: ClusterId, len: u64) -> Self {
-        Self { mgr, cluster, len, pos: 0, block: Vec::new(), block_ix: u64::MAX }
+        Self {
+            mgr,
+            cluster,
+            len,
+            pos: 0,
+            block: Vec::new(),
+            block_ix: u64::MAX,
+        }
     }
 
     pub fn position(&self) -> u64 {
@@ -188,7 +210,11 @@ impl WriteLog {
         value: &[u8],
     ) -> Result<()> {
         let voff = self.vlog.append(mgr, value)?;
-        let rec = KlogRecord { key: key.to_vec(), voff, vlen: value.len() as u32 };
+        let rec = KlogRecord {
+            key: key.to_vec(),
+            voff,
+            vlen: value.len() as u32,
+        };
         let enc = rec.encode();
         self.klog.append(mgr, &enc)?;
         soc.memcpy(key.len() + value.len());
@@ -196,17 +222,22 @@ impl WriteLog {
         soc.kv_op();
         self.pairs += 1;
         self.data_bytes += (key.len() + value.len()) as u64;
-        if self.min_key.as_deref().map_or(true, |m| key < m) {
+        if self.min_key.as_deref().is_none_or(|m| key < m) {
             self.min_key = Some(key.to_vec());
         }
-        if self.max_key.as_deref().map_or(true, |m| key > m) {
+        if self.max_key.as_deref().is_none_or(|m| key > m) {
             self.max_key = Some(key.to_vec());
         }
         Ok(())
     }
 
     /// Seal both logs, returning `(klog_len, vlog_len)`.
-    pub fn seal(self, mgr: &ZoneManager) -> Result<(u64, u64)> {
+    ///
+    /// Idempotent (see [`BlockStreamWriter::seal`]): if the vlog flush
+    /// fails after the klog flushed, a retry skips the klog and only
+    /// redoes the vlog, so a transient flash error does not strand the
+    /// log half-sealed.
+    pub fn seal(&mut self, mgr: &ZoneManager) -> Result<(u64, u64)> {
         let k = self.klog.seal(mgr)?;
         let v = self.vlog.seal(mgr)?;
         Ok((k, v))
@@ -228,7 +259,11 @@ mod tests {
             page_bytes: 4096,
         };
         let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
-        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), Arc::clone(&ledger)));
+        let nand = Arc::new(NandArray::new(
+            geom,
+            &HardwareSpec::default(),
+            Arc::clone(&ledger),
+        ));
         let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
         let mgr = ZoneManager::new(zns, 1, 7);
         let soc = SocCharger::new(ledger, CostModel::default());
@@ -290,7 +325,8 @@ mod tests {
         let vc = mgr.alloc_cluster(2).unwrap();
         let mut log = WriteLog::new(kc, vc);
         for i in 0..300u32 {
-            log.put(&mgr, &soc, format!("k{i:06}").as_bytes(), &vec![i as u8; 32]).unwrap();
+            log.put(&mgr, &soc, format!("k{i:06}").as_bytes(), &[i as u8; 32])
+                .unwrap();
         }
         assert_eq!(log.pairs, 300);
         assert_eq!(log.data_bytes, 300 * (7 + 32));
@@ -333,7 +369,10 @@ mod tests {
         let (klen, _vlen) = log.seal(&mgr).unwrap();
         let mut r = StreamReader::new(&mgr, kc, klen);
         let rec = KlogRecord::read_from(&mut r).unwrap();
-        assert_eq!(mgr.read_bytes(vc, rec.voff, rec.vlen as usize).unwrap(), big);
+        assert_eq!(
+            mgr.read_bytes(vc, rec.voff, rec.vlen as usize).unwrap(),
+            big
+        );
         let rec2 = KlogRecord::read_from(&mut r).unwrap();
         assert_eq!(rec2.key, b"after");
         assert_eq!(mgr.read_bytes(vc, rec2.voff, 1).unwrap(), b"x");
@@ -343,7 +382,7 @@ mod tests {
     fn empty_stream_seal() {
         let (mgr, _) = setup();
         let c = mgr.alloc_cluster(1).unwrap();
-        let w = BlockStreamWriter::new(c);
+        let mut w = BlockStreamWriter::new(c);
         assert_eq!(w.seal(&mgr).unwrap(), 0);
         assert_eq!(mgr.cluster_blocks(c).unwrap(), 0);
     }

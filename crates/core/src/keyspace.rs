@@ -14,7 +14,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use kvcsd_proto::{KeyspaceState, SecondaryIndexSpec};
-use parking_lot::Mutex;
+use kvcsd_sim::sync::Mutex;
 
 use crate::error::DeviceError;
 use crate::ingest::WriteLog;
@@ -34,7 +34,7 @@ impl Sketch {
 
     /// Record block `i`'s pivot; blocks must be pushed in order.
     pub fn push(&mut self, pivot: Vec<u8>) {
-        debug_assert!(self.pivots.last().map_or(true, |p| p <= &pivot));
+        debug_assert!(self.pivots.last().is_none_or(|p| p <= &pivot));
         self.pivots.push(pivot);
     }
 
@@ -140,7 +140,10 @@ impl Keyspace {
     /// Guard: error unless the keyspace is in `expect`.
     pub fn require_state(&self, expect: KeyspaceState, op: &'static str) -> Result<()> {
         if self.state != expect {
-            return Err(DeviceError::BadState { state: self.state.name(), op });
+            return Err(DeviceError::BadState {
+                state: self.state.name(),
+                op,
+            });
         }
         Ok(())
     }
@@ -208,7 +211,10 @@ impl KeyspaceManager {
     pub fn remove(&self, id: u32) -> Result<Keyspace> {
         let ks = {
             let mut inner = self.inner.lock();
-            let ks = inner.by_id.remove(&id).ok_or(DeviceError::KeyspaceNotFound)?;
+            let ks = inner
+                .by_id
+                .remove(&id)
+                .ok_or(DeviceError::KeyspaceNotFound)?;
             inner.by_name.remove(&ks.name);
             ks
         };
@@ -218,7 +224,10 @@ impl KeyspaceManager {
     /// Run `f` with mutable access to a keyspace record.
     pub fn with_mut<T>(&self, id: u32, f: impl FnOnce(&mut Keyspace) -> Result<T>) -> Result<T> {
         let mut inner = self.inner.lock();
-        let ks = inner.by_id.get_mut(&id).ok_or(DeviceError::KeyspaceNotFound)?;
+        let ks = inner
+            .by_id
+            .get_mut(&id)
+            .ok_or(DeviceError::KeyspaceNotFound)?;
         f(ks)
     }
 
@@ -232,8 +241,11 @@ impl KeyspaceManager {
     /// Enumerate `(id, name, state)` of all live keyspaces, by id.
     pub fn list(&self) -> Vec<(u32, String, KeyspaceState)> {
         let inner = self.inner.lock();
-        let mut v: Vec<_> =
-            inner.by_id.values().map(|k| (k.id, k.name.clone(), k.state)).collect();
+        let mut v: Vec<_> = inner
+            .by_id
+            .values()
+            .map(|k| (k.id, k.name.clone(), k.state))
+            .collect();
         v.sort_by_key(|e| e.0);
         v
     }
@@ -278,10 +290,16 @@ mod tests {
         let id = km.create("particles").unwrap();
         assert_eq!(km.lookup("particles").unwrap(), id);
         assert_eq!(km.len(), 1);
-        assert!(matches!(km.create("particles"), Err(DeviceError::KeyspaceExists)));
+        assert!(matches!(
+            km.create("particles"),
+            Err(DeviceError::KeyspaceExists)
+        ));
         let ks = km.remove(id).unwrap();
         assert_eq!(ks.name, "particles");
-        assert!(matches!(km.lookup("particles"), Err(DeviceError::KeyspaceNotFound)));
+        assert!(matches!(
+            km.lookup("particles"),
+            Err(DeviceError::KeyspaceNotFound)
+        ));
         // Names are reusable after deletion.
         km.create("particles").unwrap();
     }
@@ -305,7 +323,13 @@ mod tests {
         let err = km
             .with(id, |ks| ks.require_state(KeyspaceState::Compacted, "query"))
             .unwrap_err();
-        assert!(matches!(err, DeviceError::BadState { state: "EMPTY", op: "query" }));
+        assert!(matches!(
+            err,
+            DeviceError::BadState {
+                state: "EMPTY",
+                op: "query"
+            }
+        ));
     }
 
     #[test]

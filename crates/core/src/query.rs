@@ -25,6 +25,7 @@ use crate::Result;
 
 /// A COMPACTED keyspace that was compacted while empty has no PIDX or
 /// SORTED_VALUES clusters at all; queries over it simply match nothing.
+#[allow(clippy::type_complexity)]
 fn pidx_of(storage: &KsStorage) -> Option<((ClusterId, u32), &Sketch, (ClusterId, u64))> {
     Some((storage.pidx?, &storage.pidx_sketch, storage.svalues?))
 }
@@ -136,7 +137,7 @@ pub fn range(
                 break 'blocks;
             }
             hits.push((e.key, (e.voff, e.vlen)));
-            if limit.map_or(false, |l| hits.len() as u64 >= l) {
+            if limit.is_some_and(|l| hits.len() as u64 >= l) {
                 break 'blocks;
             }
         }
@@ -178,8 +179,9 @@ pub fn sidx_range(
     limit: Option<u64>,
 ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
     let sidx = storage.sidx.get(index).ok_or(DeviceError::IndexNotFound)?;
-    let svalues =
-        storage.svalues.ok_or_else(|| DeviceError::Internal("no SORTED_VALUES".into()))?;
+    let svalues = storage
+        .svalues
+        .ok_or_else(|| DeviceError::Internal("no SORTED_VALUES".into()))?;
     if sidx.sketch.is_empty() {
         return Ok(Vec::new());
     }
@@ -202,7 +204,7 @@ pub fn sidx_range(
                 break 'blocks;
             }
             hits.push((e.pkey, (e.voff, e.vlen)));
-            if limit.map_or(false, |l| hits.len() as u64 >= l) {
+            if limit.is_some_and(|l| hits.len() as u64 >= l) {
                 break 'blocks;
             }
         }
@@ -234,7 +236,11 @@ mod tests {
             page_bytes: 4096,
         };
         let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
-        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), Arc::clone(&ledger)));
+        let nand = Arc::new(NandArray::new(
+            geom,
+            &HardwareSpec::default(),
+            Arc::clone(&ledger),
+        ));
         let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
         (
             ZoneManager::new(zns, 1, 9),
@@ -264,8 +270,7 @@ mod tests {
             log.put(mgr, soc, &key(i), &value(i)).unwrap();
         }
         let (klen, vlen) = log.seal(mgr).unwrap();
-        let cout =
-            run_compaction(mgr, soc, dram, (kc, klen), (vc, vlen), n as u64, 4).unwrap();
+        let cout = run_compaction(mgr, soc, dram, (kc, klen), (vc, vlen), n as u64, 4).unwrap();
         let spec = SecondaryIndexSpec {
             name: "score".into(),
             value_offset: 28,
@@ -274,10 +279,12 @@ mod tests {
         };
         let sout =
             build_secondary_index(mgr, soc, dram, cout.pidx, cout.svalues, &spec, 4).unwrap();
-        let mut storage = KsStorage::default();
-        storage.pidx = Some(cout.pidx);
-        storage.pidx_sketch = cout.sketch;
-        storage.svalues = Some(cout.svalues);
+        let mut storage = KsStorage {
+            pidx: Some(cout.pidx),
+            pidx_sketch: cout.sketch,
+            svalues: Some(cout.svalues),
+            ..KsStorage::default()
+        };
         storage.sidx.insert(
             "score".into(),
             SecondaryIndex {
@@ -296,7 +303,11 @@ mod tests {
         let (mgr, soc, dram) = setup();
         let st = build_storage(3000, &mgr, &soc, &dram);
         for i in [0u32, 1, 1499, 2999] {
-            assert_eq!(point_get(&mgr, &soc, &st, &key(i)).unwrap(), value(i), "key {i}");
+            assert_eq!(
+                point_get(&mgr, &soc, &st, &key(i)).unwrap(),
+                value(i),
+                "key {i}"
+            );
         }
         assert!(matches!(
             point_get(&mgr, &soc, &st, b"absent"),
@@ -316,7 +327,11 @@ mod tests {
         point_get(&mgr, &soc, &st, &key(1234)).unwrap();
         let d = soc.ledger().snapshot().since(&before);
         // One PIDX block + the value's block(s): tiny, bounded I/O.
-        assert!(d.nand_read_pages <= 3, "point query read {} pages", d.nand_read_pages);
+        assert!(
+            d.nand_read_pages <= 3,
+            "point query read {} pages",
+            d.nand_read_pages
+        );
     }
 
     #[test]
@@ -338,23 +353,43 @@ mod tests {
         assert_eq!(got[5].1, value(105));
 
         // Inclusive upper bound.
-        let got =
-            range(&mgr, &soc, &st, &Bound::Excluded(key(100)), &Bound::Included(key(103)), None)
-                .unwrap();
+        let got = range(
+            &mgr,
+            &soc,
+            &st,
+            &Bound::Excluded(key(100)),
+            &Bound::Included(key(103)),
+            None,
+        )
+        .unwrap();
         assert_eq!(
             got.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
             vec![key(101), key(102), key(103)]
         );
 
         // Unbounded + limit.
-        let got = range(&mgr, &soc, &st, &Bound::Unbounded, &Bound::Unbounded, Some(7)).unwrap();
+        let got = range(
+            &mgr,
+            &soc,
+            &st,
+            &Bound::Unbounded,
+            &Bound::Unbounded,
+            Some(7),
+        )
+        .unwrap();
         assert_eq!(got.len(), 7);
         assert_eq!(got[0].0, key(0));
 
         // Empty range.
-        let got =
-            range(&mgr, &soc, &st, &Bound::Included(b"zzz".to_vec()), &Bound::Unbounded, None)
-                .unwrap();
+        let got = range(
+            &mgr,
+            &soc,
+            &st,
+            &Bound::Included(b"zzz".to_vec()),
+            &Bound::Unbounded,
+            None,
+        )
+        .unwrap();
         assert!(got.is_empty());
     }
 
@@ -455,6 +490,10 @@ mod tests {
         let d = soc.ledger().snapshot().since(&before);
         assert!(d.soc_cpu_ns > 0);
         assert_eq!(d.host_cpu_ns, 0);
-        assert_eq!(d.pcie_bytes(), 0, "query processing itself moves no bus data");
+        assert_eq!(
+            d.pcie_bytes(),
+            0,
+            "query processing itself moves no bus data"
+        );
     }
 }

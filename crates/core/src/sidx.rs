@@ -57,10 +57,17 @@ impl SortRecord for SidxEntry {
         let vlen = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
         let skey = r.read(sklen)?;
         let pkey = r.read(pklen)?;
-        Ok(SidxEntry { skey, pkey, voff, vlen })
+        Ok(SidxEntry {
+            skey,
+            pkey,
+            voff,
+            vlen,
+        })
     }
     fn cmp_key(&self, other: &Self) -> Ordering {
-        self.skey.cmp(&other.skey).then_with(|| self.pkey.cmp(&other.pkey))
+        self.skey
+            .cmp(&other.skey)
+            .then_with(|| self.pkey.cmp(&other.pkey))
     }
 }
 
@@ -74,7 +81,11 @@ pub struct SidxBlockBuilder {
 
 impl SidxBlockBuilder {
     pub fn new() -> Self {
-        Self { buf: Vec::with_capacity(BLOCK_BYTES), count: 0, first_skey: None }
+        Self {
+            buf: Vec::with_capacity(BLOCK_BYTES),
+            count: 0,
+            first_skey: None,
+        }
     }
 
     pub fn fits(&self, e: &SidxEntry) -> bool {
@@ -116,19 +127,33 @@ pub fn decode_sidx_block(block: &[u8]) -> Result<Vec<SidxEntry>> {
     for _ in 0..count {
         let sklen =
             u16::from_le_bytes(block.get(p..p + 2).ok_or_else(bad)?.try_into().unwrap()) as usize;
-        let pklen =
-            u16::from_le_bytes(block.get(p + 2..p + 4).ok_or_else(bad)?.try_into().unwrap())
-                as usize;
-        let voff =
-            u64::from_le_bytes(block.get(p + 4..p + 12).ok_or_else(bad)?.try_into().unwrap());
-        let vlen =
-            u32::from_le_bytes(block.get(p + 12..p + 16).ok_or_else(bad)?.try_into().unwrap());
+        let pklen = u16::from_le_bytes(block.get(p + 2..p + 4).ok_or_else(bad)?.try_into().unwrap())
+            as usize;
+        let voff = u64::from_le_bytes(
+            block
+                .get(p + 4..p + 12)
+                .ok_or_else(bad)?
+                .try_into()
+                .unwrap(),
+        );
+        let vlen = u32::from_le_bytes(
+            block
+                .get(p + 12..p + 16)
+                .ok_or_else(bad)?
+                .try_into()
+                .unwrap(),
+        );
         p += SIDX_ENTRY_HEADER;
         let skey = block.get(p..p + sklen).ok_or_else(bad)?.to_vec();
         p += sklen;
         let pkey = block.get(p..p + pklen).ok_or_else(bad)?.to_vec();
         p += pklen;
-        out.push(SidxEntry { skey, pkey, voff, vlen });
+        out.push(SidxEntry {
+            skey,
+            pkey,
+            voff,
+            vlen,
+        });
     }
     Ok(out)
 }
@@ -215,7 +240,12 @@ pub fn write_sidx_blocks(
         blocks += 1;
     }
 
-    Ok(SidxOutput { cluster, blocks, sketch, entries })
+    Ok(SidxOutput {
+        cluster,
+        blocks,
+        sketch,
+        entries,
+    })
 }
 
 #[cfg(test)]
@@ -236,7 +266,11 @@ mod tests {
             page_bytes: 4096,
         };
         let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
-        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), Arc::clone(&ledger)));
+        let nand = Arc::new(NandArray::new(
+            geom,
+            &HardwareSpec::default(),
+            Arc::clone(&ledger),
+        ));
         let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
         (
             ZoneManager::new(zns, 1, 321),
@@ -275,7 +309,8 @@ mod tests {
         for i in 0..n {
             let key = format!("particle-{:010}", rng.next_below(u32::MAX as u64)).into_bytes();
             let energy = (rng.next_f64() * 10.0) as f32;
-            log.put(mgr, soc, &key, &particle_value(energy, i as u8)).unwrap();
+            log.put(mgr, soc, &key, &particle_value(energy, i as u8))
+                .unwrap();
             truth.push((key, energy));
         }
         let (klen, vlen) = log.seal(mgr).unwrap();
@@ -340,8 +375,10 @@ mod tests {
             .map(|(k, e)| (SidxKey::F32(*e).encode(), k.clone()))
             .collect();
         want.sort();
-        let have: Vec<(Vec<u8>, Vec<u8>)> =
-            got.iter().map(|e| (e.skey.clone(), e.pkey.clone())).collect();
+        let have: Vec<(Vec<u8>, Vec<u8>)> = got
+            .iter()
+            .map(|e| (e.skey.clone(), e.pkey.clone()))
+            .collect();
         assert_eq!(have, want);
     }
 
@@ -349,11 +386,20 @@ mod tests {
     fn value_locators_resolve_to_real_records() {
         let (mgr, soc, dram) = setup();
         let (cout, _) = compacted_keyspace(500, &mgr, &soc, &dram);
-        let out =
-            build_secondary_index(&mgr, &soc, &dram, cout.pidx, cout.svalues, &energy_spec(), 4)
-                .unwrap();
+        let out = build_secondary_index(
+            &mgr,
+            &soc,
+            &dram,
+            cout.pidx,
+            cout.svalues,
+            &energy_spec(),
+            4,
+        )
+        .unwrap();
         for e in read_sidx(&mgr, &out).iter().step_by(37) {
-            let value = mgr.read_bytes(cout.svalues.0, e.voff, e.vlen as usize).unwrap();
+            let value = mgr
+                .read_bytes(cout.svalues.0, e.voff, e.vlen as usize)
+                .unwrap();
             let energy = f32::from_le_bytes(value[28..32].try_into().unwrap());
             assert_eq!(SidxKey::F32(energy).encode(), e.skey);
         }
@@ -365,14 +411,21 @@ mod tests {
         let kc = mgr.alloc_cluster(2).unwrap();
         let vc = mgr.alloc_cluster(2).unwrap();
         let mut log = WriteLog::new(kc, vc);
-        log.put(&mgr, &soc, b"good", &particle_value(5.0, 1)).unwrap();
+        log.put(&mgr, &soc, b"good", &particle_value(5.0, 1))
+            .unwrap();
         log.put(&mgr, &soc, b"tiny", b"xx").unwrap(); // too short for the spec
         let (klen, vlen) = log.seal(&mgr).unwrap();
-        let cout =
-            run_compaction(&mgr, &soc, &dram, (kc, klen), (vc, vlen), 2, 2).unwrap();
-        let out =
-            build_secondary_index(&mgr, &soc, &dram, cout.pidx, cout.svalues, &energy_spec(), 2)
-                .unwrap();
+        let cout = run_compaction(&mgr, &soc, &dram, (kc, klen), (vc, vlen), 2, 2).unwrap();
+        let out = build_secondary_index(
+            &mgr,
+            &soc,
+            &dram,
+            cout.pidx,
+            cout.svalues,
+            &energy_spec(),
+            2,
+        )
+        .unwrap();
         assert_eq!(out.entries, 1);
         assert_eq!(read_sidx(&mgr, &out)[0].pkey, b"good");
     }
@@ -382,8 +435,16 @@ mod tests {
         let (mgr, soc, dram) = setup();
         let (cout, _) = compacted_keyspace(1_000, &mgr, &soc, &dram);
         let before = soc.ledger().snapshot();
-        build_secondary_index(&mgr, &soc, &dram, cout.pidx, cout.svalues, &energy_spec(), 4)
-            .unwrap();
+        build_secondary_index(
+            &mgr,
+            &soc,
+            &dram,
+            cout.pidx,
+            cout.svalues,
+            &energy_spec(),
+            4,
+        )
+        .unwrap();
         let d = soc.ledger().snapshot().since(&before);
         assert!(d.soc_cpu_ns > 0);
         assert_eq!(d.host_cpu_ns, 0);
@@ -395,9 +456,16 @@ mod tests {
     fn empty_keyspace_builds_empty_index() {
         let (mgr, soc, dram) = setup();
         let (cout, _) = compacted_keyspace(0, &mgr, &soc, &dram);
-        let out =
-            build_secondary_index(&mgr, &soc, &dram, cout.pidx, cout.svalues, &energy_spec(), 2)
-                .unwrap();
+        let out = build_secondary_index(
+            &mgr,
+            &soc,
+            &dram,
+            cout.pidx,
+            cout.svalues,
+            &energy_spec(),
+            2,
+        )
+        .unwrap();
         assert_eq!(out.entries, 0);
         assert_eq!(out.blocks, 0);
     }

@@ -78,14 +78,22 @@ impl<'a> R<'a> {
     }
     fn u32(&mut self) -> Result<u32> {
         let v = u32::from_le_bytes(
-            self.b.get(self.p..self.p + 4).ok_or_else(R::bad)?.try_into().unwrap(),
+            self.b
+                .get(self.p..self.p + 4)
+                .ok_or_else(R::bad)?
+                .try_into()
+                .unwrap(),
         );
         self.p += 4;
         Ok(v)
     }
     fn u64(&mut self) -> Result<u64> {
         let v = u64::from_le_bytes(
-            self.b.get(self.p..self.p + 8).ok_or_else(R::bad)?.try_into().unwrap(),
+            self.b
+                .get(self.p..self.p + 8)
+                .ok_or_else(R::bad)?
+                .try_into()
+                .unwrap(),
         );
         self.p += 8;
         Ok(v)
@@ -97,7 +105,11 @@ impl<'a> R<'a> {
         Ok(v)
     }
     fn opt_bytes(&mut self) -> Result<Option<Vec<u8>>> {
-        Ok(if self.u8()? == 1 { Some(self.bytes()?) } else { None })
+        Ok(if self.u8()? == 1 {
+            Some(self.bytes()?)
+        } else {
+            None
+        })
     }
     fn sketch(&mut self) -> Result<Sketch> {
         let n = self.u32()? as usize;
@@ -115,6 +127,7 @@ fn state_byte(s: KeyspaceState) -> u8 {
         KeyspaceState::Writable => 1,
         KeyspaceState::Compacting => 2,
         KeyspaceState::Compacted => 3,
+        KeyspaceState::Degraded => 4,
     }
 }
 
@@ -124,6 +137,7 @@ fn byte_state(b: u8) -> Result<KeyspaceState> {
         1 => KeyspaceState::Writable,
         2 => KeyspaceState::Compacting,
         3 => KeyspaceState::Compacted,
+        4 => KeyspaceState::Degraded,
         _ => return Err(R::bad()),
     })
 }
@@ -278,7 +292,13 @@ pub fn decode(payload: &[u8]) -> Result<DeviceSnapshot> {
             }
             groups.push(g);
         }
-        clusters.push(ClusterState { id, width, offset, blocks, groups });
+        clusters.push(ClusterState {
+            id,
+            width,
+            offset,
+            blocks,
+            groups,
+        });
     }
 
     let n_ks = r.u32()? as usize;
@@ -328,7 +348,12 @@ pub fn decode(payload: &[u8]) -> Result<DeviceSnapshot> {
             storage.sidx.insert(
                 name.clone(),
                 SecondaryIndex {
-                    spec: SecondaryIndexSpec { name, value_offset, value_len, key_type },
+                    spec: SecondaryIndexSpec {
+                        name,
+                        value_offset,
+                        value_len,
+                        key_type,
+                    },
                     cluster,
                     blocks,
                     sketch,
@@ -340,7 +365,10 @@ pub fn decode(payload: &[u8]) -> Result<DeviceSnapshot> {
         keyspaces.push(ks);
     }
 
-    Ok(DeviceSnapshot { zones: ZoneManagerState { next_id, clusters }, keyspaces })
+    Ok(DeviceSnapshot {
+        zones: ZoneManagerState { next_id, clusters },
+        keyspaces,
+    })
 }
 
 #[cfg(test)]
@@ -430,9 +458,30 @@ mod tests {
         ks.state = KeyspaceState::Writable;
         // No wlog attached in this test (WriteLog is not constructible
         // without a zone manager), but flags=16 would simply be ignored.
-        let snap = DeviceSnapshot { zones: ZoneManagerState::default(), keyspaces: vec![ks] };
+        let snap = DeviceSnapshot {
+            zones: ZoneManagerState::default(),
+            keyspaces: vec![ks],
+        };
         let decoded = decode(&encode(&snap)).unwrap();
         assert!(decoded.keyspaces[0].storage.wlog.is_none());
+    }
+
+    #[test]
+    fn degraded_state_roundtrips() {
+        let mut ks = Keyspace::new(7, "hurt".into());
+        ks.state = KeyspaceState::Degraded;
+        ks.storage.klog = Some((ClusterId(30), 111));
+        ks.storage.vlog = Some((ClusterId(31), 222));
+        let snap = DeviceSnapshot {
+            zones: ZoneManagerState::default(),
+            keyspaces: vec![ks],
+        };
+        let decoded = decode(&encode(&snap)).unwrap();
+        assert_eq!(decoded.keyspaces[0].state, KeyspaceState::Degraded);
+        assert_eq!(
+            decoded.keyspaces[0].storage.klog,
+            Some((ClusterId(30), 111))
+        );
     }
 
     #[test]

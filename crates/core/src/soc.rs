@@ -32,7 +32,8 @@ impl SocCharger {
     }
 
     fn charge(&self, host_equiv_ns: f64) {
-        self.ledger.charge_soc_cpu(host_equiv_ns * self.cost.soc_slowdown);
+        self.ledger
+            .charge_soc_cpu(host_equiv_ns * self.cost.soc_slowdown);
     }
 
     /// `n` key comparisons.
@@ -83,7 +84,10 @@ mod tests {
         s.bytes(1000);
         let snap = s.ledger().snapshot();
         assert!(snap.soc_cpu_ns > 0);
-        assert_eq!(snap.host_cpu_ns, 0, "device work must never hit the host CPU");
+        assert_eq!(
+            snap.host_cpu_ns, 0,
+            "device work must never hit the host CPU"
+        );
     }
 
     #[test]
@@ -102,6 +106,9 @@ mod tests {
         b.sort(2000);
         let ca = a.ledger().snapshot().soc_cpu_ns;
         let cb = b.ledger().snapshot().soc_cpu_ns;
-        assert!(cb as f64 > 2.0 * ca as f64, "2x records must cost more than 2x");
+        assert!(
+            cb as f64 > 2.0 * ca as f64,
+            "2x records must cost more than 2x"
+        );
     }
 }

@@ -38,13 +38,23 @@ pub struct DeviceWal {
 impl DeviceWal {
     /// Start a fresh WAL on `cluster`.
     pub fn new(cluster: ClusterId) -> Self {
-        Self { cluster, tail: Vec::with_capacity(BLOCK_BYTES), blocks_flushed: 0, unsynced: 0 }
+        Self {
+            cluster,
+            tail: Vec::with_capacity(BLOCK_BYTES),
+            blocks_flushed: 0,
+            unsynced: 0,
+        }
     }
 
     /// Resume a WAL after restart: `blocks` full blocks already on flash
     /// (the tail was volatile and is gone).
     pub fn resume(cluster: ClusterId, blocks: u64) -> Self {
-        Self { cluster, tail: Vec::with_capacity(BLOCK_BYTES), blocks_flushed: blocks, unsynced: 0 }
+        Self {
+            cluster,
+            tail: Vec::with_capacity(BLOCK_BYTES),
+            blocks_flushed: blocks,
+            unsynced: 0,
+        }
     }
 
     pub fn cluster(&self) -> ClusterId {
@@ -67,7 +77,13 @@ impl DeviceWal {
     }
 
     /// Append one record (durable once a block fills or sync is called).
-    pub fn append(&mut self, mgr: &ZoneManager, soc: &SocCharger, key: &[u8], value: &[u8]) -> Result<()> {
+    pub fn append(
+        &mut self,
+        mgr: &ZoneManager,
+        soc: &SocCharger,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<()> {
         if key.len() > u16::MAX as usize {
             return Err(DeviceError::BadPayload("wal key too long".into()));
         }
@@ -75,9 +91,12 @@ impl DeviceWal {
         crc_input.extend_from_slice(key);
         crc_input.extend_from_slice(value);
         self.tail.push(FRAME_TAG);
-        self.tail.extend_from_slice(&(key.len() as u16).to_le_bytes());
-        self.tail.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        self.tail.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+        self.tail
+            .extend_from_slice(&(key.len() as u16).to_le_bytes());
+        self.tail
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.tail
+            .extend_from_slice(&crc32(&crc_input).to_le_bytes());
         self.tail.extend_from_slice(key);
         self.tail.extend_from_slice(value);
         soc.bytes(FRAME_HEADER + key.len() + value.len());
@@ -88,7 +107,10 @@ impl DeviceWal {
     /// Explicit fsync: pad the tail to a block boundary and flush it.
     pub fn sync(&mut self, mgr: &ZoneManager) -> Result<()> {
         if !self.tail.is_empty() {
-            self.tail.resize(BLOCK_BYTES.min(self.tail.len().next_multiple_of(BLOCK_BYTES)), 0);
+            self.tail.resize(
+                BLOCK_BYTES.min(self.tail.len().next_multiple_of(BLOCK_BYTES)),
+                0,
+            );
             // tail is < BLOCK_BYTES after flush_full_blocks, so one block.
             mgr.append_block(self.cluster, &self.tail)?;
             self.blocks_flushed += 1;
@@ -174,9 +196,16 @@ mod tests {
             page_bytes: 4096,
         };
         let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
-        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), Arc::clone(&ledger)));
+        let nand = Arc::new(NandArray::new(
+            geom,
+            &HardwareSpec::default(),
+            Arc::clone(&ledger),
+        ));
         let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
-        (ZoneManager::new(zns, 1, 3), SocCharger::new(ledger, CostModel::default()))
+        (
+            ZoneManager::new(zns, 1, 3),
+            SocCharger::new(ledger, CostModel::default()),
+        )
     }
 
     fn replay_all(mgr: &ZoneManager, wal: &DeviceWal) -> Vec<(Vec<u8>, Vec<u8>)> {
@@ -195,7 +224,12 @@ mod tests {
         let c = mgr.alloc_cluster(4).unwrap();
         let mut wal = DeviceWal::new(c);
         let records: Vec<(Vec<u8>, Vec<u8>)> = (0..100u32)
-            .map(|i| (format!("k{i:04}").into_bytes(), vec![i as u8; (i % 50) as usize]))
+            .map(|i| {
+                (
+                    format!("k{i:04}").into_bytes(),
+                    vec![i as u8; (i % 50) as usize],
+                )
+            })
             .collect();
         for (k, v) in &records {
             wal.append(&mgr, &soc, k, v).unwrap();
@@ -212,12 +246,14 @@ mod tests {
         let c = mgr.alloc_cluster(2).unwrap();
         let mut wal = DeviceWal::new(c);
         for i in 0..10u32 {
-            wal.append(&mgr, &soc, format!("synced-{i}").as_bytes(), b"v").unwrap();
+            wal.append(&mgr, &soc, format!("synced-{i}").as_bytes(), b"v")
+                .unwrap();
         }
         wal.sync(&mgr).unwrap();
         // Small unsynced records: still in the volatile tail.
         for i in 0..3u32 {
-            wal.append(&mgr, &soc, format!("lost-{i}").as_bytes(), b"v").unwrap();
+            wal.append(&mgr, &soc, format!("lost-{i}").as_bytes(), b"v")
+                .unwrap();
         }
         let got = replay_all(&mgr, &wal);
         assert_eq!(got.len(), 10);
@@ -232,7 +268,8 @@ mod tests {
         // ~50 B/record: hundreds per block; write enough to flush blocks
         // without ever syncing.
         for i in 0..1000u32 {
-            wal.append(&mgr, &soc, format!("k{i:06}").as_bytes(), &[1u8; 32]).unwrap();
+            wal.append(&mgr, &soc, format!("k{i:06}").as_bytes(), &[1u8; 32])
+                .unwrap();
         }
         let got = replay_all(&mgr, &wal);
         // Everything in full flushed blocks replays; the partial tail is
@@ -276,7 +313,10 @@ mod tests {
         let got = replay_all(&mgr, &wal2);
         assert_eq!(
             got,
-            vec![(b"first".to_vec(), b"1".to_vec()), (b"second".to_vec(), b"2".to_vec())]
+            vec![
+                (b"first".to_vec(), b"1".to_vec()),
+                (b"second".to_vec(), b"2".to_vec())
+            ]
         );
     }
 

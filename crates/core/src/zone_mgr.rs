@@ -20,8 +20,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use kvcsd_flash::{ZoneState, ZonedNamespace};
+use kvcsd_sim::sync::Mutex;
 use kvcsd_sim::XorShift64;
-use parking_lot::Mutex;
 
 use crate::error::DeviceError;
 use crate::Result;
@@ -116,7 +116,12 @@ impl ZoneManager {
 
     /// Total free zones.
     pub fn free_zones(&self) -> u32 {
-        self.inner.lock().free_by_channel.iter().map(|v| v.len() as u32).sum()
+        self.inner
+            .lock()
+            .free_by_channel
+            .iter()
+            .map(|v| v.len() as u32)
+            .sum()
     }
 
     /// Number of live clusters.
@@ -168,16 +173,28 @@ impl ZoneManager {
         let id = inner.next_id;
         inner.next_id += 1;
         let offset = inner.rng.next_below(width as u64) as u32;
-        inner.clusters.insert(id, Cluster { groups: vec![zones], width, offset, blocks: 0 });
+        inner.clusters.insert(
+            id,
+            Cluster {
+                groups: vec![zones],
+                width,
+                offset,
+                blocks: 0,
+            },
+        );
         Ok(ClusterId(id))
     }
 
     /// Blocks appended to `cluster` so far.
     pub fn cluster_blocks(&self, cluster: ClusterId) -> Result<u64> {
         let inner = self.inner.lock();
-        let c = inner.clusters.get(&cluster.0).ok_or(DeviceError::Internal(
-            format!("cluster {} not found", cluster.0),
-        ))?;
+        let c = inner
+            .clusters
+            .get(&cluster.0)
+            .ok_or(DeviceError::Internal(format!(
+                "cluster {} not found",
+                cluster.0
+            )))?;
         Ok(c.blocks)
     }
 
@@ -209,7 +226,10 @@ impl ZoneManager {
     /// returning its block index.
     pub fn append_block(&self, cluster: ClusterId, data: &[u8]) -> Result<u64> {
         if data.len() > BLOCK_BYTES {
-            return Err(DeviceError::BadPayload(format!("block of {} bytes", data.len())));
+            return Err(DeviceError::BadPayload(format!(
+                "block of {} bytes",
+                data.len()
+            )));
         }
         let mut inner = self.inner.lock();
         // Grow by a stripe group if the current groups are full.
@@ -225,7 +245,12 @@ impl ZoneManager {
             if need_group {
                 let width = inner.clusters[&cluster.0].width;
                 let zones = Self::take_zone_group(&mut inner, width)?;
-                inner.clusters.get_mut(&cluster.0).unwrap().groups.push(zones);
+                inner
+                    .clusters
+                    .get_mut(&cluster.0)
+                    .unwrap()
+                    .groups
+                    .push(zones);
             }
             let c = inner.clusters.get_mut(&cluster.0).unwrap();
             let block_ix = c.blocks;
@@ -297,7 +322,10 @@ impl ZoneManager {
             })
             .collect();
         clusters.sort_by_key(|c| c.id);
-        ZoneManagerState { next_id: inner.next_id, clusters }
+        ZoneManagerState {
+            next_id: inner.next_id,
+            clusters,
+        }
     }
 
     /// Rebuild a manager from a snapshot after a device restart.
@@ -342,6 +370,18 @@ impl ZoneManager {
             for free in &mut inner.free_by_channel {
                 free.retain(|z| !used.contains(z));
             }
+            // Crash debris: zones written after the snapshot was taken
+            // (in-flight allocations the crash lost) are referenced by no
+            // restored cluster but still carry data. Reset them now so a
+            // later alloc hands out zones whose write pointer is 0.
+            for ch in 0..inner.free_by_channel.len() {
+                for i in 0..inner.free_by_channel[ch].len() {
+                    let z = inner.free_by_channel[ch][i];
+                    if zns.zone_info(z)?.state != ZoneState::Empty {
+                        zns.reset(z)?;
+                    }
+                }
+            }
         }
         Ok(mgr)
     }
@@ -383,7 +423,10 @@ mod tests {
         let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), ledger));
         let zns = Arc::new(ZonedNamespace::new(
             nand,
-            ZnsConfig { zone_blocks: 2, max_open_zones: 4096 },
+            ZnsConfig {
+                zone_blocks: 2,
+                max_open_zones: 4096,
+            },
         ));
         ZoneManager::new(zns, 1, 42)
     }
@@ -412,7 +455,11 @@ mod tests {
         }
         assert_eq!(m.cluster_blocks(c).unwrap(), 20);
         for i in 0..20u64 {
-            assert_eq!(m.read_block(c, i).unwrap(), vec![i as u8; 4096], "block {i}");
+            assert_eq!(
+                m.read_block(c, i).unwrap(),
+                vec![i as u8; 4096],
+                "block {i}"
+            );
         }
     }
 
@@ -432,7 +479,9 @@ mod tests {
         let c = m.alloc_cluster(3).unwrap();
         let mut all = Vec::new();
         for i in 0..6u64 {
-            let block: Vec<u8> = (0..4096u32).map(|j| ((i * 31 + j as u64) % 251) as u8).collect();
+            let block: Vec<u8> = (0..4096u32)
+                .map(|j| ((i * 31 + j as u64) % 251) as u8)
+                .collect();
             m.append_block(c, &block).unwrap();
             all.extend_from_slice(&block);
         }
@@ -477,7 +526,10 @@ mod tests {
     fn alloc_fails_when_zones_exhausted() {
         let m = mgr(2, 4); // 2*4/2 = 4 zones, 1 reserved -> 3 usable
         let _c1 = m.alloc_cluster(3).unwrap();
-        assert!(matches!(m.alloc_cluster(1), Err(DeviceError::OutOfResources(_))));
+        assert!(matches!(
+            m.alloc_cluster(1),
+            Err(DeviceError::OutOfResources(_))
+        ));
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use kvcsd_sim::sync::Mutex;
 use kvcsd_sim::IoLedger;
-use parking_lot::Mutex;
 
 use crate::error::FlashError;
 use crate::nand::NandArray;
@@ -39,7 +39,11 @@ pub struct ConvConfig {
 
 impl Default for ConvConfig {
     fn default() -> Self {
-        Self { op_fraction: 0.125, gc_free_blocks: 4, bridge_bw_bps: 1.2e9 }
+        Self {
+            op_fraction: 0.125,
+            gc_free_blocks: 4,
+            bridge_bw_bps: 1.2e9,
+        }
     }
 }
 
@@ -73,8 +77,7 @@ pub struct ConventionalNamespace {
 impl ConventionalNamespace {
     pub fn new(nand: Arc<NandArray>, cfg: ConvConfig) -> Self {
         let geom = *nand.geometry();
-        let logical_pages =
-            (geom.total_pages() as f64 / (1.0 + cfg.op_fraction)).floor() as u64;
+        let logical_pages = (geom.total_pages() as f64 / (1.0 + cfg.op_fraction)).floor() as u64;
         let mut free: Vec<Vec<u64>> = (0..geom.channels).map(|_| Vec::new()).collect();
         for block in 0..geom.total_blocks() {
             free[geom.channel_of_block(block) as usize].push(block);
@@ -119,7 +122,10 @@ impl ConventionalNamespace {
 
     fn check_lpa(&self, lpa: u64) -> Result<()> {
         if lpa >= self.logical_pages {
-            return Err(FlashError::AddressOutOfRange { addr: lpa, limit: self.logical_pages });
+            return Err(FlashError::AddressOutOfRange {
+                addr: lpa,
+                limit: self.logical_pages,
+            });
         }
         Ok(())
     }
@@ -239,7 +245,9 @@ impl ConventionalNamespace {
                 .min_by_key(|(_, b)| valid.get(b).copied().unwrap_or(0))
                 .map(|(i, _)| i)
         };
-        let Some(pos) = victim_pos else { return Ok(false) }; // nothing sealed yet
+        let Some(pos) = victim_pos else {
+            return Ok(false);
+        }; // nothing sealed yet
         let victim = ftl.sealed[pos];
         let victim_valid = ftl.valid.get(&victim).copied().unwrap_or(0);
         if victim_valid >= geom.pages_per_block {
@@ -251,7 +259,9 @@ impl ConventionalNamespace {
         let first = geom.first_ppa_of_block(victim);
         for p in 0..geom.pages_per_block as u64 {
             let ppa = first + p;
-            let Some(lpa) = ftl.rmap.get(&ppa).copied() else { continue };
+            let Some(lpa) = ftl.rmap.get(&ppa).copied() else {
+                continue;
+            };
             let data = self.nand.read(ppa)?;
             // Relocation must not recurse into GC: allocate directly.
             let new_ppa = self.alloc_for_gc(ftl, victim)?;
@@ -316,7 +326,11 @@ mod tests {
         let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), ledger));
         ConventionalNamespace::new(
             nand,
-            ConvConfig { op_fraction: 0.25, gc_free_blocks: 2, ..ConvConfig::default() },
+            ConvConfig {
+                op_fraction: 0.25,
+                gc_free_blocks: 2,
+                ..ConvConfig::default()
+            },
         )
     }
 
@@ -371,7 +385,7 @@ mod tests {
     #[test]
     fn sustained_overwrites_trigger_gc_and_survive() {
         let c = conv(4); // 64 physical pages, 51 logical
-        // Overwrite a working set far beyond physical capacity.
+                         // Overwrite a working set far beyond physical capacity.
         for round in 0..40u8 {
             for lpa in 0..40u64 {
                 c.write(lpa, &[round ^ lpa as u8; 32]).unwrap();

@@ -11,34 +11,79 @@ pub enum FlashError {
     /// Physical or logical address outside the device.
     AddressOutOfRange { addr: u64, limit: u64 },
     /// A ZNS write did not land on the zone's write pointer.
-    NotSequential { zone: u32, write_pointer: u64, offset: u64 },
+    NotSequential {
+        zone: u32,
+        write_pointer: u64,
+        offset: u64,
+    },
     /// A ZNS read reached past the zone's write pointer.
-    ReadPastWritePointer { zone: u32, write_pointer: u64, end: u64 },
+    ReadPastWritePointer {
+        zone: u32,
+        write_pointer: u64,
+        end: u64,
+    },
     /// Zone is in a state that does not permit the operation.
-    BadZoneState { zone: u32, state: &'static str, op: &'static str },
+    BadZoneState {
+        zone: u32,
+        state: &'static str,
+        op: &'static str,
+    },
     /// The device ran out of free zones/blocks even after reclaim.
     DeviceFull,
     /// Too many zones simultaneously open.
     TooManyOpenZones { limit: u32 },
     /// Payload length is not acceptable for the operation.
     BadLength { len: usize, expect: String },
+    /// Injected transient device error: the operation did not happen and
+    /// an identical retry may succeed (media soft error, channel timeout).
+    InjectedTransient { op: &'static str },
+    /// Injected persistent device error: retries will keep failing
+    /// (grown bad block, failed die).
+    InjectedPersistent { op: &'static str },
+    /// Power was lost. Every operation fails with this until the device
+    /// is power-cycled and reopened.
+    PowerLoss,
+}
+
+impl FlashError {
+    /// True for errors where an identical retry may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FlashError::InjectedTransient { .. })
+    }
+
+    /// True when the device lost power and needs a power cycle.
+    pub fn is_power_loss(&self) -> bool {
+        matches!(self, FlashError::PowerLoss)
+    }
 }
 
 impl fmt::Display for FlashError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FlashError::PageAlreadyProgrammed { channel, block, page } => write!(
+            FlashError::PageAlreadyProgrammed {
+                channel,
+                block,
+                page,
+            } => write!(
                 f,
                 "NAND program-once violation: channel {channel}, block {block}, page {page}"
             ),
             FlashError::AddressOutOfRange { addr, limit } => {
                 write!(f, "address {addr} out of range (limit {limit})")
             }
-            FlashError::NotSequential { zone, write_pointer, offset } => write!(
+            FlashError::NotSequential {
+                zone,
+                write_pointer,
+                offset,
+            } => write!(
                 f,
                 "zone {zone}: write at offset {offset} is not at write pointer {write_pointer}"
             ),
-            FlashError::ReadPastWritePointer { zone, write_pointer, end } => write!(
+            FlashError::ReadPastWritePointer {
+                zone,
+                write_pointer,
+                end,
+            } => write!(
                 f,
                 "zone {zone}: read ends at {end}, past write pointer {write_pointer}"
             ),
@@ -52,6 +97,13 @@ impl fmt::Display for FlashError {
             FlashError::BadLength { len, expect } => {
                 write!(f, "bad payload length {len}, expected {expect}")
             }
+            FlashError::InjectedTransient { op } => {
+                write!(f, "injected transient error on {op}")
+            }
+            FlashError::InjectedPersistent { op } => {
+                write!(f, "injected persistent error on {op}")
+            }
+            FlashError::PowerLoss => write!(f, "device power loss"),
         }
     }
 }
@@ -64,7 +116,11 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = FlashError::NotSequential { zone: 3, write_pointer: 4096, offset: 0 };
+        let e = FlashError::NotSequential {
+            zone: 3,
+            write_pointer: 4096,
+            offset: 0,
+        };
         let s = e.to_string();
         assert!(s.contains("zone 3"));
         assert!(s.contains("4096"));

@@ -16,8 +16,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use kvcsd_sim::fault::{FaultDecision, FaultInjector, OpClass};
+use kvcsd_sim::sync::{Mutex, RwLock};
 use kvcsd_sim::{HardwareSpec, IoLedger};
-use parking_lot::Mutex;
 
 use crate::error::FlashError;
 use crate::geometry::FlashGeometry;
@@ -40,6 +41,7 @@ pub struct NandArray {
     read_busy_ns: u64,
     program_busy_ns: u64,
     erase_busy_ns: u64,
+    fault: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl NandArray {
@@ -51,10 +53,48 @@ impl NandArray {
         Self {
             geom,
             ledger,
-            channels: (0..geom.channels).map(|_| Mutex::new(ChannelState::default())).collect(),
+            channels: (0..geom.channels)
+                .map(|_| Mutex::new(ChannelState::default()))
+                .collect(),
             read_busy_ns: spec.page_op_ns + per_byte(spec.channel_read_bps),
             program_busy_ns: spec.page_op_ns + per_byte(spec.channel_write_bps),
             erase_busy_ns: spec.erase_ns,
+            fault: RwLock::new(None),
+        }
+    }
+
+    /// Attach a fault injector: every read/program/erase consults it
+    /// before touching the media.
+    pub fn with_fault_injector(self, inj: Arc<FaultInjector>) -> Self {
+        *self.fault.write() = Some(inj);
+        self
+    }
+
+    /// Install or remove the fault injector at runtime. Torture harnesses
+    /// use this to arm faults only during specific phases of a run.
+    pub fn set_fault_injector(&self, inj: Option<Arc<FaultInjector>>) {
+        *self.fault.write() = inj;
+    }
+
+    /// The attached fault injector, if any (namespaces stacked on this
+    /// array consult it for their own op classes).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault.read().clone()
+    }
+
+    /// Consult the injector for a non-program op; returns the error to
+    /// surface, if any.
+    fn consult(&self, class: OpClass, op: &'static str) -> Result<()> {
+        let Some(inj) = self.fault.read().clone() else {
+            return Ok(());
+        };
+        match inj.decide(class, 0) {
+            FaultDecision::Ok => Ok(()),
+            FaultDecision::Transient => Err(FlashError::InjectedTransient { op }),
+            FaultDecision::Persistent => Err(FlashError::InjectedPersistent { op }),
+            FaultDecision::PowerCut { .. } | FaultDecision::PoweredOff => {
+                Err(FlashError::PowerLoss)
+            }
         }
     }
 
@@ -76,6 +116,11 @@ impl NandArray {
 
     /// Program one page. `data` may be shorter than the page (it is
     /// zero-padded) but never longer.
+    ///
+    /// With a fault injector attached, a power cut landing on this op may
+    /// leave a *torn* page: a strict prefix of `data` becomes durable, the
+    /// page still counts as programmed (its cells were partially written),
+    /// and the call returns [`FlashError::PowerLoss`].
     pub fn program(&self, ppa: u64, data: &[u8]) -> Result<()> {
         self.check_ppa(ppa)?;
         let page_bytes = self.geom.page_bytes as usize;
@@ -85,6 +130,32 @@ impl NandArray {
                 expect: format!("<= {page_bytes}"),
             });
         }
+        let mut durable: &[u8] = data;
+        let mut cut = false;
+        if let Some(inj) = self.fault.read().clone() {
+            match inj.decide(OpClass::NandProgram, data.len()) {
+                FaultDecision::Ok => {}
+                FaultDecision::Transient => {
+                    return Err(FlashError::InjectedTransient { op: "nand-program" })
+                }
+                FaultDecision::Persistent => {
+                    return Err(FlashError::InjectedPersistent { op: "nand-program" })
+                }
+                FaultDecision::PoweredOff => return Err(FlashError::PowerLoss),
+                FaultDecision::PowerCut {
+                    torn_prefix_bytes: None,
+                } => {
+                    // Cut before any cell was written: the op is cleanly lost.
+                    return Err(FlashError::PowerLoss);
+                }
+                FaultDecision::PowerCut {
+                    torn_prefix_bytes: Some(n),
+                } => {
+                    durable = &data[..n.min(data.len())];
+                    cut = true;
+                }
+            }
+        }
         let block = self.geom.block_of_ppa(ppa);
         let page_ix = self.geom.page_in_block(ppa);
         let chan = self.geom.channel_of_ppa(ppa);
@@ -92,7 +163,11 @@ impl NandArray {
             let mut st = self.channels[chan as usize].lock();
             let next = st.next_page.entry(block).or_insert(0);
             if page_ix < *next {
-                return Err(FlashError::PageAlreadyProgrammed { channel: chan, block, page: page_ix });
+                return Err(FlashError::PageAlreadyProgrammed {
+                    channel: chan,
+                    block,
+                    page: page_ix,
+                });
             }
             if page_ix != *next {
                 // NAND requires in-order programming within a block.
@@ -104,10 +179,13 @@ impl NandArray {
             }
             *next += 1;
             let mut page = vec![0u8; page_bytes];
-            page[..data.len()].copy_from_slice(data);
+            page[..durable.len()].copy_from_slice(durable);
             st.pages.insert(ppa, page.into_boxed_slice());
         }
         self.ledger.nand_program(chan, 1, self.program_busy_ns);
+        if cut {
+            return Err(FlashError::PowerLoss);
+        }
         Ok(())
     }
 
@@ -115,6 +193,7 @@ impl NandArray {
     /// the last erase is an internal error (namespaces guard against it).
     pub fn read(&self, ppa: u64) -> Result<Box<[u8]>> {
         self.check_ppa(ppa)?;
+        self.consult(OpClass::NandRead, "nand-read")?;
         let chan = self.geom.channel_of_ppa(ppa);
         let data = {
             let st = self.channels[chan as usize].lock();
@@ -149,6 +228,7 @@ impl NandArray {
                 limit: self.geom.total_blocks(),
             });
         }
+        self.consult(OpClass::NandErase, "nand-erase")?;
         let chan = self.geom.channel_of_block(block);
         {
             let mut st = self.channels[chan as usize].lock();
@@ -164,7 +244,10 @@ impl NandArray {
 
     /// Number of currently programmed pages (for memory-usage diagnostics).
     pub fn programmed_pages(&self) -> u64 {
-        self.channels.iter().map(|c| c.lock().pages.len() as u64).sum()
+        self.channels
+            .iter()
+            .map(|c| c.lock().pages.len() as u64)
+            .sum()
     }
 }
 
@@ -274,6 +357,75 @@ mod tests {
         let s = n.ledger().snapshot();
         assert_eq!(s.nand_erase_blocks, 1);
         assert_eq!(s.channel_busy_ns[2], HardwareSpec::default().erase_ns);
+    }
+
+    fn faulty_array(plan: kvcsd_sim::FaultPlan) -> (NandArray, Arc<FaultInjector>) {
+        let geom = FlashGeometry {
+            channels: 4,
+            blocks_per_channel: 8,
+            pages_per_block: 4,
+            page_bytes: 256,
+        };
+        let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
+        let inj = Arc::new(FaultInjector::new(plan));
+        let nand = NandArray::new(geom, &HardwareSpec::default(), ledger)
+            .with_fault_injector(Arc::clone(&inj));
+        (nand, inj)
+    }
+
+    #[test]
+    fn power_cut_tears_page_and_blocks_further_ops() {
+        let (n, inj) = faulty_array(kvcsd_sim::FaultPlan::power_cut_at(2, 77));
+        n.program(0, &[0xAA; 256]).unwrap();
+        let e = n.program(1, &[0xBB; 256]).unwrap_err();
+        assert!(e.is_power_loss());
+        // The torn page is programmed: a durable prefix of 0xBB, zeros after.
+        assert!(n.is_programmed(1));
+        // All ops fail until power is restored.
+        assert!(n.read(0).unwrap_err().is_power_loss());
+        assert!(n.erase(0).unwrap_err().is_power_loss());
+        inj.power_restore();
+        let page = n.read(1).unwrap();
+        let prefix = page.iter().take_while(|&&b| b == 0xBB).count();
+        assert!(prefix < 256, "torn page must be a strict prefix");
+        assert!(
+            page[prefix..].iter().all(|&b| b == 0),
+            "tail must be unwritten"
+        );
+        // The torn page still obeys program-once; the next page is writable.
+        assert!(matches!(
+            n.program(1, &[1]),
+            Err(FlashError::PageAlreadyProgrammed { .. })
+        ));
+        n.program(2, &[0xCC; 256]).unwrap();
+    }
+
+    #[test]
+    fn transient_errors_do_not_mutate_state() {
+        let plan = kvcsd_sim::FaultPlan {
+            seed: 3,
+            ..kvcsd_sim::FaultPlan::none()
+        }
+        .with_error_prob(1.0);
+        let (n, _inj) = faulty_array(plan);
+        let e = n.program(0, &[1; 256]).unwrap_err();
+        assert!(e.is_transient());
+        assert!(!n.is_programmed(0));
+        assert_eq!(n.ledger().snapshot().nand_program_pages, 0);
+    }
+
+    #[test]
+    fn persistent_errors_are_typed() {
+        let plan = kvcsd_sim::FaultPlan {
+            seed: 3,
+            ..kvcsd_sim::FaultPlan::none()
+        }
+        .with_error_prob(1.0)
+        .with_persistent_fraction(1.0);
+        let (n, _inj) = faulty_array(plan);
+        let e = n.program(0, &[1; 256]).unwrap_err();
+        assert!(matches!(e, FlashError::InjectedPersistent { .. }));
+        assert!(!e.is_transient());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use kvcsd_sim::fault::{FaultDecision, OpClass};
+use kvcsd_sim::sync::Mutex;
 
 use crate::error::FlashError;
 use crate::nand::NandArray;
@@ -28,7 +29,10 @@ pub struct ZnsConfig {
 
 impl Default for ZnsConfig {
     fn default() -> Self {
-        Self { zone_blocks: 4, max_open_zones: 1024 }
+        Self {
+            zone_blocks: 4,
+            max_open_zones: 1024,
+        }
     }
 }
 
@@ -90,7 +94,12 @@ impl ZonedNamespace {
             nand,
             cfg,
             zones: (0..zone_count)
-                .map(|_| Mutex::new(ZoneMeta { state: ZoneState::Empty, wp_pages: 0 }))
+                .map(|_| {
+                    Mutex::new(ZoneMeta {
+                        state: ZoneState::Empty,
+                        wp_pages: 0,
+                    })
+                })
                 .collect(),
             open_count: AtomicU32::new(0),
         }
@@ -166,10 +175,32 @@ impl ZonedNamespace {
     /// Zone Append: write `data` at the write pointer, zero-padding the
     /// tail of the last page. Returns the starting page index within the
     /// zone. Appending to a Full zone or past capacity is an error.
+    ///
+    /// When a fault fires mid-stripe, the write pointer is rolled back to
+    /// cover exactly the pages that were durably programmed — including a
+    /// torn final page on power loss, which then sits *below* the write
+    /// pointer as a torn zone tail for the recovery layer to detect.
     pub fn append(&self, zone: u32, data: &[u8]) -> Result<u32> {
         self.check_zone(zone)?;
         if data.is_empty() {
-            return Err(FlashError::BadLength { len: 0, expect: "> 0".into() });
+            return Err(FlashError::BadLength {
+                len: 0,
+                expect: "> 0".into(),
+            });
+        }
+        if let Some(inj) = self.nand.fault_injector() {
+            match inj.decide(OpClass::ZnsAppend, data.len()) {
+                FaultDecision::Ok => {}
+                FaultDecision::Transient => {
+                    return Err(FlashError::InjectedTransient { op: "zns-append" })
+                }
+                FaultDecision::Persistent => {
+                    return Err(FlashError::InjectedPersistent { op: "zns-append" })
+                }
+                FaultDecision::PowerCut { .. } | FaultDecision::PoweredOff => {
+                    return Err(FlashError::PowerLoss)
+                }
+            }
         }
         let page_bytes = self.nand.geometry().page_bytes as usize;
         let pages = data.len().div_ceil(page_bytes) as u32;
@@ -215,8 +246,36 @@ impl ZonedNamespace {
             start
         };
 
+        let mut programmed = 0u32;
+        let mut failure = None;
         for (i, chunk) in data.chunks(page_bytes).enumerate() {
-            self.nand.program(self.ppa_of(zone, start + i as u32), chunk)?;
+            let ppa = self.ppa_of(zone, start + i as u32);
+            match self.nand.program(ppa, chunk) {
+                Ok(()) => programmed += 1,
+                Err(e) => {
+                    // A power cut can tear the page: its cells were partly
+                    // written, so it counts as programmed and must stay
+                    // below the rolled-back write pointer.
+                    if e.is_power_loss() && self.nand.is_programmed(ppa) {
+                        programmed += 1;
+                    }
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            let mut meta = self.zones[zone as usize].lock();
+            // Roll back over the pages that never made it — unless a
+            // concurrent append already extended the zone past us.
+            if meta.wp_pages == start + pages {
+                if meta.state == ZoneState::Full && start + programmed < cap {
+                    meta.state = ZoneState::Open;
+                    self.open_count.fetch_add(1, Ordering::AcqRel);
+                }
+                meta.wp_pages = start + programmed;
+            }
+            return Err(e);
         }
         Ok(start)
     }
@@ -306,7 +365,13 @@ mod tests {
         };
         let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
         let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), ledger));
-        ZonedNamespace::new(nand, ZnsConfig { zone_blocks: 2, max_open_zones: max_open })
+        ZonedNamespace::new(
+            nand,
+            ZnsConfig {
+                zone_blocks: 2,
+                max_open_zones: max_open,
+            },
+        )
     }
 
     #[test]
@@ -460,7 +525,93 @@ mod tests {
     #[test]
     fn empty_append_rejected() {
         let z = zns(16);
-        assert!(matches!(z.append(0, &[]), Err(FlashError::BadLength { .. })));
+        assert!(matches!(
+            z.append(0, &[]),
+            Err(FlashError::BadLength { .. })
+        ));
+    }
+
+    fn faulty_zns(plan: kvcsd_sim::FaultPlan) -> ZonedNamespace {
+        let geom = FlashGeometry {
+            channels: 4,
+            blocks_per_channel: 8,
+            pages_per_block: 4,
+            page_bytes: 256,
+        };
+        let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
+        let inj = Arc::new(kvcsd_sim::FaultInjector::new(plan));
+        let nand = Arc::new(
+            NandArray::new(geom, &HardwareSpec::default(), ledger).with_fault_injector(inj),
+        );
+        ZonedNamespace::new(
+            nand,
+            ZnsConfig {
+                zone_blocks: 2,
+                max_open_zones: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn mid_stripe_power_cut_leaves_torn_zone_tail() {
+        // Cut at the 3rd NAND op: the 4-page append tears on its 3rd page.
+        let z = faulty_zns(kvcsd_sim::FaultPlan::power_cut_at(3, 123));
+        let data: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+        let e = z.append(0, &data).unwrap_err();
+        assert!(e.is_power_loss());
+        let inj = z.nand().fault_injector().unwrap().clone();
+        inj.power_restore();
+        // The write pointer covers the two clean pages plus the torn one.
+        let wp = z.zone_info(0).unwrap().write_pointer_pages;
+        assert_eq!(wp, 3, "wp must cover durable pages incl. the torn tail");
+        let back = z.read_pages(0, 0, wp).unwrap();
+        assert_eq!(&back[..512], &data[..512], "clean prefix intact");
+        assert_ne!(&back[512..768], &data[512..768], "third page is torn");
+        // The zone accepts appends again exactly at the rolled-back wp.
+        assert_eq!(z.append(0, &[0xEE; 256]).unwrap(), wp);
+    }
+
+    #[test]
+    fn clean_power_cut_rolls_wp_fully_back() {
+        // Cut at op 1 with torn writes disabled: nothing lands.
+        let mut plan = kvcsd_sim::FaultPlan::power_cut_at(1, 5);
+        plan.torn_writes = false;
+        let z = faulty_zns(plan);
+        assert!(z.append(0, &[1u8; 512]).unwrap_err().is_power_loss());
+        z.nand().fault_injector().unwrap().power_restore();
+        assert_eq!(z.zone_info(0).unwrap().write_pointer_pages, 0);
+        assert_eq!(z.append(0, &[2u8; 256]).unwrap(), 0);
+    }
+
+    #[test]
+    fn transient_append_error_is_retryable() {
+        let plan = kvcsd_sim::FaultPlan {
+            seed: 8,
+            ..kvcsd_sim::FaultPlan::none()
+        };
+        let mut plan = plan.with_error_prob(0.5);
+        plan.read_error_prob = 0.0;
+        let z = faulty_zns(plan);
+        // Retry until one append succeeds; the zone must stay consistent.
+        let mut failures = 0;
+        loop {
+            match z.append(1, &[7u8; 256]) {
+                Ok(start) => {
+                    let wp = z.zone_info(1).unwrap().write_pointer_pages;
+                    assert_eq!(wp, start + 1);
+                    break;
+                }
+                Err(e) => {
+                    assert!(e.is_transient(), "unexpected {e:?}");
+                    failures += 1;
+                    assert!(failures < 200);
+                }
+            }
+        }
+        assert!(
+            failures > 0,
+            "p=0.5 over many tries must fail at least once"
+        );
     }
 
     #[test]

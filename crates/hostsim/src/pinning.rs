@@ -18,7 +18,9 @@ impl Pinning {
     /// machine size).
     pub fn first_n(spec: &HardwareSpec, threads: u32) -> Self {
         let n = threads.clamp(1, spec.host_cores);
-        Self { cores: (0..n).collect() }
+        Self {
+            cores: (0..n).collect(),
+        }
     }
 
     /// Number of distinct cores the phase may use — the parallelism the

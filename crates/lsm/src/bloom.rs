@@ -23,7 +23,11 @@ fn hash64(data: &[u8], seed: u64) -> u64 {
 
 impl BloomFilter {
     /// Build a filter over `keys` with `bits_per_key` bits of budget each.
-    pub fn build<'a>(keys: impl Iterator<Item = &'a [u8]>, n_keys: usize, bits_per_key: usize) -> Self {
+    pub fn build<'a>(
+        keys: impl Iterator<Item = &'a [u8]>,
+        n_keys: usize,
+        bits_per_key: usize,
+    ) -> Self {
         let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
         let n_bits = (n_keys * bits_per_key).max(64);
         let n_bytes = n_bits.div_ceil(8);
@@ -74,7 +78,10 @@ impl BloomFilter {
         if !(1..=30).contains(&k) {
             return None;
         }
-        Some(Self { bits: data[4..].to_vec(), k })
+        Some(Self {
+            bits: data[4..].to_vec(),
+            k,
+        })
     }
 
     /// Size of the encoded filter in bytes.

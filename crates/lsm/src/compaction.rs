@@ -36,7 +36,11 @@ pub struct CompactionTask {
 impl CompactionTask {
     /// Total input bytes (the work size).
     pub fn input_bytes(&self) -> u64 {
-        self.inputs_upper.iter().chain(&self.inputs_lower).map(|t| t.file_bytes).sum()
+        self.inputs_upper
+            .iter()
+            .chain(&self.inputs_lower)
+            .map(|t| t.file_bytes)
+            .sum()
     }
 }
 
@@ -45,8 +49,16 @@ pub fn pick(version: &Version, opts: &Options) -> Option<CompactionTask> {
     // L0 first: file-count trigger.
     if version.l0.len() >= opts.l0_compaction_trigger {
         let inputs_upper = version.l0.clone();
-        let first = inputs_upper.iter().map(|t| t.first_key.clone()).min().unwrap_or_default();
-        let last = inputs_upper.iter().map(|t| t.last_key.clone()).max().unwrap_or_default();
+        let first = inputs_upper
+            .iter()
+            .map(|t| t.first_key.clone())
+            .min()
+            .unwrap_or_default();
+        let last = inputs_upper
+            .iter()
+            .map(|t| t.last_key.clone())
+            .max()
+            .unwrap_or_default();
         let inputs_lower = version.overlapping(1, &first, &last);
         return Some(CompactionTask {
             src_level: 0,
@@ -60,8 +72,7 @@ pub fn pick(version: &Version, opts: &Options) -> Option<CompactionTask> {
         if version.level_bytes(level) > opts.level_target_bytes(level) {
             // Take the first table (simple cursor-less policy).
             let table = version.levels[level - 1].first()?.clone();
-            let inputs_lower =
-                version.overlapping(level + 1, &table.first_key, &table.last_key);
+            let inputs_lower = version.overlapping(level + 1, &table.first_key, &table.last_key);
             return Some(CompactionTask {
                 src_level: level,
                 target_level: level + 1,
@@ -143,7 +154,10 @@ pub fn merge_to_tables(
             builder_bytes = 0;
         }
         let sz = e.key.len() + e.value.as_ref().map_or(0, Vec::len);
-        builder.as_mut().unwrap().add(&e.key, e.seq, e.value.as_deref())?;
+        builder
+            .as_mut()
+            .unwrap()
+            .add(&e.key, e.seq, e.value.as_deref())?;
         builder_bytes += sz;
         if builder_bytes >= opts.target_file_bytes {
             out.push(builder.take().unwrap().finish()?);
@@ -168,7 +182,10 @@ impl OwnedTableIter {
         // collecting the (I/O-charged) iteration up front keeps lifetimes
         // simple while preserving every ledger charge.
         let entries: Vec<Result<Entry>> = table.iter(fs, cost, cache).collect();
-        Self { table, entries: entries.into_iter() }
+        Self {
+            table,
+            entries: entries.into_iter(),
+        }
     }
 }
 
@@ -252,13 +269,20 @@ mod tests {
             v.l0.push(build_table(
                 &fs,
                 id,
-                vec![(k(10), 100 + id, Some(vec![1])), (k(20), 200 + id, Some(vec![2]))],
+                vec![
+                    (k(10), 100 + id, Some(vec![1])),
+                    (k(20), 200 + id, Some(vec![2])),
+                ],
             ));
         }
         v.insert_sorted(1, build_table(&fs, 50, vec![(k(15), 1, Some(vec![9]))]));
         v.insert_sorted(1, build_table(&fs, 51, vec![(k(99), 1, Some(vec![9]))]));
         let task = pick(&v, &opts).unwrap();
-        assert_eq!(task.inputs_lower.len(), 1, "only the overlapping L1 table joins");
+        assert_eq!(
+            task.inputs_lower.len(),
+            1,
+            "only the overlapping L1 table joins"
+        );
         assert_eq!(task.inputs_lower[0].id, 50);
     }
 
@@ -272,7 +296,10 @@ mod tests {
         let older = build_table(
             &fs,
             2,
-            vec![(k(0), 1, Some(b"a".to_vec())), (k(1), 2, Some(b"old".to_vec()))],
+            vec![
+                (k(0), 1, Some(b"a".to_vec())),
+                (k(1), 2, Some(b"old".to_vec())),
+            ],
         );
         let task = CompactionTask {
             src_level: 0,
@@ -281,7 +308,20 @@ mod tests {
             inputs_lower: vec![],
         };
         let mut id = 100u64;
-        let out = run(&fs, &cost, &cache, &opts, "", &task, || { id += 1; id }, false).unwrap();
+        let out = run(
+            &fs,
+            &cost,
+            &cache,
+            &opts,
+            "",
+            &task,
+            || {
+                id += 1;
+                id
+            },
+            false,
+        )
+        .unwrap();
         assert_eq!(out.len(), 1);
         let t = &out[0];
         let got: Vec<Entry> = t.iter(&fs, &cost, &cache).map(|e| e.unwrap()).collect();
@@ -308,9 +348,24 @@ mod tests {
             inputs_lower: vec![],
         };
         let mut id = 10u64;
-        let out = run(&fs, &cost, &cache, &opts, "", &task, || { id += 1; id }, true).unwrap();
-        let got: Vec<Entry> =
-            out[0].iter(&fs, &cost, &cache).map(|e| e.unwrap()).collect();
+        let out = run(
+            &fs,
+            &cost,
+            &cache,
+            &opts,
+            "",
+            &task,
+            || {
+                id += 1;
+                id
+            },
+            true,
+        )
+        .unwrap();
+        let got: Vec<Entry> = out[0]
+            .iter(&fs, &cost, &cache)
+            .map(|e| e.unwrap())
+            .collect();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].key, k(1));
     }
@@ -329,9 +384,24 @@ mod tests {
             inputs_lower: vec![],
         };
         let mut id = 10u64;
-        let out = run(&fs, &cost, &cache, &opts, "", &task, || { id += 1; id }, false).unwrap();
-        let got: Vec<Entry> =
-            out[0].iter(&fs, &cost, &cache).map(|e| e.unwrap()).collect();
+        let out = run(
+            &fs,
+            &cost,
+            &cache,
+            &opts,
+            "",
+            &task,
+            || {
+                id += 1;
+                id
+            },
+            false,
+        )
+        .unwrap();
+        let got: Vec<Entry> = out[0]
+            .iter(&fs, &cost, &cache)
+            .map(|e| e.unwrap())
+            .collect();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].value, None, "tombstone must survive above bottom");
     }
@@ -339,12 +409,15 @@ mod tests {
     #[test]
     fn output_splits_at_target_file_size() {
         let fs = fs();
-        let mut opts = Options::default();
-        opts.target_file_bytes = 8 << 10;
+        let opts = Options {
+            target_file_bytes: 8 << 10,
+            ..Options::default()
+        };
         let cache = new_block_cache(1024);
         let cost = CostModel::default();
-        let entries: Vec<(Vec<u8>, u64, Option<Vec<u8>>)> =
-            (0..2000u32).map(|i| (k(i), i as u64, Some(vec![7u8; 32]))).collect();
+        let entries: Vec<(Vec<u8>, u64, Option<Vec<u8>>)> = (0..2000u32)
+            .map(|i| (k(i), i as u64, Some(vec![7u8; 32])))
+            .collect();
         let t = build_table(&fs, 1, entries);
         let task = CompactionTask {
             src_level: 0,
@@ -353,8 +426,24 @@ mod tests {
             inputs_lower: vec![],
         };
         let mut id = 10u64;
-        let out = run(&fs, &cost, &cache, &opts, "", &task, || { id += 1; id }, false).unwrap();
-        assert!(out.len() > 3, "2000*~38B entries should split into several 8KiB tables");
+        let out = run(
+            &fs,
+            &cost,
+            &cache,
+            &opts,
+            "",
+            &task,
+            || {
+                id += 1;
+                id
+            },
+            false,
+        )
+        .unwrap();
+        assert!(
+            out.len() > 3,
+            "2000*~38B entries should split into several 8KiB tables"
+        );
         // Outputs are disjoint and ordered.
         for w in out.windows(2) {
             assert!(w[0].last_key < w[1].first_key);
@@ -369,8 +458,9 @@ mod tests {
         let opts = Options::default();
         let cache = new_block_cache(1024);
         let cost = CostModel::default();
-        let entries: Vec<(Vec<u8>, u64, Option<Vec<u8>>)> =
-            (0..500u32).map(|i| (k(i), i as u64, Some(vec![1u8; 32]))).collect();
+        let entries: Vec<(Vec<u8>, u64, Option<Vec<u8>>)> = (0..500u32)
+            .map(|i| (k(i), i as u64, Some(vec![1u8; 32])))
+            .collect();
         let t = build_table(&fs, 1, entries);
         fs.drop_caches();
         cache.lock().clear();
@@ -382,7 +472,20 @@ mod tests {
             inputs_lower: vec![],
         };
         let mut id = 10u64;
-        run(&fs, &cost, &cache, &opts, "", &task, || { id += 1; id }, false).unwrap();
+        run(
+            &fs,
+            &cost,
+            &cache,
+            &opts,
+            "",
+            &task,
+            || {
+                id += 1;
+                id
+            },
+            false,
+        )
+        .unwrap();
         let d = fs.device().nand().ledger().snapshot().since(&before);
         assert!(d.nand_read_pages > 0, "compaction must read inputs");
         assert!(d.nand_program_pages > 0, "compaction must write outputs");

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use kvcsd_blockfs::BlockFs;
 use kvcsd_sim::config::CostModel;
-use parking_lot::Mutex;
+use kvcsd_sim::sync::Mutex;
 
 use crate::compaction::{self, CompactionTask};
 use crate::error::LsmError;
@@ -64,7 +64,9 @@ pub struct Db {
 
 impl std::fmt::Debug for Db {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Db").field("prefix", &self.prefix).finish_non_exhaustive()
+        f.debug_struct("Db")
+            .field("prefix", &self.prefix)
+            .finish_non_exhaustive()
     }
 }
 
@@ -196,8 +198,15 @@ impl Db {
 
         if let Some(wal) = &inner.wal {
             let rec = match value {
-                Some(v) => WalRecord::Put { seq, key: key.to_vec(), value: v.to_vec() },
-                None => WalRecord::Delete { seq, key: key.to_vec() },
+                Some(v) => WalRecord::Put {
+                    seq,
+                    key: key.to_vec(),
+                    value: v.to_vec(),
+                },
+                None => WalRecord::Delete {
+                    seq,
+                    key: key.to_vec(),
+                },
             };
             ledger.charge_host_cpu(
                 (key.len() + value.map_or(0, <[u8]>::len) + 21) as f64 * cost.codec_ns_per_byte,
@@ -206,10 +215,11 @@ impl Db {
         }
 
         ledger.charge_host_cpu(
-            cost.memtable_insert_ns
-                + cost.key_cmp_ns * ((inner.mem.len().max(2)) as f64).log2(),
+            cost.memtable_insert_ns + cost.key_cmp_ns * ((inner.mem.len().max(2)) as f64).log2(),
         );
-        inner.mem.insert(key.to_vec(), seq, value.map(<[u8]>::to_vec));
+        inner
+            .mem
+            .insert(key.to_vec(), seq, value.map(<[u8]>::to_vec));
         match value {
             Some(_) => inner.stats.puts += 1,
             None => inner.stats.deletes += 1,
@@ -302,8 +312,7 @@ impl Db {
 
         inner.stats.compactions += 1;
         inner.stats.compaction_bytes_in += task.input_bytes();
-        inner.stats.compaction_bytes_out +=
-            new_tables.iter().map(|t| t.file_bytes).sum::<u64>();
+        inner.stats.compaction_bytes_out += new_tables.iter().map(|t| t.file_bytes).sum::<u64>();
 
         let upper_ids: Vec<u64> = task.inputs_upper.iter().map(|t| t.id).collect();
         let lower_ids: Vec<u64> = task.inputs_lower.iter().map(|t| t.id).collect();
@@ -349,7 +358,9 @@ impl Db {
             let tables = level.clone();
             let me = self;
             sources.push(Box::new(
-                tables.into_iter().flat_map(move |t| OwnedIter::new(t, me).collect::<Vec<_>>()),
+                tables
+                    .into_iter()
+                    .flat_map(move |t| OwnedIter::new(t, me).collect::<Vec<_>>()),
             ));
         }
         let mut next = inner.next_file;
@@ -369,10 +380,12 @@ impl Db {
         )?;
         inner.next_file = next;
         inner.stats.compactions += 1;
-        inner.stats.compaction_bytes_in +=
-            l0.iter().chain(levels.iter().flatten()).map(|t| t.file_bytes).sum::<u64>();
-        inner.stats.compaction_bytes_out +=
-            new_tables.iter().map(|t| t.file_bytes).sum::<u64>();
+        inner.stats.compaction_bytes_in += l0
+            .iter()
+            .chain(levels.iter().flatten())
+            .map(|t| t.file_bytes)
+            .sum::<u64>();
+        inner.stats.compaction_bytes_out += new_tables.iter().map(|t| t.file_bytes).sum::<u64>();
 
         let bottom = inner.version.levels.len();
         let mut fresh = Version::new(self.opts.max_levels);
@@ -441,7 +454,12 @@ impl Db {
     }
 
     /// Range scan over `[lo, hi)`, returning at most `limit` live entries.
-    pub fn scan(&self, lo: &[u8], hi: &[u8], limit: Option<usize>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn scan(
+        &self,
+        lo: &[u8],
+        hi: &[u8],
+        limit: Option<usize>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let cost = self.cost().clone();
         let mut inner = self.inner.lock();
         inner.stats.scans += 1;
@@ -461,7 +479,11 @@ impl Db {
                     },
                 )
                 .map(|(k, s, v)| {
-                    Ok(Entry { key: k.to_vec(), seq: s, value: v.map(<[u8]>::to_vec) })
+                    Ok(Entry {
+                        key: k.to_vec(),
+                        seq: s,
+                        value: v.map(<[u8]>::to_vec),
+                    })
                 }),
         ));
         // L0, newest first.
@@ -470,11 +492,12 @@ impl Db {
         }
         // Sorted levels: chain overlapping tables per level.
         for level in 1..=inner.version.levels.len() {
-            let overlapping: Vec<Arc<Table>> = inner.version.tables_at(level)
+            let overlapping: Vec<Arc<Table>> = inner
+                .version
+                .tables_at(level)
                 .iter()
                 .filter(|t| {
-                    (hi.is_empty() || t.first_key.as_slice() < hi)
-                        && t.last_key.as_slice() >= lo
+                    (hi.is_empty() || t.first_key.as_slice() < hi) && t.last_key.as_slice() >= lo
                 })
                 .cloned()
                 .collect();
@@ -498,7 +521,7 @@ impl Db {
             }
             if let Some(v) = e.value {
                 out.push((e.key, v));
-                if limit.map_or(false, |l| out.len() >= l) {
+                if limit.is_some_and(|l| out.len() >= l) {
                     break;
                 }
             }
@@ -570,9 +593,10 @@ struct OwnedIter {
 
 impl OwnedIter {
     fn new(t: Arc<Table>, db: &Db) -> Self {
-        let entries: Vec<Result<Entry>> =
-            t.iter(&db.fs, db.cost(), &db.cache).collect();
-        Self { entries: entries.into_iter() }
+        let entries: Vec<Result<Entry>> = t.iter(&db.fs, db.cost(), &db.cache).collect();
+        Self {
+            entries: entries.into_iter(),
+        }
     }
 }
 
@@ -600,7 +624,11 @@ mod tests {
         let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
         let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), ledger));
         let dev = Arc::new(ConventionalNamespace::new(nand, ConvConfig::default()));
-        Arc::new(BlockFs::format(dev, CostModel::default(), FsConfig::default()))
+        Arc::new(BlockFs::format(
+            dev,
+            CostModel::default(),
+            FsConfig::default(),
+        ))
     }
 
     fn small_opts(mode: CompactionMode) -> Options {
@@ -672,7 +700,10 @@ mod tests {
         }
         db.flush().unwrap();
         assert_eq!(db.stats().compactions, 0);
-        assert!(db.level_table_counts()[0] > 4, "L0 accumulates without compaction");
+        assert!(
+            db.level_table_counts()[0] > 4,
+            "L0 accumulates without compaction"
+        );
         // Reads still correct (merging across many runs).
         for i in (0..2000).step_by(191) {
             assert_eq!(db.get(&k(i)).unwrap(), Some(v(i)));
@@ -705,7 +736,11 @@ mod tests {
             db.delete(&k(i)).unwrap();
         }
         db.compact_all().unwrap();
-        assert_eq!(db.table_entries(), 250, "tombstones and shadowed keys purged");
+        assert_eq!(
+            db.table_entries(),
+            250,
+            "tombstones and shadowed keys purged"
+        );
         assert_eq!(db.get(&k(100)).unwrap(), None);
         assert_eq!(db.get(&k(400)).unwrap(), Some(v(400)));
     }
@@ -749,7 +784,7 @@ mod tests {
         for _ in 0..4000 {
             x = x.wrapping_mul(1664525).wrapping_add(1013904223);
             let key = k(x % 500);
-            if x % 5 == 0 {
+            if x.is_multiple_of(5) {
                 db.delete(&key).unwrap();
                 model.remove(&key);
             } else {
@@ -771,8 +806,12 @@ mod tests {
     fn recovery_from_manifest_and_wal() {
         let fs = make_fs();
         {
-            let db = Db::open(Arc::clone(&fs), "db/", small_opts(CompactionMode::Automatic))
-                .unwrap();
+            let db = Db::open(
+                Arc::clone(&fs),
+                "db/",
+                small_opts(CompactionMode::Automatic),
+            )
+            .unwrap();
             for i in 0..500 {
                 db.put(&k(i), &v(i)).unwrap();
             }
@@ -803,8 +842,7 @@ mod tests {
     #[test]
     fn write_amplification_is_measured() {
         let fs = make_fs();
-        let db =
-            Db::open(Arc::clone(&fs), "", small_opts(CompactionMode::Automatic)).unwrap();
+        let db = Db::open(Arc::clone(&fs), "", small_opts(CompactionMode::Automatic)).unwrap();
         let n = 3000u32;
         for i in 0..n {
             db.put(&k(i), &v(i)).unwrap();

@@ -45,6 +45,8 @@ mod tests {
 
     #[test]
     fn corruption_displays_detail() {
-        assert!(LsmError::Corruption("bad crc".into()).to_string().contains("bad crc"));
+        assert!(LsmError::Corruption("bad crc".into())
+            .to_string()
+            .contains("bad crc"));
     }
 }

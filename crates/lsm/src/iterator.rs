@@ -50,7 +50,11 @@ pub struct MergeIter<'a> {
 impl<'a> MergeIter<'a> {
     /// Build a merge over `sources`; index 0 is the newest.
     pub fn new(mut sources: Vec<Source<'a>>) -> Self {
-        let mut it = Self { heap: BinaryHeap::new(), sources: Vec::new(), error: None };
+        let mut it = Self {
+            heap: BinaryHeap::new(),
+            sources: Vec::new(),
+            error: None,
+        };
         for (rank, src) in sources.iter_mut().enumerate() {
             it.advance_source(src, rank);
         }
@@ -61,7 +65,11 @@ impl<'a> MergeIter<'a> {
     fn advance_source(&mut self, src: &mut Source<'a>, rank: usize) {
         match src.next() {
             Some(Ok(entry)) => {
-                self.heap.push(HeapItem { key: entry.key.clone(), rank, entry });
+                self.heap.push(HeapItem {
+                    key: entry.key.clone(),
+                    rank,
+                    entry,
+                });
             }
             Some(Err(e)) => self.error = Some(e),
             None => {}
@@ -156,7 +164,10 @@ mod tests {
         ]);
         let got: Vec<Entry> = it.map(|e| e.unwrap()).collect();
         assert_eq!(got.len(), 1);
-        assert_eq!(got[0].value, None, "tombstone must be the surviving version");
+        assert_eq!(
+            got[0].value, None,
+            "tombstone must be the surviving version"
+        );
     }
 
     #[test]
@@ -167,12 +178,19 @@ mod tests {
             src(vec![("a", 10, Some("v1")), ("z", 11, Some("zz"))]),
         ]);
         let got = keys_of(it);
-        assert_eq!(got, vec![("a".into(), 30), ("b".into(), 31), ("z".into(), 11)]);
+        assert_eq!(
+            got,
+            vec![("a".into(), 30), ("b".into(), 31), ("z".into(), 11)]
+        );
     }
 
     #[test]
     fn empty_sources_are_fine() {
-        let it = MergeIter::new(vec![src(vec![]), src(vec![("x", 1, Some("y"))]), src(vec![])]);
+        let it = MergeIter::new(vec![
+            src(vec![]),
+            src(vec![("x", 1, Some("y"))]),
+            src(vec![]),
+        ]);
         assert_eq!(keys_of(it).len(), 1);
         let it = MergeIter::new(vec![]);
         assert_eq!(keys_of(it).len(), 0);
@@ -180,30 +198,44 @@ mod tests {
 
     #[test]
     fn errors_propagate() {
-        let bad: Source<'static> = Box::new(
-            vec![Err(crate::LsmError::Corruption("boom".into()))].into_iter(),
-        );
+        let bad: Source<'static> =
+            Box::new(vec![Err(crate::LsmError::Corruption("boom".into()))].into_iter());
         let mut it = MergeIter::new(vec![bad, src(vec![("a", 1, Some("x"))])]);
         assert!(it.next().unwrap().is_err());
     }
 
     #[test]
     fn large_interleaved_merge_is_sorted_and_deduped() {
-        let a: Vec<(String, u64)> = (0..500).map(|i| (format!("k{:05}", i * 2), 100 + i)).collect();
-        let b: Vec<(String, u64)> =
-            (0..500).map(|i| (format!("k{:05}", i * 3), 1000 + i)).collect();
+        let a: Vec<(String, u64)> = (0..500)
+            .map(|i| (format!("k{:05}", i * 2), 100 + i))
+            .collect();
+        let b: Vec<(String, u64)> = (0..500)
+            .map(|i| (format!("k{:05}", i * 3), 1000 + i))
+            .collect();
         let sa: Source<'static> = Box::new(a.clone().into_iter().map(|(k, s)| {
-            Ok(Entry { key: k.into_bytes(), seq: s, value: Some(vec![]) })
+            Ok(Entry {
+                key: k.into_bytes(),
+                seq: s,
+                value: Some(vec![]),
+            })
         }));
         let sb: Source<'static> = Box::new(b.clone().into_iter().map(|(k, s)| {
-            Ok(Entry { key: k.into_bytes(), seq: s, value: Some(vec![]) })
+            Ok(Entry {
+                key: k.into_bytes(),
+                seq: s,
+                value: Some(vec![]),
+            })
         }));
         let got = keys_of(MergeIter::new(vec![sa, sb]));
         // Sorted...
         assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
         // ...deduped with source-0 priority on multiples of 6.
         let six = got.iter().find(|(k, _)| k == "k00006").unwrap();
-        assert!(six.1 >= 100 && six.1 < 1000, "rank-0 source must win, got seq {}", six.1);
+        assert!(
+            six.1 >= 100 && six.1 < 1000,
+            "rank-0 source must win, got seq {}",
+            six.1
+        );
         let expected: std::collections::BTreeSet<String> = a
             .iter()
             .map(|(k, _)| k.clone())

@@ -61,7 +61,9 @@ impl MemTable {
 
     /// Iterate all entries in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], u64, Option<&[u8]>)> {
-        self.map.iter().map(|(k, (s, v))| (k.as_slice(), *s, v.as_deref()))
+        self.map
+            .iter()
+            .map(|(k, (s, v))| (k.as_slice(), *s, v.as_deref()))
     }
 
     /// Iterate entries with keys in `[lo, hi)` style bounds.
@@ -127,7 +129,10 @@ mod tests {
             m.insert(vec![i], 1, Some(vec![i]));
         }
         let got: Vec<u8> = m
-            .range(StdBound::Included([3u8].as_slice()), StdBound::Excluded([7u8].as_slice()))
+            .range(
+                StdBound::Included([3u8].as_slice()),
+                StdBound::Excluded([7u8].as_slice()),
+            )
             .map(|(k, _, _)| k[0])
             .collect();
         assert_eq!(got, vec![3, 4, 5, 6]);

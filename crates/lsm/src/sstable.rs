@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use kvcsd_blockfs::{fs::FileId, BlockFs, LruCache};
 use kvcsd_sim::config::CostModel;
-use parking_lot::Mutex;
+use kvcsd_sim::sync::Mutex;
 
 use crate::bloom::BloomFilter;
 use crate::error::LsmError;
@@ -127,14 +127,18 @@ impl<'a> TableBuilder<'a> {
             self.first_key = Some(key.to_vec());
         }
 
-        let restart = self.entries_in_block % self.restart_interval == 0;
+        let restart = self.entries_in_block.is_multiple_of(self.restart_interval);
         if restart {
             self.restarts.push(self.block.len() as u32);
         }
         let shared = if restart {
             0
         } else {
-            self.prev_key.iter().zip(key).take_while(|(a, b)| a == b).count()
+            self.prev_key
+                .iter()
+                .zip(key)
+                .take_while(|(a, b)| a == b)
+                .count()
         };
         let non_shared = key.len() - shared;
         let (kind, vbytes): (u8, &[u8]) = match value {
@@ -142,8 +146,10 @@ impl<'a> TableBuilder<'a> {
             None => (KIND_DEL, &[]),
         };
         self.block.extend_from_slice(&(shared as u16).to_le_bytes());
-        self.block.extend_from_slice(&(non_shared as u16).to_le_bytes());
-        self.block.extend_from_slice(&(vbytes.len() as u32).to_le_bytes());
+        self.block
+            .extend_from_slice(&(non_shared as u16).to_le_bytes());
+        self.block
+            .extend_from_slice(&(vbytes.len() as u32).to_le_bytes());
         self.block.push(kind);
         self.block.extend_from_slice(&seq.to_le_bytes());
         self.block.extend_from_slice(&key[shared..]);
@@ -172,7 +178,8 @@ impl<'a> TableBuilder<'a> {
         for r in &self.restarts {
             self.block.extend_from_slice(&r.to_le_bytes());
         }
-        self.block.extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
+        self.block
+            .extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
         self.fs.append(self.file, &self.block)?;
         self.index.push(IndexEntry {
             last_key: self.last_key.clone(),
@@ -271,12 +278,16 @@ impl Table {
         let file = fs.open(path)?;
         let size = fs.len(file)?;
         if size < FOOTER_BYTES as u64 {
-            return Err(LsmError::Corruption(format!("{path}: too small for footer")));
+            return Err(LsmError::Corruption(format!(
+                "{path}: too small for footer"
+            )));
         }
         let footer = fs.read_exact_at(file, size - FOOTER_BYTES as u64, FOOTER_BYTES)?;
         let magic = u32::from_le_bytes(footer[32..36].try_into().unwrap());
         if magic != MAGIC {
-            return Err(LsmError::Corruption(format!("{path}: bad magic {magic:#x}")));
+            return Err(LsmError::Corruption(format!(
+                "{path}: bad magic {magic:#x}"
+            )));
         }
         let index_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
         let index_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
@@ -288,25 +299,47 @@ impl Table {
         let mut index = Vec::new();
         let mut p = 4usize;
         let n = u32::from_le_bytes(
-            index_bytes.get(0..4).ok_or_else(|| corrupt(path, "index header"))?.try_into().unwrap(),
+            index_bytes
+                .get(0..4)
+                .ok_or_else(|| corrupt(path, "index header"))?
+                .try_into()
+                .unwrap(),
         ) as usize;
         for _ in 0..n {
             let klen = u16::from_le_bytes(
-                index_bytes.get(p..p + 2).ok_or_else(|| corrupt(path, "index klen"))?.try_into().unwrap(),
+                index_bytes
+                    .get(p..p + 2)
+                    .ok_or_else(|| corrupt(path, "index klen"))?
+                    .try_into()
+                    .unwrap(),
             ) as usize;
             p += 2;
-            let last_key =
-                index_bytes.get(p..p + klen).ok_or_else(|| corrupt(path, "index key"))?.to_vec();
+            let last_key = index_bytes
+                .get(p..p + klen)
+                .ok_or_else(|| corrupt(path, "index key"))?
+                .to_vec();
             p += klen;
             let offset = u64::from_le_bytes(
-                index_bytes.get(p..p + 8).ok_or_else(|| corrupt(path, "index off"))?.try_into().unwrap(),
+                index_bytes
+                    .get(p..p + 8)
+                    .ok_or_else(|| corrupt(path, "index off"))?
+                    .try_into()
+                    .unwrap(),
             );
             p += 8;
             let len = u32::from_le_bytes(
-                index_bytes.get(p..p + 4).ok_or_else(|| corrupt(path, "index len"))?.try_into().unwrap(),
+                index_bytes
+                    .get(p..p + 4)
+                    .ok_or_else(|| corrupt(path, "index len"))?
+                    .try_into()
+                    .unwrap(),
             );
             p += 4;
-            index.push(IndexEntry { last_key, offset, len });
+            index.push(IndexEntry {
+                last_key,
+                offset,
+                len,
+            });
         }
 
         let filter = if filter_len > 0 {
@@ -354,8 +387,7 @@ impl Table {
         if raw.len() < 4 {
             return Err("block too small".into());
         }
-        let n_restarts =
-            u32::from_le_bytes(raw[raw.len() - 4..].try_into().unwrap()) as usize;
+        let n_restarts = u32::from_le_bytes(raw[raw.len() - 4..].try_into().unwrap()) as usize;
         let trailer = 4 + n_restarts * 4;
         if raw.len() < trailer {
             return Err("bad restart trailer".into());
@@ -457,7 +489,15 @@ impl Table {
         cost: &'t CostModel,
         cache: &'t BlockCache,
     ) -> TableIter<'t> {
-        TableIter { table: self, fs, cost, cache, block_ix: 0, block: None, pos: 0 }
+        TableIter {
+            table: self,
+            fs,
+            cost,
+            cache,
+            block_ix: 0,
+            block: None,
+            pos: 0,
+        }
     }
 
     /// Iterate from the first entry with key >= `lo`, skipping earlier
@@ -470,8 +510,15 @@ impl Table {
         lo: &[u8],
     ) -> TableIter<'t> {
         let start = self.index.partition_point(|e| e.last_key.as_slice() < lo) as u32;
-        let mut it =
-            TableIter { table: self, fs, cost, cache, block_ix: start, block: None, pos: 0 };
+        let mut it = TableIter {
+            table: self,
+            fs,
+            cost,
+            cache,
+            block_ix: start,
+            block: None,
+            pos: 0,
+        };
         // Position within the starting block.
         if (start as usize) < self.index.len() {
             if let Ok(block) = self.load_block(fs, cost, cache, start) {
@@ -522,7 +569,10 @@ impl Iterator for TableIter<'_> {
             if self.block_ix as usize >= self.table.block_count() {
                 return None;
             }
-            match self.table.load_block(self.fs, self.cost, self.cache, self.block_ix) {
+            match self
+                .table
+                .load_block(self.fs, self.cost, self.cache, self.block_ix)
+            {
                 Ok(b) => self.block = Some(b),
                 Err(e) => {
                     self.block_ix = u32::MAX; // poison
@@ -563,7 +613,8 @@ mod tests {
             if i % 10 == 3 {
                 b.add(&key(i), i as u64, None).unwrap(); // sprinkle tombstones
             } else {
-                b.add(&key(i), i as u64, Some(format!("value-{i}").as_bytes())).unwrap();
+                b.add(&key(i), i as u64, Some(format!("value-{i}").as_bytes()))
+                    .unwrap();
             }
         }
         b.finish().unwrap()
@@ -576,7 +627,10 @@ mod tests {
         assert_eq!(t.entry_count, 1000);
         assert_eq!(t.first_key, key(0));
         assert_eq!(t.last_key, key(999));
-        assert!(t.block_count() > 1, "1000 entries should span multiple blocks");
+        assert!(
+            t.block_count() > 1,
+            "1000 entries should span multiple blocks"
+        );
 
         let reopened = Table::open(&fs, "000001.sst", 1).unwrap();
         assert_eq!(reopened.entry_count, 1000);
@@ -595,7 +649,10 @@ mod tests {
             }
         }
         assert!(reopened.get(&fs, &cost, &cache, b"zzz").unwrap().is_none());
-        assert!(reopened.get(&fs, &cost, &cache, b"absent").unwrap().is_none());
+        assert!(reopened
+            .get(&fs, &cost, &cache, b"absent")
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -622,13 +679,19 @@ mod tests {
         let miss0 = ledger.custom("lsm_block_cache_miss");
         let mut negatives = 0;
         for i in 0..200 {
-            if t.get(&fs, &cost, &cache, format!("nope-{i}").as_bytes()).unwrap().is_none() {
+            if t.get(&fs, &cost, &cache, format!("nope-{i}").as_bytes())
+                .unwrap()
+                .is_none()
+            {
                 negatives += 1;
             }
         }
         assert_eq!(negatives, 200);
         let bloom_neg = ledger.custom("lsm_bloom_negative");
-        assert!(bloom_neg > 180, "bloom should reject most absent keys, got {bloom_neg}");
+        assert!(
+            bloom_neg > 180,
+            "bloom should reject most absent keys, got {bloom_neg}"
+        );
         // Bloom negatives never touch data blocks.
         assert!(ledger.custom("lsm_block_cache_miss") - miss0 <= (200 - bloom_neg) + 1);
     }
@@ -679,7 +742,10 @@ mod tests {
         let fs = fs();
         let f = fs.create("junk.sst").unwrap();
         fs.append(f, &[0u8; 100]).unwrap();
-        assert!(matches!(Table::open(&fs, "junk.sst", 1), Err(LsmError::Corruption(_))));
+        assert!(matches!(
+            Table::open(&fs, "junk.sst", 1),
+            Err(LsmError::Corruption(_))
+        ));
         let g = fs.create("short.sst").unwrap();
         fs.append(g, &[0u8; 10]).unwrap();
         assert!(Table::open(&fs, "short.sst", 2).is_err());
@@ -699,13 +765,23 @@ mod tests {
         // Highly shared prefixes.
         let mut b = TableBuilder::create(&fs, "a.sst", 1, 4096, 16, 0).unwrap();
         for i in 0..1000u32 {
-            b.add(format!("common/long/prefix/{i:08}").as_bytes(), 0, Some(b"x")).unwrap();
+            b.add(
+                format!("common/long/prefix/{i:08}").as_bytes(),
+                0,
+                Some(b"x"),
+            )
+            .unwrap();
         }
         let ta = b.finish().unwrap();
         // Same data but restart at every entry (no sharing).
         let mut b = TableBuilder::create(&fs, "b.sst", 2, 4096, 1, 0).unwrap();
         for i in 0..1000u32 {
-            b.add(format!("common/long/prefix/{i:08}").as_bytes(), 0, Some(b"x")).unwrap();
+            b.add(
+                format!("common/long/prefix/{i:08}").as_bytes(),
+                0,
+                Some(b"x"),
+            )
+            .unwrap();
         }
         let tb = b.finish().unwrap();
         assert!(

@@ -19,7 +19,10 @@ pub struct Version {
 
 impl Version {
     pub fn new(max_levels: usize) -> Self {
-        Self { l0: Vec::new(), levels: vec![Vec::new(); max_levels] }
+        Self {
+            l0: Vec::new(),
+            levels: vec![Vec::new(); max_levels],
+        }
     }
 
     /// Total file bytes at `level` (0 = L0).
@@ -43,7 +46,11 @@ impl Version {
 
     /// Total entries across all live tables.
     pub fn entry_count(&self) -> u64 {
-        self.l0.iter().chain(self.levels.iter().flatten()).map(|t| t.entry_count).sum()
+        self.l0
+            .iter()
+            .chain(self.levels.iter().flatten())
+            .map(|t| t.entry_count)
+            .sum()
     }
 
     /// Tables in a sorted level whose key range intersects `[first, last]`.
@@ -66,7 +73,11 @@ impl Version {
 
     /// Remove tables by id from `level`.
     pub fn remove_tables(&mut self, level: usize, ids: &[u64]) {
-        let v = if level == 0 { &mut self.l0 } else { &mut self.levels[level - 1] };
+        let v = if level == 0 {
+            &mut self.l0
+        } else {
+            &mut self.levels[level - 1]
+        };
         v.retain(|t| !ids.contains(&t.id));
     }
 
@@ -103,8 +114,7 @@ mod tests {
 
     fn table(fs: &BlockFs, id: u64, lo: u8, hi: u8) -> Arc<Table> {
         let path = format!("{id:06}.sst");
-        let mut b =
-            crate::sstable::TableBuilder::create(fs, &path, id, 4096, 16, 10).unwrap();
+        let mut b = crate::sstable::TableBuilder::create(fs, &path, id, 4096, 16, 10).unwrap();
         for k in lo..=hi {
             b.add(&[k], 1, Some(&[k])).unwrap();
         }

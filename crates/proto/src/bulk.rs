@@ -11,17 +11,17 @@
 //! `131072 / (6+16+32) = 2427` pairs of that shape — the same order of
 //! magnitude as the paper's 2570 (whose header encoding is unspecified).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
 
 /// Default bulk message capacity used by the client library (128 KiB).
 pub const DEFAULT_BULK_BYTES: usize = 128 * 1024;
 
 const ENTRY_HEADER: usize = 2 + 4;
 
-/// An immutable packed batch of key-value pairs.
+/// An immutable packed batch of key-value pairs. Clones share the buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BulkPayload {
-    buf: Bytes,
+    buf: Arc<[u8]>,
     entries: u32,
 }
 
@@ -42,7 +42,10 @@ impl BulkPayload {
 
     /// Iterate over `(key, value)` pairs without copying.
     pub fn iter(&self) -> BulkIter<'_> {
-        BulkIter { rest: &self.buf, remaining: self.entries }
+        BulkIter {
+            rest: &self.buf,
+            remaining: self.entries,
+        }
     }
 }
 
@@ -60,12 +63,13 @@ impl<'a> Iterator for BulkIter<'a> {
         if self.remaining == 0 {
             return None;
         }
-        let mut hdr = self.rest;
+        let hdr = self.rest;
         if hdr.len() < ENTRY_HEADER {
             return None; // corrupt payload; stop rather than panic
         }
-        let klen = hdr.get_u16() as usize;
-        let vlen = hdr.get_u32() as usize;
+        let klen = u16::from_be_bytes([hdr[0], hdr[1]]) as usize;
+        let vlen = u32::from_be_bytes([hdr[2], hdr[3], hdr[4], hdr[5]]) as usize;
+        let hdr = &hdr[ENTRY_HEADER..];
         if hdr.len() < klen + vlen {
             return None;
         }
@@ -80,7 +84,7 @@ impl<'a> Iterator for BulkIter<'a> {
 /// Incrementally packs pairs into a bounded bulk message.
 #[derive(Debug)]
 pub struct BulkBuilder {
-    buf: BytesMut,
+    buf: Vec<u8>,
     capacity: usize,
     entries: u32,
 }
@@ -88,7 +92,11 @@ pub struct BulkBuilder {
 impl BulkBuilder {
     /// A builder bounded at `capacity` wire bytes.
     pub fn new(capacity: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(capacity.min(1 << 20)), capacity, entries: 0 }
+        Self {
+            buf: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            entries: 0,
+        }
     }
 
     /// A builder with the paper's 128 KiB message size.
@@ -115,10 +123,12 @@ impl BulkBuilder {
         }
         debug_assert!(key.len() <= u16::MAX as usize);
         debug_assert!(value.len() <= u32::MAX as usize);
-        self.buf.put_u16(key.len() as u16);
-        self.buf.put_u32(value.len() as u32);
-        self.buf.put_slice(key);
-        self.buf.put_slice(value);
+        self.buf
+            .extend_from_slice(&(key.len() as u16).to_be_bytes());
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(key);
+        self.buf.extend_from_slice(value);
         self.entries += 1;
         true
     }
@@ -134,7 +144,10 @@ impl BulkBuilder {
 
     /// Seal the message.
     pub fn finish(self) -> BulkPayload {
-        BulkPayload { buf: self.buf.freeze(), entries: self.entries }
+        BulkPayload {
+            buf: self.buf.into(),
+            entries: self.entries,
+        }
     }
 }
 

@@ -46,6 +46,10 @@ pub enum KeyspaceState {
     Compacting,
     /// Sorted and indexed; queryable. Secondary indexes may be added.
     Compacted,
+    /// A background job hit a persistent media error. The keyspace is not
+    /// poisoned: its sealed logs remain intact, it stays deletable, and a
+    /// new compaction may be requested to retry from them.
+    Degraded,
 }
 
 impl KeyspaceState {
@@ -55,6 +59,7 @@ impl KeyspaceState {
             KeyspaceState::Writable => "WRITABLE",
             KeyspaceState::Compacting => "COMPACTING",
             KeyspaceState::Compacted => "COMPACTED",
+            KeyspaceState::Degraded => "DEGRADED",
         }
     }
 }
@@ -169,7 +174,11 @@ impl SidxKey {
             SidxKey::I64(v) => ((*v as u64) ^ 0x8000_0000_0000_0000).to_be_bytes().to_vec(),
             SidxKey::F32(v) => {
                 let bits = v.to_bits();
-                let mapped = if bits & 0x8000_0000 != 0 { !bits } else { bits | 0x8000_0000 };
+                let mapped = if bits & 0x8000_0000 != 0 {
+                    !bits
+                } else {
+                    bits | 0x8000_0000
+                };
                 mapped.to_be_bytes().to_vec()
             }
             SidxKey::F64(v) => {
@@ -190,24 +199,12 @@ impl SidxKey {
     /// for the index representation.
     pub fn from_value_bytes(ty: SecondaryKeyType, raw: &[u8]) -> Option<SidxKey> {
         match ty {
-            SecondaryKeyType::U32 => {
-                Some(SidxKey::U32(u32::from_le_bytes(raw.try_into().ok()?)))
-            }
-            SecondaryKeyType::I32 => {
-                Some(SidxKey::I32(i32::from_le_bytes(raw.try_into().ok()?)))
-            }
-            SecondaryKeyType::U64 => {
-                Some(SidxKey::U64(u64::from_le_bytes(raw.try_into().ok()?)))
-            }
-            SecondaryKeyType::I64 => {
-                Some(SidxKey::I64(i64::from_le_bytes(raw.try_into().ok()?)))
-            }
-            SecondaryKeyType::F32 => {
-                Some(SidxKey::F32(f32::from_le_bytes(raw.try_into().ok()?)))
-            }
-            SecondaryKeyType::F64 => {
-                Some(SidxKey::F64(f64::from_le_bytes(raw.try_into().ok()?)))
-            }
+            SecondaryKeyType::U32 => Some(SidxKey::U32(u32::from_le_bytes(raw.try_into().ok()?))),
+            SecondaryKeyType::I32 => Some(SidxKey::I32(i32::from_le_bytes(raw.try_into().ok()?))),
+            SecondaryKeyType::U64 => Some(SidxKey::U64(u64::from_le_bytes(raw.try_into().ok()?))),
+            SecondaryKeyType::I64 => Some(SidxKey::I64(i64::from_le_bytes(raw.try_into().ok()?))),
+            SecondaryKeyType::F32 => Some(SidxKey::F32(f32::from_le_bytes(raw.try_into().ok()?))),
+            SecondaryKeyType::F64 => Some(SidxKey::F64(f64::from_le_bytes(raw.try_into().ok()?))),
             SecondaryKeyType::Bytes => Some(SidxKey::Bytes(raw.to_vec())),
         }
     }
@@ -253,9 +250,16 @@ pub enum KvCommand {
     /// Enumerate live keyspaces.
     ListKeyspaces,
     /// Insert a single key-value pair.
-    Put { ks: KeyspaceId, key: Vec<u8>, value: Vec<u8> },
+    Put {
+        ks: KeyspaceId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
     /// Insert a packed batch of pairs in one 128 KB-class message.
-    BulkPut { ks: KeyspaceId, payload: BulkPayload },
+    BulkPut {
+        ks: KeyspaceId,
+        payload: BulkPayload,
+    },
     /// Explicit fsync: make the keyspace's buffered writes durable via
     /// the device WAL (no-op when the WAL is disabled).
     Flush { ks: KeyspaceId },
@@ -265,19 +269,40 @@ pub enum KvCommand {
     /// indexes in the same data pass (single-step index construction; the
     /// device falls back to separated construction when SoC DRAM is
     /// tight).
-    CompactAndIndex { ks: KeyspaceId, specs: Vec<SecondaryIndexSpec> },
+    CompactAndIndex {
+        ks: KeyspaceId,
+        specs: Vec<SecondaryIndexSpec>,
+    },
     /// Start offloaded secondary-index construction.
-    BuildSecondaryIndex { ks: KeyspaceId, spec: SecondaryIndexSpec },
+    BuildSecondaryIndex {
+        ks: KeyspaceId,
+        spec: SecondaryIndexSpec,
+    },
     /// Poll an asynchronous job.
     PollJob { job: JobId },
     /// Point query over the primary key.
     Get { ks: KeyspaceId, key: Vec<u8> },
     /// Range query over the primary key.
-    Range { ks: KeyspaceId, lo: Bound, hi: Bound, limit: Option<u64> },
+    Range {
+        ks: KeyspaceId,
+        lo: Bound,
+        hi: Bound,
+        limit: Option<u64>,
+    },
     /// Point query over a secondary index (returns full records).
-    SidxGet { ks: KeyspaceId, index: String, key: SidxKey },
+    SidxGet {
+        ks: KeyspaceId,
+        index: String,
+        key: SidxKey,
+    },
     /// Range query over a secondary index (returns full records).
-    SidxRange { ks: KeyspaceId, index: String, lo: Bound, hi: Bound, limit: Option<u64> },
+    SidxRange {
+        ks: KeyspaceId,
+        index: String,
+        lo: Bound,
+        hi: Bound,
+        limit: Option<u64>,
+    },
     /// Fetch keyspace metadata.
     Stat { ks: KeyspaceId },
 }
@@ -320,7 +345,10 @@ pub enum KvResponse {
     /// Keyspace created.
     Created { ks: KeyspaceId },
     /// Keyspace opened.
-    Opened { ks: KeyspaceId, state: KeyspaceState },
+    Opened {
+        ks: KeyspaceId,
+        state: KeyspaceState,
+    },
     /// Keyspace deleted.
     Deleted,
     /// Keyspace listing.
@@ -361,9 +389,7 @@ impl KvResponse {
                 | KvResponse::JobStarted { .. }
                 | KvResponse::Job { .. }
                 | KvResponse::Err(_) => 0,
-                KvResponse::Keyspaces(list) => {
-                    list.iter().map(|d| d.name.len() as u64 + 8).sum()
-                }
+                KvResponse::Keyspaces(list) => list.iter().map(|d| d.name.len() as u64 + 8).sum(),
                 KvResponse::Value(v) => v.len() as u64,
                 KvResponse::Entries(es) => {
                     es.iter().map(|(k, v)| (k.len() + v.len()) as u64 + 8).sum()
@@ -430,7 +456,17 @@ mod tests {
 
     #[test]
     fn sidx_f32_encoding_preserves_order() {
-        let vals = [f32::NEG_INFINITY, -1e30, -1.5, -0.0, 0.0, 1e-10, 2.5, 1e30, f32::INFINITY];
+        let vals = [
+            f32::NEG_INFINITY,
+            -1e30,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-10,
+            2.5,
+            1e30,
+            f32::INFINITY,
+        ];
         for w in vals.windows(2) {
             let (a, b) = (SidxKey::F32(w[0]).encode(), SidxKey::F32(w[1]).encode());
             if w[0] == w[1] {
@@ -444,7 +480,15 @@ mod tests {
 
     #[test]
     fn sidx_f64_encoding_preserves_order() {
-        let vals = [f64::NEG_INFINITY, -1e300, -2.5, 0.0, 3.25, 1e300, f64::INFINITY];
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            0.0,
+            3.25,
+            1e300,
+            f64::INFINITY,
+        ];
         for w in vals.windows(2) {
             assert!(SidxKey::F64(w[0]).encode() < SidxKey::F64(w[1]).encode());
         }
@@ -496,9 +540,16 @@ mod tests {
 
     #[test]
     fn wire_sizes_reflect_payloads() {
-        let get = KvCommand::Get { ks: 1, key: vec![0; 16] };
+        let get = KvCommand::Get {
+            ks: 1,
+            key: vec![0; 16],
+        };
         assert_eq!(get.wire_size(), CMD_HEADER_BYTES + 16);
-        let put = KvCommand::Put { ks: 1, key: vec![0; 16], value: vec![0; 32] };
+        let put = KvCommand::Put {
+            ks: 1,
+            key: vec![0; 16],
+            value: vec![0; 32],
+        };
         assert_eq!(put.wire_size(), CMD_HEADER_BYTES + 48);
         let resp = KvResponse::Value(vec![0; 32]);
         assert_eq!(resp.wire_size(), RESP_HEADER_BYTES + 32);

@@ -22,7 +22,7 @@ pub mod transport;
 
 pub use bulk::{BulkBuilder, BulkPayload, DEFAULT_BULK_BYTES};
 pub use command::{
-    Bound, JobId, JobState, KeyspaceDesc, KeyspaceState, KeyspaceStat, KvCommand, KvResponse,
+    Bound, JobId, JobState, KeyspaceDesc, KeyspaceStat, KeyspaceState, KvCommand, KvResponse,
     SecondaryIndexSpec, SecondaryKeyType, SidxKey,
 };
 pub use status::KvStatus;

@@ -11,7 +11,10 @@ pub enum KvStatus {
     KeyspaceExists,
     /// The keyspace is in a state that forbids the operation (e.g. PUT
     /// while COMPACTING, query before COMPACTED).
-    BadKeyspaceState { state: &'static str, op: &'static str },
+    BadKeyspaceState {
+        state: &'static str,
+        op: &'static str,
+    },
     /// The key was not found (point query miss).
     KeyNotFound,
     /// A key in the request is malformed (empty or oversized).
@@ -28,8 +31,24 @@ pub enum KvStatus {
     JobNotFound,
     /// Storage capacity exhausted.
     DeviceFull,
+    /// Transient device-side error (media soft error, busy channel): the
+    /// command did not execute and an identical retry may succeed.
+    TransientDeviceError(String),
+    /// Persistent media failure: retries will keep failing.
+    MediaError(String),
+    /// The device lost power mid-command; it must be power-cycled and
+    /// reopened before it will accept commands again.
+    PowerLoss,
     /// Internal device error (wraps a flash-layer message).
     Internal(String),
+}
+
+impl KvStatus {
+    /// True when an identical retry of the failed command may succeed.
+    /// This is the contract the client's `RetryPolicy` keys off.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, KvStatus::TransientDeviceError(_))
+    }
 }
 
 impl fmt::Display for KvStatus {
@@ -48,6 +67,11 @@ impl fmt::Display for KvStatus {
             KvStatus::BadIndexSpec => write!(f, "secondary index spec out of value bounds"),
             KvStatus::JobNotFound => write!(f, "background job not found"),
             KvStatus::DeviceFull => write!(f, "device full"),
+            KvStatus::TransientDeviceError(msg) => {
+                write!(f, "transient device error (retryable): {msg}")
+            }
+            KvStatus::MediaError(msg) => write!(f, "persistent media error: {msg}"),
+            KvStatus::PowerLoss => write!(f, "device power loss"),
             KvStatus::Internal(msg) => write!(f, "internal device error: {msg}"),
         }
     }
@@ -65,13 +89,30 @@ mod tests {
             (KvStatus::KeyspaceNotFound, "keyspace not found"),
             (KvStatus::KeyNotFound, "key not found"),
             (
-                KvStatus::BadKeyspaceState { state: "COMPACTING", op: "put" },
+                KvStatus::BadKeyspaceState {
+                    state: "COMPACTING",
+                    op: "put",
+                },
                 "put invalid in keyspace state COMPACTING",
             ),
             (KvStatus::Internal("zone fault".into()), "zone fault"),
         ];
         for (s, needle) in cases {
             assert!(s.to_string().contains(needle), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn retryability_split() {
+        assert!(KvStatus::TransientDeviceError("soft".into()).is_retryable());
+        for fatal in [
+            KvStatus::MediaError("die".into()),
+            KvStatus::PowerLoss,
+            KvStatus::DeviceFull,
+            KvStatus::KeyNotFound,
+            KvStatus::Internal("x".into()),
+        ] {
+            assert!(!fatal.is_retryable(), "{fatal:?}");
         }
     }
 }

@@ -81,14 +81,21 @@ mod tests {
     #[test]
     fn execute_routes_to_device() {
         let qp = qp();
-        let resp = qp.execute(KvCommand::Get { ks: 0, key: vec![1, 2, 3] });
+        let resp = qp.execute(KvCommand::Get {
+            ks: 0,
+            key: vec![1, 2, 3],
+        });
         assert_eq!(resp, KvResponse::Value(vec![1, 2, 3]));
     }
 
     #[test]
     fn dma_accounting_per_command() {
         let qp = qp();
-        let cmd = KvCommand::Put { ks: 0, key: vec![0; 16], value: vec![0; 32] };
+        let cmd = KvCommand::Put {
+            ks: 0,
+            key: vec![0; 16],
+            value: vec![0; 32],
+        };
         let cmd_bytes = cmd.wire_size();
         qp.execute(cmd);
         let s = qp.ledger().snapshot();
@@ -101,17 +108,31 @@ mod tests {
     #[test]
     fn response_payload_bytes_are_charged() {
         let qp = qp();
-        qp.execute(KvCommand::Get { ks: 0, key: vec![7; 100] });
+        qp.execute(KvCommand::Get {
+            ks: 0,
+            key: vec![7; 100],
+        });
         let s = qp.ledger().snapshot();
-        assert_eq!(s.pcie_d2h_bytes, KvResponse::Value(vec![7; 100]).wire_size());
+        assert_eq!(
+            s.pcie_d2h_bytes,
+            KvResponse::Value(vec![7; 100]).wire_size()
+        );
     }
 
     #[test]
     fn clones_share_ledger() {
         let qp1 = qp();
         let qp2 = qp1.clone();
-        qp1.execute(KvCommand::Put { ks: 0, key: vec![1], value: vec![2] });
-        qp2.execute(KvCommand::Put { ks: 0, key: vec![1], value: vec![2] });
+        qp1.execute(KvCommand::Put {
+            ks: 0,
+            key: vec![1],
+            value: vec![2],
+        });
+        qp2.execute(KvCommand::Put {
+            ks: 0,
+            key: vec![1],
+            value: vec![2],
+        });
         assert_eq!(qp1.ledger().snapshot().pcie_msgs, 2);
     }
 }

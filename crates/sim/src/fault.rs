@@ -1,0 +1,413 @@
+//! Deterministic fault injection for the simulated flash stack.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong — per-op-class error
+//! probabilities, a scheduled power cut at the N-th flash operation (or at
+//! every k-th), whether injected errors are transient or persistent, and
+//! whether a power cut mid-program leaves a torn page. A [`FaultInjector`]
+//! executes the plan: every NAND read/program/erase and every ZNS append
+//! consults it, and the injector's decisions are a pure function of the
+//! plan's seed and the operation sequence — the same seed over the same
+//! workload reproduces the identical failure schedule, which is what makes
+//! crash-recovery failures debuggable instead of flaky.
+//!
+//! The injector deliberately lives in `kvcsd-sim`, below every store: the
+//! flash layer threads it through, the device layer only ever *observes*
+//! typed errors, and tests own the schedule.
+
+use crate::rng::XorShift64;
+use crate::sync::Mutex;
+
+/// Class of a flash-stack operation, as seen by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    NandRead,
+    NandProgram,
+    NandErase,
+    ZnsAppend,
+}
+
+impl OpClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::NandRead => "nand-read",
+            OpClass::NandProgram => "nand-program",
+            OpClass::NandErase => "nand-erase",
+            OpClass::ZnsAppend => "zns-append",
+        }
+    }
+}
+
+/// What the injector decided for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Proceed normally.
+    Ok,
+    /// Fail with a transient error: the operation did not happen and an
+    /// identical retry may succeed.
+    Transient,
+    /// Fail with a persistent error: retrying is pointless.
+    Persistent,
+    /// Power is cut *at* this operation. For a program op,
+    /// `torn_prefix_bytes` is `Some(n)` when the page was torn mid-write:
+    /// the first `n` bytes of the payload became durable, the rest did not
+    /// (the page still counts as programmed). `None` means the operation
+    /// was cleanly lost.
+    PowerCut { torn_prefix_bytes: Option<usize> },
+    /// Power is already off; every operation fails until
+    /// [`FaultInjector::power_restore`].
+    PoweredOff,
+}
+
+/// One injected event, for reproducibility auditing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// 1-based index of the flash operation the event fired on.
+    pub op: u64,
+    pub class: OpClass,
+    pub kind: FaultKind,
+}
+
+/// Kind of an injected event (the non-`Ok` decisions, minus `PoweredOff`
+/// which is a consequence, not an event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    Transient,
+    Persistent,
+    PowerCut,
+}
+
+/// Declarative description of the faults to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic draw the injector makes.
+    pub seed: u64,
+    /// Per-op probability of an injected error, by class.
+    pub read_error_prob: f64,
+    pub program_error_prob: f64,
+    pub erase_error_prob: f64,
+    pub append_error_prob: f64,
+    /// Fraction of injected errors that are persistent (the rest are
+    /// transient). 0.0 = all transient, 1.0 = all persistent.
+    pub persistent_fraction: f64,
+    /// Cut power at this absolute (1-based) flash-operation index.
+    pub power_cut_at: Option<u64>,
+    /// After each restore, cut power again every `k` further operations.
+    pub power_cut_every: Option<u64>,
+    /// Whether a power cut landing on a program leaves a torn page
+    /// (a durable prefix of the payload) instead of cleanly losing the op.
+    pub torn_writes: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the injector becomes a pure op counter).
+    pub fn none() -> Self {
+        Self {
+            seed: 1,
+            read_error_prob: 0.0,
+            program_error_prob: 0.0,
+            erase_error_prob: 0.0,
+            append_error_prob: 0.0,
+            persistent_fraction: 0.0,
+            power_cut_at: None,
+            power_cut_every: None,
+            torn_writes: false,
+        }
+    }
+
+    /// A plan that cuts power at the `n`-th flash operation (torn writes
+    /// enabled — the harsher, more realistic crash model).
+    pub fn power_cut_at(n: u64, seed: u64) -> Self {
+        Self {
+            seed,
+            power_cut_at: Some(n),
+            torn_writes: true,
+            ..Self::none()
+        }
+    }
+
+    /// A plan that cuts power at every `k`-th flash operation, resuming
+    /// the count after each [`FaultInjector::power_restore`].
+    pub fn power_cut_every(k: u64, seed: u64) -> Self {
+        Self {
+            seed,
+            power_cut_every: Some(k),
+            torn_writes: true,
+            ..Self::none()
+        }
+    }
+
+    /// Set one uniform error probability across all op classes.
+    pub fn with_error_prob(mut self, p: f64) -> Self {
+        self.read_error_prob = p;
+        self.program_error_prob = p;
+        self.erase_error_prob = p;
+        self.append_error_prob = p;
+        self
+    }
+
+    pub fn with_persistent_fraction(mut self, f: f64) -> Self {
+        self.persistent_fraction = f;
+        self
+    }
+
+    fn error_prob(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::NandRead => self.read_error_prob,
+            OpClass::NandProgram => self.program_error_prob,
+            OpClass::NandErase => self.erase_error_prob,
+            OpClass::ZnsAppend => self.append_error_prob,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: XorShift64,
+    /// Flash operations observed so far (NAND reads/programs/erases; ZNS
+    /// appends are compound and do not advance the counter themselves).
+    ops: u64,
+    /// Next absolute op index at which power is cut, if any.
+    next_cut: Option<u64>,
+    powered_off: bool,
+    log: Vec<FaultEvent>,
+}
+
+/// Executes a [`FaultPlan`]; shared (via `Arc`) by the whole flash stack.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Self {
+        let next_cut = plan.power_cut_at.or(plan.power_cut_every);
+        let state = InjectorState {
+            rng: XorShift64::new(plan.seed),
+            ops: 0,
+            next_cut,
+            powered_off: false,
+            log: Vec::new(),
+        };
+        Self {
+            plan,
+            state: Mutex::new(state),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Consult the injector for one operation. `payload_len` is the byte
+    /// length a program/append would make durable (used to size torn
+    /// prefixes); pass 0 for reads and erases.
+    pub fn decide(&self, class: OpClass, payload_len: usize) -> FaultDecision {
+        let mut st = self.state.lock();
+        if st.powered_off {
+            return FaultDecision::PoweredOff;
+        }
+        // ZNS appends decompose into NAND programs, which advance the
+        // counter; the append-level hook only draws for its own error
+        // probability so cuts are not double counted.
+        if class != OpClass::ZnsAppend {
+            st.ops += 1;
+            if Some(st.ops) == st.next_cut {
+                st.powered_off = true;
+                let torn =
+                    if self.plan.torn_writes && class == OpClass::NandProgram && payload_len > 0 {
+                        // A strict prefix: at least 0, at most len-1 bytes land.
+                        Some(st.rng.next_below(payload_len as u64) as usize)
+                    } else {
+                        None
+                    };
+                let op = st.ops;
+                st.log.push(FaultEvent {
+                    op,
+                    class,
+                    kind: FaultKind::PowerCut,
+                });
+                return FaultDecision::PowerCut {
+                    torn_prefix_bytes: torn,
+                };
+            }
+        }
+        let p = self.plan.error_prob(class);
+        if p > 0.0 && st.rng.next_f64() < p {
+            let persistent = self.plan.persistent_fraction > 0.0
+                && st.rng.next_f64() < self.plan.persistent_fraction;
+            let (op, kind) = (
+                st.ops,
+                if persistent {
+                    FaultKind::Persistent
+                } else {
+                    FaultKind::Transient
+                },
+            );
+            st.log.push(FaultEvent { op, class, kind });
+            return if persistent {
+                FaultDecision::Persistent
+            } else {
+                FaultDecision::Transient
+            };
+        }
+        FaultDecision::Ok
+    }
+
+    /// Restore power after a cut; schedules the next periodic cut if the
+    /// plan has one.
+    pub fn power_restore(&self) {
+        let mut st = self.state.lock();
+        st.powered_off = false;
+        st.next_cut = match (self.plan.power_cut_every, st.next_cut) {
+            (Some(k), _) => Some(st.ops + k),
+            (None, Some(n)) if n > st.ops => Some(n),
+            _ => None,
+        };
+    }
+
+    /// True while the simulated device is without power.
+    pub fn is_powered_off(&self) -> bool {
+        self.state.lock().powered_off
+    }
+
+    /// Flash operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// Every non-`Ok` decision made so far, in order — the failure
+    /// schedule. Equal plans over equal workloads produce equal logs.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.state.lock().log.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        for _ in 0..1000 {
+            assert_eq!(inj.decide(OpClass::NandProgram, 4096), FaultDecision::Ok);
+        }
+        assert_eq!(inj.ops(), 1000);
+        assert!(inj.events().is_empty());
+    }
+
+    #[test]
+    fn power_cut_fires_exactly_at_n() {
+        let inj = FaultInjector::new(FaultPlan::power_cut_at(5, 42));
+        for _ in 0..4 {
+            assert_eq!(inj.decide(OpClass::NandRead, 0), FaultDecision::Ok);
+        }
+        match inj.decide(OpClass::NandProgram, 4096) {
+            FaultDecision::PowerCut {
+                torn_prefix_bytes: Some(n),
+            } => assert!(n < 4096),
+            d => panic!("expected torn power cut, got {d:?}"),
+        }
+        // Everything fails until power returns.
+        assert_eq!(inj.decide(OpClass::NandRead, 0), FaultDecision::PoweredOff);
+        assert_eq!(
+            inj.decide(OpClass::ZnsAppend, 100),
+            FaultDecision::PoweredOff
+        );
+        assert!(inj.is_powered_off());
+        inj.power_restore();
+        assert_eq!(inj.decide(OpClass::NandRead, 0), FaultDecision::Ok);
+    }
+
+    #[test]
+    fn periodic_cuts_resume_after_restore() {
+        let inj = FaultInjector::new(FaultPlan::power_cut_every(3, 7));
+        let mut cuts = Vec::new();
+        for _ in 0..4 {
+            loop {
+                match inj.decide(OpClass::NandProgram, 64) {
+                    FaultDecision::PowerCut { .. } => {
+                        cuts.push(inj.ops());
+                        inj.power_restore();
+                        break;
+                    }
+                    FaultDecision::Ok => {}
+                    d => panic!("{d:?}"),
+                }
+            }
+        }
+        assert_eq!(cuts, vec![3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn cut_on_read_is_clean_not_torn() {
+        let inj = FaultInjector::new(FaultPlan::power_cut_at(1, 9));
+        assert_eq!(
+            inj.decide(OpClass::NandRead, 0),
+            FaultDecision::PowerCut {
+                torn_prefix_bytes: None
+            }
+        );
+    }
+
+    #[test]
+    fn error_probabilities_are_deterministic_and_classful() {
+        let plan = FaultPlan {
+            seed: 99,
+            ..FaultPlan::none()
+        }
+        .with_error_prob(0.3)
+        .with_persistent_fraction(0.5);
+        let run = |plan: FaultPlan| {
+            let inj = FaultInjector::new(plan);
+            let mut out = Vec::new();
+            for i in 0..500u32 {
+                let class = match i % 3 {
+                    0 => OpClass::NandRead,
+                    1 => OpClass::NandProgram,
+                    _ => OpClass::NandErase,
+                };
+                out.push(inj.decide(class, 128));
+            }
+            (out, inj.events())
+        };
+        let (a, ea) = run(plan.clone());
+        let (b, eb) = run(plan);
+        assert_eq!(a, b, "same seed must reproduce the identical schedule");
+        assert_eq!(ea, eb);
+        assert!(a.contains(&FaultDecision::Transient));
+        assert!(a.contains(&FaultDecision::Persistent));
+        assert!(a.contains(&FaultDecision::Ok));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            let inj = FaultInjector::new(
+                FaultPlan {
+                    seed,
+                    ..FaultPlan::none()
+                }
+                .with_error_prob(0.2),
+            );
+            (0..200)
+                .map(|_| inj.decide(OpClass::NandProgram, 64))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn zns_append_does_not_advance_cut_counter() {
+        let inj = FaultInjector::new(FaultPlan::power_cut_at(2, 5));
+        assert_eq!(inj.decide(OpClass::ZnsAppend, 64), FaultDecision::Ok);
+        assert_eq!(inj.decide(OpClass::NandProgram, 64), FaultDecision::Ok);
+        assert_eq!(inj.ops(), 1);
+        assert!(matches!(
+            inj.decide(OpClass::NandProgram, 64),
+            FaultDecision::PowerCut { .. }
+        ));
+    }
+}

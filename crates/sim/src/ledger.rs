@@ -7,7 +7,7 @@
 //! 7b and 10b of the paper are direct dumps of these counters; the
 //! [`crate::TimeModel`] turns ledger deltas into phase times.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -61,12 +61,14 @@ impl IoLedger {
 
     /// Charge `ns` of host-core CPU work.
     pub fn charge_host_cpu(&self, ns: f64) {
-        self.host_cpu_ns.fetch_add(ns.max(0.0) as u64, Ordering::Relaxed);
+        self.host_cpu_ns
+            .fetch_add(ns.max(0.0) as u64, Ordering::Relaxed);
     }
 
     /// Charge `ns` of SoC-core CPU work (already scaled by `soc_slowdown`).
     pub fn charge_soc_cpu(&self, ns: f64) {
-        self.soc_cpu_ns.fetch_add(ns.max(0.0) as u64, Ordering::Relaxed);
+        self.soc_cpu_ns
+            .fetch_add(ns.max(0.0) as u64, Ordering::Relaxed);
     }
 
     /// Record a host-to-device DMA transfer of `bytes` within one message.
@@ -116,9 +118,9 @@ impl IoLedger {
     }
 
     /// Occupy the host-to-NAND *bridge* for `ns`. The baseline reaches
-    /// the SSD as a block device through the CSD's SoC (PCIe x4 back-link
-    /// + ext4 block path) — a shared serial resource that KV-CSD's
-    /// on-device store bypasses entirely.
+    /// the SSD as a block device through the CSD's SoC (PCIe x4
+    /// back-link plus the ext4 block path) — a shared serial resource
+    /// that KV-CSD's on-device store bypasses entirely.
     pub fn bridge_busy(&self, ns: u64) {
         self.bridge_busy_ns.fetch_add(ns, Ordering::Relaxed);
     }

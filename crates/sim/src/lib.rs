@@ -21,14 +21,17 @@
 
 pub mod clock;
 pub mod config;
+pub mod fault;
 pub mod ledger;
 pub mod model;
 pub mod phase;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 
 pub use clock::VirtualClock;
 pub use config::{CostModel, HardwareSpec};
+pub use fault::{FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultPlan, OpClass};
 pub use ledger::{IoLedger, LedgerSnapshot};
 pub use model::{PhaseTime, TimeModel};
 pub use phase::PhaseRunner;

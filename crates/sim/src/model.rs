@@ -57,13 +57,16 @@ impl PhaseTime {
         ];
         pairs
             .iter()
-            .fold(("idle", 0.0_f64), |acc, (t, name)| {
-                if *t > acc.1 {
-                    (name, *t)
-                } else {
-                    acc
-                }
-            })
+            .fold(
+                ("idle", 0.0_f64),
+                |acc, (t, name)| {
+                    if *t > acc.1 {
+                        (name, *t)
+                    } else {
+                        acc
+                    }
+                },
+            )
             .0
     }
 }
@@ -99,7 +102,11 @@ impl TimeModel {
         let ssd_s = work.max_channel_busy_ns() as f64 / 1e9;
         let bridge_s = work.bridge_busy_ns as f64 / 1e9;
 
-        let elapsed_s = host_cpu_s.max(soc_cpu_s).max(pcie_s).max(ssd_s).max(bridge_s);
+        let elapsed_s = host_cpu_s
+            .max(soc_cpu_s)
+            .max(pcie_s)
+            .max(ssd_s)
+            .max(bridge_s);
         PhaseTime {
             host_cpu_s,
             soc_cpu_s,

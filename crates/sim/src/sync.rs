@@ -1,0 +1,115 @@
+//! Thin synchronization wrappers with a `parking_lot`-style API over
+//! `std::sync`, so the rest of the workspace builds without external
+//! crates. `lock()` returns the guard directly; a poisoned lock is
+//! recovered rather than propagated — the simulation's invariants are
+//! re-checked by the callers, and propagating poison would only turn one
+//! test panic into a cascade.
+
+use std::sync::{self, LockResult};
+
+/// Mutual exclusion primitive; `lock()` never returns a `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+fn recover<G>(r: LockResult<G>) -> G {
+    r.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        recover(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        recover(self.0.lock())
+    }
+
+    pub fn try_lock(&self) -> Option<sync::MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.0.get_mut())
+    }
+}
+
+/// Reader-writer lock; `read()`/`write()` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        recover(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        recover(self.0.read())
+    }
+
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        recover(self.0.write())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.0.get_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+}

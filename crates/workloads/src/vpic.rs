@@ -64,7 +64,12 @@ pub struct VpicDump {
 
 impl VpicDump {
     pub fn new(particles: u64, files: u32, seed: u64) -> Self {
-        Self { particles, files, mean_energy: 1.0, seed }
+        Self {
+            particles,
+            files,
+            mean_energy: 1.0,
+            seed,
+        }
     }
 
     /// Particles in shard `file` (the last shard absorbs the remainder).
@@ -99,7 +104,7 @@ impl VpicDump {
             *a = clt as f32;
         }
         attrs[6] = (0.5 + rng.next_f64()) as f32; // statistical weight
-        // Exponential energy: -mean * ln(1-u).
+                                                  // Exponential energy: -mean * ln(1-u).
         let u = rng.next_f64();
         attrs[ENERGY_ATTR] = (-self.mean_energy * (1.0 - u).ln().max(-60.0)) as f32;
         Particle { id, attrs }
@@ -175,7 +180,10 @@ mod tests {
         let energies: Vec<f32> = (0..50_000).map(|g| d.particle(g).energy()).collect();
         assert!(energies.iter().all(|&e| e >= 0.0));
         let mean: f64 = energies.iter().map(|&e| e as f64).sum::<f64>() / 50_000.0;
-        assert!((mean - 1.0).abs() < 0.05, "mean energy {mean} should be ~1.0");
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "mean energy {mean} should be ~1.0"
+        );
     }
 
     #[test]
@@ -197,7 +205,11 @@ mod tests {
         let d = VpicDump::new(10, 2, 9);
         let p = d.particle(3);
         let payload = p.payload();
-        let e = f32::from_le_bytes(payload[ENERGY_OFFSET..ENERGY_OFFSET + 4].try_into().unwrap());
+        let e = f32::from_le_bytes(
+            payload[ENERGY_OFFSET..ENERGY_OFFSET + 4]
+                .try_into()
+                .unwrap(),
+        );
         assert_eq!(e, p.energy());
     }
 

@@ -29,9 +29,15 @@ fn main() {
     let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
     let nand = Arc::new(NandArray::new(geom, &cfg.hw, Arc::clone(&ledger)));
     let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
-    let device = Arc::new(KvCsdDevice::new(zns, cfg.cost.clone(), DeviceConfig::default()));
-    let client =
-        KvCsd::connect(Arc::clone(&device) as Arc<dyn DeviceHandler>, Arc::clone(&ledger));
+    let device = Arc::new(KvCsdDevice::new(
+        zns,
+        cfg.cost.clone(),
+        DeviceConfig::default(),
+    ));
+    let client = KvCsd::connect(
+        Arc::clone(&device) as Arc<dyn DeviceHandler>,
+        Arc::clone(&ledger),
+    );
 
     let free_at_start = device.zone_manager().free_zones();
     println!("device has {free_at_start} free zones\n");
@@ -45,8 +51,11 @@ fn main() {
         for i in 0..5_000u32 {
             // Identical key names across tenants: "keys within a keyspace
             // must be unique while across keyspaces keys can be reused".
-            bulk.put(format!("record/{i:05}").as_bytes(), format!("{name}-{i}").as_bytes())
-                .unwrap();
+            bulk.put(
+                format!("record/{i:05}").as_bytes(),
+                format!("{name}-{i}").as_bytes(),
+            )
+            .unwrap();
         }
         bulk.finish().unwrap();
         ks.compact().unwrap();
@@ -78,7 +87,10 @@ fn main() {
 
     // Survivors are untouched.
     for (ks, name) in sessions.iter().zip(tenants) {
-        assert!(ks.get(b"record/04999").unwrap().starts_with(name.as_bytes()));
+        assert!(ks
+            .get(b"record/04999")
+            .unwrap()
+            .starts_with(name.as_bytes()));
     }
     println!("remaining tenants verified intact.");
 }

@@ -49,7 +49,8 @@ impl ShimFs {
         for (ix, chunk) in data.chunks(CHUNK).enumerate() {
             bulk.put(&Self::chunk_key(path, ix as u32), chunk).unwrap();
         }
-        bulk.put(&Self::meta_key(path), &(data.len() as u64).to_le_bytes()).unwrap();
+        bulk.put(&Self::meta_key(path), &(data.len() as u64).to_le_bytes())
+            .unwrap();
     }
 
     /// "open + read" — one range query per file, processed on the device.
@@ -90,9 +91,15 @@ fn main() {
     let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
     let nand = Arc::new(NandArray::new(geom, &cfg.hw, Arc::clone(&ledger)));
     let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
-    let device = Arc::new(KvCsdDevice::new(zns, cfg.cost.clone(), DeviceConfig::default()));
-    let client =
-        KvCsd::connect(Arc::clone(&device) as Arc<dyn DeviceHandler>, Arc::clone(&ledger));
+    let device = Arc::new(KvCsdDevice::new(
+        zns,
+        cfg.cost.clone(),
+        DeviceConfig::default(),
+    ));
+    let client = KvCsd::connect(
+        Arc::clone(&device) as Arc<dyn DeviceHandler>,
+        Arc::clone(&ledger),
+    );
 
     let ks = client.create_keyspace("shimfs").unwrap();
     let fs = ShimFs { ks: ks.clone() };
@@ -126,5 +133,7 @@ fn main() {
 }
 
 fn pattern(n: usize, seed: u8) -> Vec<u8> {
-    (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }

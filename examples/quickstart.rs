@@ -26,7 +26,11 @@ fn main() {
     let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
     let nand = Arc::new(NandArray::new(geom, &cfg.hw, Arc::clone(&ledger)));
     let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
-    let device = Arc::new(KvCsdDevice::new(zns, cfg.cost.clone(), DeviceConfig::default()));
+    let device = Arc::new(KvCsdDevice::new(
+        zns,
+        cfg.cost.clone(),
+        DeviceConfig::default(),
+    ));
 
     // 2. Connect the lightweight client library.
     let client = KvCsd::connect(
@@ -35,7 +39,9 @@ fn main() {
     );
 
     // 3. Create a keyspace and bulk-insert some pairs.
-    let ks = client.create_keyspace("quickstart").expect("create keyspace");
+    let ks = client
+        .create_keyspace("quickstart")
+        .expect("create keyspace");
     let mut bulk = ks.bulk_writer();
     for i in 0..10_000u32 {
         let key = format!("sensor/{i:06}");
@@ -48,7 +54,11 @@ fn main() {
     // 4. Invoke deferred compaction. The command returns immediately; the
     //    device sorts and indexes in the background.
     let job = ks.compact().expect("compact");
-    println!("compaction job {:?} started (state: {:?})", job.id(), job.poll().unwrap());
+    println!(
+        "compaction job {:?} started (state: {:?})",
+        job.id(),
+        job.poll().unwrap()
+    );
     device.run_pending_jobs(); // the device working asynchronously
     println!("compaction finished (state: {:?})", job.poll().unwrap());
 
@@ -63,9 +73,16 @@ fn main() {
             None,
         )
         .expect("range");
-    println!("range sensor/000100..000105 returned {} records:", entries.len());
+    println!(
+        "range sensor/000100..000105 returned {} records:",
+        entries.len()
+    );
     for (k, v) in &entries {
-        println!("  {} -> {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
+        println!(
+            "  {} -> {}",
+            String::from_utf8_lossy(k),
+            String::from_utf8_lossy(v)
+        );
     }
 
     // 6. Show what crossed the PCIe bus vs. what the device did in place.

@@ -35,16 +35,24 @@ fn main() {
     let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
     let nand = Arc::new(NandArray::new(geom, &cfg.hw, Arc::clone(&ledger)));
     let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
-    let device = Arc::new(KvCsdDevice::new(zns, cfg.cost.clone(), DeviceConfig::default()));
-    let client =
-        KvCsd::connect(Arc::clone(&device) as Arc<dyn DeviceHandler>, Arc::clone(&ledger));
+    let device = Arc::new(KvCsdDevice::new(
+        zns,
+        cfg.cost.clone(),
+        DeviceConfig::default(),
+    ));
+    let client = KvCsd::connect(
+        Arc::clone(&device) as Arc<dyn DeviceHandler>,
+        Arc::clone(&ledger),
+    );
 
     // --- Simulation output phase -------------------------------------------
     // One keyspace per dump file, as the paper's loader does.
     println!("loading {particles} particles from {files} shards...");
     let mut keyspaces = Vec::new();
     for f in 0..files {
-        let ks = client.create_keyspace(&format!("timestep-0042/file-{f:02}")).unwrap();
+        let ks = client
+            .create_keyspace(&format!("timestep-0042/file-{f:02}"))
+            .unwrap();
         let mut bulk = ks.bulk_writer();
         for p in dump.shard(f) {
             bulk.put(&p.id, &p.payload()).unwrap();
@@ -85,8 +93,12 @@ fn main() {
                 )
                 .unwrap();
             for (id, payload) in &records {
-                let e = f32::from_le_bytes(payload[ENERGY_OFFSET..ENERGY_OFFSET + 4].try_into().unwrap());
-                if hottest.as_ref().map_or(true, |(he, _)| e > *he) {
+                let e = f32::from_le_bytes(
+                    payload[ENERGY_OFFSET..ENERGY_OFFSET + 4]
+                        .try_into()
+                        .unwrap(),
+                );
+                if hottest.as_ref().is_none_or(|(he, _)| e > *he) {
                     hottest = Some((e, id.clone()));
                 }
             }

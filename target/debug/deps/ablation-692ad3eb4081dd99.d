@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-692ad3eb4081dd99.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-692ad3eb4081dd99: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1f72ceae6842ee19.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1f72ceae6842ee19: tests/end_to_end.rs
+
+tests/end_to_end.rs:

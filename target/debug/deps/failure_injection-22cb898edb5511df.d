@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-22cb898edb5511df.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-22cb898edb5511df: tests/failure_injection.rs
+
+tests/failure_injection.rs:

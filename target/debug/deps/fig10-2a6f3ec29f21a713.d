@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-2a6f3ec29f21a713.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-2a6f3ec29f21a713: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-72bf72e83dcc72ab.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-72bf72e83dcc72ab: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

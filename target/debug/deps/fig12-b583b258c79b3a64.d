@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-b583b258c79b3a64.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-b583b258c79b3a64: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

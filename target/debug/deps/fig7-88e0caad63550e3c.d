@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-88e0caad63550e3c.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-88e0caad63550e3c: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

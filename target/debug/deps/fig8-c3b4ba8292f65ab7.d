@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c3b4ba8292f65ab7.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c3b4ba8292f65ab7: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

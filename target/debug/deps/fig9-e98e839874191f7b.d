@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-e98e839874191f7b.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-e98e839874191f7b: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

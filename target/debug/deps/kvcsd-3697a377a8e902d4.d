@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kvcsd-3697a377a8e902d4.d: src/lib.rs
+
+/root/repo/target/debug/deps/kvcsd-3697a377a8e902d4: src/lib.rs
+
+src/lib.rs:

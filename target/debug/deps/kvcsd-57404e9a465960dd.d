@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvcsd-57404e9a465960dd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd-57404e9a465960dd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

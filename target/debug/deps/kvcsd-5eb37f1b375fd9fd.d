@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvcsd-5eb37f1b375fd9fd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd-5eb37f1b375fd9fd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kvcsd-ded41abff830ca01.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkvcsd-ded41abff830ca01.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libkvcsd-ded41abff830ca01.rmeta: src/lib.rs
+
+src/lib.rs:

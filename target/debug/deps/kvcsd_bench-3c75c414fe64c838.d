@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/kvcsd_bench-3c75c414fe64c838.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_bench-3c75c414fe64c838.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/baseline.rs:
+crates/bench/src/kvcsd.rs:
+crates/bench/src/report.rs:
+crates/bench/src/testbed.rs:
+crates/bench/src/vpic_exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

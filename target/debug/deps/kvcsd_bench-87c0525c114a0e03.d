@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kvcsd_bench-87c0525c114a0e03.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs
+
+/root/repo/target/debug/deps/kvcsd_bench-87c0525c114a0e03: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/baseline.rs:
+crates/bench/src/kvcsd.rs:
+crates/bench/src/report.rs:
+crates/bench/src/testbed.rs:
+crates/bench/src/vpic_exp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/kvcsd_bench-c20ede02b7878f36.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs
+
+/root/repo/target/debug/deps/libkvcsd_bench-c20ede02b7878f36.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs
+
+/root/repo/target/debug/deps/libkvcsd_bench-c20ede02b7878f36.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/baseline.rs:
+crates/bench/src/kvcsd.rs:
+crates/bench/src/report.rs:
+crates/bench/src/testbed.rs:
+crates/bench/src/vpic_exp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kvcsd_blockfs-300e6363d2b6e281.d: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs
+
+/root/repo/target/debug/deps/libkvcsd_blockfs-300e6363d2b6e281.rlib: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs
+
+/root/repo/target/debug/deps/libkvcsd_blockfs-300e6363d2b6e281.rmeta: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs
+
+crates/blockfs/src/lib.rs:
+crates/blockfs/src/cache.rs:
+crates/blockfs/src/error.rs:
+crates/blockfs/src/fs.rs:

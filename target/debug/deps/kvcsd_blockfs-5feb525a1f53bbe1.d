@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kvcsd_blockfs-5feb525a1f53bbe1.d: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_blockfs-5feb525a1f53bbe1.rmeta: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs Cargo.toml
+
+crates/blockfs/src/lib.rs:
+crates/blockfs/src/cache.rs:
+crates/blockfs/src/error.rs:
+crates/blockfs/src/fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

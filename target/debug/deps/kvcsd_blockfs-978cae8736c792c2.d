@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/kvcsd_blockfs-978cae8736c792c2.d: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs
+
+/root/repo/target/debug/deps/kvcsd_blockfs-978cae8736c792c2: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs
+
+crates/blockfs/src/lib.rs:
+crates/blockfs/src/cache.rs:
+crates/blockfs/src/error.rs:
+crates/blockfs/src/fs.rs:

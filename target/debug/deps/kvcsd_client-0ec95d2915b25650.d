@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kvcsd_client-0ec95d2915b25650.d: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_client-0ec95d2915b25650.rmeta: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs Cargo.toml
+
+crates/client/src/lib.rs:
+crates/client/src/api.rs:
+crates/client/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvcsd_client-3825a7559a62aba5.d: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs
+
+/root/repo/target/debug/deps/libkvcsd_client-3825a7559a62aba5.rlib: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs
+
+/root/repo/target/debug/deps/libkvcsd_client-3825a7559a62aba5.rmeta: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs
+
+crates/client/src/lib.rs:
+crates/client/src/api.rs:
+crates/client/src/error.rs:

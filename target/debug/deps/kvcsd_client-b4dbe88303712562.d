@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kvcsd_client-b4dbe88303712562.d: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs
+
+/root/repo/target/debug/deps/kvcsd_client-b4dbe88303712562: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs
+
+crates/client/src/lib.rs:
+crates/client/src/api.rs:
+crates/client/src/error.rs:

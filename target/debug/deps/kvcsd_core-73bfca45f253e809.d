@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/kvcsd_core-73bfca45f253e809.d: crates/core/src/lib.rs crates/core/src/compact.rs crates/core/src/device.rs crates/core/src/dram.rs crates/core/src/error.rs crates/core/src/extsort.rs crates/core/src/ingest.rs crates/core/src/keyspace.rs crates/core/src/meta.rs crates/core/src/query.rs crates/core/src/sidx.rs crates/core/src/snapshot.rs crates/core/src/soc.rs crates/core/src/wal.rs crates/core/src/zone_mgr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_core-73bfca45f253e809.rmeta: crates/core/src/lib.rs crates/core/src/compact.rs crates/core/src/device.rs crates/core/src/dram.rs crates/core/src/error.rs crates/core/src/extsort.rs crates/core/src/ingest.rs crates/core/src/keyspace.rs crates/core/src/meta.rs crates/core/src/query.rs crates/core/src/sidx.rs crates/core/src/snapshot.rs crates/core/src/soc.rs crates/core/src/wal.rs crates/core/src/zone_mgr.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compact.rs:
+crates/core/src/device.rs:
+crates/core/src/dram.rs:
+crates/core/src/error.rs:
+crates/core/src/extsort.rs:
+crates/core/src/ingest.rs:
+crates/core/src/keyspace.rs:
+crates/core/src/meta.rs:
+crates/core/src/query.rs:
+crates/core/src/sidx.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/soc.rs:
+crates/core/src/wal.rs:
+crates/core/src/zone_mgr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

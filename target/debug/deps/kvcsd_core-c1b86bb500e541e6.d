@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/kvcsd_core-c1b86bb500e541e6.d: crates/core/src/lib.rs crates/core/src/compact.rs crates/core/src/device.rs crates/core/src/dram.rs crates/core/src/error.rs crates/core/src/extsort.rs crates/core/src/ingest.rs crates/core/src/keyspace.rs crates/core/src/meta.rs crates/core/src/query.rs crates/core/src/sidx.rs crates/core/src/snapshot.rs crates/core/src/soc.rs crates/core/src/wal.rs crates/core/src/zone_mgr.rs
+
+/root/repo/target/debug/deps/kvcsd_core-c1b86bb500e541e6: crates/core/src/lib.rs crates/core/src/compact.rs crates/core/src/device.rs crates/core/src/dram.rs crates/core/src/error.rs crates/core/src/extsort.rs crates/core/src/ingest.rs crates/core/src/keyspace.rs crates/core/src/meta.rs crates/core/src/query.rs crates/core/src/sidx.rs crates/core/src/snapshot.rs crates/core/src/soc.rs crates/core/src/wal.rs crates/core/src/zone_mgr.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compact.rs:
+crates/core/src/device.rs:
+crates/core/src/dram.rs:
+crates/core/src/error.rs:
+crates/core/src/extsort.rs:
+crates/core/src/ingest.rs:
+crates/core/src/keyspace.rs:
+crates/core/src/meta.rs:
+crates/core/src/query.rs:
+crates/core/src/sidx.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/soc.rs:
+crates/core/src/wal.rs:
+crates/core/src/zone_mgr.rs:

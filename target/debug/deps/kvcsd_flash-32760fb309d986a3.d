@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/kvcsd_flash-32760fb309d986a3.d: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_flash-32760fb309d986a3.rmeta: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs Cargo.toml
+
+crates/flash/src/lib.rs:
+crates/flash/src/conv.rs:
+crates/flash/src/error.rs:
+crates/flash/src/geometry.rs:
+crates/flash/src/nand.rs:
+crates/flash/src/zns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

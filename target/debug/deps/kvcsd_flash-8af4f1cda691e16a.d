@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kvcsd_flash-8af4f1cda691e16a.d: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs
+
+/root/repo/target/debug/deps/kvcsd_flash-8af4f1cda691e16a: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs
+
+crates/flash/src/lib.rs:
+crates/flash/src/conv.rs:
+crates/flash/src/error.rs:
+crates/flash/src/geometry.rs:
+crates/flash/src/nand.rs:
+crates/flash/src/zns.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kvcsd_flash-8fda459c3b9cb9fc.d: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs
+
+/root/repo/target/debug/deps/libkvcsd_flash-8fda459c3b9cb9fc.rlib: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs
+
+/root/repo/target/debug/deps/libkvcsd_flash-8fda459c3b9cb9fc.rmeta: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs
+
+crates/flash/src/lib.rs:
+crates/flash/src/conv.rs:
+crates/flash/src/error.rs:
+crates/flash/src/geometry.rs:
+crates/flash/src/nand.rs:
+crates/flash/src/zns.rs:

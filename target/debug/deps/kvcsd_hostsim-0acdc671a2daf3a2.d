@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kvcsd_hostsim-0acdc671a2daf3a2.d: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_hostsim-0acdc671a2daf3a2.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs Cargo.toml
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/pinning.rs:
+crates/hostsim/src/threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

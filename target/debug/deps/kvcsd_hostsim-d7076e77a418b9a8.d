@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kvcsd_hostsim-d7076e77a418b9a8.d: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs
+
+/root/repo/target/debug/deps/kvcsd_hostsim-d7076e77a418b9a8: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/pinning.rs:
+crates/hostsim/src/threads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvcsd_hostsim-ee55e3d91416644d.d: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs
+
+/root/repo/target/debug/deps/libkvcsd_hostsim-ee55e3d91416644d.rlib: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs
+
+/root/repo/target/debug/deps/libkvcsd_hostsim-ee55e3d91416644d.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/pinning.rs:
+crates/hostsim/src/threads.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/kvcsd_lsm-691592e94d0fc6bf.d: crates/lsm/src/lib.rs crates/lsm/src/bloom.rs crates/lsm/src/compaction.rs crates/lsm/src/db.rs crates/lsm/src/error.rs crates/lsm/src/iterator.rs crates/lsm/src/memtable.rs crates/lsm/src/options.rs crates/lsm/src/secondary.rs crates/lsm/src/sstable.rs crates/lsm/src/version.rs crates/lsm/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_lsm-691592e94d0fc6bf.rmeta: crates/lsm/src/lib.rs crates/lsm/src/bloom.rs crates/lsm/src/compaction.rs crates/lsm/src/db.rs crates/lsm/src/error.rs crates/lsm/src/iterator.rs crates/lsm/src/memtable.rs crates/lsm/src/options.rs crates/lsm/src/secondary.rs crates/lsm/src/sstable.rs crates/lsm/src/version.rs crates/lsm/src/wal.rs Cargo.toml
+
+crates/lsm/src/lib.rs:
+crates/lsm/src/bloom.rs:
+crates/lsm/src/compaction.rs:
+crates/lsm/src/db.rs:
+crates/lsm/src/error.rs:
+crates/lsm/src/iterator.rs:
+crates/lsm/src/memtable.rs:
+crates/lsm/src/options.rs:
+crates/lsm/src/secondary.rs:
+crates/lsm/src/sstable.rs:
+crates/lsm/src/version.rs:
+crates/lsm/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

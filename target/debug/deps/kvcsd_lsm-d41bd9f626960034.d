@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/kvcsd_lsm-d41bd9f626960034.d: crates/lsm/src/lib.rs crates/lsm/src/bloom.rs crates/lsm/src/compaction.rs crates/lsm/src/db.rs crates/lsm/src/error.rs crates/lsm/src/iterator.rs crates/lsm/src/memtable.rs crates/lsm/src/options.rs crates/lsm/src/secondary.rs crates/lsm/src/sstable.rs crates/lsm/src/version.rs crates/lsm/src/wal.rs
+
+/root/repo/target/debug/deps/kvcsd_lsm-d41bd9f626960034: crates/lsm/src/lib.rs crates/lsm/src/bloom.rs crates/lsm/src/compaction.rs crates/lsm/src/db.rs crates/lsm/src/error.rs crates/lsm/src/iterator.rs crates/lsm/src/memtable.rs crates/lsm/src/options.rs crates/lsm/src/secondary.rs crates/lsm/src/sstable.rs crates/lsm/src/version.rs crates/lsm/src/wal.rs
+
+crates/lsm/src/lib.rs:
+crates/lsm/src/bloom.rs:
+crates/lsm/src/compaction.rs:
+crates/lsm/src/db.rs:
+crates/lsm/src/error.rs:
+crates/lsm/src/iterator.rs:
+crates/lsm/src/memtable.rs:
+crates/lsm/src/options.rs:
+crates/lsm/src/secondary.rs:
+crates/lsm/src/sstable.rs:
+crates/lsm/src/version.rs:
+crates/lsm/src/wal.rs:

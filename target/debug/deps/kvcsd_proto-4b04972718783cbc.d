@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/kvcsd_proto-4b04972718783cbc.d: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_proto-4b04972718783cbc.rmeta: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs Cargo.toml
+
+crates/proto/src/lib.rs:
+crates/proto/src/bulk.rs:
+crates/proto/src/command.rs:
+crates/proto/src/status.rs:
+crates/proto/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvcsd_proto-4e485b89c8ea7002.d: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs
+
+/root/repo/target/debug/deps/kvcsd_proto-4e485b89c8ea7002: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/bulk.rs:
+crates/proto/src/command.rs:
+crates/proto/src/status.rs:
+crates/proto/src/transport.rs:

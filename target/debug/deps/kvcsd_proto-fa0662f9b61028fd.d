@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kvcsd_proto-fa0662f9b61028fd.d: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs
+
+/root/repo/target/debug/deps/libkvcsd_proto-fa0662f9b61028fd.rlib: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs
+
+/root/repo/target/debug/deps/libkvcsd_proto-fa0662f9b61028fd.rmeta: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/bulk.rs:
+crates/proto/src/command.rs:
+crates/proto/src/status.rs:
+crates/proto/src/transport.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/kvcsd_sim-22a95e29cf24362b.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/config.rs crates/sim/src/fault.rs crates/sim/src/ledger.rs crates/sim/src/model.rs crates/sim/src/phase.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/kvcsd_sim-22a95e29cf24362b: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/config.rs crates/sim/src/fault.rs crates/sim/src/ledger.rs crates/sim/src/model.rs crates/sim/src/phase.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/config.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/ledger.rs:
+crates/sim/src/model.rs:
+crates/sim/src/phase.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:

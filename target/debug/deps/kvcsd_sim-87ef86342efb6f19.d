@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/kvcsd_sim-87ef86342efb6f19.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/config.rs crates/sim/src/fault.rs crates/sim/src/ledger.rs crates/sim/src/model.rs crates/sim/src/phase.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/libkvcsd_sim-87ef86342efb6f19.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/config.rs crates/sim/src/fault.rs crates/sim/src/ledger.rs crates/sim/src/model.rs crates/sim/src/phase.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/libkvcsd_sim-87ef86342efb6f19.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/config.rs crates/sim/src/fault.rs crates/sim/src/ledger.rs crates/sim/src/model.rs crates/sim/src/phase.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/config.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/ledger.rs:
+crates/sim/src/model.rs:
+crates/sim/src/phase.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/kvcsd_sim-c8533ad16628de48.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/config.rs crates/sim/src/fault.rs crates/sim/src/ledger.rs crates/sim/src/model.rs crates/sim/src/phase.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_sim-c8533ad16628de48.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/config.rs crates/sim/src/fault.rs crates/sim/src/ledger.rs crates/sim/src/model.rs crates/sim/src/phase.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/config.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/ledger.rs:
+crates/sim/src/model.rs:
+crates/sim/src/phase.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kvcsd_workloads-5b0f59cf6d6f32e5.d: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs
+
+/root/repo/target/debug/deps/kvcsd_workloads-5b0f59cf6d6f32e5: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kv.rs:
+crates/workloads/src/vpic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kvcsd_workloads-822c07dc44cd44a8.d: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs
+
+/root/repo/target/debug/deps/libkvcsd_workloads-822c07dc44cd44a8.rlib: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs
+
+/root/repo/target/debug/deps/libkvcsd_workloads-822c07dc44cd44a8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kv.rs:
+crates/workloads/src/vpic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kvcsd_workloads-eea31eb7afef08ee.d: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkvcsd_workloads-eea31eb7afef08ee.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kv.rs:
+crates/workloads/src/vpic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

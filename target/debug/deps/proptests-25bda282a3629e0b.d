@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-25bda282a3629e0b.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-25bda282a3629e0b.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

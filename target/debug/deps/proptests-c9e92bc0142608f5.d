@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c9e92bc0142608f5.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c9e92bc0142608f5: tests/proptests.rs
+
+tests/proptests.rs:

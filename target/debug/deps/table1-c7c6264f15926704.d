@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c7c6264f15926704.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c7c6264f15926704: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/torture-ab6693ebf686b1a4.d: tests/torture.rs
+
+/root/repo/target/debug/deps/torture-ab6693ebf686b1a4: tests/torture.rs
+
+tests/torture.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/torture-b1fb5128db33dc5c.d: tests/torture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtorture-b1fb5128db33dc5c.rmeta: tests/torture.rs Cargo.toml
+
+tests/torture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant-299647fa250eb2bf.d: examples/multi_tenant.rs
+
+/root/repo/target/debug/examples/multi_tenant-299647fa250eb2bf: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

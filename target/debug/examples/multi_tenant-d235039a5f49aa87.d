@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_tenant-d235039a5f49aa87.d: examples/multi_tenant.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_tenant-d235039a5f49aa87.rmeta: examples/multi_tenant.rs Cargo.toml
+
+examples/multi_tenant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/posix_shim-20ff9f01c9ed8184.d: examples/posix_shim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libposix_shim-20ff9f01c9ed8184.rmeta: examples/posix_shim.rs Cargo.toml
+
+examples/posix_shim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

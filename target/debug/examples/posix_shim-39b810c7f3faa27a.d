@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/posix_shim-39b810c7f3faa27a.d: examples/posix_shim.rs
+
+/root/repo/target/debug/examples/posix_shim-39b810c7f3faa27a: examples/posix_shim.rs
+
+examples/posix_shim.rs:

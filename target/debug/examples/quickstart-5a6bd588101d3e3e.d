@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5a6bd588101d3e3e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5a6bd588101d3e3e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vpic_analytics-22785d359daff218.d: examples/vpic_analytics.rs
+
+/root/repo/target/debug/examples/vpic_analytics-22785d359daff218: examples/vpic_analytics.rs
+
+examples/vpic_analytics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vpic_analytics-7989f8298648cdb5.d: examples/vpic_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvpic_analytics-7989f8298648cdb5.rmeta: examples/vpic_analytics.rs Cargo.toml
+
+examples/vpic_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kvcsd-7a559888b10da55b.d: src/lib.rs
+
+/root/repo/target/release/deps/libkvcsd-7a559888b10da55b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkvcsd-7a559888b10da55b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/kvcsd_bench-020388da022a113a.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs
+
+/root/repo/target/release/deps/libkvcsd_bench-020388da022a113a.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs
+
+/root/repo/target/release/deps/libkvcsd_bench-020388da022a113a.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/baseline.rs crates/bench/src/kvcsd.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/vpic_exp.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/baseline.rs:
+crates/bench/src/kvcsd.rs:
+crates/bench/src/report.rs:
+crates/bench/src/testbed.rs:
+crates/bench/src/vpic_exp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/kvcsd_blockfs-cdbaaa9c82aa4d58.d: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs
+
+/root/repo/target/release/deps/libkvcsd_blockfs-cdbaaa9c82aa4d58.rlib: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs
+
+/root/repo/target/release/deps/libkvcsd_blockfs-cdbaaa9c82aa4d58.rmeta: crates/blockfs/src/lib.rs crates/blockfs/src/cache.rs crates/blockfs/src/error.rs crates/blockfs/src/fs.rs
+
+crates/blockfs/src/lib.rs:
+crates/blockfs/src/cache.rs:
+crates/blockfs/src/error.rs:
+crates/blockfs/src/fs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kvcsd_client-d5fd84931b8c7586.d: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs
+
+/root/repo/target/release/deps/libkvcsd_client-d5fd84931b8c7586.rlib: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs
+
+/root/repo/target/release/deps/libkvcsd_client-d5fd84931b8c7586.rmeta: crates/client/src/lib.rs crates/client/src/api.rs crates/client/src/error.rs
+
+crates/client/src/lib.rs:
+crates/client/src/api.rs:
+crates/client/src/error.rs:

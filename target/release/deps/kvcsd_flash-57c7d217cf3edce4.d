@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/kvcsd_flash-57c7d217cf3edce4.d: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs
+
+/root/repo/target/release/deps/libkvcsd_flash-57c7d217cf3edce4.rlib: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs
+
+/root/repo/target/release/deps/libkvcsd_flash-57c7d217cf3edce4.rmeta: crates/flash/src/lib.rs crates/flash/src/conv.rs crates/flash/src/error.rs crates/flash/src/geometry.rs crates/flash/src/nand.rs crates/flash/src/zns.rs
+
+crates/flash/src/lib.rs:
+crates/flash/src/conv.rs:
+crates/flash/src/error.rs:
+crates/flash/src/geometry.rs:
+crates/flash/src/nand.rs:
+crates/flash/src/zns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kvcsd_hostsim-77529c9b28c0742b.d: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs
+
+/root/repo/target/release/deps/libkvcsd_hostsim-77529c9b28c0742b.rlib: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs
+
+/root/repo/target/release/deps/libkvcsd_hostsim-77529c9b28c0742b.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/pinning.rs crates/hostsim/src/threads.rs
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/pinning.rs:
+crates/hostsim/src/threads.rs:

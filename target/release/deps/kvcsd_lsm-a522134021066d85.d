@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/kvcsd_lsm-a522134021066d85.d: crates/lsm/src/lib.rs crates/lsm/src/bloom.rs crates/lsm/src/compaction.rs crates/lsm/src/db.rs crates/lsm/src/error.rs crates/lsm/src/iterator.rs crates/lsm/src/memtable.rs crates/lsm/src/options.rs crates/lsm/src/secondary.rs crates/lsm/src/sstable.rs crates/lsm/src/version.rs crates/lsm/src/wal.rs
+
+/root/repo/target/release/deps/libkvcsd_lsm-a522134021066d85.rlib: crates/lsm/src/lib.rs crates/lsm/src/bloom.rs crates/lsm/src/compaction.rs crates/lsm/src/db.rs crates/lsm/src/error.rs crates/lsm/src/iterator.rs crates/lsm/src/memtable.rs crates/lsm/src/options.rs crates/lsm/src/secondary.rs crates/lsm/src/sstable.rs crates/lsm/src/version.rs crates/lsm/src/wal.rs
+
+/root/repo/target/release/deps/libkvcsd_lsm-a522134021066d85.rmeta: crates/lsm/src/lib.rs crates/lsm/src/bloom.rs crates/lsm/src/compaction.rs crates/lsm/src/db.rs crates/lsm/src/error.rs crates/lsm/src/iterator.rs crates/lsm/src/memtable.rs crates/lsm/src/options.rs crates/lsm/src/secondary.rs crates/lsm/src/sstable.rs crates/lsm/src/version.rs crates/lsm/src/wal.rs
+
+crates/lsm/src/lib.rs:
+crates/lsm/src/bloom.rs:
+crates/lsm/src/compaction.rs:
+crates/lsm/src/db.rs:
+crates/lsm/src/error.rs:
+crates/lsm/src/iterator.rs:
+crates/lsm/src/memtable.rs:
+crates/lsm/src/options.rs:
+crates/lsm/src/secondary.rs:
+crates/lsm/src/sstable.rs:
+crates/lsm/src/version.rs:
+crates/lsm/src/wal.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/kvcsd_proto-5683c0a6c761d76f.d: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs
+
+/root/repo/target/release/deps/libkvcsd_proto-5683c0a6c761d76f.rlib: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs
+
+/root/repo/target/release/deps/libkvcsd_proto-5683c0a6c761d76f.rmeta: crates/proto/src/lib.rs crates/proto/src/bulk.rs crates/proto/src/command.rs crates/proto/src/status.rs crates/proto/src/transport.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/bulk.rs:
+crates/proto/src/command.rs:
+crates/proto/src/status.rs:
+crates/proto/src/transport.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kvcsd_workloads-fd78871b8d7a5a7e.d: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs
+
+/root/repo/target/release/deps/libkvcsd_workloads-fd78871b8d7a5a7e.rlib: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs
+
+/root/repo/target/release/deps/libkvcsd_workloads-fd78871b8d7a5a7e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/vpic.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kv.rs:
+crates/workloads/src/vpic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-536da583f5fe7614.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-536da583f5fe7614: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

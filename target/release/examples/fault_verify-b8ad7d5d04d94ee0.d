@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_verify-b8ad7d5d04d94ee0.d: examples/fault_verify.rs
+
+/root/repo/target/release/examples/fault_verify-b8ad7d5d04d94ee0: examples/fault_verify.rs
+
+examples/fault_verify.rs:

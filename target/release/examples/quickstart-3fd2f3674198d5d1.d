@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3fd2f3674198d5d1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3fd2f3674198d5d1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -27,9 +27,15 @@ fn make_device() -> (Arc<KvCsdDevice>, KvCsd, Arc<IoLedger>) {
     let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
     let nand = Arc::new(NandArray::new(geom, &cfg.hw, Arc::clone(&ledger)));
     let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
-    let dev = Arc::new(KvCsdDevice::new(zns, cfg.cost.clone(), DeviceConfig::default()));
-    let client =
-        KvCsd::connect(Arc::clone(&dev) as Arc<dyn DeviceHandler>, Arc::clone(&ledger));
+    let dev = Arc::new(KvCsdDevice::new(
+        zns,
+        cfg.cost.clone(),
+        DeviceConfig::default(),
+    ));
+    let client = KvCsd::connect(
+        Arc::clone(&dev) as Arc<dyn DeviceHandler>,
+        Arc::clone(&ledger),
+    );
     (dev, client, ledger)
 }
 
@@ -101,7 +107,13 @@ fn kvcsd_matches_inmemory_model() {
     // Bounded ranges match the model's ranges.
     let keys: Vec<&Vec<u8>> = model.keys().collect();
     let (lo, hi) = (keys[100].clone(), keys[200].clone());
-    let got = ks.range(Bound::Included(lo.clone()), Bound::Excluded(hi.clone()), None).unwrap();
+    let got = ks
+        .range(
+            Bound::Included(lo.clone()),
+            Bound::Excluded(hi.clone()),
+            None,
+        )
+        .unwrap();
     let want: Vec<(Vec<u8>, Vec<u8>)> = model
         .range(lo..hi)
         .map(|(a, b)| (a.clone(), b.clone()))
@@ -188,7 +200,8 @@ fn device_survives_many_keyspace_lifecycles() {
         let ks = client.create_keyspace(&format!("cycle-{round}")).unwrap();
         let mut bulk = ks.bulk_writer();
         for i in 0..500u32 {
-            bulk.put(format!("k{i:05}").as_bytes(), &[round as u8; 32]).unwrap();
+            bulk.put(format!("k{i:05}").as_bytes(), &[round as u8; 32])
+                .unwrap();
         }
         bulk.finish().unwrap();
         ks.compact().unwrap();
@@ -244,8 +257,12 @@ fn bulk_and_single_puts_are_equivalent() {
     ks_single.compact().unwrap();
     dev.run_pending_jobs();
 
-    let a = ks_bulk.range(Bound::Unbounded, Bound::Unbounded, None).unwrap();
-    let b = ks_single.range(Bound::Unbounded, Bound::Unbounded, None).unwrap();
+    let a = ks_bulk
+        .range(Bound::Unbounded, Bound::Unbounded, None)
+        .unwrap();
+    let b = ks_single
+        .range(Bound::Unbounded, Bound::Unbounded, None)
+        .unwrap();
     assert_eq!(a, b);
 }
 
@@ -272,7 +289,12 @@ fn single_pass_compact_with_indexes_through_client() {
     // Primary and secondary immediately queryable.
     assert_eq!(ks.get(&data[7].0).unwrap(), data[7].1);
     let hits = ks
-        .sidx_range("score", Bound::Included(SidxKey::U32(999).encode()), Bound::Unbounded, None)
+        .sidx_range(
+            "score",
+            Bound::Included(SidxKey::U32(999).encode()),
+            Bound::Unbounded,
+            None,
+        )
         .unwrap();
     let want = data
         .iter()
@@ -305,7 +327,10 @@ fn baseline_recovers_after_reopen_while_device_state_is_fresh() {
     let db2 = Db::open(
         Arc::clone(&fs),
         "",
-        Options { memtable_bytes: 64 << 10, ..Options::default() },
+        Options {
+            memtable_bytes: 64 << 10,
+            ..Options::default()
+        },
     )
     .unwrap();
     assert_eq!(db2.scan(&[], &[], None).unwrap(), expect);

@@ -5,9 +5,7 @@ use std::sync::Arc;
 
 use kvcsd::device::{DeviceConfig, KvCsdDevice};
 use kvcsd::flash::{FlashGeometry, NandArray, ZnsConfig, ZonedNamespace};
-use kvcsd::proto::{
-    Bound, DeviceHandler, KvStatus, SecondaryIndexSpec, SecondaryKeyType,
-};
+use kvcsd::proto::{Bound, DeviceHandler, KvStatus, SecondaryIndexSpec, SecondaryKeyType};
 use kvcsd::sim::config::SimConfig;
 use kvcsd::sim::IoLedger;
 use kvcsd_client::{ClientError, KvCsd};
@@ -24,12 +22,20 @@ fn tiny_device(blocks_per_channel: u32) -> (Arc<KvCsdDevice>, KvCsd) {
     let nand = Arc::new(NandArray::new(geom, &cfg.hw, Arc::clone(&ledger)));
     let zns = Arc::new(ZonedNamespace::new(
         nand,
-        ZnsConfig { zone_blocks: 1, max_open_zones: 1 << 16 },
+        ZnsConfig {
+            zone_blocks: 1,
+            max_open_zones: 1 << 16,
+        },
     ));
     let dev = Arc::new(KvCsdDevice::new(
         zns,
         cfg.cost.clone(),
-        DeviceConfig { cluster_width: 4, soc_dram_bytes: 16 << 20, seed: 11, ..DeviceConfig::default() },
+        DeviceConfig {
+            cluster_width: 4,
+            soc_dram_bytes: 16 << 20,
+            seed: 11,
+            ..DeviceConfig::default()
+        },
     ));
     let client = KvCsd::connect(Arc::clone(&dev) as Arc<dyn DeviceHandler>, ledger);
     (dev, client)
@@ -79,7 +85,7 @@ fn state_machine_rejects_out_of_order_operations() {
     dev.run_pending_jobs();
     // After COMPACTED, the data is all there despite the misuse attempts.
     assert_eq!(ks.get(b"a").unwrap(), b"1");
-    assert_eq!(ks.get(b"b").unwrap_err().is_not_found(), true);
+    assert!(ks.get(b"b").unwrap_err().is_not_found());
 }
 
 #[test]
@@ -162,7 +168,9 @@ fn failed_sidx_spec_reports_and_preserves_keyspace() {
     })
     .unwrap();
     dev.run_pending_jobs();
-    let got = ks.sidx_range("short", Bound::Unbounded, Bound::Unbounded, None).unwrap();
+    let got = ks
+        .sidx_range("short", Bound::Unbounded, Bound::Unbounded, None)
+        .unwrap();
     assert!(got.is_empty());
     // Primary data untouched.
     assert_eq!(ks.get(b"key").unwrap(), vec![1u8; 8]);
