@@ -5,7 +5,6 @@
 //! printed by the `fig7..fig12` binaries.
 
 use std::hint::black_box;
-use std::time::Instant;
 
 use kvcsd_bench::{baseline, kvcsd, vpic_exp, Testbed};
 use kvcsd_lsm::CompactionMode;
@@ -14,7 +13,7 @@ use kvcsd_workloads::{PutWorkload, VpicDump};
 /// Time `iters` runs of `f` and print the mean wall-clock per run.
 fn bench<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) {
     black_box(f()); // warmup
-    let start = Instant::now();
+    let start = kvcsd_sim::WallTimer::start();
     for _ in 0..iters {
         black_box(f());
     }

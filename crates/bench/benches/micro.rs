@@ -8,7 +8,6 @@
 
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Instant;
 
 use kvcsd_blockfs::{BlockFs, FsConfig};
 use kvcsd_core::compact::{decode_pidx_block, PidxBlockBuilder, PidxEntry};
@@ -31,7 +30,7 @@ use kvcsd_sim::{HardwareSpec, IoLedger};
 fn bench<R>(name: &str, iters: u64, elements: u64, mut f: impl FnMut() -> R) {
     // One warmup run, then the timed loop.
     black_box(f());
-    let start = Instant::now();
+    let start = kvcsd_sim::WallTimer::start();
     for _ in 0..iters {
         black_box(f());
     }

@@ -55,12 +55,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     fn touch(&mut self, key: &K) {
-        if let Some((_, old_stamp)) = self.map.get(key) {
-            let old = *old_stamp;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some((_, entry_stamp)) = self.map.get_mut(key) {
+            let old = *entry_stamp;
+            *entry_stamp = stamp;
             self.recency.remove(&old);
-            self.stamp += 1;
-            self.recency.insert(self.stamp, key.clone());
-            self.map.get_mut(key).unwrap().1 = self.stamp;
+            self.recency.insert(stamp, key.clone());
         }
     }
 
@@ -94,10 +95,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.recency.insert(self.stamp, key.clone());
         self.map.insert(key, (value, self.stamp));
         if self.map.len() > self.capacity {
-            let (&oldest, _) = self.recency.iter().next().unwrap();
-            let victim_key = self.recency.remove(&oldest).unwrap();
-            let (v, _) = self.map.remove(&victim_key).unwrap();
-            return Some((victim_key, v));
+            if let Some((_, victim_key)) = self.recency.pop_first() {
+                if let Some((v, _)) = self.map.remove(&victim_key) {
+                    return Some((victim_key, v));
+                }
+            }
         }
         None
     }

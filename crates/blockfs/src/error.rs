@@ -18,6 +18,8 @@ pub enum FsError {
     StaleHandle,
     /// Error from the underlying flash device.
     Flash(FlashError),
+    /// On-device metadata inconsistency (journal/inode cross-check).
+    Corrupt(String),
 }
 
 impl fmt::Display for FsError {
@@ -37,6 +39,7 @@ impl fmt::Display for FsError {
             }
             FsError::StaleHandle => write!(f, "stale file handle"),
             FsError::Flash(e) => write!(f, "flash error: {e}"),
+            FsError::Corrupt(m) => write!(f, "filesystem corrupt: {m}"),
         }
     }
 }

@@ -230,10 +230,9 @@ impl BlockFs {
             .files
             .remove(path)
             .ok_or_else(|| FsError::NotFound(path.to_string()))?;
-        let inode = inner
-            .inodes
-            .remove(&ino)
-            .expect("inode for directory entry");
+        let inode = inner.inodes.remove(&ino).ok_or_else(|| {
+            FsError::Corrupt(format!("no inode {ino} for directory entry {path}"))
+        })?;
         for lpa in inode.pages.iter().chain(inode.tail_lpa.iter()) {
             self.dev.trim(*lpa)?;
             inner.free_lpas.push(*lpa);

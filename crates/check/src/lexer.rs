@@ -1,0 +1,457 @@
+//! Scrub-and-scan lexing for the lint rules.
+//!
+//! [`scrub`] blanks comments and string/char literals out of Rust source
+//! (preserving byte offsets and newlines), so the rule scanners can do
+//! plain substring matching over real code without tripping on doc
+//! comments, error messages or test fixtures embedded in strings. It is
+//! a lexer, not a parser: good enough for the three rules, with the
+//! known limits documented on each scanner.
+
+/// Source with comments and literals blanked to spaces.
+pub struct Scrubbed {
+    /// Same length and line structure as the input; comments, string
+    /// literals and char literals replaced by spaces.
+    pub code: String,
+    /// Line comments as `(1-based line, text after //)` — the carrier
+    /// for `kvcsd-check: allow(...)` exemptions.
+    pub comments: Vec<(usize, String)>,
+    line_starts: Vec<usize>,
+}
+
+impl Scrubbed {
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank every non-newline byte of `bytes[range]`.
+fn blank(bytes: &mut [u8], from: usize, to: usize) {
+    for b in &mut bytes[from..to] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Strip comments and literals. See module docs.
+pub fn scrub(source: &str) -> Scrubbed {
+    let mut bytes = source.as_bytes().to_vec();
+    let len = bytes.len();
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(
+            source
+                .bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect();
+    let line_of = |off: usize| line_starts.partition_point(|&s| s <= off);
+
+    let mut comments = Vec::new();
+    let mut i = 0;
+    while i < len {
+        let b = bytes[i];
+        let next = |k: usize| bytes.get(i + k).copied().unwrap_or(0);
+        let prev_ident = i > 0 && is_ident(bytes[i - 1]);
+        if b == b'/' && next(1) == b'/' {
+            let start = i;
+            while i < len && bytes[i] != b'\n' {
+                i += 1;
+            }
+            comments.push((
+                line_of(start),
+                String::from_utf8_lossy(&bytes[start + 2..i]).into_owned(),
+            ));
+            blank(&mut bytes, start, i);
+        } else if b == b'/' && next(1) == b'*' {
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < len && depth > 0 {
+                if bytes[i] == b'/' && next_at(&bytes, i + 1) == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && next_at(&bytes, i + 1) == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut bytes, start, i);
+        } else if !prev_ident && (b == b'r' || b == b'b') && raw_string_start(&bytes, i).is_some() {
+            let (quote_ix, hashes) = match raw_string_start(&bytes, i) {
+                Some(x) => x,
+                None => unreachable!(),
+            };
+            let start = i;
+            i = quote_ix + 1;
+            // Scan for `"` followed by `hashes` hashes.
+            'raw: while i < len {
+                if bytes[i] == b'"' {
+                    let mut j = i + 1;
+                    let mut h = 0;
+                    while h < hashes && j < len && bytes[j] == b'#' {
+                        j += 1;
+                        h += 1;
+                    }
+                    if h == hashes {
+                        i = j;
+                        break 'raw;
+                    }
+                }
+                i += 1;
+            }
+            blank(&mut bytes, start, i);
+        } else if b == b'"' || (!prev_ident && b == b'b' && next(1) == b'"') {
+            let start = i;
+            i += if b == b'"' { 1 } else { 2 };
+            while i < len {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            blank(&mut bytes, start, i.min(len));
+        } else if b == b'\'' || (!prev_ident && b == b'b' && next(1) == b'\'') {
+            let q = if b == b'\'' { i } else { i + 1 };
+            // Char literal vs lifetime: a literal closes with `'` within a
+            // few bytes (escape sequences and multi-byte chars included);
+            // a lifetime never closes.
+            let mut end = None;
+            if next_at(&bytes, q + 1) == b'\\' {
+                let mut j = q + 3; // skip the escaped char
+                while j < len && j <= q + 8 {
+                    if bytes[j] == b'\'' {
+                        end = Some(j);
+                        break;
+                    }
+                    j += 1;
+                }
+            } else {
+                let mut j = q + 2;
+                while j < len && j <= q + 5 {
+                    if bytes[j] == b'\'' {
+                        end = Some(j);
+                        break;
+                    }
+                    if bytes[j] == b'\n' {
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            if let Some(e) = end {
+                blank(&mut bytes, i, e + 1);
+                i = e + 1;
+            } else {
+                i += 1; // lifetime: keep the tick, scan on
+            }
+        } else {
+            i += 1;
+        }
+    }
+
+    Scrubbed {
+        code: String::from_utf8_lossy(&bytes).into_owned(),
+        comments,
+        line_starts,
+    }
+}
+
+fn next_at(bytes: &[u8], ix: usize) -> u8 {
+    bytes.get(ix).copied().unwrap_or(0)
+}
+
+/// If `bytes[i..]` starts a raw (byte) string — `r"`, `r#"`, `br##"` … —
+/// return `(index of the opening quote, number of hashes)`.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if next_at(bytes, j) == b'b' {
+        j += 1;
+    }
+    if next_at(bytes, j) != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while next_at(bytes, j) == b'#' {
+        j += 1;
+        hashes += 1;
+    }
+    if next_at(bytes, j) == b'"' {
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+/// 1-based line ranges covered by `#[cfg(test)]` items (attribute through
+/// the matching close brace, or the terminating `;`).
+pub fn test_line_ranges(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(
+            bytes
+                .iter()
+                .enumerate()
+                .filter(|&(_, b)| *b == b'\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect();
+    let line_of = |off: usize| line_starts.partition_point(|&s| s <= off);
+
+    let mut ranges = Vec::new();
+    for start in find_all(code, "#[cfg(test)]") {
+        let mut i = start + "#[cfg(test)]".len();
+        // Find the item's body: first `{` (brace-match it) or `;`.
+        while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
+            i += 1;
+        }
+        let end = if i < bytes.len() && bytes[i] == b'{' {
+            let mut depth = 0usize;
+            let mut j = i;
+            loop {
+                if j >= bytes.len() {
+                    break j;
+                }
+                match bytes[j] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break j;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        } else {
+            i
+        };
+        ranges.push((
+            line_of(start),
+            line_of(end.min(bytes.len().saturating_sub(1))),
+        ));
+    }
+    ranges
+}
+
+/// One scanner match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Byte offset into the scrubbed code.
+    pub offset: usize,
+    /// Human description of what matched.
+    pub what: String,
+}
+
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(ix) = hay[from..].find(needle) {
+        out.push(from + ix);
+        from += ix + needle.len();
+    }
+    out
+}
+
+/// Word-boundary check around `hay[ix..ix+len]`.
+fn bounded(hay: &[u8], ix: usize, len: usize) -> bool {
+    (ix == 0 || !is_ident(hay[ix - 1])) && !is_ident(next_at(hay, ix + len))
+}
+
+/// `.unwrap()` and `.expect(` method calls (the receiver must be a method
+/// chain — a bare `unwrap(` function call is not flagged).
+pub fn find_unwraps(code: &str) -> Vec<Hit> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    for name in ["unwrap", "expect"] {
+        for ix in find_all(code, name) {
+            if !bounded(bytes, ix, name.len()) {
+                continue;
+            }
+            // Walk back over whitespace to require a `.` receiver.
+            let mut back = ix;
+            while back > 0 && bytes[back - 1].is_ascii_whitespace() {
+                back -= 1;
+            }
+            if back == 0 || bytes[back - 1] != b'.' {
+                continue;
+            }
+            // Forward over whitespace to require a call.
+            let mut fwd = ix + name.len();
+            while fwd < bytes.len() && bytes[fwd].is_ascii_whitespace() {
+                fwd += 1;
+            }
+            if next_at(bytes, fwd) != b'(' {
+                continue;
+            }
+            hits.push(Hit {
+                offset: ix,
+                what: format!("`.{name}(...)`"),
+            });
+        }
+    }
+    hits.sort_by_key(|h| h.offset);
+    hits
+}
+
+/// `Instant::now` / `SystemTime::now` wall-clock reads.
+pub fn find_wall_clock(code: &str) -> Vec<Hit> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    for name in ["Instant::now", "SystemTime::now"] {
+        for ix in find_all(code, name) {
+            if bounded(bytes, ix, name.len()) {
+                hits.push(Hit {
+                    offset: ix,
+                    what: format!("`{name}()`"),
+                });
+            }
+        }
+    }
+    hits.sort_by_key(|h| h.offset);
+    hits
+}
+
+/// `std::sync::Mutex` / `std::sync::RwLock`, whether path-qualified at a
+/// use site or pulled in through a `use std::sync::...` import. Limits:
+/// renamed imports (`as M`) and `use std::{sync::Mutex}` nesting are not
+/// recognized — neither appears in this workspace, and the plain-path
+/// scan still catches the eventual qualified uses.
+pub fn find_std_sync_locks(code: &str) -> Vec<Hit> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    let mut import_ranges: Vec<(usize, usize)> = Vec::new();
+    for ix in find_all(code, "use std::sync::") {
+        if ix > 0 && is_ident(bytes[ix - 1]) {
+            continue;
+        }
+        let end = code[ix..].find(';').map(|e| ix + e).unwrap_or(code.len());
+        import_ranges.push((ix, end));
+        let body = &code[ix..end];
+        for lock in ["Mutex", "RwLock"] {
+            if find_all(body, lock)
+                .iter()
+                .any(|&o| bounded(body.as_bytes(), o, lock.len()))
+            {
+                hits.push(Hit {
+                    offset: ix,
+                    what: format!("imports std::sync::{lock}"),
+                });
+            }
+        }
+    }
+    for lock in ["Mutex", "RwLock"] {
+        let path = format!("std::sync::{lock}");
+        for ix in find_all(code, &path) {
+            if !bounded(bytes, ix, path.len()) {
+                continue;
+            }
+            if import_ranges.iter().any(|&(a, b)| ix >= a && ix < b) {
+                continue; // already reported as an import
+            }
+            hits.push(Hit {
+                offset: ix,
+                what: format!("uses std::sync::{lock}"),
+            });
+        }
+    }
+    hits.sort_by_key(|h| h.offset);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let src = "let x = \"unwrap() inside\"; // .unwrap() in comment\nlet y = 1;\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("unwrap"));
+        assert!(s.code.contains("let y = 1;"));
+        assert_eq!(s.code.len(), src.len());
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].0, 1);
+        assert!(s.comments[0].1.contains(".unwrap() in comment"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_chars() {
+        let src = r####"let a = r#"Mutex " inside"#; let b = 'x'; let c = '\''; let d: &'static str = r"ok";"####;
+        let s = scrub(src);
+        assert!(!s.code.contains("Mutex"));
+        assert!(!s.code.contains("inside"));
+        assert!(s.code.contains("&'static str"), "lifetime preserved");
+        assert!(!s.code.contains('\u{27}') || s.code.contains("'static"));
+    }
+
+    #[test]
+    fn scrub_handles_nested_block_comments() {
+        let src = "/* outer /* Instant::now() */ still comment */ let x = 1;";
+        let s = scrub(src);
+        assert!(!s.code.contains("Instant"));
+        assert!(!s.code.contains("still"));
+        assert!(s.code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn line_of_is_one_based() {
+        let s = scrub("a\nb\nc\n");
+        assert_eq!(s.line_of(0), 1);
+        assert_eq!(s.line_of(2), 2);
+        assert_eq!(s.line_of(4), 3);
+    }
+
+    #[test]
+    fn finds_method_unwraps_only() {
+        let code = "x.unwrap(); y.expect(\"gone\"); unwrap(); my_unwrap(); z.unwrap_or(1); w.expect_err(\"e\");";
+        let hits = find_unwraps(&scrub(code).code);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].what.contains("unwrap"));
+        assert!(hits[1].what.contains("expect"));
+    }
+
+    #[test]
+    fn finds_wall_clock_reads() {
+        let code = "let t = std::time::Instant::now(); let s = SystemTime::now(); fn now() {}";
+        let hits = find_wall_clock(code);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn finds_std_sync_imports_and_paths() {
+        let code = "use std::sync::{Arc, Mutex};\nlet l: std::sync::RwLock<u8>;\nuse std::sync::atomic::AtomicU64;\nlet a = Arc::new(1);";
+        let hits = find_std_sync_locks(code);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].what.contains("Mutex"));
+        assert!(hits[1].what.contains("RwLock"));
+    }
+
+    #[test]
+    fn import_is_not_double_counted() {
+        let code = "use std::sync::Mutex;";
+        let hits = find_std_sync_locks(code);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_the_block() {
+        let code = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let ranges = test_line_ranges(code);
+        assert_eq!(ranges, vec![(2, 5)]);
+    }
+}

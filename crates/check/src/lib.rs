@@ -1,0 +1,325 @@
+//! `kvcsd-check`: the workspace lint pass.
+//!
+//! Three repo-specific rules that `rustc`/`clippy` cannot express, each
+//! guarding an invariant the reproduction's correctness argument leans on
+//! (see `DESIGN.md` §9):
+//!
+//! * **`sync`** — no `std::sync::{Mutex, RwLock}` outside
+//!   `kvcsd-sim::sync` itself. Every lock must go through the shims so
+//!   the debug lock-order detector sees every acquisition.
+//! * **`unwrap`** — no `.unwrap()` / `.expect(...)` in non-test library
+//!   code. Fallible paths return typed errors; the rare justified panic
+//!   carries an inline allow comment with a reason.
+//! * **`time`** — no `Instant::now()` / `SystemTime::now()` outside
+//!   `kvcsd-sim::clock`. Simulated time is virtual and deterministic;
+//!   wall-clock self-timing goes through `kvcsd_sim::WallTimer`.
+//!
+//! Exemptions are granted inline, and only with a reason:
+//!
+//! ```text
+//! // kvcsd-check: allow(unwrap): heap invariant, cursor checked non-empty above
+//! let top = heap.peek().unwrap();
+//! ```
+//!
+//! The comment may sit on the offending line or the line above. An allow
+//! with an unknown rule name or an empty reason is itself a violation —
+//! the allowlist is checked, not decorative.
+//!
+//! There is no `syn` here by design: the workspace builds offline with
+//! zero external crates, so the checker runs on a small hand-rolled
+//! scrub-and-scan lexer. It strips comments, string/char literals and
+//! `#[cfg(test)]` regions, then token-scans what remains — which is
+//! exact enough for these three rules (no macro-generated locks or
+//! stringified `unwrap`s exist in this codebase).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+
+use lexer::Scrubbed;
+
+/// The rule identifiers, as used in `allow(...)` comments and `--rule`.
+pub const RULES: [&str; 3] = ["sync", "unwrap", "time"];
+
+/// One finding, printed as `path:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of [`RULES`], or `"allow"` for a malformed
+    /// allow comment).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Which rules apply to a file, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    pub sync: bool,
+    pub unwrap: bool,
+    pub time: bool,
+}
+
+impl RuleSet {
+    pub fn none() -> Self {
+        Self {
+            sync: false,
+            unwrap: false,
+            time: false,
+        }
+    }
+}
+
+/// Classify a file by its path (relative to the workspace root, `/`
+/// separators). Policy:
+///
+/// * fixture trees (any `fixtures` component) are never checked — they
+///   exist to *contain* violations;
+/// * `sync` applies everywhere except `crates/sim/src/sync.rs` (the shim
+///   implementation wraps `std::sync` by definition);
+/// * `time` applies everywhere — benches and test harnesses included, so
+///   a stray wall-clock read cannot sneak into a determinism-sensitive
+///   path — except `crates/sim/src/clock.rs` (home of `WallTimer`);
+/// * `unwrap` applies to library source only: integration tests, benches
+///   and examples are harnesses whose idiomatic failure mode is a panic,
+///   as is the `kvcsd-bench` crate.
+pub fn rules_for(rel_path: &str) -> RuleSet {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts.iter().any(|p| *p == "fixtures" || *p == "target") {
+        return RuleSet::none();
+    }
+    let harness = parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+    RuleSet {
+        sync: rel_path != "crates/sim/src/sync.rs",
+        unwrap: !harness && !rel_path.starts_with("crates/bench/"),
+        time: rel_path != "crates/sim/src/clock.rs",
+    }
+}
+
+/// An `// kvcsd-check: allow(rule): reason` exemption. The reason is
+/// validated non-empty at parse time but only kept in the source.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: usize,
+    rule: String,
+    used: std::cell::Cell<bool>,
+}
+
+const ALLOW_TAG: &str = "kvcsd-check:";
+
+fn parse_allows(scrubbed: &Scrubbed, file: &Path, violations: &mut Vec<Violation>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (line, text) in &scrubbed.comments {
+        // Doc comments (`///` and `//!` — captured text starts with `/`
+        // or `!`) are documentation, not exemptions: they may *mention*
+        // the allow syntax without granting anything.
+        if text.starts_with('/') || text.starts_with('!') {
+            continue;
+        }
+        let Some(ix) = text.find(ALLOW_TAG) else {
+            continue;
+        };
+        let rest = text[ix + ALLOW_TAG.len()..].trim();
+        let bad = |msg: String| Violation {
+            file: file.to_path_buf(),
+            line: *line,
+            rule: "allow",
+            message: msg,
+        };
+        let Some(args) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) else {
+            violations.push(bad(format!(
+                "malformed allow comment (expected `{ALLOW_TAG} allow(<rule>): <reason>`): `{}`",
+                text.trim()
+            )));
+            continue;
+        };
+        let (rule, tail) = args;
+        let rule = rule.trim();
+        if !RULES.contains(&rule) {
+            violations.push(bad(format!(
+                "allow names unknown rule `{rule}` (rules: {})",
+                RULES.join(", ")
+            )));
+            continue;
+        }
+        let reason = tail.trim_start().strip_prefix(':').unwrap_or("").trim();
+        if reason.is_empty() {
+            violations.push(bad(format!(
+                "allow({rule}) has no reason — exemptions must say why"
+            )));
+            continue;
+        }
+        allows.push(Allow {
+            line: *line,
+            rule: rule.to_string(),
+            used: std::cell::Cell::new(false),
+        });
+    }
+    allows
+}
+
+/// Check one file's source text. `rel_path` picks the rule set; `file` is
+/// the path reported in violations.
+pub fn check_source(file: &Path, rel_path: &str, source: &str) -> Vec<Violation> {
+    let rules = rules_for(rel_path);
+    if rules == RuleSet::none() {
+        return Vec::new();
+    }
+    let scrubbed = lexer::scrub(source);
+    let test_lines = lexer::test_line_ranges(&scrubbed.code);
+    let in_tests = |line: usize| test_lines.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let mut violations = Vec::new();
+    let allows = parse_allows(&scrubbed, file, &mut violations);
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        if let Some(a) = allows
+            .iter()
+            .find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+        {
+            a.used.set(true);
+            return;
+        }
+        violations.push(Violation {
+            file: file.to_path_buf(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    if rules.sync {
+        for hit in lexer::find_std_sync_locks(&scrubbed.code) {
+            push(
+                scrubbed.line_of(hit.offset),
+                "sync",
+                format!(
+                    "{} — use the kvcsd_sim::sync shims so the lock-order detector sees every acquisition",
+                    hit.what
+                ),
+            );
+        }
+    }
+    if rules.unwrap {
+        for hit in lexer::find_unwraps(&scrubbed.code) {
+            let line = scrubbed.line_of(hit.offset);
+            if in_tests(line) {
+                continue;
+            }
+            push(
+                line,
+                "unwrap",
+                format!(
+                    "{} in non-test code — return a typed error, or add `// {ALLOW_TAG} allow(unwrap): <why this cannot fail>`",
+                    hit.what
+                ),
+            );
+        }
+    }
+    if rules.time {
+        for hit in lexer::find_wall_clock(&scrubbed.code) {
+            push(
+                scrubbed.line_of(hit.offset),
+                "time",
+                format!(
+                    "{} — simulated time is virtual; for harness self-timing use kvcsd_sim::WallTimer",
+                    hit.what
+                ),
+            );
+        }
+    }
+
+    for a in &allows {
+        if !a.used.get() {
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: a.line,
+                rule: "allow",
+                message: format!(
+                    "unused allow({}) — nothing on this or the next line trips the rule",
+                    a.rule
+                ),
+            });
+        }
+    }
+    violations.sort_by_key(|v| v.line);
+    violations
+}
+
+/// Recursively collect the `.rs` files to check under `root`, as
+/// `(absolute, workspace-relative)` pairs, sorted for stable output.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                files.push((path, rel));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Check every `.rs` file under `root`. I/O errors surface as violations
+/// (line 0) rather than aborting the sweep.
+pub fn check_tree(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let files = match collect_rs_files(root) {
+        Ok(f) => f,
+        Err(e) => {
+            violations.push(Violation {
+                file: root.to_path_buf(),
+                line: 0,
+                rule: "allow",
+                message: format!("cannot walk tree: {e}"),
+            });
+            return violations;
+        }
+    };
+    for (path, rel) in files {
+        match std::fs::read_to_string(&path) {
+            Ok(source) => violations.extend(check_source(Path::new(&rel), &rel, &source)),
+            Err(e) => violations.push(Violation {
+                file: path.clone(),
+                line: 0,
+                rule: "allow",
+                message: format!("cannot read: {e}"),
+            }),
+        }
+    }
+    violations
+}

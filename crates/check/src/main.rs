@@ -1,0 +1,74 @@
+//! CLI for the workspace lint pass. See the library docs for the rules.
+//!
+//! ```text
+//! cargo run -p kvcsd-check                 # check the workspace root
+//! cargo run -p kvcsd-check -- --root path  # check another tree
+//! cargo run -p kvcsd-check -- --rule sync  # run a subset of rules
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on any violation (`-D` semantics — there
+//! is no warn level), 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut rules: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a path"),
+            },
+            "--rule" => match args.next() {
+                Some(v) if kvcsd_check::RULES.contains(&v.as_str()) => rules.push(v),
+                Some(v) => return usage(&format!("unknown rule `{v}`")),
+                None => return usage("--rule needs a name"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "kvcsd-check [--root <dir>] [--rule <{}>]...",
+                    kvcsd_check::RULES.join("|")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    // Default to the workspace root: the manifest dir's grandparent when
+    // running via `cargo run -p kvcsd-check`, else the current directory.
+    let root = root.unwrap_or_else(|| {
+        option_env!("CARGO_MANIFEST_DIR")
+            .map(|d| {
+                let p = PathBuf::from(d);
+                p.ancestors().nth(2).map(PathBuf::from).unwrap_or(p)
+            })
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let mut violations = kvcsd_check::check_tree(&root);
+    if !rules.is_empty() {
+        violations.retain(|v| rules.iter().any(|r| r == v.rule));
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("kvcsd-check: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        println!("kvcsd-check: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("kvcsd-check: {msg}");
+    eprintln!(
+        "usage: kvcsd-check [--root <dir>] [--rule <{}>]...",
+        kvcsd_check::RULES.join("|")
+    );
+    ExitCode::from(2)
+}

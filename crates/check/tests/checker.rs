@@ -1,0 +1,142 @@
+//! Integration tests for `kvcsd-check`: the seeded fixtures under
+//! `tests/fixtures/` must trip exactly the rules they seed, files with
+//! valid exemptions must scan clean, and the binary must exit non-zero
+//! on a dirty tree and zero on the real workspace.
+
+use kvcsd_check::{check_source, rules_for, RuleSet, Violation};
+use std::path::Path;
+
+/// Scan a fixture as if it were library source, so every rule applies.
+/// (The literal `tests/fixtures/` path is exempt from all rules — that is
+/// itself asserted below — hence the pretend path.)
+fn scan(name: &str, source: &str) -> Vec<Violation> {
+    let rel = format!("crates/demo/src/{name}");
+    check_source(Path::new(&rel), &rel, source)
+}
+
+#[test]
+fn fixture_trees_are_never_checked() {
+    assert_eq!(
+        rules_for("crates/check/tests/fixtures/bad_sync.rs"),
+        RuleSet::none()
+    );
+    assert_eq!(rules_for("target/debug/build/out.rs"), RuleSet::none());
+}
+
+#[test]
+fn seeded_sync_violations_are_flagged() {
+    let v = scan("bad_sync.rs", include_str!("fixtures/bad_sync.rs"));
+    assert!(v.len() >= 2, "import + direct path, got {v:#?}");
+    assert!(v.iter().all(|v| v.rule == "sync"), "{v:#?}");
+    assert!(v.iter().any(|v| v.message.contains("kvcsd_sim::sync")));
+}
+
+#[test]
+fn seeded_unwrap_violations_are_flagged() {
+    let v = scan("bad_unwrap.rs", include_str!("fixtures/bad_unwrap.rs"));
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![4, 8], "unwrap_or must not trip it: {v:#?}");
+    assert!(v.iter().all(|v| v.rule == "unwrap"));
+}
+
+#[test]
+fn seeded_time_violations_are_flagged() {
+    let v = scan("bad_time.rs", include_str!("fixtures/bad_time.rs"));
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![6, 10], "the `use` line alone is fine: {v:#?}");
+    assert!(v.iter().all(|v| v.rule == "time"));
+}
+
+#[test]
+fn valid_allows_and_test_regions_scan_clean() {
+    let v = scan("allowed.rs", include_str!("fixtures/allowed.rs"));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn bad_allows_are_themselves_violations() {
+    let v = scan("bad_allow.rs", include_str!("fixtures/bad_allow.rs"));
+    let mut kinds: Vec<(usize, &str)> = v.iter().map(|v| (v.line, v.rule)).collect();
+    kinds.sort();
+    assert_eq!(
+        kinds,
+        vec![
+            (5, "allow"),   // unknown rule name
+            (6, "unwrap"),  // ...so the unwrap below it still fires
+            (10, "allow"),  // empty reason
+            (11, "unwrap"), // ...likewise
+            (14, "allow"),  // unused allow
+        ],
+        "{v:#?}"
+    );
+    assert!(v.iter().any(|v| v.message.contains("unknown rule")));
+    assert!(v.iter().any(|v| v.message.contains("no reason")));
+    assert!(v.iter().any(|v| v.message.contains("unused allow")));
+}
+
+// ---- binary-level tests -------------------------------------------------
+
+fn run_check(args: &[&str]) -> (bool, String) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_kvcsd-check"))
+        .args(args)
+        .output()
+        .expect("spawn kvcsd-check");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Build a throwaway tree containing one file made of `lines`.
+fn temp_tree(tag: &str, lines: &[&str]) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("kvcsd-check-{}-{tag}", std::process::id()));
+    let src = root.join("src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(src.join("lib.rs"), lines.join("\n")).expect("write");
+    root
+}
+
+#[test]
+fn binary_exits_nonzero_on_dirty_tree() {
+    let root = temp_tree("dirty", &["use std::sync::Mutex;", "pub fn f() {}"]);
+    let (ok, stdout) = run_check(&["--root", root.to_str().expect("utf8 path")]);
+    std::fs::remove_dir_all(&root).ok();
+    assert!(!ok, "expected failure exit: {stdout}");
+    assert!(stdout.contains("[sync]"), "{stdout}");
+    assert!(stdout.contains("violation(s)"), "{stdout}");
+}
+
+#[test]
+fn binary_rule_filter_narrows_the_scan() {
+    let root = temp_tree("filtered", &["use std::sync::Mutex;", "pub fn f() {}"]);
+    let (ok, stdout) = run_check(&[
+        "--root",
+        root.to_str().expect("utf8 path"),
+        "--rule",
+        "time",
+    ]);
+    std::fs::remove_dir_all(&root).ok();
+    assert!(ok, "sync finding must be filtered out: {stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn binary_exits_zero_on_the_workspace() {
+    // The acceptance gate: the real tree stays clean. Matches the CI
+    // `check` job, which runs the binary with its default root.
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let (ok, stdout) = run_check(&["--root", ws.to_str().expect("utf8 path")]);
+    assert!(ok, "workspace must be checker-clean:\n{stdout}");
+}
+
+#[test]
+fn binary_rejects_unknown_arguments() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_kvcsd-check"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn kvcsd-check");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,27 @@
+//! Fixture: every would-be violation carries a valid exemption or sits
+//! in a `#[cfg(test)]` region — this file must scan clean.
+
+pub fn head(v: &[u32]) -> u32 {
+    // kvcsd-check: allow(unwrap): callers are required to pass non-empty slices
+    *v.first().unwrap()
+}
+
+pub fn tail(v: &[u32]) -> u32 {
+    *v.last().expect("non-empty") // kvcsd-check: allow(unwrap): same contract as head()
+}
+
+pub fn not_a_real_unwrap() -> &'static str {
+    // Mentions of ".unwrap()" inside string literals are scrubbed before
+    // scanning, as is this comment.
+    "never call .unwrap() in library code"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_idiomatic() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        assert_eq!(super::head(&[7, 8]), 7);
+    }
+}

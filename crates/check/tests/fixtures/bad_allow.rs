@@ -1,0 +1,15 @@
+//! Fixture: malformed or unused exemptions — the allowlist is checked,
+//! not decorative.
+
+pub fn unknown_rule(v: &[u32]) -> u32 {
+    // kvcsd-check: allow(panics): not a rule name, so this grants nothing
+    *v.first().unwrap()
+}
+
+pub fn no_reason(v: &[u32]) -> u32 {
+    // kvcsd-check: allow(unwrap):
+    *v.last().unwrap()
+}
+
+// kvcsd-check: allow(time): nothing on the next line reads the clock
+pub fn idle() {}

@@ -1,0 +1,12 @@
+//! Fixture: raw `std::sync` lock use. Never compiled; scanned by the
+//! checker's integration tests under a fake library path.
+
+use std::sync::Mutex;
+
+pub struct Counter {
+    n: Mutex<u64>,
+}
+
+pub fn fresh() -> std::sync::RwLock<Vec<u8>> {
+    std::sync::RwLock::new(Vec::new())
+}

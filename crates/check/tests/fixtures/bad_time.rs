@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads outside `kvcsd-sim::clock`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,15 @@
+//! Fixture: panicking accessors in non-test library code.
+
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn tail(v: &[u32]) -> u32 {
+    *v.last().expect("non-empty input")
+}
+
+pub fn fine(v: &[u32]) -> u32 {
+    // `unwrap_or` and friends are total; only `.unwrap()` / `.expect(...)`
+    // trip the rule.
+    v.first().copied().unwrap_or(0)
+}

@@ -17,6 +17,7 @@
 //! SORTED_VALUES with nothing but sequential I/O and DRAM-bounded merge
 //! passes — "multiple rounds of merge sorts" exactly as the paper says.
 
+use kvcsd_sim::bytes::{le_u16, le_u32, le_u64, try_le_u16, try_le_u32, try_le_u64};
 use std::cmp::Ordering;
 
 use crate::dram::DramBudget;
@@ -99,26 +100,13 @@ impl PidxBlockBuilder {
 /// Decode a PIDX block produced by [`PidxBlockBuilder`].
 pub fn decode_pidx_block(block: &[u8]) -> Result<Vec<PidxEntry>> {
     let bad = || DeviceError::Internal("malformed PIDX block".into());
-    let count = u16::from_le_bytes(block.get(0..2).ok_or_else(bad)?.try_into().unwrap());
+    let count = try_le_u16(block, 0).ok_or_else(bad)?;
     let mut p = 2usize;
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        let klen =
-            u16::from_le_bytes(block.get(p..p + 2).ok_or_else(bad)?.try_into().unwrap()) as usize;
-        let voff = u64::from_le_bytes(
-            block
-                .get(p + 2..p + 10)
-                .ok_or_else(bad)?
-                .try_into()
-                .unwrap(),
-        );
-        let vlen = u32::from_le_bytes(
-            block
-                .get(p + 10..p + 14)
-                .ok_or_else(bad)?
-                .try_into()
-                .unwrap(),
-        );
+        let klen = try_le_u16(block, p).ok_or_else(bad)? as usize;
+        let voff = try_le_u64(block, p + 2).ok_or_else(bad)?;
+        let vlen = try_le_u32(block, p + 10).ok_or_else(bad)?;
         p += PIDX_ENTRY_HEADER;
         let key = block.get(p..p + klen).ok_or_else(bad)?.to_vec();
         p += klen;
@@ -152,9 +140,9 @@ impl SortRecord for GatherRec {
     fn read_from(r: &mut StreamReader<'_>) -> Result<Self> {
         let b = r.read(20)?;
         Ok(GatherRec {
-            voff: u64::from_le_bytes(b[0..8].try_into().unwrap()),
-            vlen: u32::from_le_bytes(b[8..12].try_into().unwrap()),
-            rank: u64::from_le_bytes(b[12..20].try_into().unwrap()),
+            voff: le_u64(&b, 0),
+            vlen: le_u32(&b, 8),
+            rank: le_u64(&b, 12),
         })
     }
     fn cmp_key(&self, other: &Self) -> Ordering {
@@ -184,8 +172,8 @@ impl SortRecord for ValueRec {
     }
     fn read_from(r: &mut StreamReader<'_>) -> Result<Self> {
         let hdr = r.read(12)?;
-        let rank = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
-        let vlen = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+        let rank = le_u64(&hdr, 0);
+        let vlen = le_u32(&hdr, 8) as usize;
         Ok(ValueRec {
             rank,
             value: r.read(vlen)?,
@@ -341,10 +329,10 @@ impl SortRecord for GatherRecK {
     }
     fn read_from(r: &mut StreamReader<'_>) -> Result<Self> {
         let hdr = r.read(22)?;
-        let voff = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
-        let vlen = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
-        let rank = u64::from_le_bytes(hdr[12..20].try_into().unwrap());
-        let klen = u16::from_le_bytes(hdr[20..22].try_into().unwrap()) as usize;
+        let voff = le_u64(&hdr, 0);
+        let vlen = le_u32(&hdr, 8);
+        let rank = le_u64(&hdr, 12);
+        let klen = le_u16(&hdr, 20) as usize;
         Ok(GatherRecK {
             voff,
             vlen,
@@ -378,9 +366,9 @@ impl SortRecord for ValueRecK {
     }
     fn read_from(r: &mut StreamReader<'_>) -> Result<Self> {
         let hdr = r.read(14)?;
-        let rank = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
-        let klen = u16::from_le_bytes(hdr[8..10].try_into().unwrap()) as usize;
-        let vlen = u32::from_le_bytes(hdr[10..14].try_into().unwrap()) as usize;
+        let rank = le_u64(&hdr, 0);
+        let klen = le_u16(&hdr, 8) as usize;
+        let vlen = le_u32(&hdr, 10) as usize;
         Ok(ValueRecK {
             rank,
             key: r.read(klen)?,

@@ -199,7 +199,7 @@ impl KvCsdDevice {
                     // The DRAM ingest buffer is gone either way; without a
                     // WAL the keyspace restarts EMPTY, with one its synced
                     // records are replayed below.
-                    ks.state = KeyspaceState::Empty;
+                    ks.transition_to(KeyspaceState::Empty)?;
                     ks.pairs = 0;
                     ks.data_bytes = 0;
                     ks.min_key = None;
@@ -273,7 +273,7 @@ impl KvCsdDevice {
             })?;
         self.soc.ledger().bump("dev_wal_replayed_records", replayed);
         self.km.with_mut(ks, |k| {
-            k.state = KeyspaceState::Writable;
+            k.transition_to(KeyspaceState::Writable)?;
             k.pairs = wlog.pairs;
             k.data_bytes = wlog.data_bytes;
             k.min_key = wlog.min_key.clone();
@@ -379,7 +379,7 @@ impl KvCsdDevice {
                     if degrade {
                         let _ = self.km.with_mut(ks, |k| {
                             if k.state == KeyspaceState::Compacting {
-                                k.state = KeyspaceState::Degraded;
+                                k.transition_to(KeyspaceState::Degraded)?;
                             }
                             Ok(())
                         });
@@ -534,7 +534,7 @@ impl KvCsdDevice {
             k.storage.pidx = Some(out.pidx);
             k.storage.pidx_sketch = out.sketch.clone();
             k.storage.svalues = Some(out.svalues);
-            k.state = KeyspaceState::Compacted;
+            k.transition_to(KeyspaceState::Compacted)?;
             Ok(())
         })?;
         self.persist()?;
@@ -586,7 +586,7 @@ impl KvCsdDevice {
                             },
                         );
                     }
-                    k.state = KeyspaceState::Compacted;
+                    k.transition_to(KeyspaceState::Compacted)?;
                     Ok(())
                 })?;
                 self.persist()?;
@@ -680,7 +680,7 @@ impl KvCsdDevice {
             }
             k.storage.wlog = Some(WriteLog::new(kc, vc));
             k.storage.dwal = wal;
-            k.state = KeyspaceState::Writable;
+            k.transition_to(KeyspaceState::Writable)?;
             Ok(())
         })?;
         self.persist()?;
@@ -731,13 +731,13 @@ impl KvCsdDevice {
                 KeyspaceState::Writable => {}
                 KeyspaceState::Empty => {
                     // Compacting an empty keyspace: trivially queryable.
-                    k.state = KeyspaceState::Compacted;
+                    k.transition_to(KeyspaceState::Compacted)?;
                     return Ok(Seal::Empty);
                 }
                 // A DEGRADED keyspace keeps its sealed logs; re-compaction
                 // is just re-entering COMPACTING and re-running the job.
                 KeyspaceState::Degraded if k.storage.klog.is_some() && k.storage.vlog.is_some() => {
-                    k.state = KeyspaceState::Compacting;
+                    k.transition_to(KeyspaceState::Compacting)?;
                     return Ok(Seal::Resealed);
                 }
                 _ => {
@@ -763,7 +763,7 @@ impl KvCsdDevice {
             k.storage.wlog = None;
             k.storage.klog = Some((kc, klen));
             k.storage.vlog = Some((vc, vlen));
-            k.state = KeyspaceState::Compacting;
+            k.transition_to(KeyspaceState::Compacting)?;
             // Once the logs are sealed every pair is durable on flash;
             // the WAL has served its purpose.
             Ok(Seal::Sealed(k.storage.dwal.take().map(|w| w.cluster())))

@@ -30,6 +30,13 @@ pub enum DeviceError {
     OutOfResources(String),
     /// Underlying flash error.
     Flash(FlashError),
+    /// A state change that is not an edge of the machine's lifecycle
+    /// table (see `crate::lifecycle`).
+    IllegalTransition {
+        machine: &'static str,
+        from: &'static str,
+        to: &'static str,
+    },
     /// Internal invariant violation.
     Internal(String),
 }
@@ -49,6 +56,9 @@ impl fmt::Display for DeviceError {
             DeviceError::BadPayload(m) => write!(f, "bad payload: {m}"),
             DeviceError::OutOfResources(m) => write!(f, "out of resources: {m}"),
             DeviceError::Flash(e) => write!(f, "flash: {e}"),
+            DeviceError::IllegalTransition { machine, from, to } => {
+                write!(f, "illegal {machine} transition: {from} -> {to}")
+            }
             DeviceError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
@@ -89,6 +99,7 @@ impl From<DeviceError> for KvStatus {
             }
             DeviceError::Flash(FlashError::PowerLoss) => KvStatus::PowerLoss,
             DeviceError::Flash(e) => KvStatus::Internal(e.to_string()),
+            e @ DeviceError::IllegalTransition { .. } => KvStatus::Internal(e.to_string()),
             DeviceError::Internal(m) => KvStatus::Internal(m),
         }
     }

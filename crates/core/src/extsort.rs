@@ -172,22 +172,21 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
             loop {
                 // Linear min selection: k is small (bounded by fan-in).
                 let mut best: Option<usize> = None;
+                let mut best_head: Option<&R> = None;
                 for (i, (_, _, head)) in cursors.iter().enumerate() {
                     if let Some(h) = head {
-                        match best {
-                            None => best = Some(i),
-                            Some(b) => {
-                                if h.cmp_key(cursors[b].2.as_ref().unwrap()) == Ordering::Less {
-                                    best = Some(i);
-                                }
-                            }
+                        if best_head.is_none_or(|bh| h.cmp_key(bh) == Ordering::Less) {
+                            best = Some(i);
+                            best_head = Some(h);
                         }
                     }
                 }
                 let Some(b) = best else { break };
                 self.soc.merge_step(k);
                 let (reader, remaining, head) = &mut cursors[b];
-                let rec = head.take().unwrap();
+                let Some(rec) = head.take() else {
+                    return Err(DeviceError::Internal("merge cursor lost its head".into()));
+                };
                 if *remaining > 0 {
                     *head = Some(R::read_from(reader)?);
                     *remaining -= 1;
@@ -240,22 +239,21 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
             let k = cursors.len().max(1);
             loop {
                 let mut best: Option<usize> = None;
+                let mut best_head: Option<&R> = None;
                 for (i, (_, _, head)) in cursors.iter().enumerate() {
                     if let Some(h) = head {
-                        match best {
-                            None => best = Some(i),
-                            Some(b) => {
-                                if h.cmp_key(cursors[b].2.as_ref().unwrap()) == Ordering::Less {
-                                    best = Some(i);
-                                }
-                            }
+                        if best_head.is_none_or(|bh| h.cmp_key(bh) == Ordering::Less) {
+                            best = Some(i);
+                            best_head = Some(h);
                         }
                     }
                 }
                 let Some(b) = best else { break };
                 self.soc.merge_step(k);
                 let (reader, remaining, head) = &mut cursors[b];
-                let rec = head.take().unwrap();
+                let Some(rec) = head.take() else {
+                    return Err(DeviceError::Internal("merge cursor lost its head".into()));
+                };
                 if *remaining > 0 {
                     *head = Some(R::read_from(reader)?);
                     *remaining -= 1;

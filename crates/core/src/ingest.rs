@@ -15,6 +15,7 @@ use crate::soc::SocCharger;
 use crate::zone_mgr::{ClusterId, ZoneManager};
 use crate::Result;
 use crate::BLOCK_BYTES;
+use kvcsd_sim::bytes::{le_u16, le_u32, le_u64};
 
 /// Append-only byte stream over a zone cluster, with a DRAM tail.
 #[derive(Debug)]
@@ -165,9 +166,9 @@ impl KlogRecord {
     /// Decode one record from a stream reader.
     pub fn read_from(r: &mut StreamReader<'_>) -> Result<KlogRecord> {
         let hdr = r.read(Self::HEADER)?;
-        let klen = u16::from_le_bytes(hdr[0..2].try_into().unwrap()) as usize;
-        let voff = u64::from_le_bytes(hdr[2..10].try_into().unwrap());
-        let vlen = u32::from_le_bytes(hdr[10..14].try_into().unwrap());
+        let klen = le_u16(&hdr, 0) as usize;
+        let voff = le_u64(&hdr, 2);
+        let vlen = le_u32(&hdr, 10);
         let key = r.read(klen)?;
         Ok(KlogRecord { key, voff, vlen })
     }

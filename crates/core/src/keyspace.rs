@@ -137,6 +137,24 @@ impl Keyspace {
         }
     }
 
+    /// The single checkpoint through which every keyspace state change
+    /// flows: checks the edge against
+    /// [`crate::lifecycle::KEYSPACE_TRANSITIONS`] and rejects illegal
+    /// ones without moving the state.
+    pub fn transition_to(&mut self, to: KeyspaceState) -> Result<()> {
+        match crate::lifecycle::KEYSPACE_TRANSITIONS.check(self.state, to) {
+            Ok(()) => {
+                self.state = to;
+                Ok(())
+            }
+            Err(_) => Err(DeviceError::IllegalTransition {
+                machine: "keyspace",
+                from: self.state.name(),
+                to: to.name(),
+            }),
+        }
+    }
+
     /// Guard: error unless the keyspace is in `expect`.
     pub fn require_state(&self, expect: KeyspaceState, op: &'static str) -> Result<()> {
         if self.state != expect {

@@ -38,6 +38,7 @@ pub mod error;
 pub mod extsort;
 pub mod ingest;
 pub mod keyspace;
+pub mod lifecycle;
 pub mod meta;
 pub mod query;
 pub mod sidx;

@@ -16,6 +16,7 @@
 //! valid generation recoverable. The per-frame sequence number orders
 //! generations across the two zones.
 
+use kvcsd_sim::bytes::{le_u32, le_u64};
 use std::sync::Arc;
 
 use kvcsd_flash::ZonedNamespace;
@@ -112,13 +113,13 @@ impl MetaStore {
         let mut page = 0u32;
         while (page as u64) < info.write_pointer_pages as u64 {
             let header = self.zns.read_pages(zone, page, 1)?;
-            let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            let magic = le_u32(&header, 0);
             if magic != FRAME_MAGIC {
                 break; // end of valid frames
             }
-            let seq = u64::from_le_bytes(header[4..12].try_into().unwrap());
-            let len = u32::from_le_bytes(header[12..16].try_into().unwrap()) as u64;
-            let crc = u32::from_le_bytes(header[16..20].try_into().unwrap());
+            let seq = le_u64(&header, 4);
+            let len = le_u32(&header, 12) as u64;
+            let crc = le_u32(&header, 16);
             let total_pages = (FRAME_HEADER as u64 + len).div_ceil(page_bytes) as u32;
             if page as u64 + total_pages as u64 > info.write_pointer_pages as u64 {
                 break; // torn frame at the tail
@@ -166,14 +167,18 @@ impl MetaStore {
     /// only reset once it is the flip *target*, i.e. after a newer
     /// generation became durable in the other zone.
     pub fn write(&mut self, payload: &[u8]) -> Result<()> {
-        if self.state.is_none() {
-            self.state = Some(self.recover_state()?);
-        }
         let WriteState {
             active,
             active_dirty,
             next_seq,
-        } = self.state.unwrap();
+        } = match self.state {
+            Some(s) => s,
+            None => {
+                let s = self.recover_state()?;
+                self.state = Some(s);
+                s
+            }
+        };
         let framed = Self::frame(next_seq, payload);
         if framed.len() as u64 > self.zns.zone_capacity_bytes() {
             return Err(DeviceError::Internal(format!(

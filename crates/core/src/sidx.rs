@@ -11,6 +11,7 @@
 //! query can stream matching records straight out of SORTED_VALUES
 //! without a per-result primary-index lookup.
 
+use kvcsd_sim::bytes::{le_u16, le_u32, le_u64, try_le_u16, try_le_u32, try_le_u64};
 use std::cmp::Ordering;
 
 use kvcsd_proto::SecondaryIndexSpec;
@@ -51,10 +52,10 @@ impl SortRecord for SidxEntry {
     }
     fn read_from(r: &mut StreamReader<'_>) -> Result<Self> {
         let hdr = r.read(SIDX_ENTRY_HEADER)?;
-        let sklen = u16::from_le_bytes(hdr[0..2].try_into().unwrap()) as usize;
-        let pklen = u16::from_le_bytes(hdr[2..4].try_into().unwrap()) as usize;
-        let voff = u64::from_le_bytes(hdr[4..12].try_into().unwrap());
-        let vlen = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
+        let sklen = le_u16(&hdr, 0) as usize;
+        let pklen = le_u16(&hdr, 2) as usize;
+        let voff = le_u64(&hdr, 4);
+        let vlen = le_u32(&hdr, 12);
         let skey = r.read(sklen)?;
         let pkey = r.read(pklen)?;
         Ok(SidxEntry {
@@ -121,28 +122,14 @@ impl SidxBlockBuilder {
 /// Decode one SIDX block.
 pub fn decode_sidx_block(block: &[u8]) -> Result<Vec<SidxEntry>> {
     let bad = || DeviceError::Internal("malformed SIDX block".into());
-    let count = u16::from_le_bytes(block.get(0..2).ok_or_else(bad)?.try_into().unwrap());
+    let count = try_le_u16(block, 0).ok_or_else(bad)?;
     let mut p = 2usize;
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        let sklen =
-            u16::from_le_bytes(block.get(p..p + 2).ok_or_else(bad)?.try_into().unwrap()) as usize;
-        let pklen = u16::from_le_bytes(block.get(p + 2..p + 4).ok_or_else(bad)?.try_into().unwrap())
-            as usize;
-        let voff = u64::from_le_bytes(
-            block
-                .get(p + 4..p + 12)
-                .ok_or_else(bad)?
-                .try_into()
-                .unwrap(),
-        );
-        let vlen = u32::from_le_bytes(
-            block
-                .get(p + 12..p + 16)
-                .ok_or_else(bad)?
-                .try_into()
-                .unwrap(),
-        );
+        let sklen = try_le_u16(block, p).ok_or_else(bad)? as usize;
+        let pklen = try_le_u16(block, p + 2).ok_or_else(bad)? as usize;
+        let voff = try_le_u64(block, p + 4).ok_or_else(bad)?;
+        let vlen = try_le_u32(block, p + 12).ok_or_else(bad)?;
         p += SIDX_ENTRY_HEADER;
         let skey = block.get(p..p + sklen).ok_or_else(bad)?.to_vec();
         p += sklen;

@@ -9,6 +9,7 @@
 //! re-enqueued on restore from their sealed logs).
 
 use kvcsd_proto::{KeyspaceState, SecondaryIndexSpec, SecondaryKeyType};
+use kvcsd_sim::bytes::{try_le_u32, try_le_u64};
 
 use crate::error::DeviceError;
 use crate::keyspace::{Keyspace, KsStorage, SecondaryIndex, Sketch};
@@ -77,24 +78,12 @@ impl<'a> R<'a> {
         Ok(v)
     }
     fn u32(&mut self) -> Result<u32> {
-        let v = u32::from_le_bytes(
-            self.b
-                .get(self.p..self.p + 4)
-                .ok_or_else(R::bad)?
-                .try_into()
-                .unwrap(),
-        );
+        let v = try_le_u32(self.b, self.p).ok_or_else(R::bad)?;
         self.p += 4;
         Ok(v)
     }
     fn u64(&mut self) -> Result<u64> {
-        let v = u64::from_le_bytes(
-            self.b
-                .get(self.p..self.p + 8)
-                .ok_or_else(R::bad)?
-                .try_into()
-                .unwrap(),
-        );
+        let v = try_le_u64(self.b, self.p).ok_or_else(R::bad)?;
         self.p += 8;
         Ok(v)
     }
@@ -308,6 +297,9 @@ pub fn decode(payload: &[u8]) -> Result<DeviceSnapshot> {
         let state = byte_state(r.u8()?)?;
         let name = String::from_utf8(r.bytes()?).map_err(|_| R::bad())?;
         let mut ks = Keyspace::new(id, name);
+        // Record construction, not a lifecycle transition: the persisted
+        // state is reinstalled verbatim (reopen() afterwards walks any
+        // interrupted keyspaces through the checked transition path).
         ks.state = state;
         ks.pairs = r.u64()?;
         ks.data_bytes = r.u64()?;

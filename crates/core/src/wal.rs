@@ -21,6 +21,7 @@ use crate::soc::SocCharger;
 use crate::zone_mgr::{ClusterId, ZoneManager};
 use crate::Result;
 use crate::BLOCK_BYTES;
+use kvcsd_sim::bytes::{le_u16, le_u32};
 
 const FRAME_TAG: u8 = 0xA5;
 const FRAME_HEADER: usize = 1 + 2 + 4 + 4;
@@ -141,7 +142,9 @@ impl DeviceWal {
                 if block_cache.as_ref().map(|(ix, _)| *ix) != Some(b) {
                     block_cache = Some((b, mgr.read_block(cluster, b)?));
                 }
-                let data = &block_cache.as_ref().unwrap().1;
+                let Some((_, data)) = block_cache.as_ref() else {
+                    return Err(DeviceError::Internal("wal block cursor missing".into()));
+                };
                 let in_block = p % BLOCK_BYTES;
                 let take = (len - out.len()).min(BLOCK_BYTES - in_block);
                 out.extend_from_slice(&data[in_block..in_block + take]);
@@ -162,9 +165,9 @@ impl DeviceWal {
                 break; // torn tail or foreign bytes: stop replay
             }
             let hdr = read(mgr, pos, FRAME_HEADER)?;
-            let klen = u16::from_le_bytes(hdr[1..3].try_into().unwrap()) as usize;
-            let vlen = u32::from_le_bytes(hdr[3..7].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(hdr[7..11].try_into().unwrap());
+            let klen = le_u16(&hdr, 1) as usize;
+            let vlen = le_u32(&hdr, 3) as usize;
+            let crc = le_u32(&hdr, 7);
             if pos + FRAME_HEADER + klen + vlen > total {
                 break; // record was mid-write at crash time
             }

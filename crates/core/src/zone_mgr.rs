@@ -248,11 +248,14 @@ impl ZoneManager {
                 inner
                     .clusters
                     .get_mut(&cluster.0)
-                    .unwrap()
+                    .ok_or_else(|| DeviceError::Internal("cluster gone".into()))?
                     .groups
                     .push(zones);
             }
-            let c = inner.clusters.get_mut(&cluster.0).unwrap();
+            let c = inner
+                .clusters
+                .get_mut(&cluster.0)
+                .ok_or_else(|| DeviceError::Internal("cluster gone".into()))?;
             let block_ix = c.blocks;
             c.blocks += 1;
             let (zone, page) = {

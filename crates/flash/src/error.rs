@@ -28,6 +28,13 @@ pub enum FlashError {
         state: &'static str,
         op: &'static str,
     },
+    /// A zone state change that is not an edge of the zone lifecycle
+    /// table ([`crate::zns::ZONE_TRANSITIONS`]).
+    IllegalZoneTransition {
+        zone: u32,
+        from: &'static str,
+        to: &'static str,
+    },
     /// The device ran out of free zones/blocks even after reclaim.
     DeviceFull,
     /// Too many zones simultaneously open.
@@ -89,6 +96,9 @@ impl fmt::Display for FlashError {
             ),
             FlashError::BadZoneState { zone, state, op } => {
                 write!(f, "zone {zone} is {state}; operation {op} not permitted")
+            }
+            FlashError::IllegalZoneTransition { zone, from, to } => {
+                write!(f, "zone {zone}: illegal zone transition: {from} -> {to}")
             }
             FlashError::DeviceFull => write!(f, "device is full"),
             FlashError::TooManyOpenZones { limit } => {

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use kvcsd_sim::fault::{FaultDecision, OpClass};
 use kvcsd_sim::sync::Mutex;
+use kvcsd_sim::TransitionTable;
 
 use crate::error::FlashError;
 use crate::nand::NandArray;
@@ -48,7 +49,8 @@ pub enum ZoneState {
 }
 
 impl ZoneState {
-    fn name(self) -> &'static str {
+    /// NVMe-style lowercase state name, used in error messages.
+    pub fn name(self) -> &'static str {
         match self {
             ZoneState::Empty => "empty",
             ZoneState::Open => "open",
@@ -57,11 +59,49 @@ impl ZoneState {
     }
 }
 
+/// The legal zone lifecycle, mirroring the NVMe ZNS state machine the
+/// paper's device relies on. Self-edges are implicitly legal (idempotent
+/// no-ops); every other state change must appear here or the mutation is
+/// rejected with [`FlashError::IllegalZoneTransition`]. Notably absent:
+/// `Full -> Open` — a Full zone can only be reclaimed through Zone Reset,
+/// never reopened for writes.
+pub static ZONE_TRANSITIONS: TransitionTable<ZoneState> = TransitionTable {
+    machine: "zone",
+    edges: &[
+        // First append opens the zone.
+        (ZoneState::Empty, ZoneState::Open),
+        // Zone Finish is valid on an Empty zone (zero-capacity seal).
+        (ZoneState::Empty, ZoneState::Full),
+        // Filling to capacity or Zone Finish.
+        (ZoneState::Open, ZoneState::Full),
+        // Zone Reset.
+        (ZoneState::Open, ZoneState::Empty),
+        (ZoneState::Full, ZoneState::Empty),
+    ],
+};
+
 #[derive(Debug)]
 struct ZoneMeta {
     state: ZoneState,
     /// Write pointer in pages from the zone start.
     wp_pages: u32,
+}
+
+impl ZoneMeta {
+    /// The single checkpoint through which every zone state change flows.
+    fn transition(&mut self, zone: u32, to: ZoneState) -> Result<()> {
+        match ZONE_TRANSITIONS.check(self.state, to) {
+            Ok(()) => {
+                self.state = to;
+                Ok(())
+            }
+            Err(_) => Err(FlashError::IllegalZoneTransition {
+                zone,
+                from: self.state.name(),
+                to: to.name(),
+            }),
+        }
+    }
 }
 
 /// Public snapshot of one zone's status (NVMe Zone Descriptor analog).
@@ -207,7 +247,11 @@ impl ZonedNamespace {
         let cap = self.zone_capacity_pages();
 
         // Reserve the write-pointer range under the zone lock, then program
-        // outside it (the NAND layer is internally synchronized).
+        // outside it (the NAND layer is internally synchronized). The zone
+        // is marked Full only after its last page durably programs: until
+        // then the reserved write pointer at capacity already rejects
+        // further appends, and keeping the zone Open means a mid-stripe
+        // power cut never needs the illegal Full -> Open edge to roll back.
         let start = {
             let mut meta = self.zones[zone as usize].lock();
             match meta.state {
@@ -226,7 +270,10 @@ impl ZonedNamespace {
                             limit: self.cfg.max_open_zones,
                         });
                     }
-                    meta.state = ZoneState::Open;
+                    if let Err(e) = meta.transition(zone, ZoneState::Open) {
+                        self.open_count.fetch_sub(1, Ordering::AcqRel);
+                        return Err(e);
+                    }
                 }
                 ZoneState::Open => {}
             }
@@ -239,10 +286,6 @@ impl ZonedNamespace {
             }
             let start = meta.wp_pages;
             meta.wp_pages += pages;
-            if meta.wp_pages == cap {
-                meta.state = ZoneState::Full;
-                self.open_count.fetch_sub(1, Ordering::AcqRel);
-            }
             start
         };
 
@@ -267,15 +310,19 @@ impl ZonedNamespace {
         if let Some(e) = failure {
             let mut meta = self.zones[zone as usize].lock();
             // Roll back over the pages that never made it — unless a
-            // concurrent append already extended the zone past us.
+            // concurrent append already extended the zone past us. The
+            // zone was never marked Full, so only the pointer moves.
             if meta.wp_pages == start + pages {
-                if meta.state == ZoneState::Full && start + programmed < cap {
-                    meta.state = ZoneState::Open;
-                    self.open_count.fetch_add(1, Ordering::AcqRel);
-                }
                 meta.wp_pages = start + programmed;
             }
             return Err(e);
+        }
+        if start + pages == cap {
+            let mut meta = self.zones[zone as usize].lock();
+            if meta.state == ZoneState::Open && meta.wp_pages == cap {
+                meta.transition(zone, ZoneState::Full)?;
+                self.open_count.fetch_sub(1, Ordering::AcqRel);
+            }
         }
         Ok(start)
     }
@@ -328,7 +375,7 @@ impl ZonedNamespace {
         for b in 0..used_blocks {
             self.nand.erase(self.block_of(zone, b))?;
         }
-        meta.state = ZoneState::Empty;
+        meta.transition(zone, ZoneState::Empty)?;
         meta.wp_pages = 0;
         Ok(())
     }
@@ -337,10 +384,11 @@ impl ZonedNamespace {
     pub fn finish(&self, zone: u32) -> Result<()> {
         self.check_zone(zone)?;
         let mut meta = self.zones[zone as usize].lock();
-        if meta.state == ZoneState::Open {
+        let was_open = meta.state == ZoneState::Open;
+        meta.transition(zone, ZoneState::Full)?;
+        if was_open {
             self.open_count.fetch_sub(1, Ordering::AcqRel);
         }
-        meta.state = ZoneState::Full;
         Ok(())
     }
 
@@ -612,6 +660,44 @@ mod tests {
             failures > 0,
             "p=0.5 over many tries must fail at least once"
         );
+    }
+
+    #[test]
+    fn full_to_open_is_an_illegal_transition() {
+        // The one edge the lifecycle table rejects: a Full zone can only
+        // be reclaimed through Zone Reset, never reopened for writes.
+        let err = ZONE_TRANSITIONS
+            .check(ZoneState::Full, ZoneState::Open)
+            .unwrap_err();
+        assert_eq!(err.machine, "zone");
+        assert!(err.to_string().contains("illegal zone transition"));
+        // Everything the device actually does is legal.
+        assert!(ZONE_TRANSITIONS
+            .check(ZoneState::Empty, ZoneState::Open)
+            .is_ok());
+        assert!(ZONE_TRANSITIONS
+            .check(ZoneState::Open, ZoneState::Full)
+            .is_ok());
+        assert!(ZONE_TRANSITIONS
+            .check(ZoneState::Full, ZoneState::Empty)
+            .is_ok());
+        assert!(ZONE_TRANSITIONS
+            .check(ZoneState::Full, ZoneState::Full)
+            .is_ok());
+    }
+
+    #[test]
+    fn zone_stays_open_until_fill_completes_durably() {
+        // A power cut tearing the capacity-filling append must leave the
+        // zone Open (rolled-back write pointer), not Full: the Full state
+        // is only entered once every page is durably programmed.
+        let z = faulty_zns(kvcsd_sim::FaultPlan::power_cut_at(5, 77));
+        let e = z.append(0, &vec![3u8; 8 * 256]).unwrap_err();
+        assert!(e.is_power_loss());
+        z.nand().fault_injector().unwrap().power_restore();
+        let info = z.zone_info(0).unwrap();
+        assert_eq!(info.state, ZoneState::Open);
+        assert!(info.write_pointer_pages < 8);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use kvcsd_blockfs::BlockFs;
 use kvcsd_sim::config::CostModel;
 
+use crate::error::LsmError;
 use crate::iterator::{MergeIter, Source};
 use crate::options::Options;
 use crate::sstable::{BlockCache, Entry, Table, TableBuilder};
@@ -154,13 +155,15 @@ pub fn merge_to_tables(
             builder_bytes = 0;
         }
         let sz = e.key.len() + e.value.as_ref().map_or(0, Vec::len);
-        builder
+        let b = builder
             .as_mut()
-            .unwrap()
-            .add(&e.key, e.seq, e.value.as_deref())?;
+            .ok_or_else(|| LsmError::Corruption("merge writer lost its builder".into()))?;
+        b.add(&e.key, e.seq, e.value.as_deref())?;
         builder_bytes += sz;
         if builder_bytes >= opts.target_file_bytes {
-            out.push(builder.take().unwrap().finish()?);
+            if let Some(full) = builder.take() {
+                out.push(full.finish()?);
+            }
         }
     }
     if let Some(b) = builder {

@@ -22,6 +22,7 @@
 use std::sync::Arc;
 
 use kvcsd_blockfs::{fs::FileId, BlockFs, LruCache};
+use kvcsd_sim::bytes::{le_u16, le_u32, le_u64, try_le_u16, try_le_u32, try_le_u64};
 use kvcsd_sim::config::CostModel;
 use kvcsd_sim::sync::Mutex;
 
@@ -283,57 +284,34 @@ impl Table {
             )));
         }
         let footer = fs.read_exact_at(file, size - FOOTER_BYTES as u64, FOOTER_BYTES)?;
-        let magic = u32::from_le_bytes(footer[32..36].try_into().unwrap());
+        let magic = le_u32(&footer, 32);
         if magic != MAGIC {
             return Err(LsmError::Corruption(format!(
                 "{path}: bad magic {magic:#x}"
             )));
         }
-        let index_off = u64::from_le_bytes(footer[0..8].try_into().unwrap());
-        let index_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as usize;
-        let filter_off = u64::from_le_bytes(footer[12..20].try_into().unwrap());
-        let filter_len = u32::from_le_bytes(footer[20..24].try_into().unwrap()) as usize;
-        let entry_count = u64::from_le_bytes(footer[24..32].try_into().unwrap());
+        let index_off = le_u64(&footer, 0);
+        let index_len = le_u32(&footer, 8) as usize;
+        let filter_off = le_u64(&footer, 12);
+        let filter_len = le_u32(&footer, 20) as usize;
+        let entry_count = le_u64(&footer, 24);
 
         let index_bytes = fs.read_exact_at(file, index_off, index_len)?;
         let mut index = Vec::new();
         let mut p = 4usize;
-        let n = u32::from_le_bytes(
-            index_bytes
-                .get(0..4)
-                .ok_or_else(|| corrupt(path, "index header"))?
-                .try_into()
-                .unwrap(),
-        ) as usize;
+        let n = try_le_u32(&index_bytes, 0).ok_or_else(|| corrupt(path, "index header"))? as usize;
         for _ in 0..n {
-            let klen = u16::from_le_bytes(
-                index_bytes
-                    .get(p..p + 2)
-                    .ok_or_else(|| corrupt(path, "index klen"))?
-                    .try_into()
-                    .unwrap(),
-            ) as usize;
+            let klen =
+                try_le_u16(&index_bytes, p).ok_or_else(|| corrupt(path, "index klen"))? as usize;
             p += 2;
             let last_key = index_bytes
                 .get(p..p + klen)
                 .ok_or_else(|| corrupt(path, "index key"))?
                 .to_vec();
             p += klen;
-            let offset = u64::from_le_bytes(
-                index_bytes
-                    .get(p..p + 8)
-                    .ok_or_else(|| corrupt(path, "index off"))?
-                    .try_into()
-                    .unwrap(),
-            );
+            let offset = try_le_u64(&index_bytes, p).ok_or_else(|| corrupt(path, "index off"))?;
             p += 8;
-            let len = u32::from_le_bytes(
-                index_bytes
-                    .get(p..p + 4)
-                    .ok_or_else(|| corrupt(path, "index len"))?
-                    .try_into()
-                    .unwrap(),
-            );
+            let len = try_le_u32(&index_bytes, p).ok_or_else(|| corrupt(path, "index len"))?;
             p += 4;
             index.push(IndexEntry {
                 last_key,
@@ -361,7 +339,7 @@ impl Table {
             .map_err(|e| LsmError::Corruption(format!("{path}: {e}")))?;
             (
                 block.first().map(|e| e.key.clone()).unwrap_or_default(),
-                index.last().unwrap().last_key.clone(),
+                index.last().map(|e| e.last_key.clone()).unwrap_or_default(),
             )
         };
 
@@ -387,7 +365,7 @@ impl Table {
         if raw.len() < 4 {
             return Err("block too small".into());
         }
-        let n_restarts = u32::from_le_bytes(raw[raw.len() - 4..].try_into().unwrap()) as usize;
+        let n_restarts = le_u32(raw, raw.len() - 4) as usize;
         let trailer = 4 + n_restarts * 4;
         if raw.len() < trailer {
             return Err("bad restart trailer".into());
@@ -400,11 +378,11 @@ impl Table {
             if p + 17 > data_end {
                 return Err("truncated entry header".into());
             }
-            let shared = u16::from_le_bytes(raw[p..p + 2].try_into().unwrap()) as usize;
-            let non_shared = u16::from_le_bytes(raw[p + 2..p + 4].try_into().unwrap()) as usize;
-            let vlen = u32::from_le_bytes(raw[p + 4..p + 8].try_into().unwrap()) as usize;
+            let shared = le_u16(raw, p) as usize;
+            let non_shared = le_u16(raw, p + 2) as usize;
+            let vlen = le_u32(raw, p + 4) as usize;
             let kind = raw[p + 8];
-            let seq = u64::from_le_bytes(raw[p + 9..p + 17].try_into().unwrap());
+            let seq = le_u64(raw, p + 9);
             p += 17;
             if p + non_shared + vlen > data_end || shared > prev_key.len() {
                 return Err("truncated entry body".into());

@@ -7,6 +7,8 @@
 
 use kvcsd_blockfs::{fs::FileId, BlockFs};
 
+use kvcsd_sim::bytes::{le_u32, le_u64};
+
 use crate::error::LsmError;
 use crate::Result;
 
@@ -58,8 +60,8 @@ impl WalRecord {
             return Err(LsmError::Corruption("wal record too short".into()));
         }
         let kind = payload[0];
-        let seq = u64::from_le_bytes(payload[1..9].try_into().unwrap());
-        let klen = u32::from_le_bytes(payload[9..13].try_into().unwrap()) as usize;
+        let seq = le_u64(payload, 1);
+        let klen = le_u32(payload, 9) as usize;
         if payload.len() < 13 + klen {
             return Err(LsmError::Corruption("wal key truncated".into()));
         }
@@ -130,8 +132,8 @@ impl Wal {
         let mut off = 0u64;
         while off + 8 <= size {
             let header = fs.read_exact_at(file, off, 8)?;
-            let crc = u32::from_le_bytes(header[0..4].try_into().unwrap());
-            let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as u64;
+            let crc = le_u32(&header, 0);
+            let len = le_u32(&header, 4) as u64;
             if off + 8 + len > size {
                 break; // torn tail: record was being written at crash time
             }

@@ -42,9 +42,45 @@ impl VirtualClock {
     }
 }
 
+/// Wall-clock stopwatch for self-timed benchmark harnesses.
+///
+/// This module is the single place in the workspace allowed to touch host
+/// time (`kvcsd-check` rule `time`); everything that needs to measure the
+/// harness's own speed — as opposed to the [`VirtualClock`]'s simulated
+/// time — goes through a `WallTimer` so that no data-path code can
+/// accidentally become wall-clock dependent and break simulation
+/// determinism.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer(std::time::Instant);
+
+impl WallTimer {
+    /// Start a stopwatch at the current host time.
+    pub fn start() -> Self {
+        Self(std::time::Instant::now())
+    }
+
+    /// Host time elapsed since [`WallTimer::start`].
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed host seconds since [`WallTimer::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_timer_moves_forward() {
+        let t = WallTimer::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        assert!(t.elapsed_secs() >= 0.0);
+        assert!(t.elapsed() >= std::time::Duration::ZERO);
+    }
 
     #[test]
     fn starts_at_zero() {

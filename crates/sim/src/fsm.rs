@@ -1,0 +1,121 @@
+//! Declarative state-machine transition tables.
+//!
+//! The device's correctness argument leans on two small lifecycles — the
+//! keyspace lifecycle (EMPTY → WRITABLE → COMPACTING → COMPACTED /
+//! DEGRADED, Section IV of the paper) and the ZNS zone lifecycle (empty →
+//! open → full → reset). PR 1 enforced them by scattered `match` guards;
+//! this module turns each into a single declarative edge list that every
+//! state mutation must clear, so an illegal edge is a typed error at the
+//! mutation site instead of a latent corruption discovered three layers
+//! later.
+//!
+//! Self-transitions (`from == to`) are always legal: they are idempotent
+//! no-ops (e.g. `finish` on an already-Full zone) and listing them would
+//! only bloat the tables.
+
+use std::fmt;
+
+/// A named transition table over a copyable state enum.
+///
+/// Tables are `'static` data — the edge list is the documentation — and
+/// checking is O(edges), which is fine for lifecycles with < 10 states.
+#[derive(Debug, Clone, Copy)]
+pub struct TransitionTable<S: 'static> {
+    /// Machine name used in error messages ("keyspace", "zone").
+    pub machine: &'static str,
+    /// Every legal `(from, to)` edge. Self-edges are implicit.
+    pub edges: &'static [(S, S)],
+}
+
+impl<S: Copy + PartialEq + fmt::Debug> TransitionTable<S> {
+    /// True when `from -> to` is a legal edge (or a no-op self-edge).
+    pub fn is_legal(&self, from: S, to: S) -> bool {
+        from == to || self.edges.iter().any(|&(f, t)| f == from && t == to)
+    }
+
+    /// Check an edge, returning a typed error naming the machine and the
+    /// offending states.
+    pub fn check(&self, from: S, to: S) -> Result<(), IllegalTransition> {
+        if self.is_legal(from, to) {
+            Ok(())
+        } else {
+            Err(IllegalTransition {
+                machine: self.machine,
+                from: format!("{from:?}"),
+                to: format!("{to:?}"),
+            })
+        }
+    }
+
+    /// All states reachable from `from` in one step (diagnostics/docs).
+    pub fn successors(&self, from: S) -> Vec<S> {
+        self.edges
+            .iter()
+            .filter(|&&(f, _)| f == from)
+            .map(|&(_, t)| t)
+            .collect()
+    }
+}
+
+/// A rejected state-machine edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IllegalTransition {
+    pub machine: &'static str,
+    pub from: String,
+    pub to: String,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal {} transition: {} -> {}",
+            self.machine, self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Demo {
+        A,
+        B,
+        C,
+    }
+
+    static DEMO: TransitionTable<Demo> = TransitionTable {
+        machine: "demo",
+        edges: &[(Demo::A, Demo::B), (Demo::B, Demo::C), (Demo::C, Demo::A)],
+    };
+
+    #[test]
+    fn legal_edges_pass() {
+        assert!(DEMO.check(Demo::A, Demo::B).is_ok());
+        assert!(DEMO.check(Demo::B, Demo::C).is_ok());
+    }
+
+    #[test]
+    fn self_edges_are_noops() {
+        assert!(DEMO.check(Demo::B, Demo::B).is_ok());
+    }
+
+    #[test]
+    fn illegal_edges_carry_context() {
+        let err = DEMO.check(Demo::A, Demo::C).unwrap_err();
+        assert_eq!(err.machine, "demo");
+        assert_eq!(err.from, "A");
+        assert_eq!(err.to, "C");
+        assert!(err.to_string().contains("illegal demo transition"));
+    }
+
+    #[test]
+    fn successors_enumerate_edges() {
+        assert_eq!(DEMO.successors(Demo::A), vec![Demo::B]);
+        assert!(DEMO.successors(Demo::B).contains(&Demo::C));
+    }
+}

@@ -19,9 +19,11 @@
 //! See `DESIGN.md` §2 for why this substitution preserves the paper's
 //! result *shapes* even though absolute numbers are not comparable.
 
+pub mod bytes;
 pub mod clock;
 pub mod config;
 pub mod fault;
+pub mod fsm;
 pub mod ledger;
 pub mod model;
 pub mod phase;
@@ -29,9 +31,10 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 
-pub use clock::VirtualClock;
+pub use clock::{VirtualClock, WallTimer};
 pub use config::{CostModel, HardwareSpec};
 pub use fault::{FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultPlan, OpClass};
+pub use fsm::{IllegalTransition, TransitionTable};
 pub use ledger::{IoLedger, LedgerSnapshot};
 pub use model::{PhaseTime, TimeModel};
 pub use phase::PhaseRunner;

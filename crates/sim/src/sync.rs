@@ -4,70 +4,430 @@
 //! recovered rather than propagated — the simulation's invariants are
 //! re-checked by the callers, and propagating poison would only turn one
 //! test panic into a cascade.
+//!
+//! # Lock-order (potential-deadlock) detection
+//!
+//! In debug/test builds every lock belongs to a *class* identified by its
+//! creation site (the `file:line` of the `Mutex::new` call — all zone
+//! locks created in one `Vec` initializer share a class, the keyspace
+//! table is its own class, and so on). Each blocking acquisition records
+//! `held-class -> acquired-class` edges into a global lock-order graph;
+//! if an acquisition would close a cycle — some thread previously took
+//! these classes in the opposite order — the detector panics immediately
+//! with both conflicting acquisition contexts, instead of letting the
+//! inversion sit silently until a production workload interleaves into a
+//! real deadlock. This is the lockdep discipline: *any* observed ordering
+//! cycle is a bug, whether or not this particular run deadlocked.
+//!
+//! Notes on the model:
+//! * classes, not instances: taking two locks of the *same* class (e.g.
+//!   two zones) is not checked — the workspace never nests same-class
+//!   locks, and `kvcsd-check` plus this detector keep it that way for
+//!   cross-class order;
+//! * `try_lock` cannot block, so it records the hold (later blocking
+//!   acquisitions see it) but neither adds edges nor checks cycles;
+//! * release builds compile all instrumentation out;
+//! * `KVCSD_LOCK_ORDER=off` disables the detector at runtime (debug
+//!   builds only, e.g. to let a test limp past a known cycle while
+//!   bisecting).
+//!
+//! The canonical lock order of the device stack is documented in
+//! `DESIGN.md` §9.
 
 use std::sync::{self, LockResult};
-
-/// Mutual exclusion primitive; `lock()` never returns a `Result`.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
 
 fn recover<G>(r: LockResult<G>) -> G {
     r.unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+#[cfg(debug_assertions)]
+mod lockorder {
+    //! The global lock-order graph. Everything in here uses raw
+    //! `std::sync` primitives — this module *is* the instrumentation and
+    //! must not recurse into the shims it instruments.
+
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::panic::Location;
+    use std::sync::{Mutex, OnceLock};
+
+    /// How one `held -> acquired` edge was first observed.
+    #[derive(Debug, Clone)]
+    struct EdgeInfo {
+        thread: String,
+        /// Acquisition site of the lock that was already held.
+        held_at: String,
+        /// Acquisition site that added the edge while holding `held_at`.
+        acquired_at: String,
+    }
+
+    #[derive(Debug, Default)]
+    struct Graph {
+        /// Creation site ("file:line:col") -> class id.
+        class_ids: HashMap<String, u32>,
+        /// Class id -> creation site.
+        class_sites: Vec<String>,
+        /// `from` class -> `to` class -> first observation.
+        edges: HashMap<u32, HashMap<u32, EdgeInfo>>,
+    }
+
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+
+    fn graph() -> &'static Mutex<Graph> {
+        GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+    }
+
+    fn lock_graph() -> std::sync::MutexGuard<'static, Graph> {
+        // Recover poison: a detector panic must not cascade into every
+        // later acquisition in the process.
+        graph().lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    thread_local! {
+        /// Stack of (class, acquisition site) currently held by this thread.
+        static HELD: RefCell<Vec<(u32, String)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn enabled() -> bool {
+        static ENABLED: OnceLock<bool> = OnceLock::new();
+        *ENABLED.get_or_init(|| {
+            std::env::var("KVCSD_LOCK_ORDER")
+                .map(|v| v != "off" && v != "0")
+                .unwrap_or(true)
+        })
+    }
+
+    fn site_of(loc: &Location<'_>) -> String {
+        format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
+    }
+
+    /// Register (or look up) the class for a lock created at `loc`.
+    pub(super) fn class_of(loc: &Location<'_>) -> u32 {
+        let site = site_of(loc);
+        let mut g = lock_graph();
+        if let Some(&id) = g.class_ids.get(&site) {
+            return id;
+        }
+        let id = g.class_sites.len() as u32;
+        g.class_sites.push(site.clone());
+        g.class_ids.insert(site, id);
+        id
+    }
+
+    /// Is `to` reachable from `from` over recorded edges?
+    fn reachable(g: &Graph, from: u32, to: u32) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = g.edges.get(&n) {
+                stack.extend(next.keys().copied());
+            }
+        }
+        false
+    }
+
+    /// One shortest `from -> ... -> to` edge path (for the panic report).
+    fn find_path(g: &Graph, from: u32, to: u32) -> Vec<(u32, u32)> {
+        let mut prev: HashMap<u32, u32> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut seen = HashSet::from([from]);
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                break;
+            }
+            if let Some(next) = g.edges.get(&n) {
+                for &m in next.keys() {
+                    if seen.insert(m) {
+                        prev.insert(m, n);
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let Some(&p) = prev.get(&cur) else {
+                return Vec::new();
+            };
+            path.push((p, cur));
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Popping token for one recorded hold.
+    #[derive(Debug)]
+    pub(super) struct HeldToken {
+        class: u32,
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            let _ = HELD.try_with(|h| {
+                let mut h = h.borrow_mut();
+                if let Some(ix) = h.iter().rposition(|&(c, _)| c == self.class) {
+                    h.remove(ix);
+                }
+            });
+        }
+    }
+
+    /// Record an acquisition of `class` at `loc`. When `blocking`, first
+    /// verify the acquisition cannot close an ordering cycle, panicking
+    /// with both conflicting contexts if it would.
+    pub(super) fn acquire(class: u32, loc: &Location<'_>, blocking: bool) -> Option<HeldToken> {
+        if !enabled() {
+            return None;
+        }
+        let acq_site = site_of(loc);
+        if blocking {
+            let held: Vec<(u32, String)> = HELD.with(|h| h.borrow().clone());
+            let mut cycle_msg = None;
+            {
+                let mut g = lock_graph();
+                for (held_class, held_site) in &held {
+                    if *held_class == class {
+                        continue;
+                    }
+                    if reachable(&g, class, *held_class) {
+                        // Build the report, then panic outside the guard.
+                        let mut msg = format!(
+                            "lock-order cycle detected (potential deadlock)\n  thread '{}' is acquiring lock class created at {}\n    at {}\n  while holding lock class created at {}\n    acquired at {}\n  but the reverse order was previously observed:\n",
+                            std::thread::current().name().unwrap_or("<unnamed>"),
+                            g.class_sites[class as usize],
+                            acq_site,
+                            g.class_sites[*held_class as usize],
+                            held_site,
+                        );
+                        for (f, t) in find_path(&g, class, *held_class) {
+                            if let Some(info) = g.edges.get(&f).and_then(|m| m.get(&t)) {
+                                msg.push_str(&format!(
+                                    "    {} (held, acquired at {}) -> {} (acquired at {}) on thread '{}'\n",
+                                    g.class_sites[f as usize],
+                                    info.held_at,
+                                    g.class_sites[t as usize],
+                                    info.acquired_at,
+                                    info.thread,
+                                ));
+                            }
+                        }
+                        cycle_msg = Some(msg);
+                        break;
+                    }
+                }
+                if cycle_msg.is_none() {
+                    for (held_class, held_site) in &held {
+                        if *held_class == class {
+                            continue;
+                        }
+                        g.edges
+                            .entry(*held_class)
+                            .or_default()
+                            .entry(class)
+                            .or_insert_with(|| EdgeInfo {
+                                thread: std::thread::current()
+                                    .name()
+                                    .unwrap_or("<unnamed>")
+                                    .to_string(),
+                                held_at: held_site.clone(),
+                                acquired_at: acq_site.clone(),
+                            });
+                    }
+                }
+            }
+            if let Some(msg) = cycle_msg {
+                panic!("{msg}");
+            }
+        }
+        HELD.with(|h| h.borrow_mut().push((class, acq_site)));
+        Some(HeldToken { class })
+    }
+}
+
+/// Mutual exclusion primitive; `lock()` never returns a `Result`.
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    class: u32,
+    inner: sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]/[`Mutex::try_lock`]; releases the
+/// lock (and pops the lock-order stack in debug builds) on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: Option<lockorder::HeldToken>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
 impl<T> Mutex<T> {
-    pub const fn new(value: T) -> Self {
-        Self(sync::Mutex::new(value))
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        Self {
+            #[cfg(debug_assertions)]
+            class: lockorder::class_of(std::panic::Location::caller()),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        recover(self.0.into_inner())
+        recover(self.inner.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
-        recover(self.0.lock())
-    }
-
-    pub fn try_lock(&self) -> Option<sync::MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
+        MutexGuard {
+            inner: recover(self.inner.lock()),
+            #[cfg(debug_assertions)]
+            _token: token,
         }
     }
 
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(debug_assertions)]
+        let token = lockorder::acquire(self.class, std::panic::Location::caller(), false);
+        Some(MutexGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _token: token,
+        })
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
-        recover(self.0.get_mut())
+        recover(self.inner.get_mut())
     }
 }
 
 /// Reader-writer lock; `read()`/`write()` return guards directly.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    class: u32,
+    inner: sync::RwLock<T>,
+}
+
+/// Shared guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: Option<lockorder::HeldToken>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: Option<lockorder::HeldToken>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> RwLock<T> {
-    pub const fn new(value: T) -> Self {
-        Self(sync::RwLock::new(value))
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        Self {
+            #[cfg(debug_assertions)]
+            class: lockorder::class_of(std::panic::Location::caller()),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        recover(self.0.into_inner())
+        recover(self.inner.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
-    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
-        recover(self.0.read())
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
+        RwLockReadGuard {
+            inner: recover(self.inner.read()),
+            #[cfg(debug_assertions)]
+            _token: token,
+        }
     }
 
-    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
-        recover(self.0.write())
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
+        RwLockWriteGuard {
+            inner: recover(self.inner.write()),
+            #[cfg(debug_assertions)]
+            _token: token,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        recover(self.0.get_mut())
+        recover(self.inner.get_mut())
     }
 }
 
@@ -111,5 +471,125 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[cfg(debug_assertions)]
+    mod order {
+        use super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        fn panic_message(r: std::thread::Result<()>) -> String {
+            match r {
+                Ok(()) => String::new(),
+                Err(p) => p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default(),
+            }
+        }
+
+        #[test]
+        fn inverted_lock_pair_is_detected() {
+            let a = Mutex::new(0u32);
+            let b = Mutex::new(0u32);
+            // Establish the order a -> b.
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            // The inversion b -> a must panic even though no thread is
+            // actually deadlocked right now.
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }));
+            let msg = panic_message(r.map(|_| ()));
+            assert!(
+                msg.contains("lock-order cycle"),
+                "expected a lock-order panic, got: {msg:?}"
+            );
+        }
+
+        #[test]
+        fn inversion_across_threads_is_detected() {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            // Thread 1 records a -> b and exits.
+            std::thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            })
+            .join()
+            .expect("ordering thread must not panic");
+            // Thread 2 attempts b -> a: cycle.
+            let r = std::thread::Builder::new()
+                .name("inverter".into())
+                .spawn(move || {
+                    let _gb = b.lock();
+                    let _ga = a.lock();
+                })
+                .expect("spawn")
+                .join();
+            let msg = panic_message(r);
+            assert!(
+                msg.contains("lock-order cycle"),
+                "expected a lock-order panic, got: {msg:?}"
+            );
+        }
+
+        #[test]
+        fn consistent_order_is_silent() {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let _ga = a.lock();
+                        let _gb = b.lock();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("consistent order must never panic");
+            }
+        }
+
+        #[test]
+        fn try_lock_does_not_create_false_cycles() {
+            let a = Mutex::new(0u32);
+            let b = Mutex::new(0u32);
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            // try_lock in the reverse order cannot block, so it must not
+            // be reported as a potential deadlock.
+            let _gb = b.lock();
+            let ga = a.try_lock();
+            assert!(ga.is_some());
+        }
+
+        #[test]
+        fn rwlock_participates_in_ordering() {
+            let a = RwLock::new(0u32);
+            let b = Mutex::new(0u32);
+            {
+                let _ga = a.read();
+                let _gb = b.lock();
+            }
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.write();
+            }));
+            let msg = panic_message(r.map(|_| ()));
+            assert!(
+                msg.contains("lock-order cycle"),
+                "expected a lock-order panic, got: {msg:?}"
+            );
+        }
     }
 }
