@@ -326,6 +326,24 @@ pub fn find_wall_clock(code: &str) -> Vec<Hit> {
     hits
 }
 
+/// `thread::sleep` calls (also matches the qualified `std::thread::sleep`
+/// path, which ends in the same token pair). A local function merely
+/// *named* `sleep` is not flagged — the `thread::` segment is required.
+pub fn find_thread_sleep(code: &str) -> Vec<Hit> {
+    let bytes = code.as_bytes();
+    let needle = "thread::sleep";
+    let mut hits = Vec::new();
+    for ix in find_all(code, needle) {
+        if bounded(bytes, ix, needle.len()) {
+            hits.push(Hit {
+                offset: ix,
+                what: "`thread::sleep(...)`".to_string(),
+            });
+        }
+    }
+    hits
+}
+
 /// `std::sync::Mutex` / `std::sync::RwLock`, whether path-qualified at a
 /// use site or pulled in through a `use std::sync::...` import. Limits:
 /// renamed imports (`as M`) and `use std::{sync::Mutex}` nesting are not
@@ -430,6 +448,15 @@ mod tests {
         let code = "let t = std::time::Instant::now(); let s = SystemTime::now(); fn now() {}";
         let hits = find_wall_clock(code);
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn finds_thread_sleeps() {
+        let code =
+            "thread::sleep(d); std::thread::sleep(d); sleep(d); my_thread::sleeper(); fn sleep() {}";
+        let hits = find_thread_sleep(code);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().all(|h| h.what.contains("thread::sleep")));
     }
 
     #[test]

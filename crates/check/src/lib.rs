@@ -1,6 +1,6 @@
 //! `kvcsd-check`: the workspace lint pass.
 //!
-//! Three repo-specific rules that `rustc`/`clippy` cannot express, each
+//! Four repo-specific rules that `rustc`/`clippy` cannot express, each
 //! guarding an invariant the reproduction's correctness argument leans on
 //! (see `DESIGN.md` §9):
 //!
@@ -13,6 +13,10 @@
 //! * **`time`** — no `Instant::now()` / `SystemTime::now()` outside
 //!   `kvcsd-sim::clock`. Simulated time is virtual and deterministic;
 //!   wall-clock self-timing goes through `kvcsd_sim::WallTimer`.
+//! * **`sleep`** — no `thread::sleep` outside `kvcsd-sim`. Waiting is
+//!   simulated by charging the virtual clock (admission stalls, retry
+//!   backoff); a real sleep would couple test wall-time to simulated
+//!   time and break determinism.
 //!
 //! Exemptions are granted inline, and only with a reason:
 //!
@@ -40,7 +44,7 @@ pub mod lexer;
 use lexer::Scrubbed;
 
 /// The rule identifiers, as used in `allow(...)` comments and `--rule`.
-pub const RULES: [&str; 3] = ["sync", "unwrap", "time"];
+pub const RULES: [&str; 4] = ["sync", "unwrap", "time", "sleep"];
 
 /// One finding, printed as `path:line: [rule] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +77,7 @@ pub struct RuleSet {
     pub sync: bool,
     pub unwrap: bool,
     pub time: bool,
+    pub sleep: bool,
 }
 
 impl RuleSet {
@@ -81,6 +86,7 @@ impl RuleSet {
             sync: false,
             unwrap: false,
             time: false,
+            sleep: false,
         }
     }
 }
@@ -97,7 +103,11 @@ impl RuleSet {
 ///   path — except `crates/sim/src/clock.rs` (home of `WallTimer`);
 /// * `unwrap` applies to library source only: integration tests, benches
 ///   and examples are harnesses whose idiomatic failure mode is a panic,
-///   as is the `kvcsd-bench` crate.
+///   as is the `kvcsd-bench` crate;
+/// * `sleep` applies everywhere except `crates/sim/` — only the
+///   simulation substrate may legitimately block a real thread (e.g. a
+///   future wall-time throttle shim); everything above it waits by
+///   charging the virtual clock.
 pub fn rules_for(rel_path: &str) -> RuleSet {
     let parts: Vec<&str> = rel_path.split('/').collect();
     if parts.iter().any(|p| *p == "fixtures" || *p == "target") {
@@ -110,6 +120,7 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
         sync: rel_path != "crates/sim/src/sync.rs",
         unwrap: !harness && !rel_path.starts_with("crates/bench/"),
         time: rel_path != "crates/sim/src/clock.rs",
+        sleep: !rel_path.starts_with("crates/sim/"),
     }
 }
 
@@ -239,6 +250,18 @@ pub fn check_source(file: &Path, rel_path: &str, source: &str) -> Vec<Violation>
                 "time",
                 format!(
                     "{} — simulated time is virtual; for harness self-timing use kvcsd_sim::WallTimer",
+                    hit.what
+                ),
+            );
+        }
+    }
+    if rules.sleep {
+        for hit in lexer::find_thread_sleep(&scrubbed.code) {
+            push(
+                scrubbed.line_of(hit.offset),
+                "sleep",
+                format!(
+                    "{} — waiting is simulated by charging the virtual clock, never by blocking a real thread",
                     hit.what
                 ),
             );

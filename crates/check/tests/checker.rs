@@ -48,6 +48,36 @@ fn seeded_time_violations_are_flagged() {
 }
 
 #[test]
+fn seeded_sleep_violations_are_flagged() {
+    let v = scan("bad_sleep.rs", include_str!("fixtures/bad_sleep.rs"));
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(
+        lines,
+        vec![7, 11],
+        "a local fn named sleep must not trip it: {v:#?}"
+    );
+    assert!(v.iter().all(|v| v.rule == "sleep"));
+    assert!(v.iter().any(|v| v.message.contains("virtual clock")));
+}
+
+#[test]
+fn sleep_rule_exempts_the_sim_crate_only() {
+    assert!(rules_for("crates/sim/src/clock.rs").sync);
+    assert!(!rules_for("crates/sim/src/clock.rs").sleep);
+    assert!(rules_for("crates/core/src/device.rs").sleep);
+    assert!(rules_for("tests/overload.rs").sleep);
+}
+
+#[test]
+fn sleep_allows_are_honored() {
+    let v = scan(
+        "allowed_sleep.rs",
+        "pub fn pace() {\n    // kvcsd-check: allow(sleep): wall-time pacing knob for manual demos\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n",
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
 fn valid_allows_and_test_regions_scan_clean() {
     let v = scan("allowed.rs", include_str!("fixtures/allowed.rs"));
     assert!(v.is_empty(), "{v:#?}");

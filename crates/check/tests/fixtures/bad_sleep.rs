@@ -1,0 +1,16 @@
+//! Fixture: real thread sleeps outside `kvcsd-sim`.
+
+use std::thread;
+use std::time::Duration;
+
+pub fn nap() {
+    thread::sleep(Duration::from_millis(10));
+}
+
+pub fn qualified_nap() {
+    std::thread::sleep(Duration::from_micros(1));
+}
+
+pub fn sleep(_d: Duration) {
+    // A local function named `sleep` is fine; only `thread::sleep` trips.
+}

@@ -5,9 +5,9 @@ use std::sync::Arc;
 
 use kvcsd_proto::{
     Bound, BulkBuilder, DeviceHandler, JobId, JobState, KeyspaceDesc, KeyspaceStat, KeyspaceState,
-    KvCommand, KvResponse, QueuePair, SecondaryIndexSpec, SidxKey, DEFAULT_BULK_BYTES,
+    KvCommand, KvResponse, KvStatus, QueuePair, SecondaryIndexSpec, SidxKey, DEFAULT_BULK_BYTES,
 };
-use kvcsd_sim::IoLedger;
+use kvcsd_sim::{IoLedger, VirtualClock};
 
 use crate::error::ClientError;
 use crate::Result;
@@ -59,7 +59,29 @@ impl RetryPolicy {
 }
 
 /// Send `cmd`, resending on retryable statuses within the policy budget.
-fn exec_with_retry(qp: &QueuePair, policy: &RetryPolicy, cmd: KvCommand) -> Result<KvResponse> {
+///
+/// When a `deadline_ns` is set the command is wrapped in
+/// [`KvCommand::WithDeadline`] so the device enforces it too, and the
+/// retry loop becomes deadline-aware: a retry whose backoff would land at
+/// or past the deadline is never scheduled — the loop fails fast with
+/// [`KvStatus::DeadlineExceeded`] instead of burning the backoff budget
+/// on work that cannot complete in time. Backoff advances the shared
+/// virtual clock (when one is attached) in addition to being charged to
+/// the ledger, so device-side deadline checks see the waited time.
+fn exec_with_retry(
+    qp: &QueuePair,
+    policy: &RetryPolicy,
+    clock: Option<&VirtualClock>,
+    deadline_ns: Option<u64>,
+    cmd: KvCommand,
+) -> Result<KvResponse> {
+    let cmd = match deadline_ns {
+        Some(deadline_ns) => KvCommand::WithDeadline {
+            deadline_ns,
+            cmd: Box::new(cmd),
+        },
+        None => cmd,
+    };
     let mut attempts = 0u32;
     loop {
         attempts += 1;
@@ -76,9 +98,17 @@ fn exec_with_retry(qp: &QueuePair, policy: &RetryPolicy, cmd: KvCommand) -> Resu
                         last: status,
                     });
                 }
+                let backoff = policy.backoff_ns(retry + 1);
+                if let (Some(clock), Some(d)) = (clock, deadline_ns) {
+                    if clock.now_ns().saturating_add(backoff) >= d {
+                        return Err(ClientError::Device(KvStatus::DeadlineExceeded));
+                    }
+                }
                 qp.ledger().bump("client_retries", 1);
-                qp.ledger()
-                    .bump("client_retry_backoff_ns", policy.backoff_ns(retry + 1));
+                qp.ledger().bump("client_retry_backoff_ns", backoff);
+                if let Some(clock) = clock {
+                    clock.advance(backoff);
+                }
             }
             Err(status) => return Err(ClientError::Device(status)),
         }
@@ -90,6 +120,8 @@ fn exec_with_retry(qp: &QueuePair, policy: &RetryPolicy, cmd: KvCommand) -> Resu
 pub struct KvCsd {
     qp: QueuePair,
     policy: RetryPolicy,
+    clock: Option<Arc<VirtualClock>>,
+    deadline_ns: Option<u64>,
 }
 
 impl KvCsd {
@@ -98,6 +130,8 @@ impl KvCsd {
         Self {
             qp: QueuePair::new(device, ledger),
             policy: RetryPolicy::default(),
+            clock: None,
+            deadline_ns: None,
         }
     }
 
@@ -108,8 +142,41 @@ impl KvCsd {
         self
     }
 
+    /// Attach the simulation clock shared with the device. Retry backoff
+    /// then advances this clock, and deadline-aware retries can tell when
+    /// the budget is spent. Sessions and jobs opened afterwards inherit it.
+    pub fn with_clock(mut self, clock: Arc<VirtualClock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Set an absolute deadline (sim-clock ns) stamped on every command
+    /// issued through this handle and sessions opened from it. The device
+    /// rejects expired work with `DeadlineExceeded`; the client retry loop
+    /// never schedules a retry past the budget.
+    pub fn with_deadline(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
     fn exec(&self, cmd: KvCommand) -> Result<KvResponse> {
-        exec_with_retry(&self.qp, &self.policy, cmd)
+        exec_with_retry(
+            &self.qp,
+            &self.policy,
+            self.clock.as_deref(),
+            self.deadline_ns,
+            cmd,
+        )
+    }
+
+    fn session(&self, ks: u32) -> Keyspace {
+        Keyspace {
+            qp: self.qp.clone(),
+            id: ks,
+            policy: self.policy,
+            clock: self.clock.clone(),
+            deadline_ns: self.deadline_ns,
+        }
     }
 
     /// Create a keyspace and open a session on it.
@@ -117,11 +184,7 @@ impl KvCsd {
         match self.exec(KvCommand::CreateKeyspace {
             name: name.to_string(),
         })? {
-            KvResponse::Created { ks } => Ok(Keyspace {
-                qp: self.qp.clone(),
-                id: ks,
-                policy: self.policy,
-            }),
+            KvResponse::Created { ks } => Ok(self.session(ks)),
             other => Err(unexpected("Created", &other)),
         }
     }
@@ -131,14 +194,7 @@ impl KvCsd {
         match self.exec(KvCommand::OpenKeyspace {
             name: name.to_string(),
         })? {
-            KvResponse::Opened { ks, state } => Ok((
-                Keyspace {
-                    qp: self.qp.clone(),
-                    id: ks,
-                    policy: self.policy,
-                },
-                state,
-            )),
+            KvResponse::Opened { ks, state } => Ok((self.session(ks), state)),
             other => Err(unexpected("Opened", &other)),
         }
     }
@@ -162,6 +218,8 @@ pub struct Keyspace {
     qp: QueuePair,
     id: u32,
     policy: RetryPolicy,
+    clock: Option<Arc<VirtualClock>>,
+    deadline_ns: Option<u64>,
 }
 
 impl Keyspace {
@@ -170,8 +228,24 @@ impl Keyspace {
         self.id
     }
 
+    /// A session clone whose commands carry an absolute deadline
+    /// (sim-clock ns). Expired work fails with `DeadlineExceeded` at the
+    /// device; the retry loop never backs off past the budget.
+    pub fn with_deadline(&self, deadline_ns: u64) -> Keyspace {
+        Keyspace {
+            deadline_ns: Some(deadline_ns),
+            ..self.clone()
+        }
+    }
+
     fn exec(&self, cmd: KvCommand) -> Result<KvResponse> {
-        exec_with_retry(&self.qp, &self.policy, cmd)
+        exec_with_retry(
+            &self.qp,
+            &self.policy,
+            self.clock.as_deref(),
+            self.deadline_ns,
+            cmd,
+        )
     }
 
     /// Insert a single key-value pair (one command round trip; prefer
@@ -215,6 +289,7 @@ impl Keyspace {
                 qp: self.qp.clone(),
                 id: job,
                 policy: self.policy,
+                clock: self.clock.clone(),
             }),
             other => Err(unexpected("JobStarted", &other)),
         }
@@ -229,6 +304,7 @@ impl Keyspace {
                 qp: self.qp.clone(),
                 id: job,
                 policy: self.policy,
+                clock: self.clock.clone(),
             }),
             other => Err(unexpected("JobStarted", &other)),
         }
@@ -241,6 +317,7 @@ impl Keyspace {
                 qp: self.qp.clone(),
                 id: job,
                 policy: self.policy,
+                clock: self.clock.clone(),
             }),
             other => Err(unexpected("JobStarted", &other)),
         }
@@ -390,6 +467,7 @@ pub struct Job {
     qp: QueuePair,
     id: JobId,
     policy: RetryPolicy,
+    clock: Option<Arc<VirtualClock>>,
 }
 
 impl Job {
@@ -399,7 +477,13 @@ impl Job {
 
     /// Ask the device for the job's state (one command round trip).
     pub fn poll(&self) -> Result<JobState> {
-        match exec_with_retry(&self.qp, &self.policy, KvCommand::PollJob { job: self.id })? {
+        match exec_with_retry(
+            &self.qp,
+            &self.policy,
+            self.clock.as_deref(),
+            None,
+            KvCommand::PollJob { job: self.id },
+        )? {
             KvResponse::Job { state } => Ok(state),
             other => Err(unexpected("Job", &other)),
         }
@@ -674,6 +758,67 @@ mod tests {
         assert_eq!(ledger.custom("client_retries"), 0);
         // The device is healthy now; a plain resend works.
         client.create_keyspace("fast").unwrap();
+    }
+
+    #[test]
+    fn device_full_fails_fast_without_burning_backoff() {
+        // DeviceFull is degraded mode, not a transient error: the retry
+        // loop must surface it immediately instead of spending its whole
+        // backoff budget on a condition that cannot clear by resending.
+        let (client, ledger) = flaky_testbed(100, KvStatus::DeviceFull);
+        let err = client.create_keyspace("full").unwrap_err();
+        assert_eq!(err, ClientError::Device(KvStatus::DeviceFull));
+        assert!(err.is_degraded());
+        assert!(!err.is_fatal());
+        assert_eq!(ledger.custom("client_retries"), 0);
+        assert_eq!(ledger.custom("client_retry_backoff_ns"), 0);
+    }
+
+    #[test]
+    fn deadline_aware_retry_never_backs_off_past_the_budget() {
+        let (_, dev, ledger) = testbed();
+        let flaky = Arc::new(Flaky {
+            inner: dev,
+            remaining: std::sync::atomic::AtomicU32::new(100),
+            status: transient(),
+        });
+        let clock = Arc::new(kvcsd_sim::VirtualClock::new());
+        let client = KvCsd::connect(flaky as Arc<dyn DeviceHandler>, Arc::clone(&ledger))
+            .with_clock(Arc::clone(&clock))
+            .with_retry_policy(RetryPolicy {
+                max_retries: 10,
+                base_backoff_ns: 100_000,
+                max_backoff_ns: 10_000_000,
+            })
+            .with_deadline(350_000);
+        let err = client.create_keyspace("never").unwrap_err();
+        // Backoffs 100k and 200k fit the 350k budget; the third (400k)
+        // would land past it, so the loop fails fast instead of waiting.
+        assert_eq!(err, ClientError::Device(KvStatus::DeadlineExceeded));
+        assert_eq!(ledger.custom("client_retries"), 2);
+        assert_eq!(clock.now_ns(), 300_000);
+    }
+
+    #[test]
+    fn deadline_sessions_are_enforced_by_the_device() {
+        let (_, dev, ledger) = testbed();
+        let clock = Arc::clone(dev.clock());
+        let client = KvCsd::connect(
+            Arc::<KvCsdDevice>::clone(&dev) as Arc<dyn DeviceHandler>,
+            Arc::clone(&ledger),
+        )
+        .with_clock(Arc::clone(&clock));
+        let ks = client.create_keyspace("dl").unwrap();
+        clock.advance(2_000);
+        // Expired deadline: the device rejects before doing any work.
+        let late = ks.with_deadline(1_000);
+        assert_eq!(
+            late.put(b"k", b"v").unwrap_err(),
+            ClientError::Device(KvStatus::DeadlineExceeded)
+        );
+        // A live deadline passes through.
+        let live = ks.with_deadline(clock.now_ns() + 1_000_000_000);
+        live.put(b"k", b"v").unwrap();
     }
 
     #[test]

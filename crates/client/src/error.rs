@@ -52,9 +52,33 @@ impl ClientError {
         matches!(self, ClientError::Device(s) if s.is_retryable())
     }
 
-    /// True when resending the same command cannot help.
+    /// True when the device (or one keyspace) has gracefully degraded to
+    /// a read-only mode: storage space is exhausted, writes fail fast,
+    /// but reads keep serving. Retrying the same write is pointless until
+    /// space is reclaimed or the keyspace is re-compacted — but the
+    /// device is *not* dead, so callers should shed write load or switch
+    /// to read paths rather than tearing the connection down.
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Device(KvStatus::DeviceFull)
+                | ClientError::Device(KvStatus::BadKeyspaceState {
+                    state: "READ_ONLY",
+                    ..
+                })
+                | ClientError::RetriesExhausted {
+                    last: KvStatus::DeviceFull,
+                    ..
+                }
+        )
+    }
+
+    /// True when resending the same command cannot help *and* the device
+    /// is not merely degraded. Degraded errors are recoverable through
+    /// out-of-band action (delete data, re-compact), so they are neither
+    /// retryable nor fatal.
     pub fn is_fatal(&self) -> bool {
-        !self.is_retryable()
+        !self.is_retryable() && !self.is_degraded()
     }
 }
 
@@ -87,6 +111,7 @@ mod tests {
             ClientError::Device(KvStatus::MediaError("die".into())),
             ClientError::Device(KvStatus::PowerLoss),
             ClientError::Device(KvStatus::KeyNotFound),
+            ClientError::Device(KvStatus::DeadlineExceeded),
             ClientError::RetriesExhausted {
                 attempts: 3,
                 last: KvStatus::TransientDeviceError("soft".into()),
@@ -95,6 +120,35 @@ mod tests {
         ] {
             assert!(fatal.is_fatal(), "{fatal:?}");
             assert!(!fatal.is_retryable(), "{fatal:?}");
+            assert!(!fatal.is_degraded(), "{fatal:?}");
         }
+    }
+
+    #[test]
+    fn degraded_is_neither_retryable_nor_fatal() {
+        for degraded in [
+            ClientError::Device(KvStatus::DeviceFull),
+            ClientError::Device(KvStatus::BadKeyspaceState {
+                state: "READ_ONLY",
+                op: "put",
+            }),
+            ClientError::RetriesExhausted {
+                attempts: 5,
+                last: KvStatus::DeviceFull,
+            },
+        ] {
+            assert!(degraded.is_degraded(), "{degraded:?}");
+            assert!(!degraded.is_retryable(), "{degraded:?}");
+            assert!(!degraded.is_fatal(), "{degraded:?}");
+        }
+        // Other bad-state errors are not degraded mode.
+        let busy_state = ClientError::Device(KvStatus::BadKeyspaceState {
+            state: "COMPACTING",
+            op: "put",
+        });
+        assert!(!busy_state.is_degraded());
+        // Overload signals are retryable, not degraded.
+        assert!(!ClientError::Device(KvStatus::Busy).is_degraded());
+        assert!(ClientError::Device(KvStatus::Busy).is_retryable());
     }
 }

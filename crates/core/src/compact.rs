@@ -20,6 +20,7 @@
 use kvcsd_sim::bytes::{le_u16, le_u32, le_u64, try_le_u16, try_le_u32, try_le_u64};
 use std::cmp::Ordering;
 
+use crate::admission::Deadline;
 use crate::dram::DramBudget;
 use crate::error::DeviceError;
 use crate::extsort::{ExtSorter, SortRecord};
@@ -199,6 +200,11 @@ pub struct CompactionOutput {
 
 /// Sort a sealed keyspace: consume its KLOG/VLOG clusters (released on
 /// success) and produce PIDX + SORTED_VALUES clusters plus the sketch.
+///
+/// The deadline is checked at each phase boundary; an expired compaction
+/// aborts between passes and the caller's orphan sweep unwinds its
+/// partial output (the sealed logs stay untouched until the final swap).
+#[allow(clippy::too_many_arguments)]
 pub fn run_compaction(
     mgr: &ZoneManager,
     soc: &SocCharger,
@@ -207,6 +213,7 @@ pub fn run_compaction(
     vlog: (ClusterId, u64),
     pairs: u64,
     cluster_width: u32,
+    deadline: &Deadline<'_>,
 ) -> Result<CompactionOutput> {
     // ---- Step 1: sort the keys -------------------------------------------
     let mut key_sorter: ExtSorter<'_, KlogRecord> = ExtSorter::new(mgr, soc, dram, cluster_width)?;
@@ -218,6 +225,7 @@ pub fn run_compaction(
             key_sorter.push(rec)?;
         }
     }
+    deadline.check()?;
 
     // Emit PIDX blocks + sketch; collect (voff, vlen, rank) gather tags.
     let pidx_cluster = mgr.alloc_cluster(cluster_width)?;
@@ -256,6 +264,7 @@ pub fn run_compaction(
         sketch.push(first);
         pidx_blocks += 1;
     }
+    deadline.check()?;
 
     // ---- Step 2: sort the values -----------------------------------------
     // 2a: tags back into VLOG order (they are a permutation of the VLOG
@@ -274,6 +283,7 @@ pub fn run_compaction(
             Ok(())
         })?;
     }
+    deadline.check()?;
 
     // 2b: values into final order, streamed into SORTED_VALUES.
     let svalues_cluster = mgr.alloc_cluster(cluster_width)?;
@@ -404,6 +414,7 @@ pub fn run_compaction_with_indexes(
     pairs: u64,
     cluster_width: u32,
     specs: &[kvcsd_proto::SecondaryIndexSpec],
+    deadline: &Deadline<'_>,
 ) -> Result<(CompactionOutput, Vec<crate::sidx::SidxOutput>)> {
     use crate::sidx::SidxEntry;
 
@@ -417,6 +428,7 @@ pub fn run_compaction_with_indexes(
             key_sorter.push(rec)?;
         }
     }
+    deadline.check()?;
 
     let pidx_cluster = mgr.alloc_cluster(cluster_width)?;
     let mut sketch = Sketch::new();
@@ -455,6 +467,7 @@ pub fn run_compaction_with_indexes(
         sketch.push(first);
         pidx_blocks += 1;
     }
+    deadline.check()?;
 
     // ---- Step 2: sort the values, extracting index keys in flight -------
     // The extra sorters are the "increased SoC DRAM usage".
@@ -478,6 +491,7 @@ pub fn run_compaction_with_indexes(
             Ok(())
         })?;
     }
+    deadline.check()?;
 
     let svalues_cluster = mgr.alloc_cluster(cluster_width)?;
     let mut writer = crate::ingest::BlockStreamWriter::new(svalues_cluster);
@@ -503,6 +517,7 @@ pub fn run_compaction_with_indexes(
     })?;
     let svalues_len = writer.seal(mgr)?;
     debug_assert_eq!(svalues_len, out_voff);
+    deadline.check()?;
 
     // ---- Finish the indexes -----------------------------------------------
     let mut sidx_outputs = Vec::with_capacity(specs.len());
@@ -574,7 +589,17 @@ mod tests {
             pairs.push((key, value));
         }
         let (klen, vlen) = log.seal(mgr).unwrap();
-        let out = run_compaction(mgr, soc, dram, (kc, klen), (vc, vlen), n, 4).unwrap();
+        let out = run_compaction(
+            mgr,
+            soc,
+            dram,
+            (kc, klen),
+            (vc, vlen),
+            n,
+            4,
+            &Deadline::none(),
+        )
+        .unwrap();
         pairs.sort();
         (out, pairs)
     }
@@ -699,7 +724,17 @@ mod tests {
         let vc = mgr.alloc_cluster(2).unwrap();
         let mut log = WriteLog::new(kc, vc);
         let (klen, vlen) = log.seal(&mgr).unwrap();
-        let out = run_compaction(&mgr, &soc, &dram, (kc, klen), (vc, vlen), 0, 2).unwrap();
+        let out = run_compaction(
+            &mgr,
+            &soc,
+            &dram,
+            (kc, klen),
+            (vc, vlen),
+            0,
+            2,
+            &Deadline::none(),
+        )
+        .unwrap();
         assert_eq!(out.pairs, 0);
         assert_eq!(out.pidx.1, 0);
         assert!(out.sketch.is_empty());
@@ -720,7 +755,17 @@ mod tests {
                 .unwrap();
         }
         let (klen, vlen) = log.seal(&mgr).unwrap();
-        let out = run_compaction(&mgr, &soc, &dram, (kc, klen), (vc, vlen), 10, 2).unwrap();
+        let out = run_compaction(
+            &mgr,
+            &soc,
+            &dram,
+            (kc, klen),
+            (vc, vlen),
+            10,
+            2,
+            &Deadline::none(),
+        )
+        .unwrap();
         let got = read_all_entries(&mgr, &out);
         assert_eq!(got.len(), 10);
         assert!(got.iter().all(|(k, _)| k == b"same-key"));
@@ -755,7 +800,17 @@ mod tests {
         // Separated path.
         let (mgr_a, soc_a, dram_a) = setup(512);
         let (klog, vlog) = load(&mgr_a, &soc_a);
-        let cout_a = run_compaction(&mgr_a, &soc_a, &dram_a, klog, vlog, 2_000, 4).unwrap();
+        let cout_a = run_compaction(
+            &mgr_a,
+            &soc_a,
+            &dram_a,
+            klog,
+            vlog,
+            2_000,
+            4,
+            &Deadline::none(),
+        )
+        .unwrap();
         let sout_a = build_secondary_index(
             &mgr_a,
             &soc_a,
@@ -764,6 +819,7 @@ mod tests {
             cout_a.svalues,
             &spec,
             4,
+            &Deadline::none(),
         )
         .unwrap();
 
@@ -779,6 +835,7 @@ mod tests {
             2_000,
             4,
             std::slice::from_ref(&spec),
+            &Deadline::none(),
         )
         .unwrap();
         let sout_b = &souts_b[0];
@@ -831,10 +888,40 @@ mod tests {
             value_len: 4,
             key_type: SecondaryKeyType::U32,
         }];
-        let err =
-            run_compaction_with_indexes(&mgr, &soc, &tight, (kc, klen), (vc, vlen), 100, 2, &specs)
-                .unwrap_err();
+        let err = run_compaction_with_indexes(
+            &mgr,
+            &soc,
+            &tight,
+            (kc, klen),
+            (vc, vlen),
+            100,
+            2,
+            &specs,
+            &Deadline::none(),
+        )
+        .unwrap_err();
         assert!(matches!(err, DeviceError::OutOfResources(_)));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_between_phases() {
+        use kvcsd_sim::VirtualClock;
+        let (mgr, soc, dram) = setup(64);
+        let kc = mgr.alloc_cluster(2).unwrap();
+        let vc = mgr.alloc_cluster(2).unwrap();
+        let mut log = WriteLog::new(kc, vc);
+        for i in 0..200u32 {
+            log.put(&mgr, &soc, format!("k{i:06}").as_bytes(), &[7u8; 32])
+                .unwrap();
+        }
+        let (klen, vlen) = log.seal(&mgr).unwrap();
+        let clock = VirtualClock::new();
+        clock.advance(1000);
+        let expired = Deadline::new(&clock, Some(500));
+        let err = run_compaction(&mgr, &soc, &dram, (kc, klen), (vc, vlen), 200, 2, &expired)
+            .unwrap_err();
+        assert_eq!(err, DeviceError::DeadlineExceeded);
+        assert_eq!(dram.used(), 0, "aborted compaction must release DRAM");
     }
 
     #[test]
@@ -853,7 +940,17 @@ mod tests {
             pairs.push((key, value));
         }
         let (klen, vlen) = log.seal(&mgr).unwrap();
-        let out = run_compaction(&mgr, &soc, &dram, (kc, klen), (vc, vlen), 300, 4).unwrap();
+        let out = run_compaction(
+            &mgr,
+            &soc,
+            &dram,
+            (kc, klen),
+            (vc, vlen),
+            300,
+            4,
+            &Deadline::none(),
+        )
+        .unwrap();
         pairs.sort();
         assert_eq!(read_all_entries(&mgr, &out), pairs);
     }

@@ -20,7 +20,9 @@ use kvcsd_proto::{
 };
 use kvcsd_sim::config::CostModel;
 use kvcsd_sim::sync::Mutex;
+use kvcsd_sim::VirtualClock;
 
+use crate::admission::{AdmissionConfig, AdmissionGate, Deadline, Decision, PressureSample};
 use crate::compact::run_compaction;
 use crate::dram::DramBudget;
 use crate::error::DeviceError;
@@ -49,6 +51,12 @@ pub struct DeviceConfig {
     /// default: "we expect production applications to frequently disable
     /// write-ahead-logging ... because many use checkpointing-restart".
     pub wal: bool,
+    /// Overload-control watermarks and charges (see [`crate::admission`]).
+    pub admission: AdmissionConfig,
+    /// Virtual clock deadlines are checked against, shared with the
+    /// harness so it can advance simulated time. A fresh clock is created
+    /// when absent (deadline-free workloads never read it).
+    pub clock: Option<Arc<VirtualClock>>,
 }
 
 impl Default for DeviceConfig {
@@ -58,6 +66,8 @@ impl Default for DeviceConfig {
             soc_dram_bytes: 8 << 30,
             seed: 0x5EED,
             wal: false,
+            admission: AdmissionConfig::default(),
+            clock: None,
         }
     }
 }
@@ -81,7 +91,10 @@ enum Job {
 struct JobTable {
     next: u64,
     states: HashMap<u64, JobState>,
-    queue: VecDeque<(u64, Job)>,
+    /// `(id, job, deadline_ns)`: the deadline of the command that
+    /// enqueued the job rides along so expired work is dropped instead
+    /// of run.
+    queue: VecDeque<(u64, Job, Option<u64>)>,
 }
 
 /// Zones 0..META_ZONES are reserved for the [`MetaStore`]'s ping-pong
@@ -97,6 +110,8 @@ pub struct KvCsdDevice {
     dram: DramBudget,
     cfg: DeviceConfig,
     jobs: Mutex<JobTable>,
+    gate: AdmissionGate,
+    clock: Arc<VirtualClock>,
 }
 
 impl std::fmt::Debug for KvCsdDevice {
@@ -118,11 +133,17 @@ impl KvCsdDevice {
             ..cfg
         };
         Self {
-            mgr: ZoneManager::new(Arc::clone(&zns), META_ZONES, cfg.seed),
+            mgr: ZoneManager::new(Arc::clone(&zns), META_ZONES, cfg.seed)
+                .with_seal_reserve(2 * cluster_width),
             km: KeyspaceManager::new(),
             meta: Mutex::new(MetaStore::new(zns, 0)),
             soc: SocCharger::new(ledger, cost),
             dram: DramBudget::new(cfg.soc_dram_bytes),
+            gate: AdmissionGate::new(cfg.admission),
+            clock: cfg
+                .clock
+                .clone()
+                .unwrap_or_else(|| Arc::new(VirtualClock::new())),
             cfg,
             jobs: Mutex::new(JobTable::default()),
         }
@@ -165,7 +186,8 @@ impl KvCsdDevice {
         for payload in &generations {
             let attempt = snapshot::decode(payload).and_then(|snap| {
                 let mgr =
-                    ZoneManager::restore(Arc::clone(&zns), META_ZONES, cfg.seed, &snap.zones)?;
+                    ZoneManager::restore(Arc::clone(&zns), META_ZONES, cfg.seed, &snap.zones)?
+                        .with_seal_reserve(2 * cfg.cluster_width);
                 Ok((snap, mgr))
             });
             match attempt {
@@ -237,11 +259,16 @@ impl KvCsdDevice {
             meta: Mutex::new(meta),
             soc: SocCharger::new(ledger, cost),
             dram: DramBudget::new(cfg.soc_dram_bytes),
+            gate: AdmissionGate::new(cfg.admission),
+            clock: cfg
+                .clock
+                .clone()
+                .unwrap_or_else(|| Arc::new(VirtualClock::new())),
             cfg,
             jobs: Mutex::new(JobTable::default()),
         };
         for ks in recompact {
-            dev.enqueue(Job::Compact { ks });
+            dev.enqueue(Job::Compact { ks }, None);
         }
         for ks in rewal {
             dev.replay_wal(ks)?;
@@ -261,9 +288,13 @@ impl KvCsdDevice {
         })?;
         // Block count comes from the zones' write pointers (ground truth).
         let wal_blocks = self.mgr.cluster_blocks(wal_cluster)?;
-        if !self.dram.try_reserve(INGEST_BUFFER_BYTES as u64) {
-            return Err(DeviceError::OutOfResources("ingest DRAM".into()));
-        }
+        // The guard releases the ingest buffer if any allocation or the
+        // replay below fails; on success it is leaked into the keyspace,
+        // which releases at seal or delete.
+        let ingest = self
+            .dram
+            .reserve(INGEST_BUFFER_BYTES as u64)
+            .ok_or_else(|| DeviceError::OutOfResources("ingest DRAM".into()))?;
         let kc = self.mgr.alloc_cluster(self.cfg.cluster_width)?;
         let vc = self.mgr.alloc_cluster(self.cfg.cluster_width)?;
         let mut wlog = WriteLog::new(kc, vc);
@@ -281,7 +312,9 @@ impl KvCsdDevice {
             k.storage.wlog = Some(wlog);
             k.storage.dwal = Some(crate::wal::DeviceWal::resume(wal_cluster, wal_blocks));
             Ok(())
-        })
+        })?;
+        ingest.leak();
+        Ok(())
     }
 
     /// Serialize the device state into the metadata zone. Called after
@@ -324,14 +357,79 @@ impl KvCsdDevice {
         self.jobs.lock().queue.len()
     }
 
+    /// The admission gate (diagnostics: `is_engaged`, watermarks).
+    pub fn admission_gate(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    /// The virtual clock deadlines are checked against.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Pressure sample for the three admission signals, targeting `ks`.
+    fn pressure_for(&self, ks: u32) -> PressureSample {
+        PressureSample {
+            dram_usage: self.dram.usage_fraction(),
+            pending_jobs: self.pending_jobs(),
+            compaction_debt: self.km.with(ks, |k| Ok(k.data_bytes)).unwrap_or(0),
+        }
+    }
+
+    /// Charge a simulated admission delay to the clock and the ledger.
+    fn charge_wait(&self, ns: u64, counter: &'static str) {
+        self.clock.advance(ns);
+        self.soc.ledger().bump(counter, 1);
+        self.soc.ledger().bump("dev_admission_wait_ns", ns);
+    }
+
+    /// Gate a write-path command: slowdowns are charged and admitted,
+    /// stalls are charged and bounced (`Stalled`), rejects fail fast
+    /// (`Busy`). The deadline is re-checked after any charged wait.
+    fn admit_write(&self, ks: u32, deadline: &Deadline<'_>) -> Result<()> {
+        match self.gate.admit_write(&self.pressure_for(ks)) {
+            Decision::Admit => Ok(()),
+            Decision::Slowdown { charge_ns } => {
+                self.charge_wait(charge_ns, "dev_admission_slowdowns");
+                deadline.check()
+            }
+            Decision::Stall { charge_ns } => {
+                self.charge_wait(charge_ns, "dev_admission_stalls");
+                deadline.check()?;
+                Err(DeviceError::Stalled)
+            }
+            Decision::Reject { reason } => {
+                self.soc.ledger().bump("dev_admission_rejects", 1);
+                Err(DeviceError::Busy(reason))
+            }
+        }
+    }
+
+    /// Gate a query: at most a charged slowdown, never a stall or reject.
+    fn admit_query(&self, ks: u32, deadline: &Deadline<'_>) -> Result<()> {
+        if let Decision::Slowdown { charge_ns } = self.gate.admit_query(&self.pressure_for(ks)) {
+            self.charge_wait(charge_ns, "dev_admission_slowdowns");
+            deadline.check()?;
+        }
+        Ok(())
+    }
+
+    /// Gate a job submission: a full queue is an admission rejection and
+    /// counts as one, exactly like a rejected write.
+    fn admit_job(&self) -> Result<()> {
+        self.gate.admit_job(self.pending_jobs()).inspect_err(|_| {
+            self.soc.ledger().bump("dev_admission_rejects", 1);
+        })
+    }
+
     // ---- job machinery -----------------------------------------------------
 
-    fn enqueue(&self, job: Job) -> JobId {
+    fn enqueue(&self, job: Job, deadline_ns: Option<u64>) -> JobId {
         let mut jobs = self.jobs.lock();
         jobs.next += 1;
         let id = jobs.next;
         jobs.states.insert(id, JobState::Pending);
-        jobs.queue.push_back((id, job));
+        jobs.queue.push_back((id, job, deadline_ns));
         JobId(id)
     }
 
@@ -348,25 +446,49 @@ impl KvCsdDevice {
         loop {
             let next = {
                 let mut jobs = self.jobs.lock();
-                let Some((id, job)) = jobs.queue.pop_front() else {
+                let Some((id, job, deadline_ns)) = jobs.queue.pop_front() else {
                     break;
                 };
                 jobs.states.insert(id, JobState::Running);
-                (id, job)
+                (id, job, deadline_ns)
             };
-            let (id, job) = next;
-            let outcome = self.exec_job_with_retry(&job);
+            let (id, job, deadline_ns) = next;
+            let deadline = Deadline::new(&self.clock, deadline_ns);
+            // An expired job is dropped, not run: its keyspace unwinds
+            // below exactly as if the job had failed mid-flight.
+            let outcome = deadline
+                .check()
+                .and_then(|()| self.exec_job_with_retry(&job, &deadline));
             match outcome {
                 Ok(()) => {
                     self.jobs.lock().states.insert(id, JobState::Done);
                 }
                 Err(e) => {
-                    // A compaction that died on the media leaves the
-                    // keyspace DEGRADED: its sealed logs are intact, it
-                    // can be deleted or re-compacted, and no other
-                    // keyspace is affected.
-                    let degrade = matches!(e, DeviceError::Flash(_))
-                        && matches!(job, Job::Compact { .. } | Job::CompactAndIndex { .. });
+                    let is_compaction =
+                        matches!(job, Job::Compact { .. } | Job::CompactAndIndex { .. });
+                    // A compaction that died on the media or ran out of
+                    // time leaves the keyspace DEGRADED: its sealed logs
+                    // are intact, it can be deleted or re-compacted, and
+                    // no other keyspace is affected. One that ran out of
+                    // *space* leaves it READ_ONLY: same sealed logs, but
+                    // the typed state tells clients writes will not help
+                    // until space is reclaimed.
+                    let to = match &e {
+                        DeviceError::Flash(_) | DeviceError::DeadlineExceeded if is_compaction => {
+                            Some(KeyspaceState::Degraded)
+                        }
+                        DeviceError::OutOfResources(_) if is_compaction => {
+                            Some(KeyspaceState::ReadOnly)
+                        }
+                        // An index build that ran out of zones freezes its
+                        // (already compacted, still queryable) keyspace so
+                        // clients stop submitting work the device cannot
+                        // finish until space is reclaimed.
+                        DeviceError::OutOfResources(m) if m.contains("zone") => {
+                            Some(KeyspaceState::ReadOnly)
+                        }
+                        _ => None,
+                    };
                     let ks = match &job {
                         Job::Compact { ks }
                         | Job::CompactAndIndex { ks, .. }
@@ -376,14 +498,25 @@ impl KvCsdDevice {
                         .lock()
                         .states
                         .insert(id, JobState::Failed(KvStatus::from(e)));
-                    if degrade {
+                    if let Some(to) = to {
                         let _ = self.km.with_mut(ks, |k| {
-                            if k.state == KeyspaceState::Compacting {
-                                k.transition_to(KeyspaceState::Degraded)?;
+                            let from_ok = match to {
+                                KeyspaceState::ReadOnly => matches!(
+                                    k.state,
+                                    KeyspaceState::Compacting | KeyspaceState::Compacted
+                                ),
+                                _ => k.state == KeyspaceState::Compacting,
+                            };
+                            if from_ok {
+                                k.transition_to(to)?;
                             }
                             Ok(())
                         });
-                        self.soc.ledger().bump("dev_keyspaces_degraded", 1);
+                        let counter = match to {
+                            KeyspaceState::ReadOnly => "dev_keyspaces_readonly",
+                            _ => "dev_keyspaces_degraded",
+                        };
+                        self.soc.ledger().bump(counter, 1);
                         // Persisting may itself fail under power loss;
                         // reopen re-derives the state from the sealed logs.
                         let _ = self.persist();
@@ -400,18 +533,20 @@ impl KvCsdDevice {
     /// First backoff step; doubles per retry (simulated time, ledger only).
     const JOB_BACKOFF_BASE_NS: u64 = 50_000;
 
-    fn exec_job(&self, job: &Job) -> Result<()> {
+    fn exec_job(&self, job: &Job, deadline: &Deadline<'_>) -> Result<()> {
         match job {
-            Job::Compact { ks } => self.exec_compact(*ks),
-            Job::CompactAndIndex { ks, specs } => self.exec_compact_and_index(*ks, specs),
-            Job::BuildSidx { ks, spec } => self.exec_build_sidx(*ks, spec),
+            Job::Compact { ks } => self.exec_compact(*ks, deadline),
+            Job::CompactAndIndex { ks, specs } => self.exec_compact_and_index(*ks, specs, deadline),
+            Job::BuildSidx { ks, spec } => self.exec_build_sidx(*ks, spec, deadline),
         }
     }
 
     /// Run one job, retrying transient flash errors with bounded
     /// exponential backoff. Clusters allocated by a failed attempt are
-    /// swept immediately so retries do not leak zones.
-    fn exec_job_with_retry(&self, job: &Job) -> Result<()> {
+    /// swept immediately so retries do not leak zones. The deadline is
+    /// re-checked before every retry so an expired job stops burning
+    /// backoff budget.
+    fn exec_job_with_retry(&self, job: &Job, deadline: &Deadline<'_>) -> Result<()> {
         let mut attempt = 0u32;
         loop {
             let before: HashSet<u32> = self
@@ -421,7 +556,7 @@ impl KvCsdDevice {
                 .iter()
                 .map(|c| c.id)
                 .collect();
-            let r = self.exec_job(job);
+            let r = self.exec_job(job, deadline);
             if r.is_err() {
                 self.sweep_job_orphans(&before);
             }
@@ -429,6 +564,7 @@ impl KvCsdDevice {
                 Err(DeviceError::Flash(ref f))
                     if f.is_transient() && attempt < Self::JOB_MAX_RETRIES =>
                 {
+                    deadline.check()?;
                     attempt += 1;
                     self.soc.ledger().bump("dev_job_retries", 1);
                     self.soc.ledger().bump(
@@ -493,7 +629,7 @@ impl KvCsdDevice {
     fn run_jobs_for(&self, ks: u32) {
         let has_any = {
             let jobs = self.jobs.lock();
-            jobs.queue.iter().any(|(_, j)| match j {
+            jobs.queue.iter().any(|(_, j, _)| match j {
                 Job::Compact { ks: k }
                 | Job::CompactAndIndex { ks: k, .. }
                 | Job::BuildSidx { ks: k, .. } => *k == ks,
@@ -507,7 +643,7 @@ impl KvCsdDevice {
         }
     }
 
-    fn exec_compact(&self, ks: u32) -> Result<()> {
+    fn exec_compact(&self, ks: u32, deadline: &Deadline<'_>) -> Result<()> {
         let (klog, vlog, pairs) = self.km.with(ks, |k| {
             let klog = k
                 .storage
@@ -527,6 +663,7 @@ impl KvCsdDevice {
             vlog,
             pairs,
             self.cfg.cluster_width,
+            deadline,
         )?;
         self.km.with_mut(ks, |k| {
             k.storage.klog = None;
@@ -545,7 +682,12 @@ impl KvCsdDevice {
     /// Single-pass compaction + index construction, with the paper's
     /// fallback: "resort back to separated index construction when DRAM
     /// resources become a bottleneck".
-    fn exec_compact_and_index(&self, ks: u32, specs: &[SecondaryIndexSpec]) -> Result<()> {
+    fn exec_compact_and_index(
+        &self,
+        ks: u32,
+        specs: &[SecondaryIndexSpec],
+        deadline: &Deadline<'_>,
+    ) -> Result<()> {
         let (klog, vlog, pairs) = self.km.with(ks, |k| {
             let klog = k
                 .storage
@@ -566,6 +708,7 @@ impl KvCsdDevice {
             pairs,
             self.cfg.cluster_width,
             specs,
+            deadline,
         ) {
             Ok((out, souts)) => {
                 self.km.with_mut(ks, |k| {
@@ -593,12 +736,16 @@ impl KvCsdDevice {
                 self.soc.ledger().bump("dev_single_pass_compactions", 1);
                 Ok(())
             }
-            Err(DeviceError::OutOfResources(_)) => {
+            // Zone exhaustion is not a DRAM bottleneck; the separated
+            // path would only fail the same way. Let it surface so the
+            // keyspace degrades to READ_ONLY.
+            Err(DeviceError::OutOfResources(m)) if !m.contains("zone") => {
                 // DRAM bottleneck: separated construction.
                 self.soc.ledger().bump("dev_single_pass_fallbacks", 1);
-                self.exec_compact(ks)?;
+                self.exec_compact(ks, deadline)?;
                 for spec in specs {
-                    self.exec_build_sidx(ks, spec)?;
+                    deadline.check()?;
+                    self.exec_build_sidx(ks, spec, deadline)?;
                 }
                 Ok(())
             }
@@ -606,7 +753,12 @@ impl KvCsdDevice {
         }
     }
 
-    fn exec_build_sidx(&self, ks: u32, spec: &SecondaryIndexSpec) -> Result<()> {
+    fn exec_build_sidx(
+        &self,
+        ks: u32,
+        spec: &SecondaryIndexSpec,
+        deadline: &Deadline<'_>,
+    ) -> Result<()> {
         let (pidx, svalues) = self.km.with(ks, |k| {
             k.require_state(KeyspaceState::Compacted, "build_sidx")?;
             Ok((
@@ -626,6 +778,7 @@ impl KvCsdDevice {
             svalues,
             spec,
             self.cfg.cluster_width,
+            deadline,
         )?;
         self.km.with_mut(ks, |k| {
             k.storage.sidx.insert(
@@ -661,9 +814,13 @@ impl KvCsdDevice {
         if !needs_open {
             return Ok(());
         }
-        if !self.dram.try_reserve(INGEST_BUFFER_BYTES as u64) {
-            return Err(DeviceError::OutOfResources("ingest DRAM".into()));
-        }
+        // The guard releases the ingest buffer if any cluster allocation
+        // fails (previously this leaked); on success it is leaked into the
+        // keyspace, which releases at seal or delete.
+        let ingest = self
+            .dram
+            .reserve(INGEST_BUFFER_BYTES as u64)
+            .ok_or_else(|| DeviceError::OutOfResources("ingest DRAM".into()))?;
         let kc = self.mgr.alloc_cluster(self.cfg.cluster_width)?;
         let vc = self.mgr.alloc_cluster(self.cfg.cluster_width)?;
         let wal = if self.cfg.wal {
@@ -673,16 +830,19 @@ impl KvCsdDevice {
         } else {
             None
         };
-        self.km.with_mut(ks, |k| {
+        let opened = self.km.with_mut(ks, |k| {
             // Double-check under the lock (another thread may have opened).
             if k.state == KeyspaceState::Writable {
-                return Ok(());
+                return Ok(false);
             }
             k.storage.wlog = Some(WriteLog::new(kc, vc));
             k.storage.dwal = wal;
             k.transition_to(KeyspaceState::Writable)?;
-            Ok(())
+            Ok(true)
         })?;
+        if opened {
+            ingest.leak();
+        }
         self.persist()?;
         Ok(())
     }
@@ -711,11 +871,66 @@ impl KvCsdDevice {
         })
     }
 
-    fn do_compact(&self, ks: u32) -> Result<JobId> {
-        self.do_compact_inner(ks, None)
+    /// True for errors that mean the *device* is out of space (zones),
+    /// as opposed to a transient fault or a caller mistake.
+    fn is_space_exhaustion(e: &DeviceError) -> bool {
+        match e {
+            DeviceError::OutOfResources(m) => m.contains("zone"),
+            DeviceError::Flash(f) => matches!(f, kvcsd_flash::FlashError::DeviceFull),
+            _ => false,
+        }
     }
 
-    fn do_compact_inner(&self, ks: u32, specs: Option<Vec<SecondaryIndexSpec>>) -> Result<JobId> {
+    /// Graceful degradation on space exhaustion: seal the write log in
+    /// place (idempotent — every synced pair becomes durable in KLOG/VLOG)
+    /// and freeze the keyspace READ_ONLY. Writes now fail fast with a
+    /// typed state error instead of re-discovering the exhaustion; a later
+    /// re-compaction or space reclaim transitions back.
+    fn freeze_writable_read_only(&self, ks: u32) {
+        let sealed = self.km.with_mut(ks, |k| {
+            if k.state != KeyspaceState::Writable {
+                return Ok(None);
+            }
+            let (kc, vc, klen, vlen) = {
+                let wlog = k
+                    .storage
+                    .wlog
+                    .as_mut()
+                    .ok_or_else(|| DeviceError::Internal("writable without wlog".into()))?;
+                let (klen, vlen) = wlog.seal(&self.mgr)?;
+                (wlog.klog.cluster(), wlog.vlog.cluster(), klen, vlen)
+            };
+            k.storage.wlog = None;
+            k.storage.klog = Some((kc, klen));
+            k.storage.vlog = Some((vc, vlen));
+            k.transition_to(KeyspaceState::ReadOnly)?;
+            Ok(Some(k.storage.dwal.take().map(|w| w.cluster())))
+        });
+        // On Err the seal failed (keyspace stays WRITABLE, client may
+        // retry the put); on Ok(None) the keyspace was not WRITABLE:
+        // nothing to freeze either way.
+        if let Ok(Some(wal_cluster)) = sealed {
+            self.dram.release(INGEST_BUFFER_BYTES as u64);
+            if let Some(c) = wal_cluster {
+                let _ = self.mgr.release_cluster(c);
+            }
+            self.soc.ledger().bump("dev_keyspaces_readonly", 1);
+            // Persist may fail on an exhausted device; reopen's
+            // recovery path re-derives state from the sealed logs.
+            let _ = self.persist();
+        }
+    }
+
+    fn do_compact(&self, ks: u32, deadline_ns: Option<u64>) -> Result<JobId> {
+        self.do_compact_inner(ks, None, deadline_ns)
+    }
+
+    fn do_compact_inner(
+        &self,
+        ks: u32,
+        specs: Option<Vec<SecondaryIndexSpec>>,
+        deadline_ns: Option<u64>,
+    ) -> Result<JobId> {
         enum Seal {
             /// Logs sealed now; the WAL cluster (if any) can be released.
             Sealed(Option<ClusterId>),
@@ -734,9 +949,13 @@ impl KvCsdDevice {
                     k.transition_to(KeyspaceState::Compacted)?;
                     return Ok(Seal::Empty);
                 }
-                // A DEGRADED keyspace keeps its sealed logs; re-compaction
-                // is just re-entering COMPACTING and re-running the job.
-                KeyspaceState::Degraded if k.storage.klog.is_some() && k.storage.vlog.is_some() => {
+                // A DEGRADED or READ_ONLY keyspace keeps its sealed logs;
+                // re-compaction is just re-entering COMPACTING and
+                // re-running the job (for READ_ONLY this is the recovery
+                // path once space has been reclaimed).
+                KeyspaceState::Degraded | KeyspaceState::ReadOnly
+                    if k.storage.klog.is_some() && k.storage.vlog.is_some() =>
+                {
                     k.transition_to(KeyspaceState::Compacting)?;
                     return Ok(Seal::Resealed);
                 }
@@ -777,13 +996,15 @@ impl KvCsdDevice {
         self.persist()?;
         let runnable = !matches!(sealed, Seal::Empty);
         let job = match specs {
-            Some(specs) if runnable => self.enqueue(Job::CompactAndIndex { ks, specs }),
-            _ => self.enqueue(Job::Compact { ks }),
+            Some(specs) if runnable => {
+                self.enqueue(Job::CompactAndIndex { ks, specs }, deadline_ns)
+            }
+            _ => self.enqueue(Job::Compact { ks }, deadline_ns),
         };
         if !runnable {
             // Empty keyspace: nothing to do; complete immediately.
             let mut jobs = self.jobs.lock();
-            jobs.queue.retain(|(id, _)| *id != job.0);
+            jobs.queue.retain(|(id, _, _)| *id != job.0);
             jobs.states.insert(job.0, JobState::Done);
         }
         Ok(job)
@@ -819,8 +1040,36 @@ impl KvCsdDevice {
         for (_, idx) in s.sidx {
             self.mgr.release_cluster(idx.cluster)?;
         }
+        // Space reclaimed: keyspaces that froze READ_ONLY *after* their
+        // compaction finished (index intact) are fully queryable again and
+        // transition back to COMPACTED. Ones still holding raw logs need a
+        // client-driven re-compaction instead.
+        self.thaw_read_only_keyspaces();
         self.persist()?;
         Ok(())
+    }
+
+    /// READ_ONLY -> COMPACTED for every frozen keyspace whose primary
+    /// index survived; called whenever zones are returned to the pool.
+    fn thaw_read_only_keyspaces(&self) {
+        let ids: Vec<u32> = self.km.with_all(|list| {
+            list.iter()
+                .filter(|k| k.state == KeyspaceState::ReadOnly && k.storage.pidx.is_some())
+                .map(|k| k.id)
+                .collect()
+        });
+        for id in ids {
+            let thawed = self.km.with_mut(id, |k| {
+                if k.state == KeyspaceState::ReadOnly && k.storage.pidx.is_some() {
+                    k.transition_to(KeyspaceState::Compacted)?;
+                    return Ok(true);
+                }
+                Ok(false)
+            });
+            if matches!(thawed, Ok(true)) {
+                self.soc.ledger().bump("dev_keyspaces_thawed", 1);
+            }
+        }
     }
 
     fn stat(&self, ks: u32) -> Result<KeyspaceStat> {
@@ -839,9 +1088,26 @@ impl KvCsdDevice {
     }
 }
 
+/// Query-path state check: COMPACTED serves everything; READ_ONLY keeps
+/// serving from its primary index when the freeze happened *after*
+/// compaction (graceful degradation — reads outlive writes).
+fn require_queryable(k: &crate::keyspace::Keyspace, op: &'static str) -> Result<()> {
+    match k.state {
+        KeyspaceState::Compacted => Ok(()),
+        KeyspaceState::ReadOnly if k.storage.pidx.is_some() => Ok(()),
+        _ => Err(DeviceError::BadState {
+            state: k.state.name(),
+            op,
+        }),
+    }
+}
+
 impl DeviceHandler for KvCsdDevice {
     fn handle(&self, cmd: KvCommand) -> KvResponse {
+        let (deadline_ns, cmd) = cmd.unwrap_deadline();
+        let deadline = Deadline::new(&self.clock, deadline_ns);
         let result: Result<KvResponse> = (|| {
+            deadline.check()?;
             match cmd {
                 KvCommand::CreateKeyspace { name } => {
                     let id = self.km.create(&name)?;
@@ -867,14 +1133,26 @@ impl DeviceHandler for KvCsdDevice {
                     Ok(KvResponse::Deleted)
                 }
                 KvCommand::Put { ks, key, value } => {
-                    self.do_put(ks, &key, &value)?;
+                    self.admit_write(ks, &deadline)?;
+                    if let Err(e) = self.do_put(ks, &key, &value) {
+                        if Self::is_space_exhaustion(&e) {
+                            self.freeze_writable_read_only(ks);
+                        }
+                        return Err(e);
+                    }
                     self.soc.ledger().bump("dev_puts", 1);
                     Ok(KvResponse::PutOk)
                 }
                 KvCommand::BulkPut { ks, payload } => {
+                    self.admit_write(ks, &deadline)?;
                     let mut inserted = 0u64;
                     for (key, value) in payload.iter() {
-                        self.do_put(ks, key, value)?;
+                        if let Err(e) = self.do_put(ks, key, value) {
+                            if Self::is_space_exhaustion(&e) {
+                                self.freeze_writable_read_only(ks);
+                            }
+                            return Err(e);
+                        }
                         inserted += 1;
                     }
                     self.soc.ledger().bump("dev_bulk_puts", 1);
@@ -891,10 +1169,12 @@ impl DeviceHandler for KvCsdDevice {
                     Ok(KvResponse::Flushed)
                 }
                 KvCommand::Compact { ks } => {
-                    let job = self.do_compact(ks)?;
+                    self.admit_job()?;
+                    let job = self.do_compact(ks, deadline.deadline_ns())?;
                     Ok(KvResponse::JobStarted { job })
                 }
                 KvCommand::CompactAndIndex { ks, specs } => {
+                    self.admit_job()?;
                     for spec in &specs {
                         if let Some(w) = spec.key_type.width() {
                             if w != spec.value_len {
@@ -902,10 +1182,11 @@ impl DeviceHandler for KvCsdDevice {
                             }
                         }
                     }
-                    let job = self.do_compact_inner(ks, Some(specs))?;
+                    let job = self.do_compact_inner(ks, Some(specs), deadline.deadline_ns())?;
                     Ok(KvResponse::JobStarted { job })
                 }
                 KvCommand::BuildSecondaryIndex { ks, spec } => {
+                    self.admit_job()?;
                     // Validate state and name collision up front so the
                     // host hears about mistakes synchronously.
                     self.km.with(ks, |k| {
@@ -920,7 +1201,7 @@ impl DeviceHandler for KvCsdDevice {
                             return Err(DeviceError::BadIndexSpec);
                         }
                     }
-                    let job = self.enqueue(Job::BuildSidx { ks, spec });
+                    let job = self.enqueue(Job::BuildSidx { ks, spec }, deadline.deadline_ns());
                     Ok(KvResponse::JobStarted { job })
                 }
                 KvCommand::PollJob { job } => {
@@ -934,25 +1215,28 @@ impl DeviceHandler for KvCsdDevice {
                     Ok(KvResponse::Job { state })
                 }
                 KvCommand::Get { ks, key } => {
+                    self.admit_query(ks, &deadline)?;
                     self.soc.ledger().bump("dev_gets", 1);
                     self.km.with(ks, |k| {
-                        k.require_state(KeyspaceState::Compacted, "get")?;
+                        require_queryable(k, "get")?;
                         let v = query::point_get(&self.mgr, &self.soc, &k.storage, &key)?;
                         Ok(KvResponse::Value(v))
                     })
                 }
                 KvCommand::Range { ks, lo, hi, limit } => {
+                    self.admit_query(ks, &deadline)?;
                     self.soc.ledger().bump("dev_ranges", 1);
                     self.km.with(ks, |k| {
-                        k.require_state(KeyspaceState::Compacted, "range")?;
+                        require_queryable(k, "range")?;
                         let es = query::range(&self.mgr, &self.soc, &k.storage, &lo, &hi, limit)?;
                         Ok(KvResponse::Entries(es))
                     })
                 }
                 KvCommand::SidxGet { ks, index, key } => {
+                    self.admit_query(ks, &deadline)?;
                     self.soc.ledger().bump("dev_sidx_gets", 1);
                     self.km.with(ks, |k| {
-                        k.require_state(KeyspaceState::Compacted, "sidx_get")?;
+                        require_queryable(k, "sidx_get")?;
                         let es = query::sidx_get(
                             &self.mgr,
                             &self.soc,
@@ -970,9 +1254,10 @@ impl DeviceHandler for KvCsdDevice {
                     hi,
                     limit,
                 } => {
+                    self.admit_query(ks, &deadline)?;
                     self.soc.ledger().bump("dev_sidx_ranges", 1);
                     self.km.with(ks, |k| {
-                        k.require_state(KeyspaceState::Compacted, "sidx_range")?;
+                        require_queryable(k, "sidx_range")?;
                         let es = query::sidx_range(
                             &self.mgr, &self.soc, &k.storage, &index, &lo, &hi, limit,
                         )?;
@@ -980,6 +1265,10 @@ impl DeviceHandler for KvCsdDevice {
                     })
                 }
                 KvCommand::Stat { ks } => Ok(KvResponse::Stat(self.stat(ks)?)),
+                // unwrap_deadline strips every wrapper before this match.
+                KvCommand::WithDeadline { .. } => Err(DeviceError::Internal(
+                    "deadline wrapper not stripped".into(),
+                )),
             }
         })();
         match result {
@@ -1291,6 +1580,9 @@ mod tests {
                 cluster_width: 8,
                 soc_dram_bytes: (192 << 10) + (20 << 10),
                 seed: 1,
+                // This test runs at ~90% DRAM by construction; the stall
+                // band would otherwise bounce every put.
+                admission: AdmissionConfig::permissive(),
                 ..DeviceConfig::default()
             },
         );
@@ -1737,6 +2029,7 @@ mod tests {
                 soc_dram_bytes: 8 << 20,
                 seed: 1,
                 wal: true,
+                ..DeviceConfig::default()
             },
         )
     }
@@ -1750,6 +2043,7 @@ mod tests {
                 soc_dram_bytes: 8 << 20,
                 seed: 1,
                 wal: true,
+                ..DeviceConfig::default()
             },
         )
         .unwrap()

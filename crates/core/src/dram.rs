@@ -74,6 +74,69 @@ impl DramBudget {
         let prev = self.used.fetch_sub(bytes, Ordering::AcqRel);
         debug_assert!(prev >= bytes, "double release");
     }
+
+    /// Fraction of the budget currently in use (0.0 ..= 1.0). Admission
+    /// control's DRAM pressure signal.
+    pub fn usage_fraction(&self) -> f64 {
+        if self.limit == 0 {
+            return 1.0;
+        }
+        self.used() as f64 / self.limit as f64
+    }
+
+    /// Reserve exactly `bytes`, returning an RAII guard that releases on
+    /// drop. `None` if the reservation would exceed the limit.
+    pub fn reserve(&self, bytes: u64) -> Option<DramReservation<'_>> {
+        if self.try_reserve(bytes) {
+            Some(DramReservation {
+                budget: self,
+                bytes,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Guard-returning form of [`DramBudget::reserve_up_to`]: as much as
+    /// possible up to `want`, at least `min`, released on drop.
+    pub fn reserve_up_to_guarded(&self, want: u64, min: u64) -> Option<DramReservation<'_>> {
+        self.reserve_up_to(want, min).map(|bytes| DramReservation {
+            budget: self,
+            bytes,
+        })
+    }
+}
+
+/// An RAII DRAM reservation: the bytes return to the budget when the
+/// guard drops, so early-error returns can never leak the reservation.
+#[derive(Debug)]
+pub struct DramReservation<'a> {
+    budget: &'a DramBudget,
+    bytes: u64,
+}
+
+impl DramReservation<'_> {
+    /// Bytes held by this reservation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Transfer ownership of the bytes to the caller *without* releasing
+    /// them — for reservations that legitimately outlive the reserving
+    /// call (e.g. a keyspace's ingest buffer, released only at seal or
+    /// delete). The caller becomes responsible for the matching
+    /// [`DramBudget::release`].
+    pub fn leak(mut self) -> u64 {
+        std::mem::take(&mut self.bytes)
+    }
+}
+
+impl Drop for DramReservation<'_> {
+    fn drop(&mut self) {
+        if self.bytes > 0 {
+            self.budget.release(self.bytes);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +168,43 @@ mod tests {
         b.try_reserve(90);
         assert_eq!(b.reserve_up_to(50, 20), None);
         assert_eq!(b.used(), 90, "failed reservation must not leak");
+    }
+
+    #[test]
+    fn guard_releases_on_drop_and_on_early_return() {
+        let b = DramBudget::new(1000);
+        fn failing_path(b: &DramBudget) -> Result<(), ()> {
+            let _guard = b.reserve(400).ok_or(())?;
+            Err(()) // early error: the guard must still release
+        }
+        assert!(failing_path(&b).is_err());
+        assert_eq!(b.used(), 0, "early-error return leaked the reservation");
+        let g = b.reserve(600).unwrap();
+        assert_eq!(g.bytes(), 600);
+        assert_eq!(b.used(), 600);
+        drop(g);
+        assert_eq!(b.used(), 0);
+        assert!(b.reserve(1001).is_none());
+    }
+
+    #[test]
+    fn guard_leak_transfers_ownership() {
+        let b = DramBudget::new(1000);
+        let g = b.reserve_up_to_guarded(800, 100).unwrap();
+        let bytes = g.leak();
+        assert_eq!(bytes, 800);
+        assert_eq!(b.used(), 800, "leak must not release");
+        b.release(bytes);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn usage_fraction_tracks_pressure() {
+        let b = DramBudget::new(1000);
+        assert_eq!(b.usage_fraction(), 0.0);
+        b.try_reserve(850);
+        assert!((b.usage_fraction() - 0.85).abs() < 1e-12);
+        assert_eq!(DramBudget::new(0).usage_fraction(), 1.0);
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub enum DeviceError {
     BadPayload(String),
     /// Out of zones / DRAM.
     OutOfResources(String),
+    /// Admission control rejected the command outright (overload).
+    Busy(&'static str),
+    /// Admission control write-stalled the command; the simulated stall
+    /// was charged but the command did not execute.
+    Stalled,
+    /// The command's deadline expired before the work could complete.
+    DeadlineExceeded,
     /// Underlying flash error.
     Flash(FlashError),
     /// A state change that is not an edge of the machine's lifecycle
@@ -55,6 +62,9 @@ impl fmt::Display for DeviceError {
             DeviceError::BadIndexSpec => write!(f, "bad secondary index spec"),
             DeviceError::BadPayload(m) => write!(f, "bad payload: {m}"),
             DeviceError::OutOfResources(m) => write!(f, "out of resources: {m}"),
+            DeviceError::Busy(why) => write!(f, "busy: {why}"),
+            DeviceError::Stalled => write!(f, "write stalled (overload)"),
+            DeviceError::DeadlineExceeded => write!(f, "deadline exceeded"),
             DeviceError::Flash(e) => write!(f, "flash: {e}"),
             DeviceError::IllegalTransition { machine, from, to } => {
                 write!(f, "illegal {machine} transition: {from} -> {to}")
@@ -90,6 +100,9 @@ impl From<DeviceError> for KvStatus {
                     KvStatus::Internal(m)
                 }
             }
+            DeviceError::Busy(_) => KvStatus::Busy,
+            DeviceError::Stalled => KvStatus::Stalled,
+            DeviceError::DeadlineExceeded => KvStatus::DeadlineExceeded,
             DeviceError::Flash(FlashError::DeviceFull) => KvStatus::DeviceFull,
             DeviceError::Flash(e @ FlashError::InjectedTransient { .. }) => {
                 KvStatus::TransientDeviceError(e.to_string())
@@ -127,6 +140,15 @@ mod tests {
             KvStatus::from(DeviceError::Internal("x".into())),
             KvStatus::Internal(_)
         ));
+        assert_eq!(
+            KvStatus::from(DeviceError::Busy("job queue full")),
+            KvStatus::Busy
+        );
+        assert_eq!(KvStatus::from(DeviceError::Stalled), KvStatus::Stalled);
+        assert_eq!(
+            KvStatus::from(DeviceError::DeadlineExceeded),
+            KvStatus::DeadlineExceeded
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::cmp::Ordering;
 
-use crate::dram::DramBudget;
+use crate::dram::{DramBudget, DramReservation};
 use crate::error::DeviceError;
 use crate::ingest::{BlockStreamWriter, KlogRecord, StreamReader};
 use crate::soc::SocCharger;
@@ -60,9 +60,8 @@ struct Run {
 pub struct ExtSorter<'a, R: SortRecord> {
     mgr: &'a ZoneManager,
     soc: &'a SocCharger,
-    dram: &'a DramBudget,
     cluster_width: u32,
-    reservation: u64,
+    reservation: DramReservation<'a>,
     buf: Vec<R>,
     buf_bytes: u64,
     runs: Vec<Run>,
@@ -84,12 +83,11 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
     ) -> Result<Self> {
         let want = dram.available() / 2;
         let reservation = dram
-            .reserve_up_to(want, MIN_RESERVATION)
+            .reserve_up_to_guarded(want, MIN_RESERVATION)
             .ok_or_else(|| DeviceError::OutOfResources("sort DRAM".into()))?;
         Ok(Self {
             mgr,
             soc,
-            dram,
             cluster_width,
             reservation,
             buf: Vec::new(),
@@ -101,7 +99,7 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
 
     /// Bytes of DRAM this sorter reserved.
     pub fn reservation(&self) -> u64 {
-        self.reservation
+        self.reservation.bytes()
     }
 
     /// Runs spilled so far (diagnostic; grows once input exceeds DRAM).
@@ -114,7 +112,7 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
         self.buf_bytes += rec.encoded_len() as u64;
         self.buf.push(rec);
         self.total += 1;
-        if self.buf_bytes >= self.reservation {
+        if self.buf_bytes >= self.reservation.bytes() {
             self.spill()?;
         }
         Ok(())
@@ -148,7 +146,7 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
 
     /// DRAM-derived merge fan-in.
     fn fan_in(&self) -> usize {
-        ((self.reservation / (4 * BLOCK_BYTES as u64)) as usize).clamp(2, 64)
+        ((self.reservation.bytes() / (4 * BLOCK_BYTES as u64)) as usize).clamp(2, 64)
     }
 
     /// Merge a group of runs into one new run.
@@ -265,18 +263,15 @@ impl<'a, R: SortRecord> ExtSorter<'a, R> {
         for run in runs {
             self.mgr.release_cluster(run.cluster)?;
         }
-        self.dram.release(self.reservation);
-        self.reservation = 0;
+        // The DRAM reservation guard releases itself when `self` drops.
         Ok(emitted)
     }
 }
 
 impl<R: SortRecord> Drop for ExtSorter<'_, R> {
     fn drop(&mut self) {
-        // Failure path: return DRAM and zones.
-        if self.reservation > 0 {
-            self.dram.release(self.reservation);
-        }
+        // Failure path: return the zones (the DRAM reservation guard
+        // field releases itself right after this runs).
         for run in self.runs.drain(..) {
             let _ = self.mgr.release_cluster(run.cluster);
         }

@@ -76,7 +76,11 @@ impl BlockStreamWriter {
         }
         let len = self.position();
         if !self.tail.is_empty() {
-            mgr.append_block(self.cluster, &self.tail)?;
+            // May dip into the zone manager's seal reserve: on an
+            // exhausted device this flush is exactly what the reserve
+            // exists for — without it the acked tail could never reach
+            // flash and the keyspace could never freeze READ_ONLY.
+            mgr.append_block_sealing(self.cluster, &self.tail)?;
             self.flushed_blocks += 1;
             self.tail.clear();
         }

@@ -23,6 +23,9 @@
 //!   cluster format;
 //! * [`query`] — point and range query processing over both indexes,
 //!   entirely device-side: only results cross the bus;
+//! * [`admission`] — overload control: the admission gate every command
+//!   path consults (slowdown / stall / reject bands over DRAM usage, job
+//!   queue depth and compaction debt) plus sim-clock deadlines;
 //! * [`device`] — [`KvCsdDevice`], the command processor implementing
 //!   [`kvcsd_proto::DeviceHandler`], with the deferred background-job
 //!   queue (compaction and index builds run asynchronously from the
@@ -31,6 +34,7 @@
 //! All SoC CPU work is charged at `soc_slowdown` times host cost; all
 //! storage I/O goes through the real ZNS rules in `kvcsd-flash`.
 
+pub mod admission;
 pub mod compact;
 pub mod device;
 pub mod dram;
@@ -47,8 +51,9 @@ pub mod soc;
 pub mod wal;
 pub mod zone_mgr;
 
+pub use admission::{AdmissionConfig, AdmissionGate, Deadline, Decision, PressureSample};
 pub use device::{DeviceConfig, KvCsdDevice};
-pub use dram::DramBudget;
+pub use dram::{DramBudget, DramReservation};
 pub use error::DeviceError;
 pub use zone_mgr::{BlockAddr, ClusterId, ZoneManager};
 

@@ -10,13 +10,21 @@
 //! and rejects illegal edges with [`DeviceError::IllegalTransition`].
 //!
 //! Invariants the table encodes:
-//! * COMPACTED is terminal — a compacted keyspace never becomes writable
-//!   again; re-ingest requires delete + recreate (paper's model: one
-//!   absorb/compact cycle per keyspace).
+//! * COMPACTED never becomes writable again; re-ingest requires delete +
+//!   recreate (paper's model: one absorb/compact cycle per keyspace). Its
+//!   only exit is READ_ONLY on space exhaustion.
 //! * EMPTY never goes straight to COMPACTING — compacting an empty
 //!   keyspace short-circuits to COMPACTED without a compaction job.
 //! * DEGRADED is only entered from COMPACTING (a failed background job)
 //!   and only left by retrying compaction.
+//! * READ_ONLY is the graceful-degradation state for zone/space
+//!   exhaustion: entered from WRITABLE (ingest hit DeviceFull; the write
+//!   log is sealed in place), COMPACTING (the job died on
+//!   OutOfResources) or COMPACTED (space exhaustion during an index
+//!   build). It is left by a successful re-compaction (-> COMPACTING,
+//!   from the intact sealed logs) or by space reclaim when a primary
+//!   index already exists (-> COMPACTED). Writes fail fast in READ_ONLY;
+//!   reads keep serving wherever an index exists.
 
 use kvcsd_proto::KeyspaceState;
 use kvcsd_sim::TransitionTable;
@@ -41,6 +49,18 @@ pub static KEYSPACE_TRANSITIONS: TransitionTable<KeyspaceState> = TransitionTabl
         (KeyspaceState::Compacting, KeyspaceState::Degraded),
         // Retrying compaction from the intact sealed logs.
         (KeyspaceState::Degraded, KeyspaceState::Compacting),
+        // Zone exhaustion during ingest: the write log is sealed in place
+        // and the keyspace freezes rather than failing outright.
+        (KeyspaceState::Writable, KeyspaceState::ReadOnly),
+        // A background job died on zone/space exhaustion (OutOfResources).
+        (KeyspaceState::Compacting, KeyspaceState::ReadOnly),
+        // Space exhaustion during a secondary-index build on an already
+        // compacted keyspace.
+        (KeyspaceState::Compacted, KeyspaceState::ReadOnly),
+        // Recovery: re-compaction from the sealed logs once space frees up.
+        (KeyspaceState::ReadOnly, KeyspaceState::Compacting),
+        // Recovery: space reclaim with a primary index already in place.
+        (KeyspaceState::ReadOnly, KeyspaceState::Compacted),
     ],
 };
 
@@ -70,11 +90,41 @@ mod tests {
     }
 
     #[test]
-    fn compacted_is_terminal() {
+    fn compacted_never_becomes_writable() {
         use KeyspaceState::*;
-        assert!(KEYSPACE_TRANSITIONS.successors(Compacted).is_empty());
+        // The only way out of COMPACTED is freezing on space exhaustion.
+        assert_eq!(KEYSPACE_TRANSITIONS.successors(Compacted), vec![ReadOnly]);
         assert!(!KEYSPACE_TRANSITIONS.is_legal(Compacted, Writable));
         assert!(!KEYSPACE_TRANSITIONS.is_legal(Compacted, Empty));
+    }
+
+    #[test]
+    fn read_only_cycle_is_legal() {
+        use KeyspaceState::*;
+        for (from, to) in [
+            (Writable, ReadOnly),
+            (Compacting, ReadOnly),
+            (Compacted, ReadOnly),
+            (ReadOnly, Compacting),
+            (ReadOnly, Compacted),
+        ] {
+            assert!(KEYSPACE_TRANSITIONS.is_legal(from, to), "{from:?}->{to:?}");
+        }
+        // A frozen keyspace never reopens for writes directly.
+        assert!(!KEYSPACE_TRANSITIONS.is_legal(ReadOnly, Writable));
+        assert!(!KEYSPACE_TRANSITIONS.is_legal(ReadOnly, Empty));
+        assert!(!KEYSPACE_TRANSITIONS.is_legal(Empty, ReadOnly));
+    }
+
+    #[test]
+    fn read_only_illegal_edges_carry_context() {
+        let err = KEYSPACE_TRANSITIONS
+            .check(KeyspaceState::ReadOnly, KeyspaceState::Writable)
+            .unwrap_err();
+        assert_eq!(err.machine, "keyspace");
+        assert_eq!(err.from, "ReadOnly");
+        assert_eq!(err.to, "Writable");
+        assert!(err.to_string().contains("illegal keyspace transition"));
     }
 
     #[test]

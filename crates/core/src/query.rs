@@ -270,15 +270,34 @@ mod tests {
             log.put(mgr, soc, &key(i), &value(i)).unwrap();
         }
         let (klen, vlen) = log.seal(mgr).unwrap();
-        let cout = run_compaction(mgr, soc, dram, (kc, klen), (vc, vlen), n as u64, 4).unwrap();
+        let cout = run_compaction(
+            mgr,
+            soc,
+            dram,
+            (kc, klen),
+            (vc, vlen),
+            n as u64,
+            4,
+            &crate::admission::Deadline::none(),
+        )
+        .unwrap();
         let spec = SecondaryIndexSpec {
             name: "score".into(),
             value_offset: 28,
             value_len: 4,
             key_type: SecondaryKeyType::U32,
         };
-        let sout =
-            build_secondary_index(mgr, soc, dram, cout.pidx, cout.svalues, &spec, 4).unwrap();
+        let sout = build_secondary_index(
+            mgr,
+            soc,
+            dram,
+            cout.pidx,
+            cout.svalues,
+            &spec,
+            4,
+            &crate::admission::Deadline::none(),
+        )
+        .unwrap();
         let mut storage = KsStorage {
             pidx: Some(cout.pidx),
             pidx_sketch: cout.sketch,

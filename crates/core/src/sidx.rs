@@ -16,6 +16,7 @@ use std::cmp::Ordering;
 
 use kvcsd_proto::SecondaryIndexSpec;
 
+use crate::admission::Deadline;
 use crate::compact::decode_pidx_block;
 use crate::dram::DramBudget;
 use crate::error::DeviceError;
@@ -160,7 +161,9 @@ pub struct SidxOutput {
 /// keyspace data"), extracts `(secondary key, primary key)` pairs per the
 /// application-supplied `spec`, external-sorts them, and writes SIDX
 /// blocks plus the sketch. Values whose bytes cannot satisfy the spec
-/// (too short) are skipped, mirroring a forgiving scan.
+/// (too short) are skipped, mirroring a forgiving scan. The deadline is
+/// checked between the scan and the sort-and-write phase.
+#[allow(clippy::too_many_arguments)]
 pub fn build_secondary_index(
     mgr: &ZoneManager,
     soc: &SocCharger,
@@ -169,6 +172,7 @@ pub fn build_secondary_index(
     svalues: (ClusterId, u64),
     spec: &SecondaryIndexSpec,
     cluster_width: u32,
+    deadline: &Deadline<'_>,
 ) -> Result<SidxOutput> {
     let mut sorter: ExtSorter<'_, SidxEntry> = ExtSorter::new(mgr, soc, dram, cluster_width)?;
 
@@ -193,6 +197,7 @@ pub fn build_secondary_index(
         }
     }
 
+    deadline.check()?;
     write_sidx_blocks(mgr, sorter, cluster_width)
 }
 
@@ -301,7 +306,17 @@ mod tests {
             truth.push((key, energy));
         }
         let (klen, vlen) = log.seal(mgr).unwrap();
-        let out = run_compaction(mgr, soc, dram, (kc, klen), (vc, vlen), n, 4).unwrap();
+        let out = run_compaction(
+            mgr,
+            soc,
+            dram,
+            (kc, klen),
+            (vc, vlen),
+            n,
+            4,
+            &Deadline::none(),
+        )
+        .unwrap();
         (out, truth)
     }
 
@@ -345,6 +360,7 @@ mod tests {
             cout.svalues,
             &energy_spec(),
             4,
+            &Deadline::none(),
         )
         .unwrap();
         assert_eq!(out.entries, 2_000);
@@ -381,6 +397,7 @@ mod tests {
             cout.svalues,
             &energy_spec(),
             4,
+            &Deadline::none(),
         )
         .unwrap();
         for e in read_sidx(&mgr, &out).iter().step_by(37) {
@@ -402,7 +419,17 @@ mod tests {
             .unwrap();
         log.put(&mgr, &soc, b"tiny", b"xx").unwrap(); // too short for the spec
         let (klen, vlen) = log.seal(&mgr).unwrap();
-        let cout = run_compaction(&mgr, &soc, &dram, (kc, klen), (vc, vlen), 2, 2).unwrap();
+        let cout = run_compaction(
+            &mgr,
+            &soc,
+            &dram,
+            (kc, klen),
+            (vc, vlen),
+            2,
+            2,
+            &Deadline::none(),
+        )
+        .unwrap();
         let out = build_secondary_index(
             &mgr,
             &soc,
@@ -411,6 +438,7 @@ mod tests {
             cout.svalues,
             &energy_spec(),
             2,
+            &Deadline::none(),
         )
         .unwrap();
         assert_eq!(out.entries, 1);
@@ -430,6 +458,7 @@ mod tests {
             cout.svalues,
             &energy_spec(),
             4,
+            &Deadline::none(),
         )
         .unwrap();
         let d = soc.ledger().snapshot().since(&before);
@@ -451,6 +480,7 @@ mod tests {
             cout.svalues,
             &energy_spec(),
             2,
+            &Deadline::none(),
         )
         .unwrap();
         assert_eq!(out.entries, 0);

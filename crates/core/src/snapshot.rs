@@ -117,6 +117,7 @@ fn state_byte(s: KeyspaceState) -> u8 {
         KeyspaceState::Compacting => 2,
         KeyspaceState::Compacted => 3,
         KeyspaceState::Degraded => 4,
+        KeyspaceState::ReadOnly => 5,
     }
 }
 
@@ -127,6 +128,7 @@ fn byte_state(b: u8) -> Result<KeyspaceState> {
         2 => KeyspaceState::Compacting,
         3 => KeyspaceState::Compacted,
         4 => KeyspaceState::Degraded,
+        5 => KeyspaceState::ReadOnly,
         _ => return Err(R::bad()),
     })
 }

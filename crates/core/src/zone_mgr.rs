@@ -81,6 +81,12 @@ pub struct ZoneManager {
     zns: Arc<ZonedNamespace>,
     inner: Mutex<Inner>,
     zone_blocks: u64,
+    /// Zones held back from ordinary allocation so that sealing a write
+    /// log always has room for its final tail blocks. Without this, a
+    /// device that hits exhaustion mid-append can never seal — the full
+    /// tail block retries the exact allocation that just failed — and the
+    /// keyspace can't be frozen READ_ONLY gracefully.
+    seal_reserve: u32,
 }
 
 impl ZoneManager {
@@ -107,7 +113,16 @@ impl ZoneManager {
                 rng: XorShift64::new(seed),
             }),
             zone_blocks,
+            seal_reserve: 0,
         }
+    }
+
+    /// Hold `zones` zones back from ordinary growth as the seal reserve
+    /// (see the field doc). Sized by the device to cover one emergency
+    /// stripe group for each of KLOG and VLOG.
+    pub fn with_seal_reserve(mut self, zones: u32) -> Self {
+        self.seal_reserve = zones;
+        self
     }
 
     pub fn zns(&self) -> &Arc<ZonedNamespace> {
@@ -129,12 +144,12 @@ impl ZoneManager {
         self.inner.lock().clusters.len()
     }
 
-    fn take_zone_group(inner: &mut Inner, width: u32) -> Result<Vec<u32>> {
+    fn take_zone_group(inner: &mut Inner, width: u32, reserve: u32) -> Result<Vec<u32>> {
         let channels = inner.free_by_channel.len();
         let total_free: usize = inner.free_by_channel.iter().map(Vec::len).sum();
-        if total_free < width as usize {
+        if total_free < width as usize + reserve as usize {
             return Err(DeviceError::OutOfResources(format!(
-                "need {width} zones, {total_free} free"
+                "need {width} zones, {total_free} free ({reserve} held in seal reserve)"
             )));
         }
         // One zone per channel where possible, starting at a random
@@ -169,7 +184,7 @@ impl ZoneManager {
     pub fn alloc_cluster(&self, width: u32) -> Result<ClusterId> {
         let width = width.max(1);
         let mut inner = self.inner.lock();
-        let zones = Self::take_zone_group(&mut inner, width)?;
+        let zones = Self::take_zone_group(&mut inner, width, self.seal_reserve)?;
         let id = inner.next_id;
         inner.next_id += 1;
         let offset = inner.rng.next_below(width as u64) as u32;
@@ -225,6 +240,17 @@ impl ZoneManager {
     /// Append one block (at most [`BLOCK_BYTES`]) to the cluster stream,
     /// returning its block index.
     pub fn append_block(&self, cluster: ClusterId, data: &[u8]) -> Result<u64> {
+        self.append_block_inner(cluster, data, self.seal_reserve)
+    }
+
+    /// Like [`append_block`](Self::append_block) but allowed to dip into
+    /// the seal reserve. Only the log-seal path may use this: it appends
+    /// at most one padded tail block per log, so the reserve bounds it.
+    pub fn append_block_sealing(&self, cluster: ClusterId, data: &[u8]) -> Result<u64> {
+        self.append_block_inner(cluster, data, 0)
+    }
+
+    fn append_block_inner(&self, cluster: ClusterId, data: &[u8], reserve: u32) -> Result<u64> {
         if data.len() > BLOCK_BYTES {
             return Err(DeviceError::BadPayload(format!(
                 "block of {} bytes",
@@ -244,7 +270,7 @@ impl ZoneManager {
             };
             if need_group {
                 let width = inner.clusters[&cluster.0].width;
-                let zones = Self::take_zone_group(&mut inner, width)?;
+                let zones = Self::take_zone_group(&mut inner, width, reserve)?;
                 inner
                     .clusters
                     .get_mut(&cluster.0)
@@ -551,6 +577,36 @@ mod tests {
         // 2 initial zones (16 blocks) fit; the third group alloc of width
         // 2 fails with 1 zone left.
         assert_eq!(wrote, 16);
+    }
+
+    #[test]
+    fn seal_reserve_is_kept_back_for_sealing_appends() {
+        // 4*4/2 = 8 zones, 1 reserved for metadata -> 7 usable, of which
+        // 2 are held back as the seal reserve.
+        let m = mgr(4, 4).with_seal_reserve(2);
+        let c = m.alloc_cluster(1).unwrap();
+        // Ordinary appends stop while 2 zones are still free...
+        let mut wrote = 0u64;
+        loop {
+            match m.append_block(c, &[7u8; 8]) {
+                Ok(_) => wrote += 1,
+                Err(DeviceError::OutOfResources(msg)) => {
+                    assert!(msg.contains("seal reserve"), "{msg}");
+                    break;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+            assert!(wrote < 100, "must hit the reserve floor eventually");
+        }
+        assert_eq!(m.free_zones(), 2, "reserve must survive ordinary growth");
+        // ...but the sealing variant may consume them.
+        m.append_block_sealing(c, &[8u8; 8]).unwrap();
+        assert!(m.free_zones() < 2);
+        // And ordinary allocation is also refused inside the reserve.
+        assert!(matches!(
+            m.alloc_cluster(1),
+            Err(DeviceError::OutOfResources(_))
+        ));
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub enum ZoneState {
     Open,
     /// Finished or filled to capacity; read-only until reset.
     Full,
+    /// Administratively frozen (NVMe "zone set read only" analog):
+    /// appends rejected at any fill level, reads still served; leaves
+    /// only through Zone Reset.
+    ReadOnly,
 }
 
 impl ZoneState {
@@ -55,6 +59,7 @@ impl ZoneState {
             ZoneState::Empty => "empty",
             ZoneState::Open => "open",
             ZoneState::Full => "full",
+            ZoneState::ReadOnly => "read-only",
         }
     }
 }
@@ -77,6 +82,10 @@ pub static ZONE_TRANSITIONS: TransitionTable<ZoneState> = TransitionTable {
         // Zone Reset.
         (ZoneState::Open, ZoneState::Empty),
         (ZoneState::Full, ZoneState::Empty),
+        // Administrative freeze at any fill level; only Reset recovers.
+        (ZoneState::Open, ZoneState::ReadOnly),
+        (ZoneState::Full, ZoneState::ReadOnly),
+        (ZoneState::ReadOnly, ZoneState::Empty),
     ],
 };
 
@@ -255,7 +264,7 @@ impl ZonedNamespace {
         let start = {
             let mut meta = self.zones[zone as usize].lock();
             match meta.state {
-                ZoneState::Full => {
+                ZoneState::Full | ZoneState::ReadOnly => {
                     return Err(FlashError::BadZoneState {
                         zone,
                         state: meta.state.name(),
@@ -386,6 +395,20 @@ impl ZonedNamespace {
         let mut meta = self.zones[zone as usize].lock();
         let was_open = meta.state == ZoneState::Open;
         meta.transition(zone, ZoneState::Full)?;
+        if was_open {
+            self.open_count.fetch_sub(1, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+
+    /// Mark a zone read-only (NVMe "set zone read only" analog): appends
+    /// are rejected, reads below the write pointer keep working, and only
+    /// Zone Reset returns the zone to service. Legal from Open or Full.
+    pub fn mark_read_only(&self, zone: u32) -> Result<()> {
+        self.check_zone(zone)?;
+        let mut meta = self.zones[zone as usize].lock();
+        let was_open = meta.state == ZoneState::Open;
+        meta.transition(zone, ZoneState::ReadOnly)?;
         if was_open {
             self.open_count.fetch_sub(1, Ordering::AcqRel);
         }
@@ -535,6 +558,86 @@ mod tests {
         assert!(z.append(0, &[1]).is_err());
         // Data below the write pointer is still readable.
         assert_eq!(z.read_pages(0, 0, 1).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn zone_table_read_only_edges() {
+        use ZoneState::*;
+        for (from, to) in [(Open, ReadOnly), (Full, ReadOnly), (ReadOnly, Empty)] {
+            assert!(ZONE_TRANSITIONS.is_legal(from, to), "{from:?}->{to:?}");
+        }
+        // A frozen zone only leaves through Reset.
+        assert!(!ZONE_TRANSITIONS.is_legal(ReadOnly, Open));
+        assert!(!ZONE_TRANSITIONS.is_legal(ReadOnly, Full));
+        assert!(!ZONE_TRANSITIONS.is_legal(Empty, ReadOnly));
+        let err = ZONE_TRANSITIONS.check(ReadOnly, Full).unwrap_err();
+        assert_eq!(err.machine, "zone");
+        assert_eq!(err.from, "ReadOnly");
+        assert_eq!(err.to, "Full");
+        assert!(err.to_string().contains("illegal zone transition"));
+    }
+
+    #[test]
+    fn mark_read_only_freezes_open_zone() {
+        let z = zns(16);
+        z.append(0, &[1u8; 256]).unwrap();
+        assert_eq!(z.open_zones(), 1);
+        z.mark_read_only(0).unwrap();
+        let info = z.zone_info(0).unwrap();
+        assert_eq!(info.state, ZoneState::ReadOnly);
+        assert_eq!(z.open_zones(), 0, "freeze must release the open slot");
+        // Appends are rejected with the zone's state in the error.
+        match z.append(0, &[2u8; 256]).unwrap_err() {
+            FlashError::BadZoneState { zone, state, op } => {
+                assert_eq!(zone, 0);
+                assert_eq!(state, "read-only");
+                assert_eq!(op, "append");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // Reads below the write pointer keep working.
+        assert_eq!(z.read_pages(0, 0, 1).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn mark_read_only_from_full_and_reset_recovers() {
+        let z = zns(16);
+        z.append(1, &vec![7u8; 8 * 256]).unwrap();
+        assert_eq!(z.zone_info(1).unwrap().state, ZoneState::Full);
+        z.mark_read_only(1).unwrap();
+        assert_eq!(z.zone_info(1).unwrap().state, ZoneState::ReadOnly);
+        assert_eq!(z.open_zones(), 0);
+        // Finish has no edge out of ReadOnly.
+        assert!(matches!(
+            z.finish(1),
+            Err(FlashError::IllegalZoneTransition { .. })
+        ));
+        // Reset is the only way back to service.
+        z.reset(1).unwrap();
+        assert_eq!(z.zone_info(1).unwrap().state, ZoneState::Empty);
+        assert_eq!(z.append(1, &[1u8; 256]).unwrap(), 0);
+    }
+
+    #[test]
+    fn mark_read_only_illegal_transitions_name_states() {
+        let z = zns(16);
+        // Empty -> ReadOnly has no edge.
+        match z.mark_read_only(0).unwrap_err() {
+            FlashError::IllegalZoneTransition { zone, from, to } => {
+                assert_eq!(zone, 0);
+                assert_eq!(from, "empty");
+                assert_eq!(to, "read-only");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // Self-transitions are idempotent no-ops, and the open-zone slot
+        // must not be double-released on a repeated freeze.
+        z.append(0, &[1u8; 256]).unwrap();
+        z.mark_read_only(0).unwrap();
+        assert_eq!(z.open_zones(), 0);
+        z.mark_read_only(0).unwrap();
+        assert_eq!(z.open_zones(), 0);
+        assert_eq!(z.zone_info(0).unwrap().state, ZoneState::ReadOnly);
     }
 
     #[test]

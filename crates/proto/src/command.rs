@@ -50,6 +50,11 @@ pub enum KeyspaceState {
     /// poisoned: its sealed logs remain intact, it stays deletable, and a
     /// new compaction may be requested to retry from them.
     Degraded,
+    /// Zone/space exhaustion (or a background job dying on it) froze the
+    /// keyspace: reads and scans keep serving wherever an index exists,
+    /// writes fail fast with a typed error. A successful re-compaction or
+    /// space reclaim transitions back to COMPACTING / COMPACTED.
+    ReadOnly,
 }
 
 impl KeyspaceState {
@@ -60,6 +65,7 @@ impl KeyspaceState {
             KeyspaceState::Compacting => "COMPACTING",
             KeyspaceState::Compacted => "COMPACTED",
             KeyspaceState::Degraded => "DEGRADED",
+            KeyspaceState::ReadOnly => "READ_ONLY",
         }
     }
 }
@@ -305,6 +311,15 @@ pub enum KvCommand {
     },
     /// Fetch keyspace metadata.
     Stat { ks: KeyspaceId },
+    /// Attach a completion deadline (absolute sim-clock nanoseconds) to
+    /// the wrapped command. The device checks the deadline at admission
+    /// and at background-job step boundaries; expired work returns
+    /// [`KvStatus::DeadlineExceeded`] and unwinds through the idempotent
+    /// seal path.
+    WithDeadline {
+        deadline_ns: u64,
+        cmd: Box<KvCommand>,
+    },
 }
 
 impl KvCommand {
@@ -335,7 +350,27 @@ impl KvCommand {
                 KvCommand::SidxRange { index, lo, hi, .. } => {
                     index.len() as u64 + lo.wire_len() + hi.wire_len()
                 }
+                // The deadline rides in the capsule header's otherwise
+                // unused dwords plus an 8-byte timestamp; the inner
+                // command's header is not re-sent.
+                KvCommand::WithDeadline { cmd, .. } => 8 + cmd.wire_size() - CMD_HEADER_BYTES,
             }
+    }
+
+    /// The innermost command, stripped of any [`KvCommand::WithDeadline`]
+    /// wrappers, along with the tightest (smallest) deadline found.
+    pub fn unwrap_deadline(self) -> (Option<u64>, KvCommand) {
+        let mut deadline: Option<u64> = None;
+        let mut cmd = self;
+        while let KvCommand::WithDeadline {
+            deadline_ns,
+            cmd: inner,
+        } = cmd
+        {
+            deadline = Some(deadline.map_or(deadline_ns, |d: u64| d.min(deadline_ns)));
+            cmd = *inner;
+        }
+        (deadline, cmd)
     }
 }
 
@@ -555,6 +590,32 @@ mod tests {
         assert_eq!(resp.wire_size(), RESP_HEADER_BYTES + 32);
         let empty = KvResponse::PutOk;
         assert_eq!(empty.wire_size(), RESP_HEADER_BYTES);
+        // A deadline costs 8 bytes on the wire, not a second capsule.
+        let deadlined = KvCommand::WithDeadline {
+            deadline_ns: 1_000_000,
+            cmd: Box::new(KvCommand::Get {
+                ks: 1,
+                key: vec![0; 16],
+            }),
+        };
+        assert_eq!(deadlined.wire_size(), CMD_HEADER_BYTES + 16 + 8);
+    }
+
+    #[test]
+    fn unwrap_deadline_strips_wrappers_and_keeps_the_tightest() {
+        let plain = KvCommand::ListKeyspaces;
+        assert_eq!(plain.clone().unwrap_deadline(), (None, plain));
+        let nested = KvCommand::WithDeadline {
+            deadline_ns: 500,
+            cmd: Box::new(KvCommand::WithDeadline {
+                deadline_ns: 200,
+                cmd: Box::new(KvCommand::ListKeyspaces),
+            }),
+        };
+        assert_eq!(
+            nested.unwrap_deadline(),
+            (Some(200), KvCommand::ListKeyspaces)
+        );
     }
 
     #[test]

@@ -31,6 +31,19 @@ pub enum KvStatus {
     JobNotFound,
     /// Storage capacity exhausted.
     DeviceFull,
+    /// The device is overloaded and rejected the command without executing
+    /// it (admission-control reject band: job queue full, DRAM or
+    /// compaction debt past the reject threshold). Retry after backing off
+    /// and letting background work drain.
+    Busy,
+    /// The device write-stalled the command (admission-control stall
+    /// band): simulated stall time was charged but the command did not
+    /// execute. Retry after backing off.
+    Stalled,
+    /// The command's deadline expired before (or while) the device could
+    /// complete it. The work was not performed, or was unwound through the
+    /// idempotent seal path. Retrying is pointless without a new deadline.
+    DeadlineExceeded,
     /// Transient device-side error (media soft error, busy channel): the
     /// command did not execute and an identical retry may succeed.
     TransientDeviceError(String),
@@ -45,9 +58,14 @@ pub enum KvStatus {
 
 impl KvStatus {
     /// True when an identical retry of the failed command may succeed.
-    /// This is the contract the client's `RetryPolicy` keys off.
+    /// This is the contract the client's `RetryPolicy` keys off. `Busy`
+    /// and `Stalled` are overload signals: the command never executed, so
+    /// a retry after backoff is exactly what the device is asking for.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, KvStatus::TransientDeviceError(_))
+        matches!(
+            self,
+            KvStatus::TransientDeviceError(_) | KvStatus::Busy | KvStatus::Stalled
+        )
     }
 }
 
@@ -67,6 +85,9 @@ impl fmt::Display for KvStatus {
             KvStatus::BadIndexSpec => write!(f, "secondary index spec out of value bounds"),
             KvStatus::JobNotFound => write!(f, "background job not found"),
             KvStatus::DeviceFull => write!(f, "device full"),
+            KvStatus::Busy => write!(f, "device busy (overloaded, command rejected)"),
+            KvStatus::Stalled => write!(f, "device stalled the command (overload)"),
+            KvStatus::DeadlineExceeded => write!(f, "deadline exceeded"),
             KvStatus::TransientDeviceError(msg) => {
                 write!(f, "transient device error (retryable): {msg}")
             }
@@ -96,6 +117,9 @@ mod tests {
                 "put invalid in keyspace state COMPACTING",
             ),
             (KvStatus::Internal("zone fault".into()), "zone fault"),
+            (KvStatus::Busy, "busy"),
+            (KvStatus::Stalled, "stalled"),
+            (KvStatus::DeadlineExceeded, "deadline exceeded"),
         ];
         for (s, needle) in cases {
             assert!(s.to_string().contains(needle), "{s:?}");
@@ -104,12 +128,19 @@ mod tests {
 
     #[test]
     fn retryability_split() {
-        assert!(KvStatus::TransientDeviceError("soft".into()).is_retryable());
+        for retryable in [
+            KvStatus::TransientDeviceError("soft".into()),
+            KvStatus::Busy,
+            KvStatus::Stalled,
+        ] {
+            assert!(retryable.is_retryable(), "{retryable:?}");
+        }
         for fatal in [
             KvStatus::MediaError("die".into()),
             KvStatus::PowerLoss,
             KvStatus::DeviceFull,
             KvStatus::KeyNotFound,
+            KvStatus::DeadlineExceeded,
             KvStatus::Internal("x".into()),
         ] {
             assert!(!fatal.is_retryable(), "{fatal:?}");

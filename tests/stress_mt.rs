@@ -87,6 +87,7 @@ fn build_stack() -> (Arc<KvCsdDevice>, KvCsd) {
         soc_dram_bytes: 8 << 20,
         seed: 23,
         wal: true,
+        ..DeviceConfig::default()
     };
     let dev = Arc::new(KvCsdDevice::new(Arc::clone(&zns), sim.cost.clone(), cfg));
     let client = KvCsd::connect(

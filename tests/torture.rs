@@ -115,6 +115,7 @@ impl Torture {
             soc_dram_bytes: 8 << 20,
             seed: 11,
             wal: true,
+            ..DeviceConfig::default()
         };
         let dev = Arc::new(KvCsdDevice::new(
             Arc::clone(&zns),
