@@ -391,6 +391,287 @@ pub fn find_std_sync_locks(code: &str) -> Vec<Hit> {
     hits
 }
 
+/// `std::sync::atomic` / `core::sync::atomic` paths (imports and use
+/// sites), `static mut` items, and `UnsafeCell` mentions — the raw
+/// shared-state escape hatches the happens-before detector cannot see.
+pub fn find_atomics(code: &str) -> Vec<Hit> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    for path in ["std::sync::atomic", "core::sync::atomic"] {
+        for ix in find_all(code, path) {
+            // `core::` must not match inside `libcore::` etc.; the tail
+            // may continue (`::AtomicU64`), so only the start is bounded.
+            if ix == 0 || !is_ident(bytes[ix - 1]) {
+                hits.push(Hit {
+                    offset: ix,
+                    what: format!("`{path}` path"),
+                });
+            }
+        }
+    }
+    for ix in find_all(code, "static mut") {
+        if bounded(bytes, ix, "static mut".len()) {
+            hits.push(Hit {
+                offset: ix,
+                what: "`static mut` item".to_string(),
+            });
+        }
+    }
+    for ix in find_all(code, "UnsafeCell") {
+        if bounded(bytes, ix, "UnsafeCell".len()) {
+            hits.push(Hit {
+                offset: ix,
+                what: "`UnsafeCell`".to_string(),
+            });
+        }
+    }
+    hits.sort_by_key(|h| h.offset);
+    hits.dedup_by_key(|h| h.offset);
+    hits
+}
+
+/// 1-based line ranges of the bodies of functions named one of `names`
+/// (signature through the matching close brace). Used to exempt the FSM
+/// transition checkpoints from the `fsm-bypass` rule: the checked
+/// `transition_to`/`transition` functions are *where* the state write is
+/// supposed to live.
+pub fn fn_body_line_ranges(code: &str, names: &[&str]) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(
+            bytes
+                .iter()
+                .enumerate()
+                .filter(|&(_, b)| *b == b'\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect();
+    let line_of = |off: usize| line_starts.partition_point(|&s| s <= off);
+
+    let mut ranges = Vec::new();
+    for name in names {
+        let needle = format!("fn {name}");
+        for start in find_all(code, &needle) {
+            if !bounded(bytes, start, needle.len()) {
+                continue;
+            }
+            // Scan to the body's opening brace (past generics, args and
+            // any where-clause — none of which contain `{` in this
+            // codebase), then brace-match to its close.
+            let mut i = start + needle.len();
+            while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] == b';' {
+                continue; // trait method declaration: no body to exempt
+            }
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            ranges.push((line_of(start), line_of(j.min(bytes.len() - 1))));
+        }
+    }
+    ranges.sort_unstable();
+    ranges
+}
+
+/// Direct keyspace/zone FSM state writes: `.state = ...` assignments and
+/// `state: ...` fields inside *struct-update* literals (`Foo { state: x,
+/// ..old }`). Only files that name `KeyspaceState` or `ZoneState` are
+/// scanned at all, so unrelated `state` fields (RNG internals, metadata
+/// write cursors) never trip it. Limits: a struct-update literal is
+/// recognized by a `..base` (with a real base expression — rest patterns
+/// `..}` are ignored) at brace depth 1 within 4 KiB of the field; exact
+/// type resolution is out of scope for a lexer, so the rare false
+/// positive carries an inline allow with its justification.
+pub fn find_fsm_state_writes(code: &str) -> Vec<Hit> {
+    let bytes = code.as_bytes();
+    let gated = ["KeyspaceState", "ZoneState"].iter().any(|t| {
+        find_all(code, t)
+            .iter()
+            .any(|&ix| bounded(bytes, ix, t.len()))
+    });
+    if !gated {
+        return Vec::new();
+    }
+    let mut hits = Vec::new();
+    for ix in find_all(code, ".state") {
+        if is_ident(next_at(bytes, ix + ".state".len())) {
+            continue; // `.states`, `.state_of`, ...
+        }
+        let mut j = ix + ".state".len();
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        // Plain assignment only: `==`, `=>`, and compound ops (`+=` etc.,
+        // whose operator precedes the `=`) all fail this test.
+        if next_at(bytes, j) == b'=' && !matches!(next_at(bytes, j + 1), b'=' | b'>') {
+            hits.push(Hit {
+                offset: ix,
+                what: "`.state = ...` assignment".to_string(),
+            });
+        }
+    }
+    for ix in find_all(code, "state") {
+        if !bounded(bytes, ix, "state".len()) {
+            continue;
+        }
+        let mut j = ix + "state".len();
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if next_at(bytes, j) != b':' || next_at(bytes, j + 1) == b':' {
+            continue; // not a field init (or a `state::` path)
+        }
+        // A struct-update base at depth 1 before the literal closes marks
+        // this as an in-place overwrite of an existing value's state.
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        let stop = (ix + 4096).min(bytes.len());
+        while k < stop && depth > 0 {
+            match bytes[k] {
+                b'{' | b'(' | b'[' => depth += 1,
+                b'}' | b')' | b']' => depth -= 1,
+                b'.' if depth == 1 && next_at(bytes, k + 1) == b'.' => {
+                    let mut m = k + 2;
+                    while m < bytes.len() && bytes[m].is_ascii_whitespace() {
+                        m += 1;
+                    }
+                    if next_at(bytes, m) != b'}' && next_at(bytes, m) != 0 {
+                        hits.push(Hit {
+                            offset: ix,
+                            what: "`state: ...` in a struct-update literal".to_string(),
+                        });
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    hits.sort_by_key(|h| h.offset);
+    hits
+}
+
+/// Names of structs whose body declares an interior-mutable field
+/// (`Atomic*`, `Cell<`, `RefCell<`, `UnsafeCell<`, `OnceCell<`), as
+/// `(name, byte offset of the declaration)`. Feeds the cross-file
+/// `shared-raw` taint set.
+pub fn collect_interior_mutable_structs(code: &str) -> Vec<(String, usize)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for ix in find_all(code, "struct ") {
+        if ix > 0 && is_ident(bytes[ix - 1]) {
+            continue;
+        }
+        let mut j = ix + "struct ".len();
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident(bytes[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue;
+        }
+        let name = code[name_start..j].to_string();
+        // Find the body: `{` (brace-match) — tuple and unit structs are
+        // covered too, their `(`/`;` terminates the scan harmlessly.
+        while j < bytes.len() && !matches!(bytes[j], b'{' | b'(' | b';') {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] == b';' {
+            continue;
+        }
+        let (open, close) = (bytes[j], if bytes[j] == b'{' { b'}' } else { b')' });
+        let body_start = j;
+        let mut depth = 0usize;
+        while j < bytes.len() {
+            if bytes[j] == open {
+                depth += 1;
+            } else if bytes[j] == close {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let body = &code[body_start..j.min(code.len())];
+        if interior_mutable_type_in(body) {
+            out.push((name, ix));
+        }
+    }
+    out
+}
+
+/// Does `text` mention one of the std interior-mutable types, word-bounded?
+fn interior_mutable_type_in(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    for t in ["Cell", "RefCell", "UnsafeCell", "OnceCell"] {
+        if find_all(text, t)
+            .iter()
+            .any(|&ix| bounded(bytes, ix, t.len()) && next_at(bytes, ix + t.len()) != 0)
+        {
+            return true;
+        }
+    }
+    find_all(text, "Atomic")
+        .iter()
+        .any(|&ix| (ix == 0 || !is_ident(bytes[ix - 1])) && is_ident(next_at(bytes, ix + 6)))
+}
+
+/// `Arc<T>` where `T`'s head type is interior-mutable — either one of the
+/// std types directly or a name in `tainted` (structs found by
+/// [`collect_interior_mutable_structs`] outside the sync shims). Sharing
+/// such a value bypasses both the lock-order and the race detector;
+/// library code must wrap a shim lock or `Shared` instead.
+pub fn find_arc_wraps(code: &str, tainted: &std::collections::BTreeSet<String>) -> Vec<Hit> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    for ix in find_all(code, "Arc<") {
+        // Path-qualified `sync::Arc<` is fine (the `:` before it), but a
+        // different type merely *ending* in `Arc` is not ours.
+        if ix > 0 && is_ident(bytes[ix - 1]) {
+            continue;
+        }
+        let mut j = ix + "Arc<".len();
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        // Head type path: segments up to the next `<`, `>`, or `,`.
+        let head_start = j;
+        while j < bytes.len() && (is_ident(bytes[j]) || bytes[j] == b':') {
+            j += 1;
+        }
+        let head = &code[head_start..j];
+        let leaf = head.rsplit("::").next().unwrap_or(head);
+        let is_std_im = matches!(leaf, "Cell" | "RefCell" | "UnsafeCell" | "OnceCell")
+            || (leaf.starts_with("Atomic") && leaf.len() > "Atomic".len());
+        if is_std_im || tainted.contains(leaf) {
+            hits.push(Hit {
+                offset: ix,
+                what: format!("`Arc<{leaf}>` shares an interior-mutable type"),
+            });
+        }
+    }
+    hits
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,5 +761,52 @@ mod tests {
         let code = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
         let ranges = test_line_ranges(code);
         assert_eq!(ranges, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn finds_atomic_escape_hatches() {
+        let code = "use std::sync::atomic::AtomicU64;\nstatic mut X: u64 = 0;\nlet c: UnsafeCell<u8>;\ncore::sync::atomic::fence(o);\nstatic muted: u8 = 0;\n";
+        let hits = find_atomics(code);
+        assert_eq!(hits.len(), 4, "{hits:?}");
+    }
+
+    #[test]
+    fn fn_body_ranges_cover_named_fns_only() {
+        let code = "fn transition_to(&mut self) {\n    self.state = to;\n}\nfn other() {\n    x();\n}\nfn transition(a: u8) {\n    go();\n}\n";
+        let ranges = fn_body_line_ranges(code, &["transition_to", "transition"]);
+        assert_eq!(ranges, vec![(1, 3), (7, 9)]);
+    }
+
+    #[test]
+    fn fsm_writes_need_the_content_gate() {
+        let ungated = "self.state = x;"; // no KeyspaceState/ZoneState named
+        assert!(find_fsm_state_writes(ungated).is_empty());
+        let gated = "use KeyspaceState;\nself.state = x;\nself.state == y;\nself.states = z;\nself.state += 1;\nmatch s { S { state: a, .. } => a }\nS { state: b, ..old }\n";
+        let hits = find_fsm_state_writes(gated);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].what.contains("assignment"));
+        assert!(hits[1].what.contains("struct-update"));
+    }
+
+    #[test]
+    fn interior_mutable_structs_are_collected() {
+        let code = "struct A { n: u64 }\nstruct B { c: Cell<u8> }\nstruct C { a: AtomicUsize }\nstruct D(RefCell<u8>);\n";
+        let names: Vec<String> = collect_interior_mutable_structs(code)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["B", "C", "D"]);
+    }
+
+    #[test]
+    fn arc_wraps_respect_the_taint_set() {
+        let tainted: std::collections::BTreeSet<String> =
+            ["Gauge".to_string()].into_iter().collect();
+        let code = "Arc<Mutex<u8>>; Arc<AtomicU64>; Arc<std::cell::RefCell<u8>>; Arc<Gauge>; Arc<Clean>; MyArc<AtomicU64>;";
+        let hits = find_arc_wraps(code, &tainted);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits[0].what.contains("AtomicU64"));
+        assert!(hits[1].what.contains("RefCell"));
+        assert!(hits[2].what.contains("Gauge"));
     }
 }

@@ -1,8 +1,8 @@
 //! `kvcsd-check`: the workspace lint pass.
 //!
-//! Four repo-specific rules that `rustc`/`clippy` cannot express, each
+//! Seven repo-specific rules that `rustc`/`clippy` cannot express, each
 //! guarding an invariant the reproduction's correctness argument leans on
-//! (see `DESIGN.md` §9):
+//! (see `DESIGN.md` §9 and §11):
 //!
 //! * **`sync`** — no `std::sync::{Mutex, RwLock}` outside
 //!   `kvcsd-sim::sync` itself. Every lock must go through the shims so
@@ -17,6 +17,18 @@
 //!   simulated by charging the virtual clock (admission stalls, retry
 //!   backoff); a real sleep would couple test wall-time to simulated
 //!   time and break determinism.
+//! * **`atomics`** — no `std::sync::atomic` / `core::sync::atomic`,
+//!   `static mut`, or `UnsafeCell` outside `crates/sim`. Raw atomics are
+//!   invisible to the happens-before race detector; shared state goes
+//!   through `kvcsd_sim::sync::Shared` or a shim lock.
+//! * **`fsm-bypass`** — no direct `.state = ...` assignment or
+//!   struct-update `state:` overwrite of keyspace/zone state outside the
+//!   `transition_to`/`transition` checkpoints, whose transition tables
+//!   are the lifecycle correctness argument.
+//! * **`shared-raw`** — no `Arc<...>` of an interior-mutable type (std's
+//!   `Atomic*`/`Cell`/`RefCell`/`UnsafeCell`/`OnceCell`, or any workspace
+//!   struct with such a field, found by a cross-file pass) in library
+//!   code: sharing one bypasses both detectors at once.
 //!
 //! Exemptions are granted inline, and only with a reason:
 //!
@@ -44,7 +56,15 @@ pub mod lexer;
 use lexer::Scrubbed;
 
 /// The rule identifiers, as used in `allow(...)` comments and `--rule`.
-pub const RULES: [&str; 4] = ["sync", "unwrap", "time", "sleep"];
+pub const RULES: [&str; 7] = [
+    "sync",
+    "unwrap",
+    "time",
+    "sleep",
+    "atomics",
+    "fsm-bypass",
+    "shared-raw",
+];
 
 /// One finding, printed as `path:line: [rule] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +98,9 @@ pub struct RuleSet {
     pub unwrap: bool,
     pub time: bool,
     pub sleep: bool,
+    pub atomics: bool,
+    pub fsm_bypass: bool,
+    pub shared_raw: bool,
 }
 
 impl RuleSet {
@@ -87,6 +110,9 @@ impl RuleSet {
             unwrap: false,
             time: false,
             sleep: false,
+            atomics: false,
+            fsm_bypass: false,
+            shared_raw: false,
         }
     }
 }
@@ -107,7 +133,20 @@ impl RuleSet {
 /// * `sleep` applies everywhere except `crates/sim/` — only the
 ///   simulation substrate may legitimately block a real thread (e.g. a
 ///   future wall-time throttle shim); everything above it waits by
-///   charging the virtual clock.
+///   charging the virtual clock;
+/// * `atomics` applies everywhere except `crates/sim/` — the detector
+///   shims, the virtual clock and the perturbation schedule are built
+///   *from* atomics; everything above them must be visible to the race
+///   detector, tests and benches included (harness stop flags use
+///   `Shared<bool>`);
+/// * `fsm-bypass` applies everywhere — the state machines live in
+///   library code, and hits inside `fn transition_to`/`fn transition`
+///   bodies or `#[cfg(test)]` regions (test setup constructs states
+///   directly) are exempted by the scanner, not the path policy;
+/// * `shared-raw` applies to library source only, like `unwrap`: it
+///   exists to keep *product* shared state observable, and its taint set
+///   is collected from library code outside `crates/sim/` (the shims are
+///   interior-mutable by definition).
 pub fn rules_for(rel_path: &str) -> RuleSet {
     let parts: Vec<&str> = rel_path.split('/').collect();
     if parts.iter().any(|p| *p == "fixtures" || *p == "target") {
@@ -121,7 +160,42 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
         unwrap: !harness && !rel_path.starts_with("crates/bench/"),
         time: rel_path != "crates/sim/src/clock.rs",
         sleep: !rel_path.starts_with("crates/sim/"),
+        atomics: !rel_path.starts_with("crates/sim/"),
+        fsm_bypass: true,
+        shared_raw: !harness && !rel_path.starts_with("crates/sim/"),
     }
+}
+
+/// Cross-file facts the single-file scanners can't see: the names of
+/// workspace structs with interior-mutable fields (the `shared-raw`
+/// taint set), mapped to the file that defines them for the report.
+#[derive(Debug, Clone, Default)]
+pub struct CheckContext {
+    pub interior_mutable: std::collections::BTreeMap<String, String>,
+}
+
+/// Pass 1 of the tree check: collect the `shared-raw` taint set from
+/// every library file outside `crates/sim/` (the shims wrap raw cells by
+/// definition — that is their whole point).
+pub fn build_context(sources: &[(String, String)]) -> CheckContext {
+    let mut ctx = CheckContext::default();
+    for (rel, source) in sources {
+        if rules_for(rel) == RuleSet::none() || rel.starts_with("crates/sim/") {
+            continue;
+        }
+        let scrubbed = lexer::scrub(source);
+        let test_lines = lexer::test_line_ranges(&scrubbed.code);
+        for (name, offset) in lexer::collect_interior_mutable_structs(&scrubbed.code) {
+            let line = scrubbed.line_of(offset);
+            if test_lines.iter().any(|&(a, b)| line >= a && line <= b) {
+                continue; // test-local helper types stay local
+            }
+            ctx.interior_mutable
+                .entry(name)
+                .or_insert_with(|| rel.clone());
+        }
+    }
+    ctx
 }
 
 /// An `// kvcsd-check: allow(rule): reason` exemption. The reason is
@@ -186,9 +260,21 @@ fn parse_allows(scrubbed: &Scrubbed, file: &Path, violations: &mut Vec<Violation
     allows
 }
 
-/// Check one file's source text. `rel_path` picks the rule set; `file` is
-/// the path reported in violations.
+/// Check one file's source text with an empty cross-file context: the
+/// `shared-raw` taint set is limited to the std interior-mutable types.
 pub fn check_source(file: &Path, rel_path: &str, source: &str) -> Vec<Violation> {
+    check_source_with_context(file, rel_path, source, &CheckContext::default())
+}
+
+/// Check one file's source text. `rel_path` picks the rule set; `file` is
+/// the path reported in violations; `ctx` carries the cross-file
+/// `shared-raw` taint set from [`build_context`].
+pub fn check_source_with_context(
+    file: &Path,
+    rel_path: &str,
+    source: &str,
+    ctx: &CheckContext,
+) -> Vec<Violation> {
     let rules = rules_for(rel_path);
     if rules == RuleSet::none() {
         return Vec::new();
@@ -267,6 +353,64 @@ pub fn check_source(file: &Path, rel_path: &str, source: &str) -> Vec<Violation>
             );
         }
     }
+    if rules.atomics {
+        for hit in lexer::find_atomics(&scrubbed.code) {
+            push(
+                scrubbed.line_of(hit.offset),
+                "atomics",
+                format!(
+                    "{} — raw shared state is invisible to the race detector; use kvcsd_sim::sync::Shared or a shim lock",
+                    hit.what
+                ),
+            );
+        }
+    }
+    if rules.fsm_bypass {
+        let checkpoint_lines =
+            lexer::fn_body_line_ranges(&scrubbed.code, &["transition_to", "transition"]);
+        for hit in lexer::find_fsm_state_writes(&scrubbed.code) {
+            let line = scrubbed.line_of(hit.offset);
+            if in_tests(line)
+                || checkpoint_lines
+                    .iter()
+                    .any(|&(a, b)| line >= a && line <= b)
+            {
+                continue;
+            }
+            push(
+                line,
+                "fsm-bypass",
+                format!(
+                    "{} outside a transition checkpoint — route lifecycle changes through transition_to()/transition() so the transition tables stay authoritative",
+                    hit.what
+                ),
+            );
+        }
+    }
+    if rules.shared_raw {
+        let tainted: std::collections::BTreeSet<String> =
+            ctx.interior_mutable.keys().cloned().collect();
+        for hit in lexer::find_arc_wraps(&scrubbed.code, &tainted) {
+            let line = scrubbed.line_of(hit.offset);
+            if in_tests(line) {
+                continue;
+            }
+            let mut message = format!(
+                "{} — both detectors are blind to it; share a shim lock or kvcsd_sim::sync::Shared instead",
+                hit.what
+            );
+            if let Some(leaf) = hit
+                .what
+                .strip_prefix("`Arc<")
+                .and_then(|r| r.split('>').next())
+            {
+                if let Some(def) = ctx.interior_mutable.get(leaf) {
+                    message.push_str(&format!(" (interior-mutable field declared in {def})"));
+                }
+            }
+            push(line, "shared-raw", message);
+        }
+    }
 
     for a in &allows {
         if !a.used.get() {
@@ -317,8 +461,10 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> 
     Ok(files)
 }
 
-/// Check every `.rs` file under `root`. I/O errors surface as violations
-/// (line 0) rather than aborting the sweep.
+/// Check every `.rs` file under `root`, in two passes: pass 1 reads all
+/// sources and builds the cross-file [`CheckContext`]; pass 2 scans each
+/// file against it. I/O errors surface as violations (line 0) rather
+/// than aborting the sweep.
 pub fn check_tree(root: &Path) -> Vec<Violation> {
     let mut violations = Vec::new();
     let files = match collect_rs_files(root) {
@@ -333,9 +479,10 @@ pub fn check_tree(root: &Path) -> Vec<Violation> {
             return violations;
         }
     };
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for (path, rel) in files {
         match std::fs::read_to_string(&path) {
-            Ok(source) => violations.extend(check_source(Path::new(&rel), &rel, &source)),
+            Ok(source) => sources.push((rel, source)),
             Err(e) => violations.push(Violation {
                 file: path.clone(),
                 line: 0,
@@ -343,6 +490,10 @@ pub fn check_tree(root: &Path) -> Vec<Violation> {
                 message: format!("cannot read: {e}"),
             }),
         }
+    }
+    let ctx = build_context(&sources);
+    for (rel, source) in &sources {
+        violations.extend(check_source_with_context(Path::new(rel), rel, source, &ctx));
     }
     violations
 }

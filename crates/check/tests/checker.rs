@@ -3,7 +3,9 @@
 //! valid exemptions must scan clean, and the binary must exit non-zero
 //! on a dirty tree and zero on the real workspace.
 
-use kvcsd_check::{check_source, rules_for, RuleSet, Violation};
+use kvcsd_check::{
+    build_context, check_source, check_source_with_context, rules_for, RuleSet, Violation,
+};
 use std::path::Path;
 
 /// Scan a fixture as if it were library source, so every rule applies.
@@ -75,6 +77,86 @@ fn sleep_allows_are_honored() {
         "pub fn pace() {\n    // kvcsd-check: allow(sleep): wall-time pacing knob for manual demos\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n",
     );
     assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn seeded_atomics_violations_are_flagged() {
+    let v = scan("bad_atomics.rs", include_str!("fixtures/bad_atomics.rs"));
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(
+        lines,
+        vec![5, 7, 10, 13],
+        "import, static mut, UnsafeCell, core path — and nothing else: {v:#?}"
+    );
+    assert!(v.iter().all(|v| v.rule == "atomics"));
+    assert!(v.iter().any(|v| v.message.contains("Shared")));
+}
+
+#[test]
+fn seeded_fsm_violations_are_flagged() {
+    let v = scan("bad_fsm.rs", include_str!("fixtures/bad_fsm.rs"));
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(
+        lines,
+        vec![18, 23],
+        "checkpoint body, `==`, rest pattern and the allow stay silent: {v:#?}"
+    );
+    assert!(v.iter().all(|v| v.rule == "fsm-bypass"));
+    assert!(v.iter().any(|v| v.message.contains("transition_to")));
+}
+
+#[test]
+fn seeded_shared_raw_violations_are_flagged() {
+    let v = scan(
+        "bad_shared_raw.rs",
+        include_str!("fixtures/bad_shared_raw.rs"),
+    );
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![8, 12], "{v:#?}");
+    assert!(v.iter().all(|v| v.rule == "shared-raw"));
+}
+
+#[test]
+fn shared_raw_taint_crosses_files() {
+    let gauge = "pub struct HitGauge {\n    hits: std::cell::Cell<u64>,\n}\n";
+    let share =
+        "use std::sync::Arc;\npub fn publish(g: HitGauge) -> Arc<HitGauge> {\n    Arc::new(g)\n}\n";
+    let sources = vec![
+        ("crates/demo/src/gauge.rs".to_string(), gauge.to_string()),
+        ("crates/demo/src/share.rs".to_string(), share.to_string()),
+    ];
+    let ctx = build_context(&sources);
+    assert!(
+        ctx.interior_mutable.contains_key("HitGauge"),
+        "pass 1 must collect the tainted struct: {ctx:?}"
+    );
+    let rel = "crates/demo/src/share.rs";
+    let v = check_source_with_context(Path::new(rel), rel, share, &ctx);
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].rule, "shared-raw");
+    assert!(
+        v[0].message.contains("gauge.rs"),
+        "report names the defining file: {}",
+        v[0].message
+    );
+    // Without the context the same file scans clean — the taint really
+    // is cross-file knowledge.
+    let solo = scan("share.rs", share);
+    assert!(solo.is_empty(), "{solo:#?}");
+}
+
+#[test]
+fn sim_substrate_is_exempt_from_the_shared_state_rules() {
+    assert!(!rules_for("crates/sim/src/clock.rs").atomics);
+    assert!(!rules_for("crates/sim/src/perturb.rs").atomics);
+    assert!(rules_for("crates/core/src/device.rs").atomics);
+    assert!(
+        rules_for("tests/stress_mt.rs").atomics,
+        "harness stop flags must use Shared<bool>, not AtomicBool"
+    );
+    assert!(!rules_for("tests/stress_mt.rs").shared_raw);
+    assert!(rules_for("crates/core/src/keyspace.rs").fsm_bypass);
+    assert!(rules_for("crates/flash/src/zns.rs").fsm_bypass);
 }
 
 #[test]

@@ -1,0 +1,21 @@
+//! Fixture: raw shared-state escape hatches, scanned under a fake
+//! library path. Lines 5, 7, 10 and 13 must each trip `atomics`; the
+//! exempted block at the end must stay silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static mut SCRATCH: u64 = 0;
+
+pub struct Cellish {
+    slot: std::cell::UnsafeCell<u64>,
+}
+
+pub fn load(c: &core::sync::atomic::AtomicU32) -> u32 {
+    c.load(Ordering::SeqCst)
+}
+
+pub fn seeded() -> u64 {
+    // kvcsd-check: allow(atomics): control arm for the Shared<T> overhead benchmark
+    let x = std::sync::atomic::AtomicU64::new(1);
+    x.into_inner()
+}

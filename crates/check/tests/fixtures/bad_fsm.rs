@@ -1,0 +1,40 @@
+//! Fixture: keyspace FSM state writes outside the checkpoints. Naming
+//! `KeyspaceState` arms the content gate; only the `sneaky` write and
+//! the struct-update literal must trip — the `transition_to` body, the
+//! comparison, the rest-pattern match and the exempted line are silent.
+
+#[derive(Clone)]
+pub struct Ks {
+    pub state: KeyspaceState,
+    pub pairs: u64,
+}
+
+impl Ks {
+    pub fn transition_to(&mut self, to: KeyspaceState) {
+        self.state = to;
+    }
+
+    pub fn sneaky(&mut self) {
+        self.state = KeyspaceState::Writable;
+    }
+
+    pub fn reworded(&self, st: KeyspaceState) -> Ks {
+        Ks {
+            state: st,
+            ..self.clone()
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state == KeyspaceState::Empty
+    }
+
+    pub fn named(k: &Ks) -> bool {
+        matches!(k, Ks { state: KeyspaceState::Empty, .. })
+    }
+
+    pub fn restore(&mut self, st: KeyspaceState) {
+        // kvcsd-check: allow(fsm-bypass): decode path reinstalls persisted state verbatim
+        self.state = st;
+    }
+}

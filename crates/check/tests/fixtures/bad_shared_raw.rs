@@ -1,0 +1,19 @@
+//! Fixture: `Arc` sharing of std interior-mutable types (the
+//! workspace-struct taint variant is exercised by the cross-file context
+//! test). Lines 8 and 12 must trip; the exempted function is silent.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+pub fn leak_counter() -> Arc<RefCell<u64>> {
+    Arc::new(RefCell::new(0))
+}
+
+pub fn leak_cell(a: Arc<std::cell::Cell<u64>>) -> u64 {
+    a.get()
+}
+
+// kvcsd-check: allow(shared-raw): built once before any thread exists, read-only after publication
+pub fn frozen() -> Arc<RefCell<&'static str>> {
+    Arc::new(RefCell::new("ok"))
+}

@@ -678,16 +678,18 @@ mod tests {
     /// transient error (deterministic flaky transport).
     struct Flaky {
         inner: Arc<KvCsdDevice>,
-        remaining: std::sync::atomic::AtomicU32,
+        remaining: kvcsd_sim::sync::Shared<u32>,
         status: KvStatus,
     }
 
     impl DeviceHandler for Flaky {
         fn handle(&self, cmd: KvCommand) -> KvResponse {
-            use std::sync::atomic::Ordering;
-            let left = self.remaining.load(Ordering::SeqCst);
-            if left > 0 {
-                self.remaining.store(left - 1, Ordering::SeqCst);
+            let failing = self.remaining.update(|left| {
+                let failing = *left > 0;
+                *left = left.saturating_sub(1);
+                failing
+            });
+            if failing {
                 return KvResponse::Err(self.status.clone());
             }
             self.inner.handle(cmd)
@@ -698,7 +700,7 @@ mod tests {
         let (_, dev, ledger) = testbed();
         let flaky = Arc::new(Flaky {
             inner: dev,
-            remaining: std::sync::atomic::AtomicU32::new(failures),
+            remaining: kvcsd_sim::sync::Shared::new(failures),
             status,
         });
         let client = KvCsd::connect(flaky as Arc<dyn DeviceHandler>, Arc::clone(&ledger));
@@ -779,7 +781,7 @@ mod tests {
         let (_, dev, ledger) = testbed();
         let flaky = Arc::new(Flaky {
             inner: dev,
-            remaining: std::sync::atomic::AtomicU32::new(100),
+            remaining: kvcsd_sim::sync::Shared::new(100),
             status: transient(),
         });
         let clock = Arc::new(kvcsd_sim::VirtualClock::new());

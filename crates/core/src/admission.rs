@@ -26,8 +26,7 @@
 //! decisions. Stalls charge the [`VirtualClock`] — never a wall-clock
 //! sleep (`kvcsd-check` rule `sleep` enforces this workspace-wide).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-
+use kvcsd_sim::sync::Shared;
 use kvcsd_sim::VirtualClock;
 
 use crate::error::DeviceError;
@@ -125,15 +124,16 @@ pub enum Decision {
 pub struct AdmissionGate {
     cfg: AdmissionConfig,
     /// Hysteresis flag for the stall band: set at the high watermark,
-    /// cleared below the low watermark.
-    engaged: AtomicBool,
+    /// cleared below the low watermark. A self-synchronized [`Shared`]
+    /// flag, so the race detector observes every access (DESIGN.md §11).
+    engaged: Shared<bool>,
 }
 
 impl AdmissionGate {
     pub fn new(cfg: AdmissionConfig) -> Self {
         Self {
             cfg,
-            engaged: AtomicBool::new(false),
+            engaged: Shared::new(false),
         }
     }
 
@@ -144,7 +144,7 @@ impl AdmissionGate {
     /// True while the stall band is engaged (between the high-watermark
     /// crossing and the drop below the low watermark).
     pub fn is_engaged(&self) -> bool {
-        self.engaged.load(Ordering::Acquire)
+        self.engaged.get()
     }
 
     /// Admission decision for a write-path command (PUT, BulkPut).
@@ -175,14 +175,14 @@ impl AdmissionGate {
         let below_low =
             s.dram_usage < self.cfg.dram_low && s.compaction_debt < self.cfg.debt_slowdown_bytes;
         if above_high {
-            self.engaged.store(true, Ordering::Release);
+            self.engaged.set(true);
             return Decision::Stall {
                 charge_ns: self.cfg.stall_ns,
             };
         }
         if self.is_engaged() {
             if below_low {
-                self.engaged.store(false, Ordering::Release);
+                self.engaged.set(false);
             } else {
                 return Decision::Stall {
                     charge_ns: self.cfg.stall_ns,

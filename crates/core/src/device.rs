@@ -19,7 +19,7 @@ use kvcsd_proto::{
     KvResponse, KvStatus, SecondaryIndexSpec,
 };
 use kvcsd_sim::config::CostModel;
-use kvcsd_sim::sync::Mutex;
+use kvcsd_sim::sync::{Mutex, Shared};
 use kvcsd_sim::VirtualClock;
 
 use crate::admission::{AdmissionConfig, AdmissionGate, Deadline, Decision, PressureSample};
@@ -110,6 +110,10 @@ pub struct KvCsdDevice {
     dram: DramBudget,
     cfg: DeviceConfig,
     jobs: Mutex<JobTable>,
+    /// Queue-depth gauge mirroring `jobs.queue.len()`, maintained inside
+    /// the `jobs` critical sections. Admission pressure probes read this
+    /// [`Shared`] cell instead of taking the job lock (DESIGN.md §11).
+    job_depth: Shared<usize>,
     gate: AdmissionGate,
     clock: Arc<VirtualClock>,
 }
@@ -146,6 +150,7 @@ impl KvCsdDevice {
                 .unwrap_or_else(|| Arc::new(VirtualClock::new())),
             cfg,
             jobs: Mutex::new(JobTable::default()),
+            job_depth: Shared::new(0),
         }
     }
 
@@ -266,6 +271,7 @@ impl KvCsdDevice {
                 .unwrap_or_else(|| Arc::new(VirtualClock::new())),
             cfg,
             jobs: Mutex::new(JobTable::default()),
+            job_depth: Shared::new(0),
         };
         for ks in recompact {
             dev.enqueue(Job::Compact { ks }, None);
@@ -352,9 +358,10 @@ impl KvCsdDevice {
         &self.soc
     }
 
-    /// Jobs waiting to run.
+    /// Jobs waiting to run. Reads the cached depth gauge — pressure
+    /// probes don't contend on the job lock.
     pub fn pending_jobs(&self) -> usize {
-        self.jobs.lock().queue.len()
+        self.job_depth.get()
     }
 
     /// The admission gate (diagnostics: `is_engaged`, watermarks).
@@ -430,6 +437,7 @@ impl KvCsdDevice {
         let id = jobs.next;
         jobs.states.insert(id, JobState::Pending);
         jobs.queue.push_back((id, job, deadline_ns));
+        self.job_depth.set(jobs.queue.len());
         JobId(id)
     }
 
@@ -449,6 +457,7 @@ impl KvCsdDevice {
                 let Some((id, job, deadline_ns)) = jobs.queue.pop_front() else {
                     break;
                 };
+                self.job_depth.set(jobs.queue.len());
                 jobs.states.insert(id, JobState::Running);
                 (id, job, deadline_ns)
             };
@@ -1005,6 +1014,7 @@ impl KvCsdDevice {
             // Empty keyspace: nothing to do; complete immediately.
             let mut jobs = self.jobs.lock();
             jobs.queue.retain(|(id, _, _)| *id != job.0);
+            self.job_depth.set(jobs.queue.len());
             jobs.states.insert(job.0, JobState::Done);
         }
         Ok(job)

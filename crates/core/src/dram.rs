@@ -6,20 +6,25 @@
 //! memory is tight — exactly the trade-off the paper describes for
 //! LSM-trees vs. memory-hungry bitmap indexes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use kvcsd_sim::sync::Shared;
 
-/// A shared DRAM budget with atomic reserve/release.
+/// A shared DRAM budget with lock-free-style reserve/release.
+///
+/// The `used` gauge is a [`Shared`] cell: every reserve/release is a
+/// single self-synchronized `update`, so reservations are race-free by
+/// construction and the debug-build happens-before detector observes
+/// every access (DESIGN.md §11).
 #[derive(Debug)]
 pub struct DramBudget {
     limit: u64,
-    used: AtomicU64,
+    used: Shared<u64>,
 }
 
 impl DramBudget {
     pub fn new(limit_bytes: u64) -> Self {
         Self {
             limit: limit_bytes,
-            used: AtomicU64::new(0),
+            used: Shared::new(0),
         }
     }
 
@@ -28,7 +33,7 @@ impl DramBudget {
     }
 
     pub fn used(&self) -> u64 {
-        self.used.load(Ordering::Acquire)
+        self.used.get()
     }
 
     pub fn available(&self) -> u64 {
@@ -37,21 +42,15 @@ impl DramBudget {
 
     /// Try to reserve exactly `bytes`; false if it would exceed the limit.
     pub fn try_reserve(&self, bytes: u64) -> bool {
-        let mut cur = self.used.load(Ordering::Relaxed);
-        loop {
-            if cur + bytes > self.limit {
-                return false;
+        let limit = self.limit;
+        self.used.update(|used| {
+            if *used + bytes > limit {
+                false
+            } else {
+                *used += bytes;
+                true
             }
-            match self.used.compare_exchange_weak(
-                cur,
-                cur + bytes,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(actual) => cur = actual,
-            }
-        }
+        })
     }
 
     /// Reserve as much as possible up to `want`, at least `min`.
@@ -71,8 +70,10 @@ impl DramBudget {
 
     /// Return `bytes` to the pool.
     pub fn release(&self, bytes: u64) {
-        let prev = self.used.fetch_sub(bytes, Ordering::AcqRel);
-        debug_assert!(prev >= bytes, "double release");
+        self.used.update(|used| {
+            debug_assert!(*used >= bytes, "double release");
+            *used = used.saturating_sub(bytes);
+        });
     }
 
     /// Fraction of the budget currently in use (0.0 ..= 1.0). Admission

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use kvcsd_flash::{ZoneState, ZonedNamespace};
-use kvcsd_sim::sync::Mutex;
+use kvcsd_sim::sync::{Mutex, Shared};
 use kvcsd_sim::XorShift64;
 
 use crate::error::DeviceError;
@@ -80,6 +80,12 @@ struct Inner {
 pub struct ZoneManager {
     zns: Arc<ZonedNamespace>,
     inner: Mutex<Inner>,
+    /// Free-zone gauge mirroring `inner.free_by_channel` so pressure
+    /// probes ([`free_zones`](Self::free_zones)) never contend on the
+    /// allocation lock. Self-synchronized [`Shared`] cell, refreshed
+    /// under the `inner` lock at every allocation-state mutation, and
+    /// visible to the debug-build race detector (DESIGN.md §11).
+    free_count: Shared<u32>,
     zone_blocks: u64,
     /// Zones held back from ordinary allocation so that sealing a write
     /// log always has room for its final tail blocks. Without this, a
@@ -104,6 +110,7 @@ impl ZoneManager {
             BLOCK_BYTES,
             "device blocks are NAND pages"
         );
+        let free_total: u32 = free_by_channel.iter().map(|v| v.len() as u32).sum();
         Self {
             zns,
             inner: Mutex::new(Inner {
@@ -112,9 +119,18 @@ impl ZoneManager {
                 next_id: 1,
                 rng: XorShift64::new(seed),
             }),
+            free_count: Shared::new(free_total),
             zone_blocks,
             seal_reserve: 0,
         }
+    }
+
+    /// Re-derive the free-zone gauge from the free lists. Callers must
+    /// hold the `inner` lock, so the recount is consistent with the
+    /// mutation it follows.
+    fn refresh_free_count(&self, inner: &Inner) {
+        let total: u32 = inner.free_by_channel.iter().map(|v| v.len() as u32).sum();
+        self.free_count.set(total);
     }
 
     /// Hold `zones` zones back from ordinary growth as the seal reserve
@@ -129,14 +145,10 @@ impl ZoneManager {
         &self.zns
     }
 
-    /// Total free zones.
+    /// Total free zones. Reads the cached gauge — pressure probes don't
+    /// contend on the allocation lock.
     pub fn free_zones(&self) -> u32 {
-        self.inner
-            .lock()
-            .free_by_channel
-            .iter()
-            .map(|v| v.len() as u32)
-            .sum()
+        self.free_count.get()
     }
 
     /// Number of live clusters.
@@ -185,6 +197,7 @@ impl ZoneManager {
         let width = width.max(1);
         let mut inner = self.inner.lock();
         let zones = Self::take_zone_group(&mut inner, width, self.seal_reserve)?;
+        self.refresh_free_count(&inner);
         let id = inner.next_id;
         inner.next_id += 1;
         let offset = inner.rng.next_below(width as u64) as u32;
@@ -271,6 +284,7 @@ impl ZoneManager {
             if need_group {
                 let width = inner.clusters[&cluster.0].width;
                 let zones = Self::take_zone_group(&mut inner, width, reserve)?;
+                self.refresh_free_count(&inner);
                 inner
                     .clusters
                     .get_mut(&cluster.0)
@@ -399,6 +413,7 @@ impl ZoneManager {
             for free in &mut inner.free_by_channel {
                 free.retain(|z| !used.contains(z));
             }
+            mgr.refresh_free_count(&inner);
             // Crash debris: zones written after the snapshot was taken
             // (in-flight allocations the crash lost) are referenced by no
             // restored cluster but still carry data. Reset them now so a
@@ -431,6 +446,7 @@ impl ZoneManager {
             let ch = self.zns.channel_of_zone(*zone) as usize;
             inner.free_by_channel[ch].push(*zone);
         }
+        self.refresh_free_count(&inner);
         Ok(())
     }
 }

@@ -7,11 +7,10 @@
 //! NAND channel; cross-channel parallelism is obtained by *striping across
 //! zones*, which is exactly the job of the device store's zone clusters.
 
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use kvcsd_sim::fault::{FaultDecision, OpClass};
-use kvcsd_sim::sync::Mutex;
+use kvcsd_sim::sync::{Mutex, Shared};
 use kvcsd_sim::TransitionTable;
 
 use crate::error::FlashError;
@@ -128,7 +127,10 @@ pub struct ZonedNamespace {
     nand: Arc<NandArray>,
     cfg: ZnsConfig,
     zones: Vec<Mutex<ZoneMeta>>,
-    open_count: AtomicU32,
+    /// Gauge of zones currently Open. Self-synchronized [`Shared`]
+    /// counter so the debug-build race detector observes it; the value is
+    /// kept consistent under the per-zone lock of the transitioning zone.
+    open_count: Shared<u32>,
 }
 
 impl ZonedNamespace {
@@ -150,7 +152,7 @@ impl ZonedNamespace {
                     })
                 })
                 .collect(),
-            open_count: AtomicU32::new(0),
+            open_count: Shared::new(0),
         }
     }
 
@@ -272,15 +274,18 @@ impl ZonedNamespace {
                     })
                 }
                 ZoneState::Empty => {
-                    let open = self.open_count.fetch_add(1, Ordering::AcqRel) + 1;
+                    let open = self.open_count.update(|c| {
+                        *c += 1;
+                        *c
+                    });
                     if open > self.cfg.max_open_zones {
-                        self.open_count.fetch_sub(1, Ordering::AcqRel);
+                        self.open_count.update(|c| *c -= 1);
                         return Err(FlashError::TooManyOpenZones {
                             limit: self.cfg.max_open_zones,
                         });
                     }
                     if let Err(e) = meta.transition(zone, ZoneState::Open) {
-                        self.open_count.fetch_sub(1, Ordering::AcqRel);
+                        self.open_count.update(|c| *c -= 1);
                         return Err(e);
                     }
                 }
@@ -330,7 +335,7 @@ impl ZonedNamespace {
             let mut meta = self.zones[zone as usize].lock();
             if meta.state == ZoneState::Open && meta.wp_pages == cap {
                 meta.transition(zone, ZoneState::Full)?;
-                self.open_count.fetch_sub(1, Ordering::AcqRel);
+                self.open_count.update(|c| *c -= 1);
             }
         }
         Ok(start)
@@ -378,7 +383,7 @@ impl ZonedNamespace {
         let geom = self.nand.geometry();
         let mut meta = self.zones[zone as usize].lock();
         if meta.state == ZoneState::Open {
-            self.open_count.fetch_sub(1, Ordering::AcqRel);
+            self.open_count.update(|c| *c -= 1);
         }
         let used_blocks = meta.wp_pages.div_ceil(geom.pages_per_block);
         for b in 0..used_blocks {
@@ -396,7 +401,7 @@ impl ZonedNamespace {
         let was_open = meta.state == ZoneState::Open;
         meta.transition(zone, ZoneState::Full)?;
         if was_open {
-            self.open_count.fetch_sub(1, Ordering::AcqRel);
+            self.open_count.update(|c| *c -= 1);
         }
         Ok(())
     }
@@ -410,14 +415,14 @@ impl ZonedNamespace {
         let was_open = meta.state == ZoneState::Open;
         meta.transition(zone, ZoneState::ReadOnly)?;
         if was_open {
-            self.open_count.fetch_sub(1, Ordering::AcqRel);
+            self.open_count.update(|c| *c -= 1);
         }
         Ok(())
     }
 
     /// Number of zones currently Open.
     pub fn open_zones(&self) -> u32 {
-        self.open_count.load(Ordering::Acquire)
+        self.open_count.get()
     }
 }
 

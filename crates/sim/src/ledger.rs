@@ -7,25 +7,29 @@
 //! 7b and 10b of the paper are direct dumps of these counters; the
 //! [`crate::TimeModel`] turns ledger deltas into phase times.
 
-use crate::sync::Mutex;
+use crate::sync::{Mutex, Shared};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Thread-safe work counters. One ledger is shared per simulated testbed.
+///
+/// Counters are intentionally lock-free-style [`Shared`] cells (the
+/// atomic-RMW analogue): charges from every simulated core self-
+/// synchronize through each cell, and the debug-build race detector still
+/// observes every access (DESIGN.md §11).
 #[derive(Debug)]
 pub struct IoLedger {
-    host_cpu_ns: AtomicU64,
-    soc_cpu_ns: AtomicU64,
-    pcie_h2d_bytes: AtomicU64,
-    pcie_d2h_bytes: AtomicU64,
-    pcie_msgs: AtomicU64,
-    nand_read_pages: AtomicU64,
-    nand_program_pages: AtomicU64,
-    nand_erase_blocks: AtomicU64,
-    fs_calls: AtomicU64,
-    host_block_ios: AtomicU64,
-    bridge_busy_ns: AtomicU64,
-    channel_busy_ns: Box<[AtomicU64]>,
+    host_cpu_ns: Shared<u64>,
+    soc_cpu_ns: Shared<u64>,
+    pcie_h2d_bytes: Shared<u64>,
+    pcie_d2h_bytes: Shared<u64>,
+    pcie_msgs: Shared<u64>,
+    nand_read_pages: Shared<u64>,
+    nand_program_pages: Shared<u64>,
+    nand_erase_blocks: Shared<u64>,
+    fs_calls: Shared<u64>,
+    host_block_ios: Shared<u64>,
+    bridge_busy_ns: Shared<u64>,
+    channel_busy_ns: Box<[Shared<u64>]>,
     page_bytes: u64,
     custom: Mutex<BTreeMap<&'static str, u64>>,
 }
@@ -35,18 +39,18 @@ impl IoLedger {
     /// `page_bytes`-sized pages.
     pub fn new(channels: u32, page_bytes: u32) -> Self {
         Self {
-            host_cpu_ns: AtomicU64::new(0),
-            soc_cpu_ns: AtomicU64::new(0),
-            pcie_h2d_bytes: AtomicU64::new(0),
-            pcie_d2h_bytes: AtomicU64::new(0),
-            pcie_msgs: AtomicU64::new(0),
-            nand_read_pages: AtomicU64::new(0),
-            nand_program_pages: AtomicU64::new(0),
-            nand_erase_blocks: AtomicU64::new(0),
-            fs_calls: AtomicU64::new(0),
-            host_block_ios: AtomicU64::new(0),
-            bridge_busy_ns: AtomicU64::new(0),
-            channel_busy_ns: (0..channels).map(|_| AtomicU64::new(0)).collect(),
+            host_cpu_ns: Shared::new(0),
+            soc_cpu_ns: Shared::new(0),
+            pcie_h2d_bytes: Shared::new(0),
+            pcie_d2h_bytes: Shared::new(0),
+            pcie_msgs: Shared::new(0),
+            nand_read_pages: Shared::new(0),
+            nand_program_pages: Shared::new(0),
+            nand_erase_blocks: Shared::new(0),
+            fs_calls: Shared::new(0),
+            host_block_ios: Shared::new(0),
+            bridge_busy_ns: Shared::new(0),
+            channel_busy_ns: (0..channels).map(|_| Shared::new(0)).collect(),
             page_bytes: page_bytes as u64,
             custom: Mutex::new(BTreeMap::new()),
         }
@@ -61,60 +65,58 @@ impl IoLedger {
 
     /// Charge `ns` of host-core CPU work.
     pub fn charge_host_cpu(&self, ns: f64) {
-        self.host_cpu_ns
-            .fetch_add(ns.max(0.0) as u64, Ordering::Relaxed);
+        self.host_cpu_ns.update(|c| *c += ns.max(0.0) as u64);
     }
 
     /// Charge `ns` of SoC-core CPU work (already scaled by `soc_slowdown`).
     pub fn charge_soc_cpu(&self, ns: f64) {
-        self.soc_cpu_ns
-            .fetch_add(ns.max(0.0) as u64, Ordering::Relaxed);
+        self.soc_cpu_ns.update(|c| *c += ns.max(0.0) as u64);
     }
 
     /// Record a host-to-device DMA transfer of `bytes` within one message.
     pub fn dma_h2d(&self, bytes: u64) {
-        self.pcie_h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.pcie_msgs.fetch_add(1, Ordering::Relaxed);
+        self.pcie_h2d_bytes.update(|c| *c += bytes);
+        self.pcie_msgs.update(|c| *c += 1);
     }
 
     /// Record a device-to-host DMA transfer of `bytes` within one message.
     pub fn dma_d2h(&self, bytes: u64) {
-        self.pcie_d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.pcie_msgs.fetch_add(1, Ordering::Relaxed);
+        self.pcie_d2h_bytes.update(|c| *c += bytes);
+        self.pcie_msgs.update(|c| *c += 1);
     }
 
     /// Record device-to-host DMA bytes that ride an existing command's
     /// completion (no additional round trip).
     pub fn dma_d2h_payload(&self, bytes: u64) {
-        self.pcie_d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.pcie_d2h_bytes.update(|c| *c += bytes);
     }
 
     /// Record `pages` NAND page reads on `channel`, occupying it `busy_ns`.
     pub fn nand_read(&self, channel: u32, pages: u64, busy_ns: u64) {
-        self.nand_read_pages.fetch_add(pages, Ordering::Relaxed);
-        self.channel_busy_ns[channel as usize].fetch_add(busy_ns, Ordering::Relaxed);
+        self.nand_read_pages.update(|c| *c += pages);
+        self.channel_busy_ns[channel as usize].update(|c| *c += busy_ns);
     }
 
     /// Record `pages` NAND page programs on `channel`, occupying it `busy_ns`.
     pub fn nand_program(&self, channel: u32, pages: u64, busy_ns: u64) {
-        self.nand_program_pages.fetch_add(pages, Ordering::Relaxed);
-        self.channel_busy_ns[channel as usize].fetch_add(busy_ns, Ordering::Relaxed);
+        self.nand_program_pages.update(|c| *c += pages);
+        self.channel_busy_ns[channel as usize].update(|c| *c += busy_ns);
     }
 
     /// Record a block erase on `channel`, occupying it `busy_ns`.
     pub fn nand_erase(&self, channel: u32, busy_ns: u64) {
-        self.nand_erase_blocks.fetch_add(1, Ordering::Relaxed);
-        self.channel_busy_ns[channel as usize].fetch_add(busy_ns, Ordering::Relaxed);
+        self.nand_erase_blocks.update(|c| *c += 1);
+        self.channel_busy_ns[channel as usize].update(|c| *c += busy_ns);
     }
 
     /// Record one host filesystem call (VFS-layer overhead).
     pub fn fs_call(&self) {
-        self.fs_calls.fetch_add(1, Ordering::Relaxed);
+        self.fs_calls.update(|c| *c += 1);
     }
 
     /// Record one block I/O submitted through the host OS block layer.
     pub fn host_block_io(&self) {
-        self.host_block_ios.fetch_add(1, Ordering::Relaxed);
+        self.host_block_ios.update(|c| *c += 1);
     }
 
     /// Occupy the host-to-NAND *bridge* for `ns`. The baseline reaches
@@ -122,7 +124,7 @@ impl IoLedger {
     /// back-link plus the ext4 block path) — a shared serial resource
     /// that KV-CSD's on-device store bypasses entirely.
     pub fn bridge_busy(&self, ns: u64) {
-        self.bridge_busy_ns.fetch_add(ns, Ordering::Relaxed);
+        self.bridge_busy_ns.update(|c| *c += ns);
     }
 
     /// Bump a named diagnostic counter (cache hits, bloom negatives, ...).
@@ -140,22 +142,18 @@ impl IoLedger {
     /// Capture current counter values.
     pub fn snapshot(&self) -> LedgerSnapshot {
         LedgerSnapshot {
-            host_cpu_ns: self.host_cpu_ns.load(Ordering::Relaxed),
-            soc_cpu_ns: self.soc_cpu_ns.load(Ordering::Relaxed),
-            pcie_h2d_bytes: self.pcie_h2d_bytes.load(Ordering::Relaxed),
-            pcie_d2h_bytes: self.pcie_d2h_bytes.load(Ordering::Relaxed),
-            pcie_msgs: self.pcie_msgs.load(Ordering::Relaxed),
-            nand_read_pages: self.nand_read_pages.load(Ordering::Relaxed),
-            nand_program_pages: self.nand_program_pages.load(Ordering::Relaxed),
-            nand_erase_blocks: self.nand_erase_blocks.load(Ordering::Relaxed),
-            fs_calls: self.fs_calls.load(Ordering::Relaxed),
-            host_block_ios: self.host_block_ios.load(Ordering::Relaxed),
-            bridge_busy_ns: self.bridge_busy_ns.load(Ordering::Relaxed),
-            channel_busy_ns: self
-                .channel_busy_ns
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+            host_cpu_ns: self.host_cpu_ns.get(),
+            soc_cpu_ns: self.soc_cpu_ns.get(),
+            pcie_h2d_bytes: self.pcie_h2d_bytes.get(),
+            pcie_d2h_bytes: self.pcie_d2h_bytes.get(),
+            pcie_msgs: self.pcie_msgs.get(),
+            nand_read_pages: self.nand_read_pages.get(),
+            nand_program_pages: self.nand_program_pages.get(),
+            nand_erase_blocks: self.nand_erase_blocks.get(),
+            fs_calls: self.fs_calls.get(),
+            host_block_ios: self.host_block_ios.get(),
+            bridge_busy_ns: self.bridge_busy_ns.get(),
+            channel_busy_ns: self.channel_busy_ns.iter().map(|c| c.get()).collect(),
             page_bytes: self.page_bytes,
         }
     }

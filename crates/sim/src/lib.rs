@@ -26,6 +26,7 @@ pub mod fault;
 pub mod fsm;
 pub mod ledger;
 pub mod model;
+pub mod perturb;
 pub mod phase;
 pub mod rng;
 pub mod stats;

@@ -10,29 +10,66 @@
 //! In debug/test builds every lock belongs to a *class* identified by its
 //! creation site (the `file:line` of the `Mutex::new` call — all zone
 //! locks created in one `Vec` initializer share a class, the keyspace
-//! table is its own class, and so on). Each blocking acquisition records
+//! table is its own class, and so on). Each acquisition records
 //! `held-class -> acquired-class` edges into a global lock-order graph;
-//! if an acquisition would close a cycle — some thread previously took
-//! these classes in the opposite order — the detector panics immediately
-//! with both conflicting acquisition contexts, instead of letting the
-//! inversion sit silently until a production workload interleaves into a
-//! real deadlock. This is the lockdep discipline: *any* observed ordering
-//! cycle is a bug, whether or not this particular run deadlocked.
+//! if a *blocking* acquisition would close a cycle — some thread
+//! previously took these classes in the opposite order — the detector
+//! panics immediately with both conflicting acquisition contexts, instead
+//! of letting the inversion sit silently until a production workload
+//! interleaves into a real deadlock. This is the lockdep discipline:
+//! *any* observed ordering cycle is a bug, whether or not this particular
+//! run deadlocked.
 //!
 //! Notes on the model:
 //! * classes, not instances: taking two locks of the *same* class (e.g.
 //!   two zones) is not checked — the workspace never nests same-class
 //!   locks, and `kvcsd-check` plus this detector keep it that way for
 //!   cross-class order;
-//! * `try_lock` cannot block, so it records the hold (later blocking
-//!   acquisitions see it) but neither adds edges nor checks cycles;
+//! * `try_lock` cannot block, so it never *checks* for cycles itself, but
+//!   it does record the hold and its `held -> acquired` edges (marked
+//!   `via try_lock` in reports): a nesting order exercised through
+//!   `try_lock` is still an order the code relies on — convert the try to
+//!   a blocking lock, or retry it in a loop, and the inversion becomes a
+//!   real deadlock — so the cycle is reported at the next blocking
+//!   acquisition that closes it;
+//! * guard drops pop the per-thread hold stack and perform the release
+//!   half of the happens-before clock transfer (below);
 //! * release builds compile all instrumentation out;
 //! * `KVCSD_LOCK_ORDER=off` disables the detector at runtime (debug
 //!   builds only, e.g. to let a test limp past a known cycle while
 //!   bisecting).
 //!
+//! # Happens-before (data-race) detection
+//!
+//! Debug builds also carry a FastTrack-style vector-clock race detector
+//! (`KVCSD_RACE=off` disables it, mirroring the lockdep switch). Every
+//! thread keeps a vector clock; every `Mutex`/`RwLock` carries a pair of
+//! release clocks (write releases and read releases are distinguished, so
+//! two `RwLock` readers are not spuriously ordered with each other).
+//! Acquiring a lock joins the appropriate release clocks into the
+//! acquiring thread's clock; dropping a guard joins the thread's clock
+//! into the lock and advances the thread's own epoch. [`spawn`]/
+//! [`JoinHandle::join`] transfer clocks across fork and join the same
+//! way.
+//!
+//! [`Shared<T>`] is the instrumented cell the detector actually watches:
+//! * `read()` / `write()` are *race-checked* accesses. They record the
+//!   accessing thread's epoch and panic — naming the cell's creation
+//!   site and **both** conflicting access sites, in the same style as the
+//!   lock-order report — when two accesses are unordered by
+//!   happens-before. Use them for state whose ordering is supposed to
+//!   come from elsewhere (an enclosing shim lock, `spawn`/`join`).
+//! * `update()` / `get()` / `set()` are *self-synchronized* (the moral
+//!   equivalent of an atomic RMW / load): they transfer clocks through
+//!   the cell itself, so concurrent `update`/`get` traffic is ordered and
+//!   clean by construction — but a stray `read()`/`write()` racing them
+//!   is still caught. Use them for intentionally lock-free counters and
+//!   flags. The `update` closure must not acquire other shim locks (these
+//!   ops are leaves and skip the lock-order graph).
+//!
 //! The canonical lock order of the device stack is documented in
-//! `DESIGN.md` §9.
+//! `DESIGN.md` §9; the happens-before model and the `Shared<T>` migration
+//! rules are in `DESIGN.md` §11.
 
 use std::sync::{self, LockResult};
 
@@ -59,6 +96,8 @@ mod lockorder {
         held_at: String,
         /// Acquisition site that added the edge while holding `held_at`.
         acquired_at: String,
+        /// The acquisition that added the edge was a `try_lock`.
+        via_try: bool,
     }
 
     #[derive(Debug, Default)]
@@ -180,19 +219,20 @@ mod lockorder {
         }
     }
 
-    /// Record an acquisition of `class` at `loc`. When `blocking`, first
-    /// verify the acquisition cannot close an ordering cycle, panicking
-    /// with both conflicting contexts if it would.
+    /// Record an acquisition of `class` at `loc`. Edges from every held
+    /// class are recorded for blocking and try acquisitions alike; only a
+    /// `blocking` acquisition first verifies it cannot close an ordering
+    /// cycle, panicking with both conflicting contexts if it would.
     pub(super) fn acquire(class: u32, loc: &Location<'_>, blocking: bool) -> Option<HeldToken> {
         if !enabled() {
             return None;
         }
         let acq_site = site_of(loc);
-        if blocking {
-            let held: Vec<(u32, String)> = HELD.with(|h| h.borrow().clone());
-            let mut cycle_msg = None;
-            {
-                let mut g = lock_graph();
+        let held: Vec<(u32, String)> = HELD.with(|h| h.borrow().clone());
+        let mut cycle_msg = None;
+        {
+            let mut g = lock_graph();
+            if blocking {
                 for (held_class, held_site) in &held {
                     if *held_class == class {
                         continue;
@@ -210,11 +250,12 @@ mod lockorder {
                         for (f, t) in find_path(&g, class, *held_class) {
                             if let Some(info) = g.edges.get(&f).and_then(|m| m.get(&t)) {
                                 msg.push_str(&format!(
-                                    "    {} (held, acquired at {}) -> {} (acquired at {}) on thread '{}'\n",
+                                    "    {} (held, acquired at {}) -> {} (acquired at {}{}) on thread '{}'\n",
                                     g.class_sites[f as usize],
                                     info.held_at,
                                     g.class_sites[t as usize],
                                     info.acquired_at,
+                                    if info.via_try { " via try_lock" } else { "" },
                                     info.thread,
                                 ));
                             }
@@ -223,32 +264,337 @@ mod lockorder {
                         break;
                     }
                 }
-                if cycle_msg.is_none() {
-                    for (held_class, held_site) in &held {
-                        if *held_class == class {
-                            continue;
-                        }
-                        g.edges
-                            .entry(*held_class)
-                            .or_default()
-                            .entry(class)
-                            .or_insert_with(|| EdgeInfo {
-                                thread: std::thread::current()
-                                    .name()
-                                    .unwrap_or("<unnamed>")
-                                    .to_string(),
-                                held_at: held_site.clone(),
-                                acquired_at: acq_site.clone(),
-                            });
+            }
+            if cycle_msg.is_none() {
+                for (held_class, held_site) in &held {
+                    if *held_class == class {
+                        continue;
                     }
+                    g.edges
+                        .entry(*held_class)
+                        .or_default()
+                        .entry(class)
+                        .or_insert_with(|| EdgeInfo {
+                            thread: std::thread::current()
+                                .name()
+                                .unwrap_or("<unnamed>")
+                                .to_string(),
+                            held_at: held_site.clone(),
+                            acquired_at: acq_site.clone(),
+                            via_try: !blocking,
+                        });
                 }
             }
-            if let Some(msg) = cycle_msg {
-                panic!("{msg}");
-            }
+        }
+        if let Some(msg) = cycle_msg {
+            panic!("{msg}");
         }
         HELD.with(|h| h.borrow_mut().push((class, acq_site)));
         Some(HeldToken { class })
+    }
+}
+
+#[cfg(debug_assertions)]
+mod racedetect {
+    //! FastTrack-style happens-before tracking: per-thread vector clocks,
+    //! per-lock release clocks, per-`Shared`-cell access epochs. Like
+    //! `lockorder`, this module uses raw `std::sync` primitives — it is
+    //! the instrumentation and must not recurse into the shims.
+
+    use std::cell::RefCell;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    pub(super) fn enabled() -> bool {
+        static ENABLED: OnceLock<bool> = OnceLock::new();
+        *ENABLED.get_or_init(|| {
+            std::env::var("KVCSD_RACE")
+                .map(|v| v != "off" && v != "0")
+                .unwrap_or(true)
+        })
+    }
+
+    fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn site_of(loc: &Location<'_>) -> String {
+        format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
+    }
+
+    /// Vector clock: one epoch counter per thread id.
+    #[derive(Clone, Debug, Default)]
+    pub(super) struct VClock(Vec<u32>);
+
+    impl VClock {
+        fn get(&self, tid: usize) -> u32 {
+            self.0.get(tid).copied().unwrap_or(0)
+        }
+
+        fn grow_to(&mut self, n: usize) {
+            if self.0.len() < n {
+                self.0.resize(n, 0);
+            }
+        }
+
+        fn join(&mut self, other: &VClock) {
+            self.grow_to(other.0.len());
+            for (a, &b) in self.0.iter_mut().zip(&other.0) {
+                if b > *a {
+                    *a = b;
+                }
+            }
+        }
+
+        fn tick(&mut self, tid: usize) {
+            self.grow_to(tid + 1);
+            self.0[tid] += 1;
+        }
+    }
+
+    static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+
+    struct ThreadState {
+        tid: usize,
+        name: String,
+        clock: VClock,
+    }
+
+    thread_local! {
+        static THREAD: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+    }
+
+    /// Run `f` against this thread's clock state; `None` during thread
+    /// teardown (TLS already destroyed — e.g. a guard dropped from
+    /// another thread-local's destructor).
+    fn try_with_thread<R>(f: impl FnOnce(&mut ThreadState) -> R) -> Option<R> {
+        THREAD
+            .try_with(|slot| {
+                let mut slot = slot.borrow_mut();
+                let st = slot.get_or_insert_with(|| {
+                    let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+                    let name = std::thread::current()
+                        .name()
+                        .unwrap_or("<unnamed>")
+                        .to_string();
+                    let mut clock = VClock::default();
+                    // Start at epoch 1 so a recorded access is always
+                    // distinguishable from "never seen this thread" (0).
+                    clock.tick(tid);
+                    ThreadState { tid, name, clock }
+                });
+                f(st)
+            })
+            .ok()
+    }
+
+    /// Release clocks for one lock (or one `Shared` cell): `.0` is joined
+    /// by write releases, `.1` by read releases. Read acquisitions join
+    /// only the write clock, so concurrent readers are not spuriously
+    /// ordered with each other; write acquisitions join both.
+    #[derive(Debug)]
+    pub(super) struct LockClocks(Mutex<(VClock, VClock)>);
+
+    impl LockClocks {
+        pub(super) fn new() -> Self {
+            Self(Mutex::new((VClock::default(), VClock::default())))
+        }
+
+        pub(super) fn acquire_read(&self) {
+            if !enabled() {
+                return;
+            }
+            let _ = try_with_thread(|t| {
+                let pair = relock(&self.0);
+                t.clock.join(&pair.0);
+            });
+        }
+
+        pub(super) fn acquire_write(&self) {
+            if !enabled() {
+                return;
+            }
+            let _ = try_with_thread(|t| {
+                let pair = relock(&self.0);
+                t.clock.join(&pair.0);
+                t.clock.join(&pair.1);
+            });
+        }
+
+        pub(super) fn release_read(&self) {
+            if !enabled() {
+                return;
+            }
+            let _ = try_with_thread(|t| {
+                relock(&self.0).1.join(&t.clock);
+                t.clock.tick(t.tid);
+            });
+        }
+
+        pub(super) fn release_write(&self) {
+            if !enabled() {
+                return;
+            }
+            let _ = try_with_thread(|t| {
+                relock(&self.0).0.join(&t.clock);
+                t.clock.tick(t.tid);
+            });
+        }
+    }
+
+    /// One recorded access to a `Shared` cell.
+    #[derive(Clone, Debug)]
+    struct Access {
+        tid: usize,
+        clk: u32,
+        site: String,
+        thread: String,
+    }
+
+    #[derive(Debug)]
+    struct VarState {
+        write: Option<Access>,
+        reads: Vec<Access>,
+    }
+
+    /// Per-`Shared` epoch state: the last write, plus the last read per
+    /// thread since that write.
+    #[derive(Debug)]
+    pub(super) struct RaceCell {
+        created_at: String,
+        state: Mutex<VarState>,
+    }
+
+    impl RaceCell {
+        pub(super) fn new(created_at: &Location<'_>) -> Self {
+            Self {
+                created_at: site_of(created_at),
+                state: Mutex::new(VarState {
+                    write: None,
+                    reads: Vec::new(),
+                }),
+            }
+        }
+
+        fn report(
+            &self,
+            kind: &str,
+            thread: &str,
+            loc: &Location<'_>,
+            prev_kind: &str,
+            prev: &Access,
+        ) -> String {
+            format!(
+                "data race detected (unordered accesses to a Shared cell)\n  cell created at {}\n  {} by thread '{}' at {}\n  conflicts with an earlier {} by thread '{}' at {}\n  no happens-before edge orders these accesses: protect both with one\n  kvcsd_sim::sync lock, use Shared::update/get for lock-free counters,\n  or transfer ordering via kvcsd_sim::sync::spawn/join\n  (KVCSD_RACE=off disables the detector)",
+                self.created_at,
+                kind,
+                thread,
+                site_of(loc),
+                prev_kind,
+                prev.thread,
+                prev.site,
+            )
+        }
+
+        /// An access already recorded at `prev` races the current thread
+        /// unless it is in the thread's happens-before past.
+        fn races(t: &ThreadState, prev: &Access) -> bool {
+            prev.tid != t.tid && prev.clk > t.clock.get(prev.tid)
+        }
+
+        pub(super) fn on_read(&self, loc: &Location<'_>) {
+            if !enabled() {
+                return;
+            }
+            let msg = try_with_thread(|t| {
+                let mut v = relock(&self.state);
+                let msg = v
+                    .write
+                    .as_ref()
+                    .filter(|w| Self::races(t, w))
+                    .map(|w| self.report("read", &t.name, loc, "write", w));
+                let a = Access {
+                    tid: t.tid,
+                    clk: t.clock.get(t.tid),
+                    site: site_of(loc),
+                    thread: t.name.clone(),
+                };
+                if let Some(r) = v.reads.iter_mut().find(|r| r.tid == t.tid) {
+                    *r = a;
+                } else {
+                    v.reads.push(a);
+                }
+                msg
+            })
+            .flatten();
+            if let Some(m) = msg {
+                panic!("{m}");
+            }
+        }
+
+        pub(super) fn on_write(&self, loc: &Location<'_>) {
+            if !enabled() {
+                return;
+            }
+            let msg = try_with_thread(|t| {
+                let mut v = relock(&self.state);
+                let msg = v
+                    .write
+                    .as_ref()
+                    .filter(|w| Self::races(t, w))
+                    .map(|w| self.report("write", &t.name, loc, "write", w))
+                    .or_else(|| {
+                        v.reads
+                            .iter()
+                            .find(|r| Self::races(t, r))
+                            .map(|r| self.report("write", &t.name, loc, "read", r))
+                    });
+                v.reads.clear();
+                v.write = Some(Access {
+                    tid: t.tid,
+                    clk: t.clock.get(t.tid),
+                    site: site_of(loc),
+                    thread: t.name.clone(),
+                });
+                msg
+            })
+            .flatten();
+            if let Some(m) = msg {
+                panic!("{m}");
+            }
+        }
+    }
+
+    /// Snapshot the parent's clock for a child thread, then advance the
+    /// parent so its post-fork accesses are unordered with the child.
+    pub(super) fn fork() -> VClock {
+        if !enabled() {
+            return VClock::default();
+        }
+        try_with_thread(|t| {
+            let snap = t.clock.clone();
+            t.clock.tick(t.tid);
+            snap
+        })
+        .unwrap_or_default()
+    }
+
+    /// Join a snapshot (a parent's fork clock, or a finished child's
+    /// final clock) into this thread's clock.
+    pub(super) fn adopt(c: &VClock) {
+        if !enabled() {
+            return;
+        }
+        let _ = try_with_thread(|t| t.clock.join(c));
+    }
+
+    /// This thread's final clock, for the joiner to adopt.
+    pub(super) fn export() -> VClock {
+        if !enabled() {
+            return VClock::default();
+        }
+        try_with_thread(|t| t.clock.clone()).unwrap_or_default()
     }
 }
 
@@ -257,16 +603,30 @@ mod lockorder {
 pub struct Mutex<T: ?Sized> {
     #[cfg(debug_assertions)]
     class: u32,
+    #[cfg(debug_assertions)]
+    clocks: racedetect::LockClocks,
     inner: sync::Mutex<T>,
 }
 
 /// Guard returned by [`Mutex::lock`]/[`Mutex::try_lock`]; releases the
-/// lock (and pops the lock-order stack in debug builds) on drop.
+/// lock (popping the lock-order stack and publishing the release clock
+/// in debug builds) on drop.
 #[derive(Debug)]
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: sync::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    clocks: &'a racedetect::LockClocks,
     #[cfg(debug_assertions)]
     _token: Option<lockorder::HeldToken>,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Runs before the field drops release the underlying lock, so the
+        // release clock is published before the next acquirer can enter.
+        self.clocks.release_write();
+    }
 }
 
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
@@ -288,6 +648,8 @@ impl<T> Mutex<T> {
         Self {
             #[cfg(debug_assertions)]
             class: lockorder::class_of(std::panic::Location::caller()),
+            #[cfg(debug_assertions)]
+            clocks: racedetect::LockClocks::new(),
             inner: sync::Mutex::new(value),
         }
     }
@@ -308,11 +670,18 @@ impl<T: ?Sized> Mutex<T> {
     #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(debug_assertions)]
+        crate::perturb::maybe_yield();
+        #[cfg(debug_assertions)]
         let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
+        let inner = recover(self.inner.lock());
+        #[cfg(debug_assertions)]
+        self.clocks.acquire_write();
         MutexGuard {
-            inner: recover(self.inner.lock()),
+            #[cfg(debug_assertions)]
+            clocks: &self.clocks,
             #[cfg(debug_assertions)]
             _token: token,
+            inner,
         }
     }
 
@@ -325,10 +694,14 @@ impl<T: ?Sized> Mutex<T> {
         };
         #[cfg(debug_assertions)]
         let token = lockorder::acquire(self.class, std::panic::Location::caller(), false);
+        #[cfg(debug_assertions)]
+        self.clocks.acquire_write();
         Some(MutexGuard {
-            inner,
+            #[cfg(debug_assertions)]
+            clocks: &self.clocks,
             #[cfg(debug_assertions)]
             _token: token,
+            inner,
         })
     }
 
@@ -342,15 +715,26 @@ impl<T: ?Sized> Mutex<T> {
 pub struct RwLock<T: ?Sized> {
     #[cfg(debug_assertions)]
     class: u32,
+    #[cfg(debug_assertions)]
+    clocks: racedetect::LockClocks,
     inner: sync::RwLock<T>,
 }
 
 /// Shared guard returned by [`RwLock::read`].
 #[derive(Debug)]
 pub struct RwLockReadGuard<'a, T: ?Sized> {
-    inner: sync::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    clocks: &'a racedetect::LockClocks,
     #[cfg(debug_assertions)]
     _token: Option<lockorder::HeldToken>,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.clocks.release_read();
+    }
 }
 
 impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
@@ -363,9 +747,18 @@ impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
 /// Exclusive guard returned by [`RwLock::write`].
 #[derive(Debug)]
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
-    inner: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    clocks: &'a racedetect::LockClocks,
     #[cfg(debug_assertions)]
     _token: Option<lockorder::HeldToken>,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.clocks.release_write();
+    }
 }
 
 impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
@@ -387,6 +780,8 @@ impl<T> RwLock<T> {
         Self {
             #[cfg(debug_assertions)]
             class: lockorder::class_of(std::panic::Location::caller()),
+            #[cfg(debug_assertions)]
+            clocks: racedetect::LockClocks::new(),
             inner: sync::RwLock::new(value),
         }
     }
@@ -407,27 +802,283 @@ impl<T: ?Sized> RwLock<T> {
     #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(debug_assertions)]
+        crate::perturb::maybe_yield();
+        #[cfg(debug_assertions)]
         let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
+        let inner = recover(self.inner.read());
+        #[cfg(debug_assertions)]
+        self.clocks.acquire_read();
         RwLockReadGuard {
-            inner: recover(self.inner.read()),
+            #[cfg(debug_assertions)]
+            clocks: &self.clocks,
             #[cfg(debug_assertions)]
             _token: token,
+            inner,
         }
     }
 
     #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         #[cfg(debug_assertions)]
+        crate::perturb::maybe_yield();
+        #[cfg(debug_assertions)]
         let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
+        let inner = recover(self.inner.write());
+        #[cfg(debug_assertions)]
+        self.clocks.acquire_write();
         RwLockWriteGuard {
-            inner: recover(self.inner.write()),
+            #[cfg(debug_assertions)]
+            clocks: &self.clocks,
             #[cfg(debug_assertions)]
             _token: token,
+            inner,
         }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
         recover(self.inner.get_mut())
+    }
+}
+
+/// Instrumented shared cell watched by the happens-before race detector.
+///
+/// Two access disciplines, chosen per call site (see the module docs):
+///
+/// * [`read`](Shared::read)/[`write`](Shared::write) — race-checked.
+///   Ordering must come from elsewhere (an enclosing shim lock,
+///   [`spawn`]/[`JoinHandle::join`]); unordered access pairs panic with
+///   both sites named.
+/// * [`update`](Shared::update)/[`get`](Shared::get)/[`set`](Shared::set)
+///   — self-synchronized, the atomic-RMW analogue for lock-free counters
+///   and flags. Clean by construction against each other, but still
+///   checked against stray `read()`/`write()` accesses.
+///
+/// Backed by a real `std::sync::RwLock`, so even an undetected race (or a
+/// release build) can never produce a torn value — detection is purely an
+/// epoch-bookkeeping layer on top.
+pub struct Shared<T> {
+    #[cfg(debug_assertions)]
+    class: u32,
+    #[cfg(debug_assertions)]
+    cell: racedetect::RaceCell,
+    #[cfg(debug_assertions)]
+    clocks: racedetect::LockClocks,
+    inner: sync::RwLock<T>,
+}
+
+/// Shared guard returned by [`Shared::read`].
+pub struct SharedReadGuard<'a, T> {
+    #[cfg(debug_assertions)]
+    _token: Option<lockorder::HeldToken>,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for SharedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive guard returned by [`Shared::write`].
+pub struct SharedWriteGuard<'a, T> {
+    #[cfg(debug_assertions)]
+    _token: Option<lockorder::HeldToken>,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for SharedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for SharedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Shared<T> {
+    /// The creation site becomes the cell's identity in race reports (and
+    /// its lock-order class for `read`/`write` guards).
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        #[cfg(debug_assertions)]
+        let loc = std::panic::Location::caller();
+        Self {
+            #[cfg(debug_assertions)]
+            class: lockorder::class_of(loc),
+            #[cfg(debug_assertions)]
+            cell: racedetect::RaceCell::new(loc),
+            #[cfg(debug_assertions)]
+            clocks: racedetect::LockClocks::new(),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        recover(self.inner.into_inner())
+    }
+
+    /// Exclusive access through `&mut self` is ordered by ownership; it
+    /// is neither recorded nor checked.
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.inner.get_mut())
+    }
+
+    /// Race-checked shared read; the ordering against writes must come
+    /// from an enclosing lock or a fork/join edge.
+    #[track_caller]
+    pub fn read(&self) -> SharedReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        crate::perturb::maybe_yield();
+        #[cfg(debug_assertions)]
+        let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
+        let inner = recover(self.inner.read());
+        #[cfg(debug_assertions)]
+        self.cell.on_read(std::panic::Location::caller());
+        SharedReadGuard {
+            #[cfg(debug_assertions)]
+            _token: token,
+            inner,
+        }
+    }
+
+    /// Race-checked exclusive write; panics with both conflicting sites
+    /// if any unordered access was recorded.
+    #[track_caller]
+    pub fn write(&self) -> SharedWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        crate::perturb::maybe_yield();
+        #[cfg(debug_assertions)]
+        let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
+        let inner = recover(self.inner.write());
+        #[cfg(debug_assertions)]
+        self.cell.on_write(std::panic::Location::caller());
+        SharedWriteGuard {
+            #[cfg(debug_assertions)]
+            _token: token,
+            inner,
+        }
+    }
+
+    /// Self-synchronized read-modify-write (the atomic-RMW analogue).
+    /// The closure must not acquire other shim locks: `update` is a leaf
+    /// operation and does not participate in the lock-order graph.
+    #[track_caller]
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        #[cfg(debug_assertions)]
+        crate::perturb::maybe_yield();
+        let mut g = recover(self.inner.write());
+        #[cfg(debug_assertions)]
+        {
+            self.clocks.acquire_write();
+            self.cell.on_write(std::panic::Location::caller());
+        }
+        let out = f(&mut g);
+        #[cfg(debug_assertions)]
+        self.clocks.release_write();
+        out
+    }
+
+    /// Self-synchronized store.
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        self.update(|v| *v = value);
+    }
+
+    /// Self-synchronized load.
+    #[track_caller]
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        #[cfg(debug_assertions)]
+        crate::perturb::maybe_yield();
+        let g = recover(self.inner.read());
+        #[cfg(debug_assertions)]
+        {
+            self.clocks.acquire_read();
+            self.cell.on_read(std::panic::Location::caller());
+            self.clocks.release_read();
+        }
+        *g
+    }
+}
+
+impl<T: Default> Default for Shared<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_tuple("Shared").field(&&*g).finish(),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                f.debug_tuple("Shared").field(&&*p.into_inner()).finish()
+            }
+            Err(sync::TryLockError::WouldBlock) => f.write_str("Shared(<locked>)"),
+        }
+    }
+}
+
+/// [`std::thread::spawn`] with fork edges for the race detector: the
+/// child starts ordered after everything the parent did before the spawn.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    #[cfg(debug_assertions)]
+    {
+        let snapshot = racedetect::fork();
+        let slot = std::sync::Arc::new(sync::Mutex::new(None));
+        let slot2 = std::sync::Arc::clone(&slot);
+        let inner = std::thread::spawn(move || {
+            racedetect::adopt(&snapshot);
+            let out = f();
+            *recover(slot2.lock()) = Some(racedetect::export());
+            out
+        });
+        JoinHandle { inner, clock: slot }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        JoinHandle {
+            inner: std::thread::spawn(f),
+        }
+    }
+}
+
+/// Handle returned by [`spawn`]; [`join`](JoinHandle::join) adds the join
+/// edge, ordering the parent after everything the child did.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    #[cfg(debug_assertions)]
+    clock: std::sync::Arc<sync::Mutex<Option<racedetect::VClock>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let out = self.inner.join();
+        #[cfg(debug_assertions)]
+        if let Some(c) = recover(self.clock.lock()).take() {
+            racedetect::adopt(&c);
+        }
+        out
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+
+    pub fn thread(&self) -> &std::thread::Thread {
+        self.inner.thread()
     }
 }
 
@@ -471,6 +1122,57 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn shared_single_thread() {
+        let s = Shared::new(1u32);
+        *s.write() += 1;
+        assert_eq!(*s.read(), 2);
+        s.update(|v| *v *= 10);
+        assert_eq!(s.get(), 20);
+        s.set(3);
+        assert_eq!(s.into_inner(), 3);
+    }
+
+    #[test]
+    fn shared_update_get_is_clean_across_threads() {
+        // The sanctioned lock-free-counter pattern: plain std threads, no
+        // locks, no fork/join edges visible to the detector — update/get
+        // self-synchronize through the cell and must never be reported.
+        let s = Arc::new(Shared::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        s.update(|v| *v += 1);
+                        let _ = s.get();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("update/get must not race");
+        }
+        assert_eq!(s.get(), 2000);
+    }
+
+    #[test]
+    fn spawn_join_transfers_ordering() {
+        // write() before spawn, read() in the child, write() after join:
+        // every pair is ordered by the fork/join edges, so the checked
+        // accessors must stay silent.
+        let s = Arc::new(Shared::new(0u32));
+        *s.write() = 1;
+        let s2 = Arc::clone(&s);
+        let h = spawn(move || {
+            assert_eq!(*s2.read(), 1);
+            *s2.write() = 2;
+        });
+        h.join().expect("child must not race");
+        assert_eq!(*s.read(), 2);
+        *s.write() = 3;
     }
 
     #[cfg(debug_assertions)]
@@ -567,10 +1269,37 @@ mod tests {
                 let _gb = b.lock();
             }
             // try_lock in the reverse order cannot block, so it must not
-            // be reported as a potential deadlock.
+            // be reported as a potential deadlock at the try itself.
             let _gb = b.lock();
             let ga = a.try_lock();
             assert!(ga.is_some());
+        }
+
+        #[test]
+        fn try_lock_ordering_feeds_the_graph() {
+            let a = Mutex::new(0u32);
+            let b = Mutex::new(0u32);
+            // Establish a -> b where the inner acquisition is a try_lock:
+            // the edge must still be recorded.
+            {
+                let _ga = a.lock();
+                let _gb = b.try_lock().expect("uncontended");
+            }
+            // A blocking inversion closes the cycle and must be reported,
+            // with the try_lock provenance named in the report.
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }));
+            let msg = panic_message(r.map(|_| ()));
+            assert!(
+                msg.contains("lock-order cycle"),
+                "expected a lock-order panic, got: {msg:?}"
+            );
+            assert!(
+                msg.contains("via try_lock"),
+                "expected try_lock provenance in the report, got: {msg:?}"
+            );
         }
 
         #[test]
@@ -590,6 +1319,74 @@ mod tests {
                 msg.contains("lock-order cycle"),
                 "expected a lock-order panic, got: {msg:?}"
             );
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    mod race {
+        use super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        #[test]
+        fn unordered_write_write_is_detected() {
+            let s = Arc::new(Shared::new(0u32));
+            let s2 = Arc::clone(&s);
+            let (tx, rx) = std::sync::mpsc::channel();
+            // A raw std thread: the detector sees no fork edge, and the
+            // mpsc signal below is deliberately invisible to it too, so
+            // the two write() calls are unordered by anything it trusts.
+            let h = std::thread::Builder::new()
+                .name("racer".into())
+                .spawn(move || {
+                    *s2.write() = 1;
+                    tx.send(()).expect("send");
+                })
+                .expect("spawn");
+            rx.recv().expect("recv");
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                *s.write() = 2;
+            }));
+            h.join().expect("racer itself must not panic");
+            let msg = match r {
+                Ok(()) => String::new(),
+                Err(p) => p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|x| x.to_string()))
+                    .unwrap_or_default(),
+            };
+            assert!(
+                msg.contains("data race detected"),
+                "expected a race panic, got: {msg:?}"
+            );
+            assert!(
+                msg.contains("thread 'racer'"),
+                "expected the racing thread to be named, got: {msg:?}"
+            );
+        }
+
+        #[test]
+        fn lock_protected_twin_is_silent() {
+            // Same shape as above, but both writes happen under one shim
+            // mutex: the release->acquire clock transfer orders them.
+            let s = Arc::new(Shared::new(0u32));
+            let m = Arc::new(Mutex::new(()));
+            let (s2, m2) = (Arc::clone(&s), Arc::clone(&m));
+            let (tx, rx) = std::sync::mpsc::channel();
+            let h = std::thread::spawn(move || {
+                {
+                    let _g = m2.lock();
+                    *s2.write() = 1;
+                }
+                tx.send(()).expect("send");
+            });
+            rx.recv().expect("recv");
+            {
+                let _g = m.lock();
+                *s.write() = 2;
+            }
+            h.join().expect("lock-protected writes must not race");
+            assert_eq!(*s.read(), 2);
         }
     }
 }

@@ -11,11 +11,19 @@
 //! In debug builds this runs under the `kvcsd_sim::sync` lock-order
 //! detector (DESIGN.md §9): any pair of locks ever acquired in opposite
 //! orders — a potential deadlock, even if this particular run did not
-//! hang — panics with both acquisition stacks. The assertions on data
-//! content are almost incidental; the real product of this test is the
-//! lock-order graph it feeds the detector.
+//! hang — panics with both acquisition stacks. It also runs under the
+//! happens-before race detector (DESIGN.md §11): every `Shared` gauge in
+//! the stack (DRAM budget, zone counts, job depth, ledger counters) is
+//! epoch-checked on every access, so an unordered access pair panics
+//! with both sites even if this run's timing happened to be benign.
+//!
+//! Set `KVCSD_PERTURB=<seed>` to additionally inject deterministic,
+//! virtual-clock-charged yield points at every shim-lock acquisition —
+//! the same seed reproduces the same per-thread perturbation schedule
+//! (see `kvcsd_sim::perturb`). The assertions on data content are almost
+//! incidental; the real product of this test is the lock-order graph and
+//! access history it feeds the detectors.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -25,7 +33,7 @@ use kvcsd::proto::{
     Bound, DeviceHandler, JobState, KeyspaceState, SecondaryIndexSpec, SecondaryKeyType,
 };
 use kvcsd::sim::config::SimConfig;
-use kvcsd::sim::sync::Mutex;
+use kvcsd::sim::sync::{Mutex, Shared};
 use kvcsd::sim::IoLedger;
 use kvcsd_client::KvCsd;
 
@@ -141,9 +149,9 @@ fn writer(writer_ix: usize, client: KvCsd, published: Arc<Mutex<Vec<String>>>) {
 
 /// Readers chase the writers: open whatever has been published, and
 /// verify every pair they can see is byte-exact and never torn.
-fn reader(client: KvCsd, published: Arc<Mutex<Vec<String>>>, stop: Arc<AtomicBool>) {
+fn reader(client: KvCsd, published: Arc<Mutex<Vec<String>>>, stop: Arc<Shared<bool>>) {
     let mut sweeps = 0u32;
-    while !stop.load(Ordering::Relaxed) || sweeps == 0 {
+    while !stop.get() || sweeps == 0 {
         let names = published.lock().clone();
         for name in names {
             let (ks, state) = client.open_keyspace(&name).expect("open");
@@ -166,7 +174,10 @@ fn reader(client: KvCsd, published: Arc<Mutex<Vec<String>>>, stop: Arc<AtomicBoo
 #[test]
 fn concurrent_ingest_compact_query() {
     let (dev, client) = build_stack();
-    let stop = Arc::new(AtomicBool::new(false));
+    // Charge perturbation yields (KVCSD_PERTURB runs) to the device clock
+    // so injected delays show up in the simulated timeline.
+    kvcsd::sim::perturb::install_clock(dev.clock());
+    let stop = Arc::new(Shared::new(false));
     let published = Arc::new(Mutex::new(Vec::new()));
 
     // Background job runner: compactions and index builds only make
@@ -175,7 +186,7 @@ fn concurrent_ingest_compact_query() {
         let dev = Arc::clone(&dev);
         let stop = Arc::clone(&stop);
         thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.get() {
                 dev.run_pending_jobs();
                 thread::yield_now();
             }
@@ -202,7 +213,7 @@ fn concurrent_ingest_compact_query() {
     for w in writers {
         w.join().expect("writer panicked");
     }
-    stop.store(true, Ordering::Relaxed);
+    stop.set(true);
     for r in readers {
         r.join().expect("reader panicked");
     }
