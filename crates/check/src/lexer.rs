@@ -344,6 +344,26 @@ pub fn find_thread_sleep(code: &str) -> Vec<Hit> {
     hits
 }
 
+/// Direct `KvCsdDevice::new` / `KvCsdDevice::reopen` construction — the
+/// `router-bypass` rule. A type merely *named* `KvCsdDevice` in a
+/// signature or field is fine; only the constructor paths are flagged.
+pub fn find_device_construction(code: &str) -> Vec<Hit> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    for needle in ["KvCsdDevice::new", "KvCsdDevice::reopen"] {
+        for ix in find_all(code, needle) {
+            if bounded(bytes, ix, needle.len()) {
+                hits.push(Hit {
+                    offset: ix,
+                    what: format!("`{needle}(...)`"),
+                });
+            }
+        }
+    }
+    hits.sort_by_key(|h| h.offset);
+    hits
+}
+
 /// `std::sync::Mutex` / `std::sync::RwLock`, whether path-qualified at a
 /// use site or pulled in through a `use std::sync::...` import. Limits:
 /// renamed imports (`as M`) and `use std::{sync::Mutex}` nesting are not

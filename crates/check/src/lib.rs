@@ -1,6 +1,6 @@
 //! `kvcsd-check`: the workspace lint pass.
 //!
-//! Seven repo-specific rules that `rustc`/`clippy` cannot express, each
+//! Eight repo-specific rules that `rustc`/`clippy` cannot express, each
 //! guarding an invariant the reproduction's correctness argument leans on
 //! (see `DESIGN.md` §9 and §11):
 //!
@@ -29,6 +29,11 @@
 //!   `Atomic*`/`Cell`/`RefCell`/`UnsafeCell`/`OnceCell`, or any workspace
 //!   struct with such a field, found by a cross-file pass) in library
 //!   code: sharing one bypasses both detectors at once.
+//! * **`router-bypass`** — no direct `KvCsdDevice::new`/`::reopen`
+//!   construction outside `crates/cluster` (which builds per-shard
+//!   stacks), `crates/sim`, and test/bench harnesses. Library code goes
+//!   through the cluster router so health gating, failover and the
+//!   replica log see every device.
 //!
 //! Exemptions are granted inline, and only with a reason:
 //!
@@ -56,7 +61,7 @@ pub mod lexer;
 use lexer::Scrubbed;
 
 /// The rule identifiers, as used in `allow(...)` comments and `--rule`.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "sync",
     "unwrap",
     "time",
@@ -64,6 +69,7 @@ pub const RULES: [&str; 7] = [
     "atomics",
     "fsm-bypass",
     "shared-raw",
+    "router-bypass",
 ];
 
 /// One finding, printed as `path:line: [rule] message`.
@@ -101,6 +107,7 @@ pub struct RuleSet {
     pub atomics: bool,
     pub fsm_bypass: bool,
     pub shared_raw: bool,
+    pub router_bypass: bool,
 }
 
 impl RuleSet {
@@ -113,6 +120,7 @@ impl RuleSet {
             atomics: false,
             fsm_bypass: false,
             shared_raw: false,
+            router_bypass: false,
         }
     }
 }
@@ -146,7 +154,13 @@ impl RuleSet {
 /// * `shared-raw` applies to library source only, like `unwrap`: it
 ///   exists to keep *product* shared state observable, and its taint set
 ///   is collected from library code outside `crates/sim/` (the shims are
-///   interior-mutable by definition).
+///   interior-mutable by definition);
+/// * `router-bypass` applies to library source only, minus
+///   `crates/cluster/` (the shard builder is the sanctioned constructor),
+///   `crates/sim/` (substrate) and `crates/bench/` (its testbed stands up
+///   bare devices to measure them in isolation): harnesses and
+///   `#[cfg(test)]` regions construct devices freely, but product code
+///   must reach devices through the cluster router.
 pub fn rules_for(rel_path: &str) -> RuleSet {
     let parts: Vec<&str> = rel_path.split('/').collect();
     if parts.iter().any(|p| *p == "fixtures" || *p == "target") {
@@ -163,6 +177,10 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
         atomics: !rel_path.starts_with("crates/sim/"),
         fsm_bypass: true,
         shared_raw: !harness && !rel_path.starts_with("crates/sim/"),
+        router_bypass: !harness
+            && !rel_path.starts_with("crates/cluster/")
+            && !rel_path.starts_with("crates/sim/")
+            && !rel_path.starts_with("crates/bench/"),
     }
 }
 
@@ -409,6 +427,22 @@ pub fn check_source_with_context(
                 }
             }
             push(line, "shared-raw", message);
+        }
+    }
+    if rules.router_bypass {
+        for hit in lexer::find_device_construction(&scrubbed.code) {
+            let line = scrubbed.line_of(hit.offset);
+            if in_tests(line) {
+                continue;
+            }
+            push(
+                line,
+                "router-bypass",
+                format!(
+                    "{} outside crates/cluster — build devices through the cluster router (ShardInstance) so health gating, failover and replication see them",
+                    hit.what
+                ),
+            );
         }
     }
 

@@ -160,6 +160,37 @@ fn sim_substrate_is_exempt_from_the_shared_state_rules() {
 }
 
 #[test]
+fn seeded_router_bypass_violations_are_flagged() {
+    let v = scan(
+        "bad_router_bypass.rs",
+        include_str!("fixtures/bad_router_bypass.rs"),
+    );
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(
+        lines,
+        vec![8, 12],
+        "type mentions, strings, cfg(test) and the allow stay silent: {v:#?}"
+    );
+    assert!(v.iter().all(|v| v.rule == "router-bypass"));
+    assert!(v.iter().any(|v| v.message.contains("cluster router")));
+}
+
+#[test]
+fn router_bypass_exempts_the_sanctioned_constructors() {
+    assert!(!rules_for("crates/cluster/src/shard.rs").router_bypass);
+    assert!(!rules_for("crates/sim/src/fault.rs").router_bypass);
+    assert!(
+        !rules_for("crates/bench/src/testbed.rs").router_bypass,
+        "the bench testbed measures bare devices in isolation"
+    );
+    assert!(!rules_for("tests/cluster_torture.rs").router_bypass);
+    assert!(!rules_for("examples/quickstart.rs").router_bypass);
+    assert!(rules_for("crates/core/src/device.rs").router_bypass);
+    assert!(rules_for("crates/client/src/api.rs").router_bypass);
+    assert!(rules_for("crates/hostsim/src/lib.rs").router_bypass);
+}
+
+#[test]
 fn valid_allows_and_test_regions_scan_clean() {
     let v = scan("allowed.rs", include_str!("fixtures/allowed.rs"));
     assert!(v.is_empty(), "{v:#?}");

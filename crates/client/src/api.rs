@@ -98,6 +98,15 @@ fn exec_with_retry(
                         last: status,
                     });
                 }
+                // A failover redirect is not an overload signal: the dead
+                // primary is gone and the router will send the resend to
+                // the promoted replica, so backing off only adds latency
+                // to a command that can succeed right now. Resend
+                // immediately and charge a redirect instead of a retry.
+                if matches!(status, KvStatus::FailoverInProgress { .. }) {
+                    qp.ledger().bump("client_failover_redirects", 1);
+                    continue;
+                }
                 let backoff = policy.backoff_ns(retry + 1);
                 if let (Some(clock), Some(d)) = (clock, deadline_ns) {
                     if clock.now_ns().saturating_add(backoff) >= d {
@@ -774,6 +783,45 @@ mod tests {
         assert!(!err.is_fatal());
         assert_eq!(ledger.custom("client_retries"), 0);
         assert_eq!(ledger.custom("client_retry_backoff_ns"), 0);
+    }
+
+    #[test]
+    fn failover_redirect_resends_immediately_without_backoff() {
+        // A dead primary is not an overload signal: the resend goes to the
+        // promoted replica, so the loop must not back off against it.
+        let (client, ledger) = flaky_testbed(2, KvStatus::FailoverInProgress { shard: 1 });
+        client.create_keyspace("fo").unwrap();
+        assert_eq!(ledger.custom("client_failover_redirects"), 2);
+        assert_eq!(ledger.custom("client_retries"), 0);
+        assert_eq!(ledger.custom("client_retry_backoff_ns"), 0);
+    }
+
+    #[test]
+    fn endless_failover_still_exhausts_the_retry_budget() {
+        let (client, ledger) = flaky_testbed(100, KvStatus::FailoverInProgress { shard: 1 });
+        let err = client.create_keyspace("fo").unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::RetriesExhausted {
+                attempts: 5,
+                last: KvStatus::FailoverInProgress { shard: 1 }
+            }
+        );
+        assert_eq!(ledger.custom("client_failover_redirects"), 4);
+        assert_eq!(ledger.custom("client_retry_backoff_ns"), 0);
+    }
+
+    #[test]
+    fn shard_unavailable_is_degraded_and_fails_fast() {
+        let (client, ledger) = flaky_testbed(100, KvStatus::ShardUnavailable { shard: 2 });
+        let err = client.create_keyspace("down").unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::Device(KvStatus::ShardUnavailable { shard: 2 })
+        );
+        assert!(err.is_degraded());
+        assert!(!err.is_fatal());
+        assert_eq!(ledger.custom("client_retries"), 0);
     }
 
     #[test]

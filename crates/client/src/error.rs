@@ -58,16 +58,26 @@ impl ClientError {
     /// space is reclaimed or the keyspace is re-compacted — but the
     /// device is *not* dead, so callers should shed write load or switch
     /// to read paths rather than tearing the connection down.
+    ///
+    /// A dead shard with no promotable replica
+    /// ([`KvStatus::ShardUnavailable`]) is the cluster-level analogue: the
+    /// rest of the fleet keeps serving, only that keyspace range is down
+    /// until out-of-band repair, so it is degraded rather than fatal.
     pub fn is_degraded(&self) -> bool {
         matches!(
             self,
             ClientError::Device(KvStatus::DeviceFull)
+                | ClientError::Device(KvStatus::ShardUnavailable { .. })
                 | ClientError::Device(KvStatus::BadKeyspaceState {
                     state: "READ_ONLY",
                     ..
                 })
                 | ClientError::RetriesExhausted {
                     last: KvStatus::DeviceFull,
+                    ..
+                }
+                | ClientError::RetriesExhausted {
+                    last: KvStatus::ShardUnavailable { .. },
                     ..
                 }
         )
@@ -107,6 +117,7 @@ mod tests {
     #[test]
     fn retryable_fatal_split() {
         assert!(ClientError::Device(KvStatus::TransientDeviceError("soft".into())).is_retryable());
+        assert!(ClientError::Device(KvStatus::FailoverInProgress { shard: 0 }).is_retryable());
         for fatal in [
             ClientError::Device(KvStatus::MediaError("die".into())),
             ClientError::Device(KvStatus::PowerLoss),
@@ -135,6 +146,11 @@ mod tests {
             ClientError::RetriesExhausted {
                 attempts: 5,
                 last: KvStatus::DeviceFull,
+            },
+            ClientError::Device(KvStatus::ShardUnavailable { shard: 2 }),
+            ClientError::RetriesExhausted {
+                attempts: 5,
+                last: KvStatus::ShardUnavailable { shard: 2 },
             },
         ] {
             assert!(degraded.is_degraded(), "{degraded:?}");

@@ -1,0 +1,1300 @@
+//! The host-side cluster router.
+//!
+//! [`ClusterRouter`] owns N [`ShardInstance`]s and implements
+//! [`DeviceHandler`], so an unmodified `kvcsd-client` session drives the
+//! whole fleet through one queue pair ("routed sessions"). Every
+//! cluster-level keyspace exists on every shard under the same name; the
+//! [`crate::ShardStrategy`] decides which shard owns each key.
+//!
+//! * Point ops (`Put`, `Get`) go to the owning shard only.
+//! * `Range` / `SidxRange` / `SidxGet` scatter to the covering shards and
+//!   the router merges the per-shard result sets back into global
+//!   (secondary-)key order.
+//! * `Compact` fans out to every shard; right after each shard's
+//!   synchronous seal the router exports the sealed-log artifacts and
+//!   ships them to the shard's replica log. When deferred jobs finish
+//!   (`run_background`), the built indexes are shipped too.
+//! * A primary that dies (fault-injector power cut — detected either as a
+//!   `PowerLoss` response or by the injector's powered-off latch) is
+//!   promoted from its replica log: artifacts are installed on a fresh
+//!   instance, sealed-log installs are re-compacted through the checked
+//!   DEGRADED → COMPACTING edge, and the route table is repointed. While
+//!   that runs, commands bounce with the *retryable*
+//!   `FailoverInProgress`; the client's fail-fast resend lands on the
+//!   promoted replica.
+//!
+//! Backpressure composes per shard: each device keeps its own
+//! `AdmissionGate`, ledger and virtual clock, so a stalled or dead shard
+//! charges stall time only to commands routed at its keys — never to the
+//! rest of the fleet.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kvcsd_core::{ArtifactPayload, KvCsdDevice};
+use kvcsd_proto::{
+    Bound, DeviceHandler, JobId, JobState, KeyspaceDesc, KeyspaceStat, KeyspaceState, KvCommand,
+    KvResponse, KvStatus, SecondaryIndexSpec, ShardId, ShipKind,
+};
+use kvcsd_sim::sync::{Mutex, RwLock};
+use kvcsd_sim::{BusResource, FaultPlan, IoLedger, VirtualClock};
+
+use crate::replica::ReplicaLog;
+use crate::shard::{HealthCell, ShardHealth, ShardInstance};
+use crate::ClusterConfig;
+
+/// One shard's slice of a scatter-gathered entry set.
+type Entries = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// One completed promotion, for reproducibility auditing: the torture
+/// suite asserts that the same seed yields the identical event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverEvent {
+    pub shard: ShardId,
+    /// 1-based promotion count on this shard.
+    pub generation: u32,
+    /// Artifact sets installed from the replica log.
+    pub replayed_artifacts: u32,
+    /// Of those, sealed-log installs that were re-compacted during
+    /// promotion (the mid-compaction death case).
+    pub recompacted: u32,
+}
+
+/// Which cluster-level job a client job id maps to.
+#[derive(Debug, Clone)]
+enum JobKind {
+    Compact,
+    Sidx(String),
+}
+
+#[derive(Debug, Clone)]
+struct JobTarget {
+    ks: u32,
+    kind: JobKind,
+}
+
+/// One cluster-level keyspace and its per-shard local ids.
+#[derive(Debug, Clone)]
+struct ClusterKeyspace {
+    id: u32,
+    name: String,
+    /// `local[i]` is the keyspace id on shard `i`'s current primary;
+    /// repointed on promotion.
+    local: Vec<u32>,
+    /// Secondary-index specs seen so far, recorded for merge ordering.
+    specs: Vec<SecondaryIndexSpec>,
+}
+
+#[derive(Default)]
+struct RouteTable {
+    next_ks: u32,
+    next_job: u64,
+    keyspaces: HashMap<u32, ClusterKeyspace>,
+    by_name: HashMap<String, u32>,
+    jobs: HashMap<u64, JobTarget>,
+}
+
+struct ShardState {
+    id: ShardId,
+    primary: RwLock<ShardInstance>,
+    replica: ReplicaLog,
+    health: HealthCell,
+}
+
+/// The router: N shards, a route table and a failover event log.
+pub struct ClusterRouter {
+    cfg: ClusterConfig,
+    shards: Vec<ShardState>,
+    fabric: Arc<IoLedger>,
+    routes: Mutex<RouteTable>,
+    events: Mutex<Vec<FailoverEvent>>,
+}
+
+impl ClusterRouter {
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.shards > 0, "a cluster needs at least one shard");
+        if let crate::ShardStrategy::RangeKeys { boundaries } = &cfg.strategy {
+            assert_eq!(
+                boundaries.len() + 1,
+                cfg.shards as usize,
+                "range sharding needs exactly shards-1 boundaries"
+            );
+        }
+        // One fabric ledger shared by every shard's bus, so aggregate
+        // replication traffic is observable in one place.
+        let fabric = Arc::new(IoLedger::new(cfg.shards, 4096));
+        let shards = (0..cfg.shards)
+            .map(|id| ShardState {
+                id,
+                primary: RwLock::new(ShardInstance::build(&cfg, id, cfg.fault_plan.clone())),
+                replica: ReplicaLog::new(id, BusResource::new(cfg.bus, Arc::clone(&fabric))),
+                health: HealthCell::new(),
+            })
+            .collect();
+        Self {
+            cfg,
+            shards,
+            fabric,
+            routes: Mutex::new(RouteTable::default()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Aggregate replication-fabric accounting (bus_bytes / bus_msgs /
+    /// bus_busy_ns across every shard's channel).
+    pub fn fabric_ledger(&self) -> &Arc<IoLedger> {
+        &self.fabric
+    }
+
+    pub fn shard_health(&self, ix: u32) -> ShardHealth {
+        self.shards[ix as usize].health.get()
+    }
+
+    /// The current primary's private virtual clock for shard `ix`.
+    pub fn shard_clock(&self, ix: u32) -> Arc<VirtualClock> {
+        Arc::clone(self.shards[ix as usize].primary.read().clock())
+    }
+
+    /// The current primary's I/O ledger for shard `ix`.
+    pub fn shard_ledger(&self, ix: u32) -> Arc<IoLedger> {
+        Arc::clone(self.shards[ix as usize].primary.read().ledger())
+    }
+
+    /// Ships currently held in shard `ix`'s replica log.
+    pub fn replica_depth(&self, ix: u32) -> usize {
+        self.shards[ix as usize].replica.len()
+    }
+
+    /// Completed promotions, in order.
+    pub fn events(&self) -> Vec<FailoverEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Run every healthy shard's deferred jobs and ship freshly built
+    /// indexes to the replica logs. Returns the number of jobs run.
+    /// Models the device fleet's background processing; the router also
+    /// grants background time on every `PollJob`, so a polling client
+    /// makes progress without an external driver.
+    pub fn run_background(&self) -> usize {
+        let mut ran = 0;
+        for ix in 0..self.shards.len() {
+            ran += self.run_shard_background(ix);
+        }
+        ran
+    }
+
+    fn run_shard_background(&self, ix: usize) -> usize {
+        let st = &self.shards[ix];
+        if st.health.get() != ShardHealth::Healthy {
+            return 0;
+        }
+        let (ran, died) = {
+            let inst = st.primary.read();
+            let ran = if inst.device().pending_jobs() > 0 {
+                inst.device().run_pending_jobs()
+            } else {
+                0
+            };
+            (ran, inst.injector().is_powered_off())
+        };
+        // The guard is dropped before promotion: the RwLock shim is not
+        // reentrant and begin_failover takes the write side.
+        if died {
+            self.begin_failover(ix);
+        } else if ran > 0 && self.cfg.replicate {
+            self.ship_compacted(ix);
+        }
+        ran
+    }
+
+    /// Ship every keyspace on shard `ix` whose artifacts are compacted.
+    /// Sealed logs were already shipped at seal time; shipping only the
+    /// compacted form here keeps the replica log bounded.
+    fn ship_compacted(&self, ix: usize) {
+        let targets: Vec<(String, u32)> = {
+            let routes = self.routes.lock();
+            routes
+                .keyspaces
+                .values()
+                .map(|ck| (ck.name.clone(), ck.local[ix]))
+                .collect()
+        };
+        let st = &self.shards[ix];
+        let mut died = false;
+        {
+            let inst = st.primary.read();
+            for (name, local) in targets {
+                match inst.device().export_keyspace_artifacts(local) {
+                    Ok(art) if matches!(art.payload, ArtifactPayload::Compacted { .. }) => {
+                        st.replica.ship(&name, art);
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        if inst.injector().is_powered_off() {
+                            died = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if died {
+            self.begin_failover(ix);
+        }
+    }
+
+    /// Ship one keyspace's sealed logs right after a successful seal.
+    fn ship_sealed(&self, ix: usize, name: &str, local: u32) {
+        if !self.cfg.replicate {
+            return;
+        }
+        let st = &self.shards[ix];
+        let mut died = false;
+        {
+            let inst = st.primary.read();
+            match inst.device().export_keyspace_artifacts(local) {
+                Ok(art) => {
+                    st.replica.ship(name, art);
+                }
+                // An empty keyspace seals to nothing exportable; that is
+                // not a death, just nothing to ship.
+                Err(_) => died = inst.injector().is_powered_off(),
+            }
+        }
+        if died {
+            self.begin_failover(ix);
+        }
+    }
+
+    /// Promote shard `ix`'s replica. Exactly one caller wins the CAS;
+    /// the rest observe `FailingOver` and bounce their commands.
+    fn begin_failover(&self, ix: usize) {
+        let st = &self.shards[ix];
+        if !st.health.begin_failover() {
+            return;
+        }
+        if !self.cfg.replicate {
+            st.health.set(ShardHealth::Dead);
+            return;
+        }
+        // The dead hardware is replaced, so the promoted instance runs a
+        // clean fault plan: the fleet schedule kills each primary once.
+        let fresh = ShardInstance::build(&self.cfg, st.id, FaultPlan::none());
+        let mut replayed = 0u32;
+        let mut recompacted = 0u32;
+        let mut installed: HashMap<String, u32> = HashMap::new();
+        for (ship, art) in st.replica.latest_per_keyspace() {
+            let Ok(local) = fresh.device().import_keyspace_artifacts(&art) else {
+                continue;
+            };
+            replayed += 1;
+            installed.insert(art.name.clone(), local);
+            if matches!(ship.kind, ShipKind::SealedLogs) {
+                // Sealed logs install DEGRADED; promotion re-runs the
+                // compaction through the checked DEGRADED -> COMPACTING
+                // edge so the shard comes back queryable.
+                if let KvResponse::JobStarted { .. } =
+                    fresh.device().handle(KvCommand::Compact { ks: local })
+                {
+                    fresh.device().run_pending_jobs();
+                    recompacted += 1;
+                }
+            }
+        }
+        // Keyspaces that never shipped anything come back empty: their
+        // acked PUTs were device-buffered only, which is exactly the
+        // single-device (no-WAL) durability contract.
+        let names: Vec<String> = {
+            let routes = self.routes.lock();
+            routes
+                .keyspaces
+                .values()
+                .map(|ck| ck.name.clone())
+                .collect()
+        };
+        for name in &names {
+            if !installed.contains_key(name) {
+                if let KvResponse::Created { ks } = fresh
+                    .device()
+                    .handle(KvCommand::CreateKeyspace { name: name.clone() })
+                {
+                    installed.insert(name.clone(), ks);
+                }
+            }
+        }
+        // Re-seed the replica log from the promoted primary so a second
+        // death on this shard still has artifacts to replay.
+        st.replica.clear();
+        for (name, local) in &installed {
+            if let Ok(art) = fresh.device().export_keyspace_artifacts(*local) {
+                st.replica.ship(name, art);
+            }
+        }
+        {
+            let mut routes = self.routes.lock();
+            for ck in routes.keyspaces.values_mut() {
+                if let Some(local) = installed.get(&ck.name) {
+                    ck.local[ix] = *local;
+                }
+            }
+        }
+        *st.primary.write() = fresh;
+        let generation = st.health.bump_generation();
+        self.events.lock().push(FailoverEvent {
+            shard: st.id,
+            generation,
+            replayed_artifacts: replayed,
+            recompacted,
+        });
+        st.health.set(ShardHealth::Healthy);
+    }
+
+    /// Execute one command on shard `ix`, translating shard death into
+    /// the cluster-level statuses.
+    fn exec_on(&self, ix: usize, cmd: KvCommand) -> Result<KvResponse, KvStatus> {
+        let st = &self.shards[ix];
+        match st.health.get() {
+            ShardHealth::Healthy => {}
+            ShardHealth::FailingOver => {
+                return Err(KvStatus::FailoverInProgress { shard: st.id });
+            }
+            ShardHealth::Dead => return Err(KvStatus::ShardUnavailable { shard: st.id }),
+        }
+        let (resp, died) = {
+            let inst = st.primary.read();
+            let resp = inst.device().handle(cmd);
+            let died = matches!(resp, KvResponse::Err(KvStatus::PowerLoss))
+                || inst.injector().is_powered_off();
+            (resp, died)
+        };
+        if died {
+            self.begin_failover(ix);
+            return Err(if self.cfg.replicate {
+                KvStatus::FailoverInProgress { shard: st.id }
+            } else {
+                KvStatus::ShardUnavailable { shard: st.id }
+            });
+        }
+        resp.into_result()
+    }
+
+    fn shard_count(&self) -> u32 {
+        self.cfg.shards
+    }
+
+    fn lookup(&self, ks: u32) -> Result<ClusterKeyspace, KvStatus> {
+        self.routes
+            .lock()
+            .keyspaces
+            .get(&ks)
+            .cloned()
+            .ok_or(KvStatus::KeyspaceNotFound)
+    }
+
+    /// Shards whose key span can intersect `[lo, hi]`. Hash sharding
+    /// scatters everywhere; range sharding prunes non-covering shards so
+    /// a stalled shard never sees (or stalls) other key ranges' queries.
+    fn shards_for_range(&self, lo: &Bound, hi: &Bound) -> Vec<usize> {
+        let n = self.shard_count() as usize;
+        match &self.cfg.strategy {
+            crate::ShardStrategy::HashKeys => (0..n).collect(),
+            crate::ShardStrategy::RangeKeys { boundaries } => (0..n)
+                .filter(|&i| {
+                    // Shard i spans [boundaries[i-1], boundaries[i]).
+                    let disjoint_above = i > 0 && !hi.admits_from_above(&boundaries[i - 1]);
+                    let disjoint_below = i < n - 1
+                        && match lo {
+                            Bound::Unbounded => false,
+                            Bound::Included(k) | Bound::Excluded(k) => k >= &boundaries[i],
+                        };
+                    !disjoint_above && !disjoint_below
+                })
+                .collect(),
+        }
+    }
+
+    fn merge_entries(
+        mut parts: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+        limit: Option<u64>,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all: Vec<(Vec<u8>, Vec<u8>)> = parts.drain(..).flatten().collect();
+        all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        if let Some(l) = limit {
+            all.truncate(l as usize);
+        }
+        all
+    }
+
+    /// Merge secondary-index result sets into global secondary-key order
+    /// (ties broken by primary key), using the recorded spec to re-derive
+    /// each record's encoded secondary key.
+    fn merge_sidx_entries(
+        mut parts: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+        spec: Option<&SecondaryIndexSpec>,
+        limit: Option<u64>,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all: Vec<(Vec<u8>, Vec<u8>)> = parts.drain(..).flatten().collect();
+        all.sort_unstable_by(|a, b| match spec {
+            Some(s) => s
+                .extract(&a.1)
+                .cmp(&s.extract(&b.1))
+                .then_with(|| a.0.cmp(&b.0)),
+            None => a.0.cmp(&b.0),
+        });
+        if let Some(l) = limit {
+            all.truncate(l as usize);
+        }
+        all
+    }
+
+    fn agg_state(states: &[KeyspaceState]) -> KeyspaceState {
+        // Worst-first: a cluster keyspace is only as healthy as its most
+        // troubled shard, and only writable/queryable if all shards are.
+        let rank = |s: &KeyspaceState| match s {
+            KeyspaceState::Degraded => 0,
+            KeyspaceState::ReadOnly => 1,
+            KeyspaceState::Compacting => 2,
+            KeyspaceState::Writable => 3,
+            KeyspaceState::Compacted => 4,
+            KeyspaceState::Empty => 5,
+        };
+        states
+            .iter()
+            .min_by_key(|s| rank(s))
+            .copied()
+            .unwrap_or(KeyspaceState::Empty)
+    }
+
+    fn wrap(deadline_ns: Option<u64>, cmd: KvCommand) -> KvCommand {
+        match deadline_ns {
+            Some(deadline_ns) => KvCommand::WithDeadline {
+                deadline_ns,
+                cmd: Box::new(cmd),
+            },
+            None => cmd,
+        }
+    }
+
+    // ---- command implementations ------------------------------------------
+
+    fn do_create(&self, name: &str) -> Result<KvResponse, KvStatus> {
+        if self.routes.lock().by_name.contains_key(name) {
+            return Err(KvStatus::KeyspaceExists);
+        }
+        let mut local = Vec::with_capacity(self.shard_count() as usize);
+        for ix in 0..self.shard_count() as usize {
+            let id = match self.exec_on(
+                ix,
+                KvCommand::CreateKeyspace {
+                    name: name.to_string(),
+                },
+            ) {
+                Ok(KvResponse::Created { ks }) => ks,
+                // A retry after a partial failure finds the keyspace
+                // already present on early shards: recover its id and
+                // keep going — cluster-level creation is idempotent.
+                Err(KvStatus::KeyspaceExists) => match self.exec_on(
+                    ix,
+                    KvCommand::OpenKeyspace {
+                        name: name.to_string(),
+                    },
+                )? {
+                    KvResponse::Opened { ks, .. } => ks,
+                    other => return Err(unexpected(&other)),
+                },
+                Ok(other) => return Err(unexpected(&other)),
+                Err(e) => return Err(e),
+            };
+            local.push(id);
+        }
+        let mut routes = self.routes.lock();
+        let id = routes.next_ks;
+        routes.next_ks += 1;
+        routes.by_name.insert(name.to_string(), id);
+        routes.keyspaces.insert(
+            id,
+            ClusterKeyspace {
+                id,
+                name: name.to_string(),
+                local,
+                specs: Vec::new(),
+            },
+        );
+        Ok(KvResponse::Created { ks: id })
+    }
+
+    fn do_open(&self, name: &str) -> Result<KvResponse, KvStatus> {
+        let id = {
+            let routes = self.routes.lock();
+            *routes.by_name.get(name).ok_or(KvStatus::KeyspaceNotFound)?
+        };
+        let stat = self.do_stat(id)?;
+        match stat {
+            KvResponse::Stat(s) => Ok(KvResponse::Opened {
+                ks: id,
+                state: s.state,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn do_delete_ks(&self, ks: u32) -> Result<KvResponse, KvStatus> {
+        let ck = self.lookup(ks)?;
+        for ix in 0..self.shard_count() as usize {
+            match self.exec_on(ix, KvCommand::DeleteKeyspace { ks: ck.local[ix] }) {
+                Ok(_) | Err(KvStatus::KeyspaceNotFound) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut routes = self.routes.lock();
+        routes.by_name.remove(&ck.name);
+        routes.keyspaces.remove(&ks);
+        Ok(KvResponse::Deleted)
+    }
+
+    fn do_list(&self) -> Result<KvResponse, KvStatus> {
+        let mut cks: Vec<ClusterKeyspace> =
+            self.routes.lock().keyspaces.values().cloned().collect();
+        cks.sort_unstable_by_key(|ck| ck.id);
+        let mut out = Vec::with_capacity(cks.len());
+        for ck in cks {
+            let mut states = Vec::new();
+            for ix in 0..self.shard_count() as usize {
+                if let Ok(KvResponse::Stat(s)) =
+                    self.exec_on(ix, KvCommand::Stat { ks: ck.local[ix] })
+                {
+                    states.push(s.state);
+                }
+            }
+            out.push(KeyspaceDesc {
+                id: ck.id,
+                name: ck.name,
+                state: Self::agg_state(&states),
+            });
+        }
+        Ok(KvResponse::Keyspaces(out))
+    }
+
+    fn do_bulk_put(
+        &self,
+        deadline_ns: Option<u64>,
+        ck: &ClusterKeyspace,
+        payload: kvcsd_proto::BulkPayload,
+    ) -> Result<KvResponse, KvStatus> {
+        let n = self.shard_count();
+        let mut per_shard: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); n as usize];
+        for (k, v) in payload.iter() {
+            let ix = self.cfg.strategy.shard_for(k, n) as usize;
+            per_shard[ix].push((k.to_vec(), v.to_vec()));
+        }
+        let mut inserted = 0u64;
+        for (ix, pairs) in per_shard.into_iter().enumerate() {
+            if pairs.is_empty() {
+                continue;
+            }
+            let mut b = kvcsd_proto::BulkBuilder::default_size();
+            for (k, v) in &pairs {
+                if !b.push(k, v) {
+                    // Sub-message full: flush it and continue packing.
+                    inserted += self.send_bulk(deadline_ns, ix, ck.local[ix], b)?;
+                    b = kvcsd_proto::BulkBuilder::default_size();
+                    if !b.push(k, v) {
+                        return Err(KvStatus::BadValue);
+                    }
+                }
+            }
+            inserted += self.send_bulk(deadline_ns, ix, ck.local[ix], b)?;
+        }
+        Ok(KvResponse::BulkPutOk { inserted })
+    }
+
+    fn send_bulk(
+        &self,
+        deadline_ns: Option<u64>,
+        ix: usize,
+        local: u32,
+        b: kvcsd_proto::BulkBuilder,
+    ) -> Result<u64, KvStatus> {
+        if b.is_empty() {
+            return Ok(0);
+        }
+        match self.exec_on(
+            ix,
+            Self::wrap(
+                deadline_ns,
+                KvCommand::BulkPut {
+                    ks: local,
+                    payload: b.finish(),
+                },
+            ),
+        )? {
+            KvResponse::BulkPutOk { inserted } => Ok(inserted),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fan a job-starting command out to every shard, ship the sealed
+    /// artifacts, and hand back one cluster-level job id.
+    fn do_cluster_job(
+        &self,
+        deadline_ns: Option<u64>,
+        ks: u32,
+        kind: JobKind,
+        make: impl Fn(u32) -> KvCommand,
+        ship_after: bool,
+    ) -> Result<KvResponse, KvStatus> {
+        let ck = self.lookup(ks)?;
+        for ix in 0..self.shard_count() as usize {
+            match self.exec_on(ix, Self::wrap(deadline_ns, make(ck.local[ix]))) {
+                Ok(KvResponse::JobStarted { .. }) => {
+                    if ship_after {
+                        self.ship_sealed(ix, &ck.name, ck.local[ix]);
+                    }
+                }
+                // Re-submission after a mid-fanout failover: this shard
+                // already sealed, so re-compacting from COMPACTING (or an
+                // index that already exists) reports a state error. The
+                // job-state poll is derived from keyspace states, so
+                // treating it as already-started is safe and idempotent.
+                Ok(_) | Err(KvStatus::BadKeyspaceState { .. }) | Err(KvStatus::IndexExists) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut routes = self.routes.lock();
+        routes.next_job += 1;
+        let id = routes.next_job;
+        routes.jobs.insert(id, JobTarget { ks, kind });
+        Ok(KvResponse::JobStarted { job: JobId(id) })
+    }
+
+    /// Cluster jobs are polled by *deriving* progress from per-shard
+    /// keyspace states instead of tracking per-device job ids — device
+    /// job tables die with their primary, keyspace states survive
+    /// promotion. Each poll also grants the fleet background time, so a
+    /// polling client drives its own jobs to completion.
+    fn do_poll(&self, job: u64) -> Result<KvResponse, KvStatus> {
+        let target = self
+            .routes
+            .lock()
+            .jobs
+            .get(&job)
+            .cloned()
+            .ok_or(KvStatus::JobNotFound)?;
+        self.run_background();
+        let ck = self.lookup(target.ks)?;
+        let mut worst: Option<KvStatus> = None;
+        let mut running = false;
+        let mut missing_index = false;
+        for ix in 0..self.shard_count() as usize {
+            let stat = match self.exec_on(ix, KvCommand::Stat { ks: ck.local[ix] }) {
+                Ok(KvResponse::Stat(s)) => s,
+                Ok(other) => return Err(unexpected(&other)),
+                Err(e @ KvStatus::FailoverInProgress { .. }) => return Err(e),
+                Err(e) => {
+                    worst = Some(e);
+                    continue;
+                }
+            };
+            match stat.state {
+                KeyspaceState::Degraded => {
+                    worst = Some(KvStatus::MediaError(format!(
+                        "shard {ix}: compaction left keyspace degraded"
+                    )));
+                }
+                KeyspaceState::ReadOnly => {
+                    worst = Some(KvStatus::DeviceFull);
+                }
+                KeyspaceState::Compacting | KeyspaceState::Writable => running = true,
+                KeyspaceState::Compacted | KeyspaceState::Empty => {
+                    if let JobKind::Sidx(name) = &target.kind {
+                        if stat.state == KeyspaceState::Compacted
+                            && !stat.secondary_indexes.iter().any(|n| n == name)
+                        {
+                            missing_index = true;
+                        }
+                    }
+                }
+            }
+        }
+        let state = if let Some(e) = worst {
+            JobState::Failed(e)
+        } else if running || missing_index {
+            JobState::Running
+        } else {
+            JobState::Done
+        };
+        Ok(KvResponse::Job { state })
+    }
+
+    fn do_scatter_entries(
+        &self,
+        ck: &ClusterKeyspace,
+        shards: &[usize],
+        make: impl Fn(u32) -> KvCommand,
+    ) -> Result<Vec<Entries>, KvStatus> {
+        let mut parts = Vec::with_capacity(shards.len());
+        for &ix in shards {
+            match self.exec_on(ix, make(ck.local[ix]))? {
+                KvResponse::Entries(es) => parts.push(es),
+                other => return Err(unexpected(&other)),
+            }
+        }
+        Ok(parts)
+    }
+
+    fn do_stat(&self, ks: u32) -> Result<KvResponse, KvStatus> {
+        let ck = self.lookup(ks)?;
+        let mut states = Vec::new();
+        let mut num_pairs = 0u64;
+        let mut data_bytes = 0u64;
+        let mut min_key: Option<Vec<u8>> = None;
+        let mut max_key: Option<Vec<u8>> = None;
+        let mut secondary: Vec<String> = Vec::new();
+        for ix in 0..self.shard_count() as usize {
+            let s = match self.exec_on(ix, KvCommand::Stat { ks: ck.local[ix] })? {
+                KvResponse::Stat(s) => s,
+                other => return Err(unexpected(&other)),
+            };
+            states.push(s.state);
+            num_pairs += s.num_pairs;
+            data_bytes += s.data_bytes;
+            min_key = match (min_key, s.min_key) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            max_key = match (max_key, s.max_key) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            for n in s.secondary_indexes {
+                if !secondary.contains(&n) {
+                    secondary.push(n);
+                }
+            }
+        }
+        secondary.sort_unstable();
+        Ok(KvResponse::Stat(KeyspaceStat {
+            id: ck.id,
+            name: ck.name.clone(),
+            state: Self::agg_state(&states),
+            num_pairs,
+            min_key,
+            max_key,
+            secondary_indexes: secondary,
+            data_bytes,
+        }))
+    }
+
+    fn dispatch(&self, cmd: KvCommand) -> Result<KvResponse, KvStatus> {
+        let (deadline_ns, cmd) = cmd.unwrap_deadline();
+        let n = self.shard_count();
+        match cmd {
+            KvCommand::CreateKeyspace { name } => self.do_create(&name),
+            KvCommand::OpenKeyspace { name } => self.do_open(&name),
+            KvCommand::ListKeyspaces => self.do_list(),
+            KvCommand::DeleteKeyspace { ks } => self.do_delete_ks(ks),
+            KvCommand::Put { ks, key, value } => {
+                let ck = self.lookup(ks)?;
+                let ix = self.cfg.strategy.shard_for(&key, n) as usize;
+                self.exec_on(
+                    ix,
+                    Self::wrap(
+                        deadline_ns,
+                        KvCommand::Put {
+                            ks: ck.local[ix],
+                            key,
+                            value,
+                        },
+                    ),
+                )
+            }
+            KvCommand::BulkPut { ks, payload } => {
+                let ck = self.lookup(ks)?;
+                self.do_bulk_put(deadline_ns, &ck, payload)
+            }
+            KvCommand::Flush { ks } => {
+                let ck = self.lookup(ks)?;
+                for ix in 0..n as usize {
+                    self.exec_on(
+                        ix,
+                        Self::wrap(deadline_ns, KvCommand::Flush { ks: ck.local[ix] }),
+                    )?;
+                }
+                Ok(KvResponse::Flushed)
+            }
+            KvCommand::Compact { ks } => self.do_cluster_job(
+                deadline_ns,
+                ks,
+                JobKind::Compact,
+                |local| KvCommand::Compact { ks: local },
+                true,
+            ),
+            KvCommand::CompactAndIndex { ks, specs } => {
+                {
+                    let mut routes = self.routes.lock();
+                    if let Some(ck) = routes.keyspaces.get_mut(&ks) {
+                        for spec in &specs {
+                            if !ck.specs.iter().any(|s| s.name == spec.name) {
+                                ck.specs.push(spec.clone());
+                            }
+                        }
+                    }
+                }
+                self.do_cluster_job(
+                    deadline_ns,
+                    ks,
+                    JobKind::Compact,
+                    move |local| KvCommand::CompactAndIndex {
+                        ks: local,
+                        specs: specs.clone(),
+                    },
+                    true,
+                )
+            }
+            KvCommand::BuildSecondaryIndex { ks, spec } => {
+                {
+                    let mut routes = self.routes.lock();
+                    if let Some(ck) = routes.keyspaces.get_mut(&ks) {
+                        if !ck.specs.iter().any(|s| s.name == spec.name) {
+                            ck.specs.push(spec.clone());
+                        }
+                    }
+                }
+                self.do_cluster_job(
+                    deadline_ns,
+                    ks,
+                    JobKind::Sidx(spec.name.clone()),
+                    move |local| KvCommand::BuildSecondaryIndex {
+                        ks: local,
+                        spec: spec.clone(),
+                    },
+                    false,
+                )
+            }
+            KvCommand::PollJob { job } => self.do_poll(job.0),
+            KvCommand::Get { ks, key } => {
+                let ck = self.lookup(ks)?;
+                let ix = self.cfg.strategy.shard_for(&key, n) as usize;
+                self.exec_on(
+                    ix,
+                    Self::wrap(
+                        deadline_ns,
+                        KvCommand::Get {
+                            ks: ck.local[ix],
+                            key,
+                        },
+                    ),
+                )
+            }
+            KvCommand::Range { ks, lo, hi, limit } => {
+                let ck = self.lookup(ks)?;
+                let shards = self.shards_for_range(&lo, &hi);
+                let parts = self.do_scatter_entries(&ck, &shards, |local| {
+                    Self::wrap(
+                        deadline_ns,
+                        KvCommand::Range {
+                            ks: local,
+                            lo: lo.clone(),
+                            hi: hi.clone(),
+                            limit,
+                        },
+                    )
+                })?;
+                Ok(KvResponse::Entries(Self::merge_entries(parts, limit)))
+            }
+            KvCommand::SidxGet { ks, index, key } => {
+                let ck = self.lookup(ks)?;
+                let shards: Vec<usize> = (0..n as usize).collect();
+                let parts = self.do_scatter_entries(&ck, &shards, |local| {
+                    Self::wrap(
+                        deadline_ns,
+                        KvCommand::SidxGet {
+                            ks: local,
+                            index: index.clone(),
+                            key: key.clone(),
+                        },
+                    )
+                })?;
+                let spec = ck.specs.iter().find(|s| s.name == index);
+                Ok(KvResponse::Entries(Self::merge_sidx_entries(
+                    parts, spec, None,
+                )))
+            }
+            KvCommand::SidxRange {
+                ks,
+                index,
+                lo,
+                hi,
+                limit,
+            } => {
+                let ck = self.lookup(ks)?;
+                // Secondary keys are unrelated to the primary sharding
+                // axis, so a secondary range always scatters everywhere.
+                let shards: Vec<usize> = (0..n as usize).collect();
+                let parts = self.do_scatter_entries(&ck, &shards, |local| {
+                    Self::wrap(
+                        deadline_ns,
+                        KvCommand::SidxRange {
+                            ks: local,
+                            index: index.clone(),
+                            lo: lo.clone(),
+                            hi: hi.clone(),
+                            limit,
+                        },
+                    )
+                })?;
+                let spec = ck.specs.iter().find(|s| s.name == index);
+                Ok(KvResponse::Entries(Self::merge_sidx_entries(
+                    parts, spec, limit,
+                )))
+            }
+            KvCommand::Stat { ks } => self.do_stat(ks),
+            KvCommand::WithDeadline { .. } => {
+                unreachable!("unwrap_deadline flattens nesting")
+            }
+        }
+    }
+}
+
+fn unexpected(resp: &KvResponse) -> KvStatus {
+    KvStatus::Internal(format!("unexpected shard response: {resp:?}"))
+}
+
+impl DeviceHandler for ClusterRouter {
+    fn handle(&self, cmd: KvCommand) -> KvResponse {
+        match self.dispatch(cmd) {
+            Ok(resp) => resp,
+            Err(e) => KvResponse::Err(e),
+        }
+    }
+}
+
+// Promoted devices are reachable through the router only; tests reach a
+// shard's device directly to assert internals.
+impl ClusterRouter {
+    /// Test/inspection handle on shard `ix`'s current primary device.
+    pub fn with_shard_device<R>(&self, ix: u32, f: impl FnOnce(&KvCsdDevice) -> R) -> R {
+        let inst = self.shards[ix as usize].primary.read();
+        f(inst.device())
+    }
+
+    /// The fault injector attached to shard `ix`'s current primary.
+    /// Torture harness hook: lets a test cut power directly and watch the
+    /// router discover the death on the next routed command.
+    pub fn shard_injector(&self, ix: u32) -> Arc<kvcsd_sim::FaultInjector> {
+        Arc::clone(self.shards[ix as usize].primary.read().injector())
+    }
+
+    /// Cut power to shard `ix`'s primary at its next flash operation.
+    /// Torture harness hook: deterministic alternative to probability
+    /// plans when a test wants to kill a specific shard at a specific
+    /// point.
+    pub fn kill_shard(&self, ix: u32) {
+        let st = &self.shards[ix as usize];
+        let died = {
+            let inst = st.primary.read();
+            // A plan-driven injector may already have powered off; either
+            // way the next command (or this call) observes the death.
+            inst.injector().power_off_now();
+            true
+        };
+        if died {
+            self.begin_failover(ix as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardStrategy;
+    use kvcsd_proto::SecondaryKeyType;
+
+    fn router(shards: u32) -> ClusterRouter {
+        ClusterRouter::new(ClusterConfig {
+            shards,
+            ..ClusterConfig::default()
+        })
+    }
+
+    fn ok(resp: KvResponse) -> KvResponse {
+        match resp {
+            KvResponse::Err(e) => panic!("unexpected error: {e}"),
+            r => r,
+        }
+    }
+
+    fn create(r: &ClusterRouter, name: &str) -> u32 {
+        match ok(r.handle(KvCommand::CreateKeyspace { name: name.into() })) {
+            KvResponse::Created { ks } => ks,
+            r => panic!("{r:?}"),
+        }
+    }
+
+    fn put(r: &ClusterRouter, ks: u32, k: &[u8], v: &[u8]) {
+        ok(r.handle(KvCommand::Put {
+            ks,
+            key: k.to_vec(),
+            value: v.to_vec(),
+        }));
+    }
+
+    fn compact(r: &ClusterRouter, ks: u32) {
+        let job = match ok(r.handle(KvCommand::Compact { ks })) {
+            KvResponse::JobStarted { job } => job,
+            r => panic!("{r:?}"),
+        };
+        for _ in 0..16 {
+            match ok(r.handle(KvCommand::PollJob { job })) {
+                KvResponse::Job {
+                    state: JobState::Done,
+                } => return,
+                KvResponse::Job { .. } => {}
+                r => panic!("{r:?}"),
+            }
+        }
+        panic!("compaction did not finish");
+    }
+
+    #[test]
+    fn puts_spread_across_shards_and_range_merges_in_key_order() {
+        let r = router(3);
+        let ks = create(&r, "orders");
+        for i in 0..120u32 {
+            let k = format!("k{i:05}");
+            put(&r, ks, k.as_bytes(), &i.to_be_bytes());
+        }
+        compact(&r, ks);
+        // Every shard must actually hold a slice of the keyspace.
+        for ix in 0..3 {
+            let pairs = r.with_shard_device(ix, |d| {
+                d.keyspaces()
+                    .list()
+                    .iter()
+                    .map(|(id, _, _)| *id)
+                    .next()
+                    .map(|id| d.keyspaces().with(id, |k| Ok(k.pairs)).unwrap())
+                    .unwrap_or(0)
+            });
+            assert!(pairs > 0, "shard {ix} holds no keys");
+        }
+        let es = match ok(r.handle(KvCommand::Range {
+            ks,
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+            limit: None,
+        })) {
+            KvResponse::Entries(es) => es,
+            r => panic!("{r:?}"),
+        };
+        assert_eq!(es.len(), 120);
+        assert!(
+            es.windows(2).all(|w| w[0].0 < w[1].0),
+            "merged range must be strictly key-ordered"
+        );
+        let limited = match ok(r.handle(KvCommand::Range {
+            ks,
+            lo: Bound::Included(b"k00010".to_vec()),
+            hi: Bound::Unbounded,
+            limit: Some(7),
+        })) {
+            KvResponse::Entries(es) => es,
+            r => panic!("{r:?}"),
+        };
+        let want: Vec<Vec<u8>> = (10..17).map(|i| format!("k{i:05}").into_bytes()).collect();
+        assert_eq!(
+            limited.iter().map(|e| e.0.clone()).collect::<Vec<_>>(),
+            want
+        );
+    }
+
+    #[test]
+    fn sidx_query_scatter_gathers_in_secondary_key_order() {
+        let r = router(3);
+        let ks = create(&r, "sensors");
+        // value = 4-byte BE reading; sidx over it. Readings descend as
+        // keys ascend, so secondary order must differ from primary order.
+        for i in 0..90u32 {
+            let k = format!("s{i:05}");
+            put(&r, ks, k.as_bytes(), &(1_000 - i).to_be_bytes());
+        }
+        let spec = SecondaryIndexSpec {
+            name: "reading".into(),
+            value_offset: 0,
+            value_len: 4,
+            key_type: SecondaryKeyType::U32,
+        };
+        let job = match ok(r.handle(KvCommand::CompactAndIndex {
+            ks,
+            specs: vec![spec],
+        })) {
+            KvResponse::JobStarted { job } => job,
+            r => panic!("{r:?}"),
+        };
+        loop {
+            match ok(r.handle(KvCommand::PollJob { job })) {
+                KvResponse::Job {
+                    state: JobState::Done,
+                } => break,
+                KvResponse::Job {
+                    state: JobState::Failed(e),
+                } => panic!("job failed: {e}"),
+                _ => {}
+            }
+        }
+        let es = match ok(r.handle(KvCommand::SidxRange {
+            ks,
+            index: "reading".into(),
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+            limit: Some(10),
+        })) {
+            KvResponse::Entries(es) => es,
+            r => panic!("{r:?}"),
+        };
+        assert_eq!(es.len(), 10);
+        // Lowest readings first => highest key indices first.
+        let want: Vec<Vec<u8>> = (0..10)
+            .map(|i| format!("s{:05}", 89 - i).into_bytes())
+            .collect();
+        assert_eq!(es.iter().map(|e| e.0.clone()).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn killed_primary_fails_over_and_acked_sealed_writes_survive() {
+        let r = router(2);
+        let ks = create(&r, "t");
+        for i in 0..80u32 {
+            let k = format!("k{i:04}");
+            put(&r, ks, k.as_bytes(), &i.to_be_bytes());
+        }
+        compact(&r, ks);
+        assert!(r.replica_depth(0) > 0, "seal must have shipped artifacts");
+        r.kill_shard(0);
+        assert_eq!(r.shard_health(0), ShardHealth::Healthy, "promotion done");
+        let events = r.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].shard, 0);
+        assert_eq!(events[0].generation, 1);
+        assert!(events[0].replayed_artifacts >= 1);
+        // Every sealed (compacted) write is still readable post-promotion.
+        for i in 0..80u32 {
+            let k = format!("k{i:04}");
+            match ok(r.handle(KvCommand::Get {
+                ks,
+                key: k.as_bytes().to_vec(),
+            })) {
+                KvResponse::Value(v) => assert_eq!(v, i.to_be_bytes()),
+                r => panic!("{r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unreplicated_cluster_reports_dead_shards_as_unavailable() {
+        let r = ClusterRouter::new(ClusterConfig {
+            shards: 2,
+            replicate: false,
+            ..ClusterConfig::default()
+        });
+        let ks = create(&r, "t");
+        for i in 0..40u32 {
+            let k = format!("k{i:04}");
+            put(&r, ks, k.as_bytes(), b"v");
+        }
+        r.kill_shard(1);
+        assert_eq!(r.shard_health(1), ShardHealth::Dead);
+        // Keys on shard 0 still work; keys on shard 1 are unavailable.
+        let (mut live, mut dead) = (0, 0);
+        for i in 0..40u32 {
+            let k = format!("k{i:04}");
+            match r.handle(KvCommand::Get {
+                ks,
+                key: k.as_bytes().to_vec(),
+            }) {
+                KvResponse::Err(KvStatus::ShardUnavailable { shard: 1 }) => dead += 1,
+                KvResponse::Err(KvStatus::KeyNotFound) | KvResponse::Err(_) => live += 1,
+                _ => live += 1,
+            }
+        }
+        assert!(dead > 0, "some keys must map to the dead shard");
+        assert!(live > 0, "healthy shard must keep serving");
+    }
+
+    #[test]
+    fn range_sharding_prunes_scatter_to_covering_shards() {
+        let r = ClusterRouter::new(ClusterConfig {
+            shards: 3,
+            strategy: ShardStrategy::RangeKeys {
+                boundaries: vec![b"h".to_vec(), b"q".to_vec()],
+            },
+            ..ClusterConfig::default()
+        });
+        let shards = r.shards_for_range(
+            &Bound::Included(b"a".to_vec()),
+            &Bound::Excluded(b"c".to_vec()),
+        );
+        assert_eq!(shards, vec![0]);
+        let shards = r.shards_for_range(&Bound::Included(b"j".to_vec()), &Bound::Unbounded);
+        assert_eq!(shards, vec![1, 2]);
+        let all = r.shards_for_range(&Bound::Unbounded, &Bound::Unbounded);
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stat_aggregates_across_the_fleet() {
+        let r = router(3);
+        let ks = create(&r, "agg");
+        for i in 0..60u32 {
+            let k = format!("k{i:04}");
+            put(&r, ks, k.as_bytes(), b"value!");
+        }
+        compact(&r, ks);
+        match ok(r.handle(KvCommand::Stat { ks })) {
+            KvResponse::Stat(s) => {
+                assert_eq!(s.num_pairs, 60);
+                assert_eq!(s.state, KeyspaceState::Compacted);
+                assert_eq!(s.min_key.as_deref(), Some(&b"k0000"[..]));
+                assert_eq!(s.max_key.as_deref(), Some(&b"k0059"[..]));
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn pruned_range_queries_never_touch_non_covering_shards() {
+        let r = ClusterRouter::new(ClusterConfig {
+            shards: 2,
+            strategy: ShardStrategy::RangeKeys {
+                boundaries: vec![b"m".to_vec()],
+            },
+            ..ClusterConfig::default()
+        });
+        let ks = create(&r, "t");
+        for i in 0..40u32 {
+            put(&r, ks, format!("a{i:04}").as_bytes(), b"v");
+            put(&r, ks, format!("z{i:04}").as_bytes(), b"v");
+        }
+        compact(&r, ks);
+        let ranges_before = r.shard_ledger(1).custom("dev_ranges");
+        let clock_before = r.shard_clock(1).now_ns();
+        let es = match ok(r.handle(KvCommand::Range {
+            ks,
+            lo: Bound::Included(b"a".to_vec()),
+            hi: Bound::Excluded(b"b".to_vec()),
+            limit: None,
+        })) {
+            KvResponse::Entries(es) => es,
+            r => panic!("{r:?}"),
+        };
+        assert_eq!(es.len(), 40);
+        // Shard 1 covers [m, inf): the query must not have reached it, so
+        // it can neither serve it nor charge stall time to it.
+        assert_eq!(r.shard_ledger(1).custom("dev_ranges"), ranges_before);
+        assert_eq!(r.shard_clock(1).now_ns(), clock_before);
+    }
+}

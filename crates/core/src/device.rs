@@ -23,11 +23,12 @@ use kvcsd_sim::sync::{Mutex, Shared};
 use kvcsd_sim::VirtualClock;
 
 use crate::admission::{AdmissionConfig, AdmissionGate, Deadline, Decision, PressureSample};
+use crate::artifact::{ArtifactPayload, KeyspaceArtifacts, SidxArtifact};
 use crate::compact::run_compaction;
 use crate::dram::DramBudget;
 use crate::error::DeviceError;
 use crate::ingest::WriteLog;
-use crate::keyspace::{KeyspaceManager, SecondaryIndex};
+use crate::keyspace::{KeyspaceManager, SecondaryIndex, Sketch};
 use crate::meta::MetaStore;
 use crate::query;
 use crate::sidx::build_secondary_index;
@@ -35,7 +36,7 @@ use crate::snapshot;
 use crate::soc::SocCharger;
 use crate::zone_mgr::{ClusterId, ZoneManager};
 use crate::Result;
-use crate::INGEST_BUFFER_BYTES;
+use crate::{BLOCK_BYTES, INGEST_BUFFER_BYTES};
 
 /// Device construction parameters.
 #[derive(Debug, Clone)]
@@ -171,6 +172,13 @@ impl KvCsdDevice {
         let meta = MetaStore::new(Arc::clone(&zns), 0);
         let generations = meta.read_generations()?;
         if generations.is_empty() {
+            // No valid generation can mean "fresh device" or "first-ever
+            // snapshot tore" — but if *both* zones hold debris, durable
+            // generations existed and were destroyed. Coming up empty
+            // would silently un-ack them; refuse instead.
+            if meta.is_doubly_corrupt()? {
+                return Err(DeviceError::CorruptMetadata);
+            }
             return Ok(Self::new(zns, cost, cfg));
         }
 
@@ -336,6 +344,152 @@ impl KvCsdDevice {
     /// Snapshots written to the metadata zone so far.
     pub fn persisted_snapshots(&self) -> u64 {
         self.meta.lock().snapshots_written()
+    }
+
+    // ---- replication artifact hooks ----------------------------------------
+
+    /// Export a keyspace's durable artifacts for replication.
+    ///
+    /// What is exported depends on the compaction phase:
+    /// * COMPACTING / DEGRADED (and READ_ONLY holding raw logs): the
+    ///   sealed KLOG/VLOG pair — every sealed pair is in the payload, so
+    ///   a replica installing it loses nothing acked-and-sealed even if
+    ///   this primary dies mid-compaction;
+    /// * COMPACTED (and READ_ONLY with its index intact): the built
+    ///   primary/secondary indexes and sorted values, installed verbatim
+    ///   by the importer — no re-compaction on the replica.
+    ///
+    /// WRITABLE and EMPTY keyspaces have nothing cluster-durable to ship
+    /// (the ingest buffer is volatile by contract) and return a typed
+    /// state error. All NAND reads are charged to the ledger as usual —
+    /// replication export is honestly costed.
+    pub fn export_keyspace_artifacts(&self, ks: u32) -> Result<KeyspaceArtifacts> {
+        let art = self.km.with(ks, |k| {
+            let s = &k.storage;
+            let payload = if let (Some((pc, pblocks)), Some((vc, vlen))) = (s.pidx, s.svalues) {
+                let sidx = s
+                    .sidx
+                    .values()
+                    .map(|i| {
+                        Ok(SidxArtifact {
+                            spec: i.spec.clone(),
+                            entries: i.entries,
+                            pivots: i.sketch.pivots().to_vec(),
+                            data: self.mgr.read_bytes(
+                                i.cluster,
+                                0,
+                                i.blocks as usize * BLOCK_BYTES,
+                            )?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                ArtifactPayload::Compacted {
+                    pidx: self.mgr.read_bytes(pc, 0, pblocks as usize * BLOCK_BYTES)?,
+                    pidx_pivots: s.pidx_sketch.pivots().to_vec(),
+                    svalues: self.mgr.read_bytes(vc, 0, vlen as usize)?,
+                    sidx,
+                }
+            } else if let (Some((kc, klen)), Some((vc, vlen))) = (s.klog, s.vlog) {
+                ArtifactPayload::SealedLogs {
+                    klog: self.mgr.read_bytes(kc, 0, klen as usize)?,
+                    vlog: self.mgr.read_bytes(vc, 0, vlen as usize)?,
+                }
+            } else {
+                return Err(DeviceError::BadState {
+                    state: k.state.name(),
+                    op: "export_artifacts",
+                });
+            };
+            Ok(KeyspaceArtifacts {
+                name: k.name.clone(),
+                pairs: k.pairs,
+                data_bytes: k.data_bytes,
+                min_key: k.min_key.clone(),
+                max_key: k.max_key.clone(),
+                payload,
+            })
+        })?;
+        self.soc.ledger().bump("dev_artifacts_exported", 1);
+        Ok(art)
+    }
+
+    /// Install a shipped artifact, superseding any same-name keyspace.
+    ///
+    /// `SealedLogs` payloads install DEGRADED — exactly the state a
+    /// crashed-mid-compaction keyspace reopens in — so a subsequent
+    /// COMPACT command walks the ordinary DEGRADED → COMPACTING recovery
+    /// edge. `Compacted` payloads install fully queryable, verbatim.
+    /// Returns the new keyspace id. On error mid-install the keyspace is
+    /// absent from the table; any clusters already written are reclaimed
+    /// as orphans by the next reopen.
+    pub fn import_keyspace_artifacts(&self, art: &KeyspaceArtifacts) -> Result<u32> {
+        if let Ok(existing) = self.km.lookup(&art.name) {
+            self.do_delete(existing)?;
+        }
+        let id = self.km.create(&art.name)?;
+        match &art.payload {
+            ArtifactPayload::SealedLogs { klog, vlog } => {
+                let kc = self.write_artifact_cluster(klog)?;
+                let vc = self.write_artifact_cluster(vlog)?;
+                self.km.with_mut(id, |k| {
+                    k.pairs = art.pairs;
+                    k.data_bytes = art.data_bytes;
+                    k.min_key = art.min_key.clone();
+                    k.max_key = art.max_key.clone();
+                    k.storage.klog = Some((kc, klog.len() as u64));
+                    k.storage.vlog = Some((vc, vlog.len() as u64));
+                    // kvcsd-check: allow(fsm-bypass): artifact import reinstalls the primary's sealed-log phase verbatim (EMPTY has no edge to DEGRADED); promotion re-enters via the checked DEGRADED -> COMPACTING transition
+                    k.state = KeyspaceState::Degraded;
+                    Ok(())
+                })?;
+            }
+            ArtifactPayload::Compacted {
+                pidx,
+                pidx_pivots,
+                svalues,
+                sidx,
+            } => {
+                let pc = self.write_artifact_cluster(pidx)?;
+                let vc = self.write_artifact_cluster(svalues)?;
+                let mut indexes = Vec::with_capacity(sidx.len());
+                for s in sidx {
+                    let c = self.write_artifact_cluster(&s.data)?;
+                    indexes.push(SecondaryIndex {
+                        spec: s.spec.clone(),
+                        cluster: c,
+                        blocks: (s.data.len() / BLOCK_BYTES) as u32,
+                        sketch: Sketch::from_pivots(s.pivots.clone()),
+                        entries: s.entries,
+                    });
+                }
+                self.km.with_mut(id, |k| {
+                    k.pairs = art.pairs;
+                    k.data_bytes = art.data_bytes;
+                    k.min_key = art.min_key.clone();
+                    k.max_key = art.max_key.clone();
+                    k.storage.pidx = Some((pc, (pidx.len() / BLOCK_BYTES) as u32));
+                    k.storage.pidx_sketch = Sketch::from_pivots(pidx_pivots.clone());
+                    k.storage.svalues = Some((vc, svalues.len() as u64));
+                    for i in indexes {
+                        k.storage.sidx.insert(i.spec.name.clone(), i);
+                    }
+                    k.transition_to(KeyspaceState::Compacted)?;
+                    Ok(())
+                })?;
+            }
+        }
+        self.persist()?;
+        self.soc.ledger().bump("dev_artifacts_imported", 1);
+        Ok(id)
+    }
+
+    /// Append `data` into a fresh cluster in 4 KiB blocks.
+    fn write_artifact_cluster(&self, data: &[u8]) -> Result<ClusterId> {
+        let c = self.mgr.alloc_cluster(self.cfg.cluster_width)?;
+        for chunk in data.chunks(BLOCK_BYTES) {
+            self.mgr.append_block(c, chunk)?;
+        }
+        Ok(c)
     }
 
     /// The zone manager (diagnostics).
@@ -1350,6 +1504,156 @@ mod tests {
         }
         ok(dev.handle(KvCommand::Compact { ks }));
         dev.run_pending_jobs();
+    }
+
+    #[test]
+    fn reopen_fails_loudly_when_both_meta_generations_are_destroyed() {
+        let geom = FlashGeometry {
+            channels: 8,
+            blocks_per_channel: 256,
+            pages_per_block: 16,
+            page_bytes: 4096,
+        };
+        let ledger = Arc::new(IoLedger::new(geom.channels, geom.page_bytes));
+        let nand = Arc::new(NandArray::new(geom, &HardwareSpec::default(), ledger));
+        let zns = Arc::new(ZonedNamespace::new(nand, ZnsConfig::default()));
+        let cfg = DeviceConfig {
+            cluster_width: 8,
+            soc_dram_bytes: 8 << 20,
+            seed: 1,
+            ..DeviceConfig::default()
+        };
+        let dev = KvCsdDevice::new(Arc::clone(&zns), CostModel::default(), cfg.clone());
+        let ks = create(&dev, "a");
+        load_and_compact(&dev, ks, 100);
+        drop(dev);
+        // Scribble over both ping-pong zones: every durable generation is
+        // gone but debris proves generations existed.
+        zns.reset(0).unwrap();
+        zns.reset(1).unwrap();
+        zns.append(0, &[0xAA; 64]).unwrap();
+        zns.append(1, &[0xBB; 64]).unwrap();
+        let err = KvCsdDevice::reopen(Arc::clone(&zns), CostModel::default(), cfg).unwrap_err();
+        assert_eq!(err, DeviceError::CorruptMetadata);
+        // And the protocol surface is a persistent media error, never a
+        // silently-empty device.
+        assert!(matches!(KvStatus::from(err), KvStatus::MediaError(_)));
+    }
+
+    #[test]
+    fn compacted_artifacts_install_verbatim_on_a_peer_device() {
+        let dev = device();
+        let ks = create(&dev, "a");
+        load_and_compact(&dev, ks, 500);
+        ok(dev.handle(KvCommand::BuildSecondaryIndex {
+            ks,
+            spec: SecondaryIndexSpec {
+                name: "energy".into(),
+                value_offset: 28,
+                value_len: 4,
+                key_type: SecondaryKeyType::F32,
+            },
+        }));
+        dev.run_pending_jobs();
+        let art = dev.export_keyspace_artifacts(ks).unwrap();
+        assert_eq!(art.ship_kind(), kvcsd_proto::ShipKind::Compacted);
+        assert_eq!(art.pairs, 500);
+
+        let peer = device();
+        let pid = peer.import_keyspace_artifacts(&art).unwrap();
+        for i in [0u32, 123, 499] {
+            match ok(peer.handle(KvCommand::Get {
+                ks: pid,
+                key: key(i),
+            })) {
+                KvResponse::Value(v) => assert_eq!(v, value(i)),
+                other => panic!("{other:?}"),
+            }
+        }
+        // The shipped secondary index serves queries without a rebuild.
+        match ok(peer.handle(KvCommand::SidxGet {
+            ks: pid,
+            index: "energy".into(),
+            key: SidxKey::F32(42.0),
+        })) {
+            KvResponse::Entries(es) => assert_eq!(es.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        // The point of index replication: the peer never re-compacted.
+        assert_eq!(peer.soc().ledger().custom("dev_compactions"), 0);
+        assert_eq!(peer.soc().ledger().custom("dev_sidx_builds"), 0);
+        assert_eq!(peer.soc().ledger().custom("dev_artifacts_imported"), 1);
+    }
+
+    #[test]
+    fn sealed_log_artifacts_recover_through_degraded_compaction() {
+        let dev = device();
+        let ks = create(&dev, "a");
+        for i in 0..200u32 {
+            ok(dev.handle(KvCommand::Put {
+                ks,
+                key: key(i),
+                value: value(i),
+            }));
+        }
+        // Seal synchronously; the sort job stays queued — this is the
+        // mid-compaction window a primary can die in.
+        ok(dev.handle(KvCommand::Compact { ks }));
+        let art = dev.export_keyspace_artifacts(ks).unwrap();
+        assert_eq!(art.ship_kind(), kvcsd_proto::ShipKind::SealedLogs);
+
+        let peer = device();
+        let pid = peer.import_keyspace_artifacts(&art).unwrap();
+        peer.keyspaces()
+            .with(pid, |k| {
+                assert_eq!(k.state, KeyspaceState::Degraded);
+                Ok(())
+            })
+            .unwrap();
+        // Promotion re-enters compaction via the checked DEGRADED edge.
+        ok(peer.handle(KvCommand::Compact { ks: pid }));
+        peer.run_pending_jobs();
+        for i in [0u32, 57, 199] {
+            match ok(peer.handle(KvCommand::Get {
+                ks: pid,
+                key: key(i),
+            })) {
+                KvResponse::Value(v) => assert_eq!(v, value(i)),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn importing_an_artifact_supersedes_the_same_name_keyspace() {
+        let dev = device();
+        let ks = create(&dev, "a");
+        load_and_compact(&dev, ks, 50);
+        let art = dev.export_keyspace_artifacts(ks).unwrap();
+        let peer = device();
+        let first = peer.import_keyspace_artifacts(&art).unwrap();
+        let second = peer.import_keyspace_artifacts(&art).unwrap();
+        assert_ne!(first, second);
+        assert_eq!(peer.keyspaces().len(), 1);
+        assert_eq!(peer.keyspaces().lookup("a").unwrap(), second);
+    }
+
+    #[test]
+    fn writable_keyspaces_have_nothing_durable_to_export() {
+        let dev = device();
+        let ks = create(&dev, "a");
+        ok(dev.handle(KvCommand::Put {
+            ks,
+            key: key(1),
+            value: value(1),
+        }));
+        assert!(matches!(
+            dev.export_keyspace_artifacts(ks),
+            Err(DeviceError::BadState {
+                op: "export_artifacts",
+                ..
+            })
+        ));
     }
 
     #[test]

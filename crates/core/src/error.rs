@@ -37,6 +37,12 @@ pub enum DeviceError {
     DeadlineExceeded,
     /// Underlying flash error.
     Flash(FlashError),
+    /// Both metadata zones hold torn debris and neither holds a single
+    /// CRC-valid snapshot generation. The device may have persisted
+    /// state that is now unrecoverable, so reopen refuses to silently
+    /// come up empty (serving "generation zero" would un-ack every
+    /// write); an operator or the cluster failover path must decide.
+    CorruptMetadata,
     /// A state change that is not an edge of the machine's lifecycle
     /// table (see `crate::lifecycle`).
     IllegalTransition {
@@ -66,6 +72,9 @@ impl fmt::Display for DeviceError {
             DeviceError::Stalled => write!(f, "write stalled (overload)"),
             DeviceError::DeadlineExceeded => write!(f, "deadline exceeded"),
             DeviceError::Flash(e) => write!(f, "flash: {e}"),
+            DeviceError::CorruptMetadata => {
+                write!(f, "both metadata snapshot generations are corrupt")
+            }
             DeviceError::IllegalTransition { machine, from, to } => {
                 write!(f, "illegal {machine} transition: {from} -> {to}")
             }
@@ -112,6 +121,7 @@ impl From<DeviceError> for KvStatus {
             }
             DeviceError::Flash(FlashError::PowerLoss) => KvStatus::PowerLoss,
             DeviceError::Flash(e) => KvStatus::Internal(e.to_string()),
+            e @ DeviceError::CorruptMetadata => KvStatus::MediaError(e.to_string()),
             e @ DeviceError::IllegalTransition { .. } => KvStatus::Internal(e.to_string()),
             DeviceError::Internal(m) => KvStatus::Internal(m),
         }
@@ -145,6 +155,12 @@ mod tests {
             KvStatus::Busy
         );
         assert_eq!(KvStatus::from(DeviceError::Stalled), KvStatus::Stalled);
+        // Doubly-corrupt metadata is a media-grade failure: not retryable,
+        // not degraded — the device cannot come up without intervention.
+        assert!(matches!(
+            KvStatus::from(DeviceError::CorruptMetadata),
+            KvStatus::MediaError(_)
+        ));
         assert_eq!(
             KvStatus::from(DeviceError::DeadlineExceeded),
             KvStatus::DeadlineExceeded

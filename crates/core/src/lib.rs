@@ -35,6 +35,7 @@
 //! storage I/O goes through the real ZNS rules in `kvcsd-flash`.
 
 pub mod admission;
+pub mod artifact;
 pub mod compact;
 pub mod device;
 pub mod dram;
@@ -52,6 +53,7 @@ pub mod wal;
 pub mod zone_mgr;
 
 pub use admission::{AdmissionConfig, AdmissionGate, Deadline, Decision, PressureSample};
+pub use artifact::{ArtifactPayload, KeyspaceArtifacts, SidxArtifact};
 pub use device::{DeviceConfig, KvCsdDevice};
 pub use dram::{DramBudget, DramReservation};
 pub use error::DeviceError;

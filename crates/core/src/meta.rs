@@ -219,6 +219,19 @@ impl MetaStore {
         Ok(self.read_generations()?.into_iter().next())
     }
 
+    /// True when *both* zones hold debris past their valid frame chains
+    /// yet neither holds a single CRC-valid generation. A fresh device
+    /// has two clean zones, and a first-ever snapshot that tore dirties
+    /// only one — so this state can only be reached by destroying (or
+    /// never completing) two generations. Mounting such a store as empty
+    /// would silently un-ack whatever those generations held; callers
+    /// must fail loudly instead ([`DeviceError::CorruptMetadata`]).
+    pub fn is_doubly_corrupt(&self) -> Result<bool> {
+        let a = self.scan_zone(self.zone_a)?;
+        let b = self.scan_zone(self.zone_b)?;
+        Ok(a.frames.is_empty() && b.frames.is_empty() && a.dirty && b.dirty)
+    }
+
     /// Every CRC-valid snapshot across both zones, newest first (by
     /// sequence number). Callers that fail to *decode* the newest
     /// generation (format damage beyond what the CRC covers) fall back to
@@ -360,5 +373,45 @@ mod tests {
     fn oversized_snapshot_rejected() {
         let (mut s, _) = store();
         assert!(s.write(&vec![0u8; 100_000]).is_err());
+    }
+
+    #[test]
+    fn both_zones_torn_is_detected_as_doubly_corrupt() {
+        let (mut s, zns) = store();
+        s.write(b"durable-generation").unwrap();
+        // Destroy both generations: reset wipes the valid chains and the
+        // garbage appends leave non-frame debris in each zone — the state
+        // a doubly-failed ping-pong (or media scribble) leaves behind.
+        zns.reset(0).unwrap();
+        zns.reset(1).unwrap();
+        zns.append(0, &[0xAA; 64]).unwrap();
+        zns.append(1, &[0xBB; 64]).unwrap();
+        let remounted = MetaStore::new(Arc::clone(&zns), 0);
+        assert!(remounted.is_doubly_corrupt().unwrap());
+        // No generation is served — the store does not invent an empty one.
+        assert_eq!(remounted.read_latest().unwrap(), None);
+        assert!(remounted.read_generations().unwrap().is_empty());
+    }
+
+    #[test]
+    fn a_single_torn_zone_stays_a_legal_fresh_start() {
+        // A first-ever snapshot that tore dirties exactly one zone; that
+        // must keep mounting as an empty store (nothing was ever durable),
+        // not trip the doubly-corrupt detector.
+        let (s, zns) = store();
+        zns.append(0, &[0xAA; 64]).unwrap();
+        assert!(!s.is_doubly_corrupt().unwrap());
+        assert_eq!(s.read_latest().unwrap(), None);
+    }
+
+    #[test]
+    fn a_valid_generation_beside_debris_is_not_doubly_corrupt() {
+        let (mut s, zns) = store();
+        s.write(b"good").unwrap();
+        // Debris in the *other* zone only: the good generation survives.
+        zns.append(1, &[0xCC; 64]).unwrap();
+        let remounted = MetaStore::new(Arc::clone(&zns), 0);
+        assert!(!remounted.is_doubly_corrupt().unwrap());
+        assert_eq!(remounted.read_latest().unwrap().unwrap(), b"good");
     }
 }

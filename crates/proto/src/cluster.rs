@@ -1,0 +1,141 @@
+//! Shard and replica command framing for the multi-device cluster.
+//!
+//! A cluster is N independent KV-CSD devices behind a host-side router
+//! (see `crates/cluster`). Two things cross crate boundaries and
+//! therefore live here in the protocol crate:
+//!
+//! * **Shard addressing** — [`ShardId`] plus the [`ShardRoute`] header the
+//!   router stamps on every command it forwards, so per-shard retries and
+//!   failover redirects can be reasoned about in protocol terms.
+//! * **Replication framing** — [`ReplicaShip`], the envelope a primary
+//!   wraps around a sealed index/block artifact before pushing it to its
+//!   peer over the replication bus. The replica replays these envelopes
+//!   in `seq` order during promotion; [`ReplicaShip::wire_size`] is what
+//!   the bus charges, mirroring how [`crate::transport::QueuePair`]
+//!   charges command capsules to the DMA counters.
+//!
+//! The artifact *contents* (index blocks, sketches, sealed logs) are
+//! `kvcsd-core` types; this crate only frames their byte counts, keeping
+//! the proto → core dependency direction intact.
+
+/// Identifies one shard (primary + optional replica pair) in a cluster.
+pub type ShardId = u32;
+
+/// Fixed bytes of a replication envelope on the bus: sequence number (8),
+/// shard id (4), artifact kind (1), keyspace-name length (2), payload
+/// length (8), CRC (4).
+pub const SHIP_HEADER_BYTES: u64 = 27;
+
+/// What a shipped artifact contains, which decides how the replica
+/// replays it at promotion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipKind {
+    /// Sealed write-ahead logs (klog + vlog) from the idempotent seal —
+    /// shipped the moment a compaction starts, so acked writes survive a
+    /// primary dying mid-compaction. The replica must re-run compaction
+    /// after installing these.
+    SealedLogs,
+    /// Fully built primary/secondary indexes and value blocks — shipped
+    /// when compaction (and any index builds) complete. The replica
+    /// installs them verbatim and never re-compacts, which is the point
+    /// of index replication (Vardoulakis et al.).
+    Compacted,
+}
+
+/// Routing header the cluster router attaches to a forwarded command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRoute {
+    /// Shard the command was routed to.
+    pub shard: ShardId,
+    /// How many times this command has been redirected after a failover.
+    /// Lets the router distinguish "retry against the promoted replica"
+    /// (redirects += 1, no backoff) from ordinary overload retries.
+    pub redirects: u32,
+}
+
+impl ShardRoute {
+    pub fn new(shard: ShardId) -> Self {
+        Self {
+            shard,
+            redirects: 0,
+        }
+    }
+
+    /// The route after a failover redirect to the promoted replica.
+    pub fn redirected(self) -> Self {
+        Self {
+            shard: self.shard,
+            redirects: self.redirects + 1,
+        }
+    }
+}
+
+/// Envelope for one artifact pushed from a primary to its replica peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaShip {
+    /// Monotonic per-channel sequence number; replay is in `seq` order and
+    /// a later ship for the same keyspace supersedes an earlier one.
+    pub seq: u64,
+    /// Shard whose primary produced the artifact.
+    pub shard: ShardId,
+    /// Keyspace the artifact belongs to.
+    pub keyspace: String,
+    /// What the payload contains.
+    pub kind: ShipKind,
+    /// Exact artifact payload size in bytes (index blocks + value blocks +
+    /// metadata), as exported by the primary.
+    pub payload_bytes: u64,
+}
+
+impl ReplicaShip {
+    /// Bytes this envelope occupies on the replication bus.
+    pub fn wire_size(&self) -> u64 {
+        SHIP_HEADER_BYTES + self.keyspace.len() as u64 + self.payload_bytes
+    }
+
+    /// True when `self` makes `earlier` redundant for replay: same
+    /// keyspace, newer sequence number. A `Compacted` ship carries
+    /// everything the preceding `SealedLogs` ship did.
+    pub fn supersedes(&self, earlier: &ReplicaShip) -> bool {
+        self.keyspace == earlier.keyspace && self.seq > earlier.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ship(seq: u64, keyspace: &str, kind: ShipKind, payload: u64) -> ReplicaShip {
+        ReplicaShip {
+            seq,
+            shard: 1,
+            keyspace: keyspace.into(),
+            kind,
+            payload_bytes: payload,
+        }
+    }
+
+    #[test]
+    fn wire_size_counts_header_name_and_payload() {
+        let s = ship(7, "events", ShipKind::Compacted, 4096);
+        assert_eq!(s.wire_size(), SHIP_HEADER_BYTES + 6 + 4096);
+    }
+
+    #[test]
+    fn later_ship_for_same_keyspace_supersedes() {
+        let sealed = ship(1, "events", ShipKind::SealedLogs, 100);
+        let built = ship(2, "events", ShipKind::Compacted, 4096);
+        let other = ship(3, "metrics", ShipKind::Compacted, 4096);
+        assert!(built.supersedes(&sealed));
+        assert!(!sealed.supersedes(&built));
+        assert!(!other.supersedes(&built));
+    }
+
+    #[test]
+    fn redirect_counts_failover_hops() {
+        let r = ShardRoute::new(3);
+        assert_eq!(r.redirects, 0);
+        let r2 = r.redirected();
+        assert_eq!((r2.shard, r2.redirects), (3, 1));
+    }
+}

@@ -16,11 +16,13 @@
 //! the device side.
 
 pub mod bulk;
+pub mod cluster;
 pub mod command;
 pub mod status;
 pub mod transport;
 
 pub use bulk::{BulkBuilder, BulkPayload, DEFAULT_BULK_BYTES};
+pub use cluster::{ReplicaShip, ShardId, ShardRoute, ShipKind};
 pub use command::{
     Bound, JobId, JobState, KeyspaceDesc, KeyspaceStat, KeyspaceState, KvCommand, KvResponse,
     SecondaryIndexSpec, SecondaryKeyType, SidxKey,

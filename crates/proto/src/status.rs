@@ -52,6 +52,14 @@ pub enum KvStatus {
     /// The device lost power mid-command; it must be power-cycled and
     /// reopened before it will accept commands again.
     PowerLoss,
+    /// Cluster routing: the shard owning this key range is down and no
+    /// replica is available to promote. Retrying against the same cluster
+    /// cannot succeed until an operator restores the shard.
+    ShardUnavailable { shard: u32 },
+    /// Cluster routing: the shard's primary died and the router is
+    /// promoting its replica. The command did not execute; an immediate
+    /// retry will be routed to the promoted replica.
+    FailoverInProgress { shard: u32 },
     /// Internal device error (wraps a flash-layer message).
     Internal(String),
 }
@@ -64,7 +72,10 @@ impl KvStatus {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            KvStatus::TransientDeviceError(_) | KvStatus::Busy | KvStatus::Stalled
+            KvStatus::TransientDeviceError(_)
+                | KvStatus::Busy
+                | KvStatus::Stalled
+                | KvStatus::FailoverInProgress { .. }
         )
     }
 }
@@ -93,6 +104,12 @@ impl fmt::Display for KvStatus {
             }
             KvStatus::MediaError(msg) => write!(f, "persistent media error: {msg}"),
             KvStatus::PowerLoss => write!(f, "device power loss"),
+            KvStatus::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} unavailable (primary dead, no replica)")
+            }
+            KvStatus::FailoverInProgress { shard } => {
+                write!(f, "shard {shard} failing over to replica")
+            }
             KvStatus::Internal(msg) => write!(f, "internal device error: {msg}"),
         }
     }
@@ -120,6 +137,14 @@ mod tests {
             (KvStatus::Busy, "busy"),
             (KvStatus::Stalled, "stalled"),
             (KvStatus::DeadlineExceeded, "deadline exceeded"),
+            (
+                KvStatus::ShardUnavailable { shard: 2 },
+                "shard 2 unavailable",
+            ),
+            (
+                KvStatus::FailoverInProgress { shard: 1 },
+                "shard 1 failing over",
+            ),
         ];
         for (s, needle) in cases {
             assert!(s.to_string().contains(needle), "{s:?}");
@@ -132,6 +157,7 @@ mod tests {
             KvStatus::TransientDeviceError("soft".into()),
             KvStatus::Busy,
             KvStatus::Stalled,
+            KvStatus::FailoverInProgress { shard: 0 },
         ] {
             assert!(retryable.is_retryable(), "{retryable:?}");
         }
@@ -142,6 +168,7 @@ mod tests {
             KvStatus::KeyNotFound,
             KvStatus::DeadlineExceeded,
             KvStatus::Internal("x".into()),
+            KvStatus::ShardUnavailable { shard: 0 },
         ] {
             assert!(!fatal.is_retryable(), "{fatal:?}");
         }

@@ -81,6 +81,14 @@ pub enum FaultKind {
 pub struct FaultPlan {
     /// Seed for every probabilistic draw the injector makes.
     pub seed: u64,
+    /// Device this plan's injector is attached to. One declarative plan
+    /// can be shared across an N-device fleet: each device builds its
+    /// injector from `plan.for_device(id)`, which keys the random stream
+    /// (and the stagger of scheduled cuts) off `(seed, device_id)` so
+    /// per-shard failure schedules are deterministic and *distinct* —
+    /// rather than every device tearing the same page at the same op.
+    /// Device 0 reproduces the historical single-device stream exactly.
+    pub device_id: u32,
     /// Per-op probability of an injected error, by class.
     pub read_error_prob: f64,
     pub program_error_prob: f64,
@@ -103,6 +111,7 @@ impl FaultPlan {
     pub fn none() -> Self {
         Self {
             seed: 1,
+            device_id: 0,
             read_error_prob: 0.0,
             program_error_prob: 0.0,
             erase_error_prob: 0.0,
@@ -150,6 +159,30 @@ impl FaultPlan {
         self
     }
 
+    /// Key this plan to one device of a fleet. The same `(plan, id)` pair
+    /// always yields the same schedule; different ids yield decorrelated
+    /// streams from the one shared seed.
+    pub fn for_device(mut self, id: u32) -> Self {
+        self.device_id = id;
+        self
+    }
+
+    /// The seed actually driving this plan's RNG: `seed` for device 0
+    /// (bit-compatible with single-device plans), a splitmix64-style
+    /// mix of `(seed, device_id)` otherwise.
+    pub fn effective_seed(&self) -> u64 {
+        if self.device_id == 0 {
+            return self.seed;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add((self.device_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        // XorShift64 requires a non-zero seed.
+        (z ^ (z >> 31)) | 1
+    }
+
     fn error_prob(&self, class: OpClass) -> f64 {
         match class {
             OpClass::NandRead => self.read_error_prob,
@@ -183,7 +216,7 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         let next_cut = plan.power_cut_at.or(plan.power_cut_every);
         let state = InjectorState {
-            rng: XorShift64::new(plan.seed),
+            rng: XorShift64::new(plan.effective_seed()),
             ops: 0,
             next_cut,
             powered_off: false,
@@ -253,6 +286,23 @@ impl FaultInjector {
             };
         }
         FaultDecision::Ok
+    }
+
+    /// Cut power immediately: every subsequent operation fails with
+    /// [`FaultDecision::PoweredOff`] until [`FaultInjector::power_restore`].
+    /// Lets a torture harness kill a device at an externally-chosen point
+    /// instead of an op-count; the cut is recorded like any planned one.
+    pub fn power_off_now(&self) {
+        let mut st = self.state.lock();
+        if !st.powered_off {
+            st.powered_off = true;
+            let op = st.ops;
+            st.log.push(FaultEvent {
+                op,
+                class: OpClass::NandProgram,
+                kind: FaultKind::PowerCut,
+            });
+        }
     }
 
     /// Restore power after a cut; schedules the next periodic cut if the
@@ -397,6 +447,65 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn device_zero_preserves_the_single_device_stream() {
+        let plan = FaultPlan {
+            seed: 42,
+            ..FaultPlan::none()
+        }
+        .with_error_prob(0.25);
+        assert_eq!(plan.clone().for_device(0), plan);
+        assert_eq!(plan.effective_seed(), plan.seed);
+    }
+
+    #[test]
+    fn one_shared_plan_keys_distinct_deterministic_streams_per_device() {
+        let plan = FaultPlan {
+            seed: 7,
+            ..FaultPlan::none()
+        }
+        .with_error_prob(0.2)
+        .with_persistent_fraction(0.3);
+        let run = |id: u32| {
+            let inj = FaultInjector::new(plan.clone().for_device(id));
+            (0..300)
+                .map(|_| inj.decide(OpClass::NandProgram, 128))
+                .collect::<Vec<_>>()
+        };
+        // Same (plan, id) reproduces the identical schedule...
+        assert_eq!(run(1), run(1));
+        assert_eq!(run(3), run(3));
+        // ...and distinct ids draw decorrelated streams from one seed.
+        assert_ne!(run(0), run(1));
+        assert_ne!(run(1), run(2));
+        assert_ne!(run(2), run(3));
+    }
+
+    #[test]
+    fn scheduled_cuts_stay_per_device_exact_with_distinct_torn_prefixes() {
+        // Each device owns its injector: the cut lands on each device's
+        // *own* N-th op regardless of fleet interleaving, while the torn
+        // prefix (an RNG draw) differs per device.
+        let plan = FaultPlan::power_cut_at(3, 11);
+        let torn = |id: u32| {
+            let inj = FaultInjector::new(plan.clone().for_device(id));
+            inj.decide(OpClass::NandRead, 0);
+            inj.decide(OpClass::NandRead, 0);
+            match inj.decide(OpClass::NandProgram, 4096) {
+                FaultDecision::PowerCut {
+                    torn_prefix_bytes: Some(n),
+                } => n,
+                d => panic!("device {id}: expected torn cut, got {d:?}"),
+            }
+        };
+        assert_eq!(torn(1), torn(1), "same device id must reproduce");
+        assert_ne!(
+            torn(1),
+            torn(2),
+            "distinct devices must not tear identically"
+        );
     }
 
     #[test]

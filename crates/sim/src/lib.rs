@@ -19,6 +19,7 @@
 //! See `DESIGN.md` §2 for why this substitution preserves the paper's
 //! result *shapes* even though absolute numbers are not comparable.
 
+pub mod bus;
 pub mod bytes;
 pub mod clock;
 pub mod config;
@@ -32,6 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 
+pub use bus::{BusConfig, BusResource};
 pub use clock::{VirtualClock, WallTimer};
 pub use config::{CostModel, HardwareSpec};
 pub use fault::{FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultPlan, OpClass};

@@ -6,6 +6,7 @@
 
 pub use kvcsd_blockfs as blockfs;
 pub use kvcsd_client as client;
+pub use kvcsd_cluster as cluster;
 pub use kvcsd_core as device;
 pub use kvcsd_flash as flash;
 pub use kvcsd_hostsim as hostsim;
