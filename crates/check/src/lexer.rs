@@ -125,31 +125,41 @@ pub fn scrub(source: &str) -> Scrubbed {
             blank(&mut bytes, start, i.min(len));
         } else if b == b'\'' || (!prev_ident && b == b'b' && next(1) == b'\'') {
             let q = if b == b'\'' { i } else { i + 1 };
-            // Char literal vs lifetime: a literal closes with `'` within a
-            // few bytes (escape sequences and multi-byte chars included);
-            // a lifetime never closes.
+            // Char literal vs lifetime. Three shapes close with a quote:
+            //
+            // * escaped:   `'\n'`, `'\''`, `'\u{1F600}'` — a `\` right
+            //   after the tick; scan (bounded) for the closing quote;
+            // * word-like: `'a'`, `'_'`, `'é'` — a run of identifier or
+            //   non-ASCII bytes then a quote. The same run *not* followed
+            //   by a quote is a lifetime (`'a`, `'static`) or a loop
+            //   label (`'outer:`), including `<'a>('x')` where the old
+            //   fixed-window scan used to eat the next literal's opener;
+            // * punctuation: `'}'`, `' '` — any other single byte framed
+            //   by quotes.
             let mut end = None;
             if next_at(&bytes, q + 1) == b'\\' {
-                let mut j = q + 3; // skip the escaped char
-                while j < len && j <= q + 8 {
+                let mut j = q + 3; // at least one escaped byte
+                while j < len && j <= q + 16 {
                     if bytes[j] == b'\'' {
                         end = Some(j);
                         break;
                     }
                     j += 1;
                 }
-            } else {
-                let mut j = q + 2;
-                while j < len && j <= q + 5 {
-                    if bytes[j] == b'\'' {
-                        end = Some(j);
-                        break;
-                    }
-                    if bytes[j] == b'\n' {
-                        break;
-                    }
+            } else if is_ident(next_at(&bytes, q + 1)) || next_at(&bytes, q + 1) >= 0x80 {
+                let mut j = q + 1;
+                while j < len && (is_ident(bytes[j]) || bytes[j] >= 0x80) {
                     j += 1;
                 }
+                if next_at(&bytes, j) == b'\'' {
+                    end = Some(j); // `'a'`-shaped literal
+                } // else: lifetime or loop label — keep the tick
+            } else if next_at(&bytes, q + 1) != b'\''
+                && next_at(&bytes, q + 1) != b'\n'
+                && next_at(&bytes, q + 1) != 0
+                && next_at(&bytes, q + 2) == b'\''
+            {
+                end = Some(q + 2); // punctuation literal like `'}'`
             }
             if let Some(e) = end {
                 blank(&mut bytes, i, e + 1);
@@ -639,6 +649,86 @@ pub fn collect_interior_mutable_structs(code: &str) -> Vec<(String, usize)> {
     out
 }
 
+/// Variant names of `enum <name>` in scrubbed code, in declaration
+/// order. Lexical: finds the enum keyword, brace-matches the body, and
+/// takes the leading identifier of every depth-1 segment (skipping
+/// `#[...]` attributes; doc comments are already blanked). Feeds the
+/// `status-map` rule's cross-file variant list.
+pub fn collect_enum_variants(code: &str, name: &str) -> Vec<String> {
+    let bytes = code.as_bytes();
+    let needle = format!("enum {name}");
+    let Some(ix) = find_all(code, &needle)
+        .into_iter()
+        .find(|&ix| bounded(bytes, ix, needle.len()))
+    else {
+        return Vec::new();
+    };
+    let mut j = ix + needle.len();
+    while j < bytes.len() && bytes[j] != b'{' {
+        j += 1;
+    }
+    if j >= bytes.len() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = false;
+    while j < bytes.len() {
+        let b = bytes[j];
+        match b {
+            b'{' | b'(' | b'[' => {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+                j += 1;
+            }
+            b'}' | b')' | b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            b',' if depth == 1 => {
+                expect_variant = true;
+                j += 1;
+            }
+            b'#' if depth == 1 => {
+                // Attribute: skip the bracketed group.
+                while j < bytes.len() && bytes[j] != b'[' {
+                    j += 1;
+                }
+                let mut d = 0i32;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'[' => d += 1,
+                        b']' => {
+                            d -= 1;
+                            if d == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            _ if depth == 1 && expect_variant && is_ident(b) => {
+                let start = j;
+                while j < bytes.len() && is_ident(bytes[j]) {
+                    j += 1;
+                }
+                out.push(code[start..j].to_string());
+                expect_variant = false;
+            }
+            _ => j += 1,
+        }
+    }
+    out
+}
+
 /// Does `text` mention one of the std interior-mutable types, word-bounded?
 fn interior_mutable_type_in(text: &str) -> bool {
     let bytes = text.as_bytes();
@@ -725,6 +815,63 @@ mod tests {
         assert!(!s.code.contains("Instant"));
         assert!(!s.code.contains("still"));
         assert!(s.code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn scrub_handles_hashed_raw_strings() {
+        // A `"#` inside a `##`-fenced raw string must not close it, and
+        // the `br#` byte-string prefix is recognized too.
+        let src = r####"let a = r##"has "# and Mutex inside"##; let b = br#"unwrap() too"#; let ok = 1;"####;
+        let s = scrub(src);
+        assert!(!s.code.contains("Mutex"), "{}", s.code);
+        assert!(!s.code.contains("unwrap"), "{}", s.code);
+        assert!(s.code.contains("let ok = 1;"), "{}", s.code);
+        // A raw *identifier* is not a raw string: nothing after it is eaten.
+        let s = scrub("let r#fn = 1; let live = Instant::now();");
+        assert!(s.code.contains("Instant::now"), "{}", s.code);
+    }
+
+    #[test]
+    fn scrub_handles_deeply_nested_block_comments() {
+        let src = "/* 1 /* 2 /* SystemTime::now() */ 2 */ thread::sleep(d); */ let x = 1; /* a /* b */ c */ let y = 2;";
+        let s = scrub(src);
+        assert!(!s.code.contains("SystemTime"), "{}", s.code);
+        assert!(!s.code.contains("sleep"), "depth tracking: {}", s.code);
+        assert!(s.code.contains("let x = 1;"), "{}", s.code);
+        assert!(s.code.contains("let y = 2;"), "{}", s.code);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal_disambiguation() {
+        // `<'a>('x')`: the lifetime must not swallow the literal's opener
+        // (the old fixed-window scan blanked `'a>('` as a "literal").
+        let s =
+            scrub("fn f<'a>(c: char) -> &'a str { if c == 'x' { unreachable() } else { q() } }");
+        assert!(s.code.contains("<'a>"), "lifetime kept: {}", s.code);
+        assert!(s.code.contains("&'a str"), "{}", s.code);
+        assert!(!s.code.contains("'x'"), "literal blanked: {}", s.code);
+        assert!(s.code.contains("unreachable()"), "{}", s.code);
+
+        // Loop labels and `'static` are lifetimes; `'_'` is a literal.
+        let s = scrub("'outer: loop { break 'outer; }; let u = '_'; let l: &'static str;");
+        assert!(s.code.contains("'outer: loop"), "{}", s.code);
+        assert!(s.code.contains("break 'outer;"), "{}", s.code);
+        assert!(!s.code.contains("'_'"), "{}", s.code);
+        assert!(s.code.contains("&'static str"), "{}", s.code);
+
+        // Long escapes, multi-byte chars, punctuation chars, byte chars.
+        let s = scrub(
+            r"let a = '\u{1F600}'; let b = 'é'; let c = '}'; let d = b'\n'; let e = ' '; done();",
+        );
+        for lit in ["1F600", "é", "'}'", "b'", "' '"] {
+            assert!(!s.code.contains(lit), "{lit} blanked: {}", s.code);
+        }
+        assert!(s.code.contains("done();"), "{}", s.code);
+
+        // An escaped quote literal does not derail the scan.
+        let s = scrub(r"let q = '\''; let live = Instant::now();");
+        assert!(s.code.contains("Instant::now"), "{}", s.code);
+        assert!(!s.code.contains(r"'\''"), "{}", s.code);
     }
 
     #[test]
@@ -816,6 +963,22 @@ mod tests {
             .map(|(n, _)| n)
             .collect();
         assert_eq!(names, vec!["B", "C", "D"]);
+    }
+
+    #[test]
+    fn enum_variants_are_collected_in_order() {
+        let code = "/// doc\npub enum KvStatus {\n    KeyNotFound,\n    #[allow(dead_code)]\n    BadKeyspaceState { state: &'static str, op: &'static str },\n    TransientDeviceError(String),\n    Busy,\n}\npub enum Other { X }";
+        let v = collect_enum_variants(&scrub(code).code, "KvStatus");
+        assert_eq!(
+            v,
+            vec![
+                "KeyNotFound",
+                "BadKeyspaceState",
+                "TransientDeviceError",
+                "Busy"
+            ]
+        );
+        assert_eq!(collect_enum_variants(code, "Missing"), Vec::<String>::new());
     }
 
     #[test]

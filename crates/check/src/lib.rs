@@ -1,8 +1,8 @@
 //! `kvcsd-check`: the workspace lint pass.
 //!
-//! Eight repo-specific rules that `rustc`/`clippy` cannot express, each
+//! Eleven repo-specific rules that `rustc`/`clippy` cannot express, each
 //! guarding an invariant the reproduction's correctness argument leans on
-//! (see `DESIGN.md` §9 and §11):
+//! (see `DESIGN.md` §9, §11 and §13):
 //!
 //! * **`sync`** — no `std::sync::{Mutex, RwLock}` outside
 //!   `kvcsd-sim::sync` itself. Every lock must go through the shims so
@@ -34,17 +34,34 @@
 //!   stacks), `crates/sim`, and test/bench harnesses. Library code goes
 //!   through the cluster router so health gating, failover and the
 //!   replica log see every device.
+//! * **`guard-across-wait`** — no shim `Mutex`/`RwLock` guard,
+//!   `Shared` borrow or DRAM reservation live across a charged wait
+//!   (`AdmissionGate` admission, `VirtualClock::advance*`,
+//!   `BusResource::transfer`), directly or through a one-level local
+//!   wrapper. The static twin of lockdep: a guard held across a stall
+//!   serialises the pipeline the paper's host/device split exists to
+//!   keep parallel.
+//! * **`status-map`** — every `KvStatus` variant parsed from
+//!   `crates/proto` must be matched by name in the `ClientError` status
+//!   classification and in the cluster router's retry classification. A
+//!   new wire status that silently falls into a `_ =>` arm gets retried
+//!   or surfaced wrongly.
+//! * **`ledger-charge`** — every function in `crates/flash`/`crates/sim`
+//!   that touches the NAND page store or a bus occupancy accumulator
+//!   must charge the `IoLedger` in the same scope (directly or through a
+//!   one-level same-crate wrapper). Uncharged media work makes the
+//!   paper's cost model lie.
 //!
 //! Exemptions are granted inline, and only with a reason:
 //!
 //! ```text
-//! // kvcsd-check: allow(unwrap): heap invariant, cursor checked non-empty above
+//! // kvcsd-check: allow(unwrap) -- heap invariant, cursor checked non-empty above
 //! let top = heap.peek().unwrap();
 //! ```
 //!
 //! The comment may sit on the offending line or the line above. An allow
-//! with an unknown rule name or an empty reason is itself a violation —
-//! the allowlist is checked, not decorative.
+//! with an unknown rule name or a missing ` -- reason` tail is itself a
+//! violation — the allowlist is checked, not decorative.
 //!
 //! There is no `syn` here by design: the workspace builds offline with
 //! zero external crates, so the checker runs on a small hand-rolled
@@ -57,11 +74,12 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod lexer;
+pub mod scope;
 
 use lexer::Scrubbed;
 
 /// The rule identifiers, as used in `allow(...)` comments and `--rule`.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 11] = [
     "sync",
     "unwrap",
     "time",
@@ -70,6 +88,63 @@ pub const RULES: [&str; 8] = [
     "fsm-bypass",
     "shared-raw",
     "router-bypass",
+    "guard-across-wait",
+    "status-map",
+    "ledger-charge",
+];
+
+/// Charged-wait primitives for the `guard-across-wait` rule: method
+/// calls that stall the simulated pipeline by charging the virtual
+/// clock ([`VirtualClock::advance`]/[`advance_to`]), consulting the
+/// admission gate (`admit_write`/`admit_query`/`admit_job` — a
+/// slowdown/stall band decision whose charge follows immediately), or
+/// occupying the replication fabric (`BusResource::transfer`).
+pub const WAIT_PRIMITIVES: [&str; 6] = [
+    "advance",
+    "advance_to",
+    "admit_write",
+    "admit_query",
+    "admit_job",
+    "transfer",
+];
+
+/// Ledger charge entry points for the `ledger-charge` rule — the
+/// [`IoLedger`] methods that account for work.
+pub const CHARGE_PRIMITIVES: [&str; 12] = [
+    "nand_read",
+    "nand_program",
+    "nand_erase",
+    "charge_host_cpu",
+    "charge_soc_cpu",
+    "dma_h2d",
+    "dma_d2h",
+    "dma_d2h_payload",
+    "fs_call",
+    "host_block_io",
+    "bridge_busy",
+    "bump",
+];
+
+/// Raw media/fabric touch markers for the `ledger-charge` rule: direct
+/// access to the NAND page store (`ChannelState::pages`) or to a bus
+/// channel's occupancy accumulator. A scope containing one of these must
+/// also charge the ledger (or call a same-crate function that does).
+const MEDIA_TOUCHES: [(&str, &str); 2] = [
+    (".pages.", "NAND page store access"),
+    ("busy_ns.update(", "bus occupancy accumulation"),
+];
+
+/// Files whose job is to classify every [`KvStatus`] variant — the
+/// `status-map` rule's coverage sites, with the role named in reports.
+const STATUS_COVERAGE: [(&str, &str); 2] = [
+    (
+        "crates/client/src/error.rs",
+        "the ClientError status classification",
+    ),
+    (
+        "crates/cluster/src/router.rs",
+        "the cluster router's retry classification",
+    ),
 ];
 
 /// One finding, printed as `path:line: [rule] message`.
@@ -108,6 +183,9 @@ pub struct RuleSet {
     pub fsm_bypass: bool,
     pub shared_raw: bool,
     pub router_bypass: bool,
+    pub guard_across_wait: bool,
+    pub status_map: bool,
+    pub ledger_charge: bool,
 }
 
 impl RuleSet {
@@ -121,6 +199,9 @@ impl RuleSet {
             fsm_bypass: false,
             shared_raw: false,
             router_bypass: false,
+            guard_across_wait: false,
+            status_map: false,
+            ledger_charge: false,
         }
     }
 }
@@ -160,7 +241,20 @@ impl RuleSet {
 ///   `crates/sim/` (substrate) and `crates/bench/` (its testbed stands up
 ///   bare devices to measure them in isolation): harnesses and
 ///   `#[cfg(test)]` regions construct devices freely, but product code
-///   must reach devices through the cluster router.
+///   must reach devices through the cluster router;
+/// * `guard-across-wait` applies to library source outside `crates/sim/`
+///   (the substrate *implements* the waits — the clock, the perturbation
+///   schedule and the bus are below the rule, and lockdep plus the race
+///   detector cover them dynamically) and outside `crates/bench/`
+///   (single-threaded testbeds drive their clock while holding whatever
+///   they like);
+/// * `status-map` applies only to the designated coverage files
+///   ([`STATUS_COVERAGE`]) — it asserts those files classify every
+///   `KvStatus` variant, not that other files avoid anything;
+/// * `ledger-charge` applies to library source in `crates/flash/` and
+///   `crates/sim/` — the only crates that touch media or fabric state
+///   directly — except `crates/sim/src/ledger.rs` itself (the charge
+///   implementations are where the counters live by definition).
 pub fn rules_for(rel_path: &str) -> RuleSet {
     let parts: Vec<&str> = rel_path.split('/').collect();
     if parts.iter().any(|p| *p == "fixtures" || *p == "target") {
@@ -181,47 +275,104 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
             && !rel_path.starts_with("crates/cluster/")
             && !rel_path.starts_with("crates/sim/")
             && !rel_path.starts_with("crates/bench/"),
+        guard_across_wait: !harness
+            && !rel_path.starts_with("crates/sim/")
+            && !rel_path.starts_with("crates/bench/"),
+        status_map: STATUS_COVERAGE.iter().any(|(p, _)| *p == rel_path),
+        ledger_charge: !harness
+            && (rel_path.starts_with("crates/flash/") || rel_path.starts_with("crates/sim/"))
+            && rel_path != "crates/sim/src/ledger.rs",
     }
 }
 
-/// Cross-file facts the single-file scanners can't see: the names of
-/// workspace structs with interior-mutable fields (the `shared-raw`
-/// taint set), mapped to the file that defines them for the report.
+/// Crate key for the per-crate call summaries: `crates/<name>/...` maps
+/// to `<name>`, everything else (workspace `src/`, `tests/`, examples)
+/// to `"root"`.
+pub fn crate_key(rel_path: &str) -> &str {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root")
+}
+
+/// Cross-file facts the single-file scanners can't see:
+///
+/// * `interior_mutable` — workspace structs with interior-mutable fields
+///   (the `shared-raw` taint set), mapped to the defining file;
+/// * `status_variants` — the `KvStatus` variant list parsed from
+///   `crates/proto`, with the defining file (the `status-map` rule's
+///   ground truth);
+/// * `wait_fns` — per crate, functions whose body *directly* calls a
+///   [`WAIT_PRIMITIVES`] method: the one-level call summary that lets
+///   `guard-across-wait` see through local wrappers like
+///   `Device::charge_wait`;
+/// * `charge_fns` — the analogous per-crate summary of functions that
+///   directly charge the [`IoLedger`], for `ledger-charge`.
 #[derive(Debug, Clone, Default)]
 pub struct CheckContext {
     pub interior_mutable: std::collections::BTreeMap<String, String>,
+    pub status_variants: Vec<String>,
+    pub status_enum_file: String,
+    pub wait_fns: std::collections::BTreeMap<String, std::collections::BTreeMap<String, String>>,
+    pub charge_fns: std::collections::BTreeMap<String, std::collections::BTreeMap<String, String>>,
 }
 
 /// Pass 1 of the tree check: collect the `shared-raw` taint set from
 /// every library file outside `crates/sim/` (the shims wrap raw cells by
-/// definition — that is their whole point).
+/// definition — that is their whole point), the `KvStatus` variant list
+/// from `crates/proto`, and the per-crate charged-wait / ledger-charge
+/// call summaries.
 pub fn build_context(sources: &[(String, String)]) -> CheckContext {
     let mut ctx = CheckContext::default();
     for (rel, source) in sources {
-        if rules_for(rel) == RuleSet::none() || rel.starts_with("crates/sim/") {
+        if rules_for(rel) == RuleSet::none() {
             continue;
         }
         let scrubbed = lexer::scrub(source);
         let test_lines = lexer::test_line_ranges(&scrubbed.code);
-        for (name, offset) in lexer::collect_interior_mutable_structs(&scrubbed.code) {
-            let line = scrubbed.line_of(offset);
-            if test_lines.iter().any(|&(a, b)| line >= a && line <= b) {
-                continue; // test-local helper types stay local
+        if !rel.starts_with("crates/sim/") {
+            for (name, offset) in lexer::collect_interior_mutable_structs(&scrubbed.code) {
+                let line = scrubbed.line_of(offset);
+                if test_lines.iter().any(|&(a, b)| line >= a && line <= b) {
+                    continue; // test-local helper types stay local
+                }
+                ctx.interior_mutable
+                    .entry(name)
+                    .or_insert_with(|| rel.clone());
             }
-            ctx.interior_mutable
-                .entry(name)
-                .or_insert_with(|| rel.clone());
         }
+        if rel.starts_with("crates/proto/") && ctx.status_variants.is_empty() {
+            let variants = lexer::collect_enum_variants(&scrubbed.code, "KvStatus");
+            if !variants.is_empty() {
+                ctx.status_variants = variants;
+                ctx.status_enum_file = rel.clone();
+            }
+        }
+        let scopes = scope::analyze(&scrubbed.code);
+        let key = crate_key(rel).to_string();
+        scope::wait_summary(
+            &scopes,
+            rel,
+            &WAIT_PRIMITIVES,
+            ctx.wait_fns.entry(key.clone()).or_default(),
+        );
+        scope::wait_summary(
+            &scopes,
+            rel,
+            &CHARGE_PRIMITIVES,
+            ctx.charge_fns.entry(key).or_default(),
+        );
     }
     ctx
 }
 
-/// An `// kvcsd-check: allow(rule): reason` exemption. The reason is
-/// validated non-empty at parse time but only kept in the source.
+/// An `// kvcsd-check: allow(rule) -- reason` exemption. The reason is
+/// kept for the machine-readable allow inventory ([`CheckReport`]).
 #[derive(Debug, Clone)]
 struct Allow {
     line: usize,
     rule: String,
+    reason: String,
     used: std::cell::Cell<bool>,
 }
 
@@ -248,7 +399,7 @@ fn parse_allows(scrubbed: &Scrubbed, file: &Path, violations: &mut Vec<Violation
         };
         let Some(args) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) else {
             violations.push(bad(format!(
-                "malformed allow comment (expected `{ALLOW_TAG} allow(<rule>): <reason>`): `{}`",
+                "malformed allow comment (expected `{ALLOW_TAG} allow(<rule>) -- <reason>`): `{}`",
                 text.trim()
             )));
             continue;
@@ -262,16 +413,29 @@ fn parse_allows(scrubbed: &Scrubbed, file: &Path, violations: &mut Vec<Violation
             )));
             continue;
         }
-        let reason = tail.trim_start().strip_prefix(':').unwrap_or("").trim();
+        // Strict separator: ` -- `. The legacy `:` form parses but is a
+        // violation, so stale exemptions surface instead of silently
+        // losing their force.
+        let reason = match tail.trim_start().strip_prefix("--") {
+            Some(r) => r.trim(),
+            None => {
+                violations.push(bad(format!(
+                    "allow({rule}) without ` -- reason` — exemptions must say why \
+                     (write `{ALLOW_TAG} allow({rule}) -- <reason>`)"
+                )));
+                continue;
+            }
+        };
         if reason.is_empty() {
             violations.push(bad(format!(
-                "allow({rule}) has no reason — exemptions must say why"
+                "allow({rule}) has an empty reason — exemptions must say why"
             )));
             continue;
         }
         allows.push(Allow {
             line: *line,
             rule: rule.to_string(),
+            reason: reason.to_string(),
             used: std::cell::Cell::new(false),
         });
     }
@@ -285,17 +449,41 @@ pub fn check_source(file: &Path, rel_path: &str, source: &str) -> Vec<Violation>
 }
 
 /// Check one file's source text. `rel_path` picks the rule set; `file` is
-/// the path reported in violations; `ctx` carries the cross-file
-/// `shared-raw` taint set from [`build_context`].
+/// the path reported in violations; `ctx` carries the cross-file facts
+/// from [`build_context`].
 pub fn check_source_with_context(
     file: &Path,
     rel_path: &str,
     source: &str,
     ctx: &CheckContext,
 ) -> Vec<Violation> {
+    check_source_report(file, rel_path, source, ctx).0
+}
+
+/// A granted (well-formed) allow comment, for the machine-readable
+/// inventory: the baseline diff keys on `(file, rule, reason)` so a
+/// *new* exemption is loud in CI even when it silences its rule.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowRecord {
+    pub file: String,
+    /// 1-based line of the comment (reported, not part of the baseline
+    /// identity — allows may move as files are edited).
+    pub line: usize,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Like [`check_source_with_context`], but also returns the inventory of
+/// well-formed allow comments the file grants.
+pub fn check_source_report(
+    file: &Path,
+    rel_path: &str,
+    source: &str,
+    ctx: &CheckContext,
+) -> (Vec<Violation>, Vec<AllowRecord>) {
     let rules = rules_for(rel_path);
     if rules == RuleSet::none() {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let scrubbed = lexer::scrub(source);
     let test_lines = lexer::test_line_ranges(&scrubbed.code);
@@ -341,7 +529,7 @@ pub fn check_source_with_context(
                 line,
                 "unwrap",
                 format!(
-                    "{} in non-test code — return a typed error, or add `// {ALLOW_TAG} allow(unwrap): <why this cannot fail>`",
+                    "{} in non-test code — return a typed error, or add `// {ALLOW_TAG} allow(unwrap) -- <why this cannot fail>`",
                     hit.what
                 ),
             );
@@ -446,6 +634,139 @@ pub fn check_source_with_context(
         }
     }
 
+    if rules.guard_across_wait || rules.ledger_charge {
+        let scopes = scope::analyze(&scrubbed.code);
+        let key = crate_key(rel_path);
+        let empty = std::collections::BTreeMap::new();
+        if rules.guard_across_wait {
+            let wait_fns = ctx.wait_fns.get(key).unwrap_or(&empty);
+            let wait_reason = |c: &scope::CallSite| -> Option<String> {
+                if c.method && WAIT_PRIMITIVES.contains(&c.leaf.as_str()) {
+                    Some(format!("`{}` (a charged wait)", c.leaf))
+                } else {
+                    wait_fns.get(&c.leaf).map(|via| format!("`{via}`"))
+                }
+            };
+            for s in &scopes {
+                if in_tests(scrubbed.line_of(s.offset)) {
+                    continue;
+                }
+                for g in &s.guards {
+                    // One finding per guard: the first charged wait
+                    // inside its live range, anchored at the wait line.
+                    let Some((c, why)) = s
+                        .calls_in_range(g)
+                        .filter(|c| c.leaf != s.name)
+                        .find_map(|c| wait_reason(c).map(|w| (c, w)))
+                    else {
+                        continue;
+                    };
+                    let held = if g.name.is_empty() {
+                        g.kind.describe().to_string()
+                    } else {
+                        format!("{} `{}`", g.kind.describe(), g.name)
+                    };
+                    push(
+                        scrubbed.line_of(c.offset),
+                        "guard-across-wait",
+                        format!(
+                            "{held} (bound on line {}) is live across {why} — drop it before stalling, or the stall serialises every thread behind the lock",
+                            scrubbed.line_of(g.offset)
+                        ),
+                    );
+                }
+                // A guard constructed *inside* a wait call's argument
+                // list is live for the whole call too: temporaries drop
+                // at the end of the full statement, after the wait.
+                for c in &s.calls {
+                    if in_tests(scrubbed.line_of(c.offset)) {
+                        continue;
+                    }
+                    let Some(why) = wait_reason(c) else {
+                        continue;
+                    };
+                    let args = &scrubbed.code[c.args.0..c.args.1];
+                    if let Some(pat) = [".lock()", ".read()", ".write()"]
+                        .iter()
+                        .find(|p| args.contains(*p))
+                    {
+                        push(
+                            scrubbed.line_of(c.offset),
+                            "guard-across-wait",
+                            format!(
+                                "temporary guard (`{pat}` in the argument list) is live across {why} — read the value into a local and drop the guard before waiting"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if rules.ledger_charge {
+            let charge_fns = ctx.charge_fns.get(key).unwrap_or(&empty);
+            for s in &scopes {
+                if in_tests(scrubbed.line_of(s.offset)) {
+                    continue;
+                }
+                let charges = s.calls.iter().any(|c| {
+                    (c.method && CHARGE_PRIMITIVES.contains(&c.leaf.as_str()))
+                        || (c.leaf != s.name && charge_fns.contains_key(&c.leaf))
+                });
+                if charges {
+                    continue;
+                }
+                let body = &scrubbed.code[s.body.0..s.body.1];
+                for (marker, what) in MEDIA_TOUCHES {
+                    if let Some(ix) = body.find(marker) {
+                        push(
+                            scrubbed.line_of(s.body.0 + ix),
+                            "ledger-charge",
+                            format!(
+                                "{what} in `{}` with no IoLedger charge in the same scope — uncharged media/fabric work makes the cost model lie",
+                                s.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if rules.status_map && !ctx.status_variants.is_empty() {
+        let role = STATUS_COVERAGE
+            .iter()
+            .find(|(p, _)| *p == rel_path)
+            .map(|(_, r)| *r)
+            .unwrap_or("this status classification");
+        let bytes = scrubbed.code.as_bytes();
+        for v in &ctx.status_variants {
+            let needle = format!("KvStatus::{v}");
+            let mut matched = false;
+            let mut from = 0;
+            while let Some(ix) = scrubbed.code[from..].find(&needle) {
+                let off = from + ix;
+                from = off + needle.len();
+                let after = bytes.get(off + needle.len()).copied().unwrap_or(0);
+                if after.is_ascii_alphanumeric() || after == b'_' {
+                    continue; // prefix of a longer variant name
+                }
+                if in_tests(scrubbed.line_of(off)) {
+                    continue;
+                }
+                matched = true;
+                break;
+            }
+            if !matched {
+                push(
+                    1,
+                    "status-map",
+                    format!(
+                        "`KvStatus::{v}` (declared in {}) is not matched in {role} — classify it by name so a catch-all arm cannot misroute a new wire status",
+                        ctx.status_enum_file
+                    ),
+                );
+            }
+        }
+    }
+
     for a in &allows {
         if !a.used.get() {
             violations.push(Violation {
@@ -460,7 +781,16 @@ pub fn check_source_with_context(
         }
     }
     violations.sort_by_key(|v| v.line);
-    violations
+    let records = allows
+        .iter()
+        .map(|a| AllowRecord {
+            file: rel_path.to_string(),
+            line: a.line,
+            rule: a.rule.clone(),
+            reason: a.reason.clone(),
+        })
+        .collect();
+    (violations, records)
 }
 
 /// Recursively collect the `.rs` files to check under `root`, as
@@ -495,29 +825,42 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> 
     Ok(files)
 }
 
+/// The full result of a tree sweep: findings plus the allow inventory,
+/// the unit the JSON output and the committed baseline serialize.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    pub violations: Vec<Violation>,
+    pub allows: Vec<AllowRecord>,
+}
+
 /// Check every `.rs` file under `root`, in two passes: pass 1 reads all
 /// sources and builds the cross-file [`CheckContext`]; pass 2 scans each
 /// file against it. I/O errors surface as violations (line 0) rather
 /// than aborting the sweep.
 pub fn check_tree(root: &Path) -> Vec<Violation> {
-    let mut violations = Vec::new();
+    check_tree_report(root).violations
+}
+
+/// [`check_tree`], keeping the allow inventory alongside the violations.
+pub fn check_tree_report(root: &Path) -> CheckReport {
+    let mut report = CheckReport::default();
     let files = match collect_rs_files(root) {
         Ok(f) => f,
         Err(e) => {
-            violations.push(Violation {
+            report.violations.push(Violation {
                 file: root.to_path_buf(),
                 line: 0,
                 rule: "allow",
                 message: format!("cannot walk tree: {e}"),
             });
-            return violations;
+            return report;
         }
     };
     let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for (path, rel) in files {
         match std::fs::read_to_string(&path) {
             Ok(source) => sources.push((rel, source)),
-            Err(e) => violations.push(Violation {
+            Err(e) => report.violations.push(Violation {
                 file: path.clone(),
                 line: 0,
                 rule: "allow",
@@ -527,7 +870,9 @@ pub fn check_tree(root: &Path) -> Vec<Violation> {
     }
     let ctx = build_context(&sources);
     for (rel, source) in &sources {
-        violations.extend(check_source_with_context(Path::new(rel), rel, source, &ctx));
+        let (violations, allows) = check_source_report(Path::new(rel), rel, source, &ctx);
+        report.violations.extend(violations);
+        report.allows.extend(allows);
     }
-    violations
+    report
 }

@@ -2,12 +2,12 @@
 //! in a `#[cfg(test)]` region — this file must scan clean.
 
 pub fn head(v: &[u32]) -> u32 {
-    // kvcsd-check: allow(unwrap): callers are required to pass non-empty slices
+    // kvcsd-check: allow(unwrap) -- callers are required to pass non-empty slices
     *v.first().unwrap()
 }
 
 pub fn tail(v: &[u32]) -> u32 {
-    *v.last().expect("non-empty") // kvcsd-check: allow(unwrap): same contract as head()
+    *v.last().expect("non-empty") // kvcsd-check: allow(unwrap) -- same contract as head()
 }
 
 pub fn not_a_real_unwrap() -> &'static str {

@@ -2,14 +2,19 @@
 //! not decorative.
 
 pub fn unknown_rule(v: &[u32]) -> u32 {
-    // kvcsd-check: allow(panics): not a rule name, so this grants nothing
+    // kvcsd-check: allow(panics) -- not a rule name, so this grants nothing
     *v.first().unwrap()
 }
 
-pub fn no_reason(v: &[u32]) -> u32 {
-    // kvcsd-check: allow(unwrap):
+pub fn legacy_separator(v: &[u32]) -> u32 {
+    // kvcsd-check: allow(unwrap): the pre-v2 colon syntax grants nothing
     *v.last().unwrap()
 }
 
-// kvcsd-check: allow(time): nothing on the next line reads the clock
+pub fn empty_reason(v: &[u32]) -> u32 {
+    // kvcsd-check: allow(unwrap) --
+    *v.first().unwrap()
+}
+
+// kvcsd-check: allow(time) -- nothing on the next line reads the clock
 pub fn idle() {}

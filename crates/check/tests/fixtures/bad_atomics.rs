@@ -15,7 +15,7 @@ pub fn load(c: &core::sync::atomic::AtomicU32) -> u32 {
 }
 
 pub fn seeded() -> u64 {
-    // kvcsd-check: allow(atomics): control arm for the Shared<T> overhead benchmark
+    // kvcsd-check: allow(atomics) -- control arm for the Shared<T> overhead benchmark
     let x = std::sync::atomic::AtomicU64::new(1);
     x.into_inner()
 }

@@ -34,7 +34,7 @@ impl Ks {
     }
 
     pub fn restore(&mut self, st: KeyspaceState) {
-        // kvcsd-check: allow(fsm-bypass): decode path reinstalls persisted state verbatim
+        // kvcsd-check: allow(fsm-bypass) -- decode path reinstalls persisted state verbatim
         self.state = st;
     }
 }

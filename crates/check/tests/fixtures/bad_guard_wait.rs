@@ -1,0 +1,20 @@
+//! Fixture: shim guards held across charged waits — the exact hazard
+//! `guard-across-wait` exists for.
+
+impl Engine {
+    pub fn ingest(&self, bytes: u64) {
+        let mut stats = self.stats.lock();
+        self.gate.admit_write(bytes);
+        *stats += bytes;
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        let view = self.table.read();
+        self.clock.advance(10);
+        view.len() as u64
+    }
+
+    pub fn tick(&self) {
+        self.clock.advance(self.stats.lock().pending_ns());
+    }
+}

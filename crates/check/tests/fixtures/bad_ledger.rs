@@ -1,0 +1,12 @@
+//! Fixture: media/fabric touches with no IoLedger charge in scope.
+
+impl Array {
+    pub fn peek(&self, ppa: u64) -> bool {
+        let st = self.channels[0].lock();
+        st.pages.contains_key(&ppa)
+    }
+
+    pub fn occupy(&self, ns: u64) {
+        self.busy_ns.update(|t| t + ns);
+    }
+}

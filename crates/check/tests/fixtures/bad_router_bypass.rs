@@ -18,7 +18,7 @@ pub fn takes_a_device(_dev: &KvCsdDevice) {
 }
 
 pub fn sanctioned(zns: Zns, cfg: Cfg) -> KvCsdDevice {
-    // kvcsd-check: allow(router-bypass): recovery tool reopens the raw device image
+    // kvcsd-check: allow(router-bypass) -- recovery tool reopens the raw device image
     KvCsdDevice::reopen(zns, CostModel::default(), cfg)
 }
 

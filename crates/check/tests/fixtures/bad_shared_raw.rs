@@ -13,7 +13,7 @@ pub fn leak_cell(a: Arc<std::cell::Cell<u64>>) -> u64 {
     a.get()
 }
 
-// kvcsd-check: allow(shared-raw): built once before any thread exists, read-only after publication
+// kvcsd-check: allow(shared-raw) -- built once before any thread exists, read-only after publication
 pub fn frozen() -> Arc<RefCell<&'static str>> {
     Arc::new(RefCell::new("ok"))
 }

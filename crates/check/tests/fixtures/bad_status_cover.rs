@@ -1,0 +1,8 @@
+//! Fixture: a coverage file with a catch-all arm hiding two variants.
+
+pub fn classify(s: &KvStatus) -> u8 {
+    match s {
+        KvStatus::KeyNotFound => 0,
+        _ => 9,
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: clean guard/wait interleavings — block scoping, explicit
+//! drop, and waiting before binding all keep guards off the stall path.
+
+impl Engine {
+    pub fn ingest(&self, bytes: u64) {
+        {
+            let mut stats = self.stats.lock();
+            *stats += bytes;
+        }
+        self.gate.admit_write(bytes);
+    }
+
+    pub fn record(&self, bytes: u64) {
+        self.gate.admit_query(bytes);
+        let mut stats = self.stats.lock();
+        *stats += bytes;
+    }
+
+    pub fn drain(&self) {
+        let pending = self.queue.lock();
+        let n = pending.pending_ns();
+        drop(pending);
+        self.clock.advance(n);
+    }
+}

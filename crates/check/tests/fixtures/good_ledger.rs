@@ -1,0 +1,24 @@
+//! Fixture: every media/fabric touch charges the ledger in the same
+//! scope — directly or through a same-crate one-level wrapper.
+
+impl Array {
+    pub fn probe(&self, ppa: u64) -> bool {
+        self.ledger.bump("page_probes", 1);
+        let st = self.channels[0].lock();
+        st.pages.contains_key(&ppa)
+    }
+
+    pub fn occupy(&self, ns: u64) {
+        self.busy_ns.update(|t| t + ns);
+        self.ledger.bridge_busy(ns);
+    }
+
+    fn charge_probe(&self) {
+        self.ledger.bump("page_probes", 1);
+    }
+
+    pub fn peek_via_wrapper(&self, ppa: u64) -> bool {
+        self.charge_probe();
+        self.channels[0].lock().pages.contains_key(&ppa)
+    }
+}

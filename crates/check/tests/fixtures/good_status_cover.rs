@@ -1,0 +1,9 @@
+//! Fixture: a coverage file that classifies every variant by name.
+
+pub fn classify(s: &KvStatus) -> u8 {
+    match s {
+        KvStatus::KeyNotFound => 0,
+        KvStatus::Busy => 1,
+        KvStatus::MediaError(_) => 2,
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a pretend wire-status enum for the status-map tests.
+
+#[derive(Debug)]
+pub enum KvStatus {
+    KeyNotFound,
+    Busy,
+    MediaError(String),
+}

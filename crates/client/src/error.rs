@@ -39,6 +39,58 @@ impl From<KvStatus> for ClientError {
     }
 }
 
+/// Coarse disposition of one device status, the ground truth behind
+/// [`ClientError::is_retryable`] / [`is_degraded`](ClientError::is_degraded) /
+/// [`is_fatal`](ClientError::is_fatal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusClass {
+    /// An identical resend may succeed.
+    Retryable,
+    /// The device (or one keyspace/shard) gracefully degraded: reads keep
+    /// serving, resends are pointless until out-of-band recovery, but the
+    /// stack is not dead.
+    Degraded,
+    /// Resending cannot help and the device is not merely degraded.
+    Fatal,
+}
+
+/// Classify one wire status. The match is deliberately exhaustive *by
+/// name* over every [`KvStatus`] variant (the `status-map` lint enforces
+/// it): adding a wire status forces a conscious decision here instead of
+/// a catch-all arm silently treating it as fatal.
+pub fn status_class(s: &KvStatus) -> StatusClass {
+    match s {
+        // The device said an identical resend may succeed; agrees with
+        // `KvStatus::is_retryable` (asserted in tests).
+        KvStatus::Busy
+        | KvStatus::Stalled
+        | KvStatus::TransientDeviceError(_)
+        | KvStatus::FailoverInProgress { .. } => StatusClass::Retryable,
+        // Space exhausted on a keyspace or device: writes fail fast,
+        // reads keep serving. A dead shard with no promotable replica is
+        // the cluster-level analogue — the rest of the fleet keeps
+        // serving, only that key range is down until out-of-band repair.
+        KvStatus::DeviceFull | KvStatus::ShardUnavailable { .. } => StatusClass::Degraded,
+        KvStatus::BadKeyspaceState {
+            state: "READ_ONLY", ..
+        } => StatusClass::Degraded,
+        KvStatus::BadKeyspaceState { .. }
+        | KvStatus::KeyspaceNotFound
+        | KvStatus::KeyspaceExists
+        | KvStatus::KeyNotFound
+        | KvStatus::BadKey
+        | KvStatus::BadValue
+        | KvStatus::IndexNotFound
+        | KvStatus::IndexExists
+        | KvStatus::BadIndexSpec
+        | KvStatus::JobNotFound
+        | KvStatus::DeadlineExceeded
+        | KvStatus::MediaError(_)
+        | KvStatus::PowerLoss
+        | KvStatus::Internal(_) => StatusClass::Fatal,
+    }
+}
+
 impl ClientError {
     /// True if this is a "key not found" miss (a common, non-fatal case).
     pub fn is_not_found(&self) -> bool {
@@ -49,38 +101,20 @@ impl ClientError {
     /// [`ClientError::RetriesExhausted`] is *not* retryable: the policy
     /// already spent its budget on a transient error that never cleared.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, ClientError::Device(s) if s.is_retryable())
+        matches!(self, ClientError::Device(s) if status_class(s) == StatusClass::Retryable)
     }
 
-    /// True when the device (or one keyspace) has gracefully degraded to
-    /// a read-only mode: storage space is exhausted, writes fail fast,
-    /// but reads keep serving. Retrying the same write is pointless until
-    /// space is reclaimed or the keyspace is re-compacted — but the
-    /// device is *not* dead, so callers should shed write load or switch
-    /// to read paths rather than tearing the connection down.
-    ///
-    /// A dead shard with no promotable replica
-    /// ([`KvStatus::ShardUnavailable`]) is the cluster-level analogue: the
-    /// rest of the fleet keeps serving, only that keyspace range is down
-    /// until out-of-band repair, so it is degraded rather than fatal.
+    /// True when the device (or one keyspace) has gracefully degraded
+    /// (see [`StatusClass::Degraded`]): callers should shed write load or
+    /// switch to read paths rather than tearing the connection down. A
+    /// retry budget spent against a degraded status reports degraded too.
     pub fn is_degraded(&self) -> bool {
-        matches!(
-            self,
-            ClientError::Device(KvStatus::DeviceFull)
-                | ClientError::Device(KvStatus::ShardUnavailable { .. })
-                | ClientError::Device(KvStatus::BadKeyspaceState {
-                    state: "READ_ONLY",
-                    ..
-                })
-                | ClientError::RetriesExhausted {
-                    last: KvStatus::DeviceFull,
-                    ..
-                }
-                | ClientError::RetriesExhausted {
-                    last: KvStatus::ShardUnavailable { .. },
-                    ..
-                }
-        )
+        match self {
+            ClientError::Device(s) | ClientError::RetriesExhausted { last: s, .. } => {
+                status_class(s) == StatusClass::Degraded
+            }
+            ClientError::UnexpectedResponse(_) => false,
+        }
     }
 
     /// True when resending the same command cannot help *and* the device
@@ -132,6 +166,49 @@ mod tests {
             assert!(fatal.is_fatal(), "{fatal:?}");
             assert!(!fatal.is_retryable(), "{fatal:?}");
             assert!(!fatal.is_degraded(), "{fatal:?}");
+        }
+    }
+
+    #[test]
+    fn status_class_agrees_with_wire_retryability() {
+        // One representative per variant: `Retryable` here must mean
+        // exactly what the wire protocol promises in
+        // `KvStatus::is_retryable`.
+        let all = [
+            KvStatus::KeyspaceNotFound,
+            KvStatus::KeyspaceExists,
+            KvStatus::BadKeyspaceState {
+                state: "READ_ONLY",
+                op: "put",
+            },
+            KvStatus::BadKeyspaceState {
+                state: "COMPACTING",
+                op: "put",
+            },
+            KvStatus::KeyNotFound,
+            KvStatus::BadKey,
+            KvStatus::BadValue,
+            KvStatus::IndexNotFound,
+            KvStatus::IndexExists,
+            KvStatus::BadIndexSpec,
+            KvStatus::JobNotFound,
+            KvStatus::DeviceFull,
+            KvStatus::Busy,
+            KvStatus::Stalled,
+            KvStatus::DeadlineExceeded,
+            KvStatus::TransientDeviceError("soft".into()),
+            KvStatus::MediaError("die".into()),
+            KvStatus::PowerLoss,
+            KvStatus::ShardUnavailable { shard: 1 },
+            KvStatus::FailoverInProgress { shard: 1 },
+            KvStatus::Internal("bug".into()),
+        ];
+        for s in all {
+            assert_eq!(
+                status_class(&s) == StatusClass::Retryable,
+                s.is_retryable(),
+                "{s:?}"
+            );
         }
     }
 

@@ -17,7 +17,7 @@ pub mod api;
 pub mod error;
 
 pub use api::{BulkWriter, Job, Keyspace, KvCsd, RetryPolicy};
-pub use error::ClientError;
+pub use error::{status_class, ClientError, StatusClass};
 
 /// Result alias for client operations.
 pub type Result<T> = std::result::Result<T, ClientError>;

@@ -60,6 +60,20 @@ pub struct FailoverEvent {
     pub recompacted: u32,
 }
 
+/// Disposition of a shard-level error during cluster fan-out / polling;
+/// see [`ClusterRouter::classify_shard_error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardErrorClass {
+    /// The shard is mid-promotion: bounce to the client as retryable.
+    Failover,
+    /// The shard already applied this fan-out step (idempotent resend).
+    AlreadyApplied,
+    /// Transient overload: keep polling / resending.
+    Transient,
+    /// Permanent for this command.
+    Permanent,
+}
+
 /// Which cluster-level job a client job id maps to.
 #[derive(Debug, Clone)]
 enum JobKind {
@@ -225,12 +239,17 @@ impl ClusterRouter {
         };
         let st = &self.shards[ix];
         let mut died = false;
+        // Export under the primary's read guard, but ship only after it
+        // drops: a replica ship occupies the fabric bus (a charged wait),
+        // and holding the shard lock across it would stall every command
+        // routed at this shard for the transfer's duration.
+        let mut to_ship: Vec<(String, kvcsd_core::KeyspaceArtifacts)> = Vec::new();
         {
             let inst = st.primary.read();
             for (name, local) in targets {
                 match inst.device().export_keyspace_artifacts(local) {
                     Ok(art) if matches!(art.payload, ArtifactPayload::Compacted { .. }) => {
-                        st.replica.ship(&name, art);
+                        to_ship.push((name, art));
                     }
                     Ok(_) => {}
                     Err(_) => {
@@ -241,6 +260,9 @@ impl ClusterRouter {
                     }
                 }
             }
+        }
+        for (name, art) in to_ship {
+            st.replica.ship(&name, art);
         }
         if died {
             self.begin_failover(ix);
@@ -254,16 +276,20 @@ impl ClusterRouter {
         }
         let st = &self.shards[ix];
         let mut died = false;
+        // Same discipline as ship_compacted: never hold the primary's
+        // guard across the fabric transfer.
+        let mut to_ship = None;
         {
             let inst = st.primary.read();
             match inst.device().export_keyspace_artifacts(local) {
-                Ok(art) => {
-                    st.replica.ship(name, art);
-                }
+                Ok(art) => to_ship = Some(art),
                 // An empty keyspace seals to nothing exportable; that is
                 // not a death, just nothing to ship.
                 Err(_) => died = inst.injector().is_powered_off(),
             }
+        }
+        if let Some(art) = to_ship {
+            st.replica.ship(name, art);
         }
         if died {
             self.begin_failover(ix);
@@ -384,6 +410,45 @@ impl ClusterRouter {
 
     fn shard_count(&self) -> u32 {
         self.cfg.shards
+    }
+
+    /// How a shard-level status error affects a cluster-level fan-out or
+    /// job poll. The match is deliberately exhaustive *by name* over
+    /// every [`KvStatus`] variant (the `status-map` lint enforces it):
+    /// a new wire status must be placed here consciously, not fall into
+    /// a catch-all arm that silently retries or fails it.
+    fn classify_shard_error(e: &KvStatus) -> ShardErrorClass {
+        match e {
+            // Mid-promotion: surface immediately so the client's
+            // fail-fast resend lands on the promoted replica.
+            KvStatus::FailoverInProgress { .. } => ShardErrorClass::Failover,
+            // Re-submission after a mid-fanout failover: the shard
+            // already applied this step (sealed, or built the index), so
+            // the fan-out may treat it as done.
+            KvStatus::BadKeyspaceState { .. } | KvStatus::IndexExists => {
+                ShardErrorClass::AlreadyApplied
+            }
+            // Transient overload/backoff signals: the work is not lost,
+            // the next poll or resend may find it finished.
+            KvStatus::Busy | KvStatus::Stalled | KvStatus::TransientDeviceError(_) => {
+                ShardErrorClass::Transient
+            }
+            // Everything else is permanent for this command.
+            KvStatus::KeyspaceNotFound
+            | KvStatus::KeyspaceExists
+            | KvStatus::KeyNotFound
+            | KvStatus::BadKey
+            | KvStatus::BadValue
+            | KvStatus::IndexNotFound
+            | KvStatus::BadIndexSpec
+            | KvStatus::JobNotFound
+            | KvStatus::DeviceFull
+            | KvStatus::DeadlineExceeded
+            | KvStatus::MediaError(_)
+            | KvStatus::PowerLoss
+            | KvStatus::ShardUnavailable { .. }
+            | KvStatus::Internal(_) => ShardErrorClass::Permanent,
+        }
     }
 
     fn lookup(&self, ks: u32) -> Result<ClusterKeyspace, KvStatus> {
@@ -655,13 +720,16 @@ impl ClusterRouter {
                         self.ship_sealed(ix, &ck.name, ck.local[ix]);
                     }
                 }
-                // Re-submission after a mid-fanout failover: this shard
-                // already sealed, so re-compacting from COMPACTING (or an
-                // index that already exists) reports a state error. The
-                // job-state poll is derived from keyspace states, so
-                // treating it as already-started is safe and idempotent.
-                Ok(_) | Err(KvStatus::BadKeyspaceState { .. }) | Err(KvStatus::IndexExists) => {}
-                Err(e) => return Err(e),
+                // The job-state poll is derived from keyspace states, so
+                // treating an already-applied resend as started is safe
+                // and idempotent.
+                Ok(_) => {}
+                Err(e) => match Self::classify_shard_error(&e) {
+                    ShardErrorClass::AlreadyApplied => {}
+                    ShardErrorClass::Failover
+                    | ShardErrorClass::Transient
+                    | ShardErrorClass::Permanent => return Err(e),
+                },
             }
         }
         let mut routes = self.routes.lock();
@@ -693,11 +761,19 @@ impl ClusterRouter {
             let stat = match self.exec_on(ix, KvCommand::Stat { ks: ck.local[ix] }) {
                 Ok(KvResponse::Stat(s)) => s,
                 Ok(other) => return Err(unexpected(&other)),
-                Err(e @ KvStatus::FailoverInProgress { .. }) => return Err(e),
-                Err(e) => {
-                    worst = Some(e);
-                    continue;
-                }
+                Err(e) => match Self::classify_shard_error(&e) {
+                    ShardErrorClass::Failover => return Err(e),
+                    // A transiently overloaded shard has not failed the
+                    // job — the next poll re-examines it.
+                    ShardErrorClass::Transient => {
+                        running = true;
+                        continue;
+                    }
+                    ShardErrorClass::AlreadyApplied | ShardErrorClass::Permanent => {
+                        worst = Some(e);
+                        continue;
+                    }
+                },
             };
             match stat.state {
                 KeyspaceState::Degraded => {

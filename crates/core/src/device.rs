@@ -438,7 +438,7 @@ impl KvCsdDevice {
                     k.max_key = art.max_key.clone();
                     k.storage.klog = Some((kc, klog.len() as u64));
                     k.storage.vlog = Some((vc, vlog.len() as u64));
-                    // kvcsd-check: allow(fsm-bypass): artifact import reinstalls the primary's sealed-log phase verbatim (EMPTY has no edge to DEGRADED); promotion re-enters via the checked DEGRADED -> COMPACTING transition
+                    // kvcsd-check: allow(fsm-bypass) -- artifact import reinstalls the primary's sealed-log phase verbatim (EMPTY has no edge to DEGRADED); promotion re-enters via the checked DEGRADED -> COMPACTING transition
                     k.state = KeyspaceState::Degraded;
                     Ok(())
                 })?;

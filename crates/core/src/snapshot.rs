@@ -302,7 +302,7 @@ pub fn decode(payload: &[u8]) -> Result<DeviceSnapshot> {
         // Record construction, not a lifecycle transition: the persisted
         // state is reinstalled verbatim (reopen() afterwards walks any
         // interrupted keyspaces through the checked transition path).
-        // kvcsd-check: allow(fsm-bypass): snapshot decode reinstalls the persisted state verbatim; reopen() re-enters via checked transitions
+        // kvcsd-check: allow(fsm-bypass) -- snapshot decode reinstalls the persisted state verbatim; reopen() re-enters via checked transitions
         ks.state = state;
         ks.pairs = r.u64()?;
         ks.data_bytes = r.u64()?;

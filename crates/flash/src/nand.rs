@@ -212,10 +212,16 @@ impl NandArray {
     }
 
     /// True if `ppa` currently holds programmed data.
+    ///
+    /// A probe touches the page map without moving data, so it charges a
+    /// custom counter rather than a `nand_read` (which would distort the
+    /// paper-figure NAND read counts); the dedicated counter keeps the
+    /// touch observable in the cost model instead of free.
     pub fn is_programmed(&self, ppa: u64) -> bool {
         if self.check_ppa(ppa).is_err() {
             return false;
         }
+        self.ledger.bump("nand_page_probes", 1);
         let chan = self.geom.channel_of_ppa(ppa);
         self.channels[chan as usize].lock().pages.contains_key(&ppa)
     }
@@ -246,6 +252,7 @@ impl NandArray {
     pub fn programmed_pages(&self) -> u64 {
         self.channels
             .iter()
+            // kvcsd-check: allow(ledger-charge) -- read-only harness diagnostic: counts map sizes, models no media op
             .map(|c| c.lock().pages.len() as u64)
             .sum()
     }
