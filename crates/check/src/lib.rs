@@ -1,6 +1,6 @@
 //! `kvcsd-check`: the workspace lint pass.
 //!
-//! Eleven repo-specific rules that `rustc`/`clippy` cannot express, each
+//! Twelve repo-specific rules that `rustc`/`clippy` cannot express, each
 //! guarding an invariant the reproduction's correctness argument leans on
 //! (see `DESIGN.md` §9, §11 and §13):
 //!
@@ -51,6 +51,12 @@
 //!   must charge the `IoLedger` in the same scope (directly or through a
 //!   one-level same-crate wrapper). Uncharged media work makes the
 //!   paper's cost model lie.
+//! * **`epoch-fence`** — no bus send primitive (`BusResource::xmit` /
+//!   `::transfer`) in `crates/cluster` library code outside
+//!   `replica.rs`, the fenced send path. Every replication artifact must
+//!   cross the fabric through the epoch-stamped, sequence-numbered
+//!   stop-and-wait protocol; a raw send would bypass the fencing that
+//!   keeps a deposed primary from overwriting its successor's state.
 //!
 //! Exemptions are granted inline, and only with a reason:
 //!
@@ -79,7 +85,7 @@ pub mod scope;
 use lexer::Scrubbed;
 
 /// The rule identifiers, as used in `allow(...)` comments and `--rule`.
-pub const RULES: [&str; 11] = [
+pub const RULES: [&str; 12] = [
     "sync",
     "unwrap",
     "time",
@@ -91,6 +97,7 @@ pub const RULES: [&str; 11] = [
     "guard-across-wait",
     "status-map",
     "ledger-charge",
+    "epoch-fence",
 ];
 
 /// Charged-wait primitives for the `guard-across-wait` rule: method
@@ -98,14 +105,17 @@ pub const RULES: [&str; 11] = [
 /// clock ([`VirtualClock::advance`]/[`advance_to`]), consulting the
 /// admission gate (`admit_write`/`admit_query`/`admit_job` — a
 /// slowdown/stall band decision whose charge follows immediately), or
-/// occupying the replication fabric (`BusResource::transfer`).
-pub const WAIT_PRIMITIVES: [&str; 6] = [
+/// occupying the replication fabric (`BusResource::transfer` and the
+/// fault-aware `BusResource::xmit`, which can burn a whole retry budget
+/// of timeouts).
+pub const WAIT_PRIMITIVES: [&str; 7] = [
     "advance",
     "advance_to",
     "admit_write",
     "admit_query",
     "admit_job",
     "transfer",
+    "xmit",
 ];
 
 /// Ledger charge entry points for the `ledger-charge` rule — the
@@ -132,6 +142,14 @@ pub const CHARGE_PRIMITIVES: [&str; 12] = [
 const MEDIA_TOUCHES: [(&str, &str); 2] = [
     (".pages.", "NAND page store access"),
     ("busy_ns.update(", "bus occupancy accumulation"),
+];
+
+/// Bus send primitives for the `epoch-fence` rule: the methods that put
+/// bytes on the replication fabric. In `crates/cluster`, only the fenced
+/// send path (`replica.rs`) may call them.
+pub const BUS_SEND_PRIMITIVES: [(&str, &str); 2] = [
+    (".xmit(", "`BusResource::xmit` call"),
+    (".transfer(", "`BusResource::transfer` call"),
 ];
 
 /// Files whose job is to classify every [`KvStatus`] variant — the
@@ -186,6 +204,7 @@ pub struct RuleSet {
     pub guard_across_wait: bool,
     pub status_map: bool,
     pub ledger_charge: bool,
+    pub epoch_fence: bool,
 }
 
 impl RuleSet {
@@ -202,6 +221,7 @@ impl RuleSet {
             guard_across_wait: false,
             status_map: false,
             ledger_charge: false,
+            epoch_fence: false,
         }
     }
 }
@@ -254,7 +274,11 @@ impl RuleSet {
 /// * `ledger-charge` applies to library source in `crates/flash/` and
 ///   `crates/sim/` — the only crates that touch media or fabric state
 ///   directly — except `crates/sim/src/ledger.rs` itself (the charge
-///   implementations are where the counters live by definition).
+///   implementations are where the counters live by definition);
+/// * `epoch-fence` applies to library source in `crates/cluster/` only,
+///   minus `crates/cluster/src/replica.rs` — the fenced send path is the
+///   one sanctioned caller of the bus send primitives, and code below
+///   the cluster layer (`crates/sim/`) *implements* them.
 pub fn rules_for(rel_path: &str) -> RuleSet {
     let parts: Vec<&str> = rel_path.split('/').collect();
     if parts.iter().any(|p| *p == "fixtures" || *p == "target") {
@@ -282,6 +306,9 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
         ledger_charge: !harness
             && (rel_path.starts_with("crates/flash/") || rel_path.starts_with("crates/sim/"))
             && rel_path != "crates/sim/src/ledger.rs",
+        epoch_fence: !harness
+            && rel_path.starts_with("crates/cluster/")
+            && rel_path != "crates/cluster/src/replica.rs",
     }
 }
 
@@ -727,6 +754,26 @@ pub fn check_source_report(
                         );
                     }
                 }
+            }
+        }
+    }
+    if rules.epoch_fence {
+        for (needle, what) in BUS_SEND_PRIMITIVES {
+            let mut from = 0;
+            while let Some(ix) = scrubbed.code[from..].find(needle) {
+                let off = from + ix;
+                from = off + needle.len();
+                let line = scrubbed.line_of(off);
+                if in_tests(line) {
+                    continue;
+                }
+                push(
+                    line,
+                    "epoch-fence",
+                    format!(
+                        "{what} outside the fenced send path — every replication artifact must cross the bus through ReplicaLog's epoch-stamped ship/reseed protocol (crates/cluster/src/replica.rs), or a deposed primary can slip unfenced bytes past the receive fence"
+                    ),
+                );
             }
         }
     }

@@ -317,6 +317,54 @@ fn ledger_charge_scope_is_flash_and_sim_library_code() {
 }
 
 #[test]
+fn seeded_epoch_fence_violations_are_flagged() {
+    let rel = "crates/cluster/src/demo.rs";
+    let v = check_source(
+        Path::new(rel),
+        rel,
+        include_str!("fixtures/bad_epoch_fence.rs"),
+    );
+    let hits: Vec<(usize, &str)> = v.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(
+        hits,
+        vec![(6, "epoch-fence"), (10, "epoch-fence")],
+        "xmit + transfer flagged, cfg(test) send exempt: {v:#?}"
+    );
+    assert!(v.iter().any(|v| v.message.contains("`BusResource::xmit`")));
+    assert!(v
+        .iter()
+        .any(|v| v.message.contains("`BusResource::transfer`")));
+    assert!(v.iter().all(|v| v.message.contains("fenced send path")));
+}
+
+#[test]
+fn reasoned_epoch_fence_allow_scans_clean() {
+    let rel = "crates/cluster/src/demo.rs";
+    let v = check_source(
+        Path::new(rel),
+        rel,
+        include_str!("fixtures/good_epoch_fence.rs"),
+    );
+    assert!(v.is_empty(), "allow consumed, no unused-allow: {v:#?}");
+}
+
+#[test]
+fn epoch_fence_scope_is_cluster_library_minus_the_send_path() {
+    assert!(rules_for("crates/cluster/src/router.rs").epoch_fence);
+    assert!(rules_for("crates/cluster/src/shard.rs").epoch_fence);
+    assert!(
+        !rules_for("crates/cluster/src/replica.rs").epoch_fence,
+        "the fenced send path itself is the sanctioned sender"
+    );
+    assert!(
+        !rules_for("crates/sim/src/bus.rs").epoch_fence,
+        "the sim layer implements the primitives"
+    );
+    assert!(!rules_for("tests/partition.rs").epoch_fence);
+    assert!(!rules_for("crates/client/src/api.rs").epoch_fence);
+}
+
+#[test]
 fn status_map_flags_unclassified_variants() {
     let enum_src = include_str!("fixtures/status_enum.rs");
     let bad = include_str!("fixtures/bad_status_cover.rs");

@@ -1,0 +1,9 @@
+//! Fixture: a sanctioned direct bus send, annotated with a reasoned
+//! allow — the tag must be consumed (no unused-allow violation).
+
+impl Prober {
+    pub fn measure_link(&self) -> u64 {
+        // kvcsd-check: allow(epoch-fence) -- link probe carries no artifact; nothing to fence
+        self.bus.xmit(PROBE_BYTES)
+    }
+}

@@ -107,6 +107,14 @@ fn exec_with_retry(
                     qp.ledger().bump("client_failover_redirects", 1);
                     continue;
                 }
+                // An epoch fence is the same shape: the command reached a
+                // deposed primary whose successor already holds a newer
+                // epoch, so the resend will be routed to the current
+                // primary and can succeed right now.
+                if matches!(status, KvStatus::EpochFenced { .. }) {
+                    qp.ledger().bump("client_fence_redirects", 1);
+                    continue;
+                }
                 let backoff = policy.backoff_ns(retry + 1);
                 if let (Some(clock), Some(d)) = (clock, deadline_ns) {
                     if clock.now_ns().saturating_add(backoff) >= d {
@@ -808,6 +816,34 @@ mod tests {
             }
         );
         assert_eq!(ledger.custom("client_failover_redirects"), 4);
+        assert_eq!(ledger.custom("client_retry_backoff_ns"), 0);
+    }
+
+    #[test]
+    fn epoch_fence_resends_immediately_without_backoff() {
+        // A fenced ack means the command hit a deposed primary; the
+        // resend goes to the current-epoch primary, so the loop must not
+        // back off against it (same shape as a failover redirect, its own
+        // counter so fence storms are visible).
+        let (client, ledger) = flaky_testbed(2, KvStatus::EpochFenced { shard: 1 });
+        client.create_keyspace("fence").unwrap();
+        assert_eq!(ledger.custom("client_fence_redirects"), 2);
+        assert_eq!(ledger.custom("client_retries"), 0);
+        assert_eq!(ledger.custom("client_retry_backoff_ns"), 0);
+    }
+
+    #[test]
+    fn endless_fencing_still_exhausts_the_retry_budget() {
+        let (client, ledger) = flaky_testbed(100, KvStatus::EpochFenced { shard: 1 });
+        let err = client.create_keyspace("fence").unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::RetriesExhausted {
+                attempts: 5,
+                last: KvStatus::EpochFenced { shard: 1 }
+            }
+        );
+        assert_eq!(ledger.custom("client_fence_redirects"), 4);
         assert_eq!(ledger.custom("client_retry_backoff_ns"), 0);
     }
 

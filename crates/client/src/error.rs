@@ -65,7 +65,8 @@ pub fn status_class(s: &KvStatus) -> StatusClass {
         KvStatus::Busy
         | KvStatus::Stalled
         | KvStatus::TransientDeviceError(_)
-        | KvStatus::FailoverInProgress { .. } => StatusClass::Retryable,
+        | KvStatus::FailoverInProgress { .. }
+        | KvStatus::EpochFenced { .. } => StatusClass::Retryable,
         // Space exhausted on a keyspace or device: writes fail fast,
         // reads keep serving. A dead shard with no promotable replica is
         // the cluster-level analogue — the rest of the fleet keeps
@@ -152,6 +153,7 @@ mod tests {
     fn retryable_fatal_split() {
         assert!(ClientError::Device(KvStatus::TransientDeviceError("soft".into())).is_retryable());
         assert!(ClientError::Device(KvStatus::FailoverInProgress { shard: 0 }).is_retryable());
+        assert!(ClientError::Device(KvStatus::EpochFenced { shard: 0 }).is_retryable());
         for fatal in [
             ClientError::Device(KvStatus::MediaError("die".into())),
             ClientError::Device(KvStatus::PowerLoss),
@@ -201,6 +203,7 @@ mod tests {
             KvStatus::PowerLoss,
             KvStatus::ShardUnavailable { shard: 1 },
             KvStatus::FailoverInProgress { shard: 1 },
+            KvStatus::EpochFenced { shard: 1 },
             KvStatus::Internal("bug".into()),
         ];
         for s in all {

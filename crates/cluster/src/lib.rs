@@ -42,7 +42,7 @@ pub mod replica;
 pub mod router;
 pub mod shard;
 
-pub use replica::ReplicaLog;
+pub use replica::{ReplicaLog, ShipError, ShipOutcome, ShipPolicy};
 pub use router::{ClusterRouter, FailoverEvent};
 pub use shard::{ShardHealth, ShardInstance};
 
@@ -103,9 +103,26 @@ pub struct ClusterConfig {
     /// installs a per-shard clock on top).
     pub device: DeviceConfig,
     /// One declarative fault plan for the whole fleet. Shard `i`'s
-    /// injector is built from `plan.for_device(i)`, so per-shard failure
-    /// schedules are deterministic and distinct under one seed.
+    /// injector is built from `plan.for_device(i)` and its replication
+    /// link's from `plan.for_link(i)`, so per-shard device *and* link
+    /// failure schedules are deterministic and distinct under one seed —
+    /// and independent of each other (the link lane draws from its own
+    /// generator, so enabling link faults never perturbs device faults).
     pub fault_plan: FaultPlan,
+    /// Stop-and-wait retry discipline for every replication ship.
+    pub ship: ShipPolicy,
+    /// When a seal-time ship exhausts its retry budget (the replication
+    /// link looks down), depose the primary as *suspected* — promote the
+    /// replica side under a freshly minted fencing epoch — instead of
+    /// acking without replica durability. The deposed instance is kept
+    /// around (it is not dead hardware) and every ack or ship it attempts
+    /// is rejected at the epoch fence, so at most one primary acks per
+    /// epoch even while both sides of a partition keep executing.
+    ///
+    /// When off, the seal bounces with a retryable error, the shard keeps
+    /// its primary, and anti-entropy reconciliation re-ships the gap
+    /// after the partition heals (availability over replica durability).
+    pub partition_failover: bool,
 }
 
 impl Default for ClusterConfig {
@@ -128,6 +145,8 @@ impl Default for ClusterConfig {
                 ..DeviceConfig::default()
             },
             fault_plan: FaultPlan::none(),
+            ship: ShipPolicy::default(),
+            partition_failover: true,
         }
     }
 }

@@ -36,10 +36,10 @@ use kvcsd_proto::{
     Bound, DeviceHandler, JobId, JobState, KeyspaceDesc, KeyspaceStat, KeyspaceState, KvCommand,
     KvResponse, KvStatus, SecondaryIndexSpec, ShardId, ShipKind,
 };
-use kvcsd_sim::sync::{Mutex, RwLock};
-use kvcsd_sim::{BusResource, FaultPlan, IoLedger, VirtualClock};
+use kvcsd_sim::sync::{Mutex, RwLock, Shared};
+use kvcsd_sim::{BusResource, FaultInjector, FaultPlan, IoLedger, VirtualClock};
 
-use crate::replica::ReplicaLog;
+use crate::replica::{ReplicaLog, ShipError, ShipOutcome};
 use crate::shard::{HealthCell, ShardHealth, ShardInstance};
 use crate::ClusterConfig;
 
@@ -58,6 +58,11 @@ pub struct FailoverEvent {
     /// Of those, sealed-log installs that were re-compacted during
     /// promotion (the mid-compaction death case).
     pub recompacted: u32,
+    /// `true` when the old primary was deposed on *suspicion* (its
+    /// replication link looked down) rather than observed dead. A
+    /// suspected primary is kept around, fenced at the old epoch — the
+    /// split-brain case the partition torture suite drives directly.
+    pub suspected: bool,
 }
 
 /// Disposition of a shard-level error during cluster fan-out / polling;
@@ -111,7 +116,22 @@ struct RouteTable {
 struct ShardState {
     id: ShardId,
     primary: RwLock<ShardInstance>,
+    /// The previous primary after a *suspected* deposition (partition
+    /// failover). It still executes commands — that is the point: its
+    /// acks and ships must be rejected at the epoch fence, never by
+    /// making the instance magically unreachable.
+    deposed: Mutex<Option<ShardInstance>>,
     replica: ReplicaLog,
+    /// This shard's replication-link fault injector. It belongs to the
+    /// *link*, not the primary, so it survives promotions: a new primary
+    /// inherits the same (possibly still partitioned) network.
+    link: Arc<FaultInjector>,
+    /// Current fencing epoch; minted (`+1`) at every promotion.
+    epoch: Shared<u64>,
+    /// Set when a ship gave up on a down link: the primary may hold
+    /// artifacts the replica never saw. Cleared by a successful
+    /// anti-entropy pass after the partition heals.
+    needs_reconcile: Shared<bool>,
     health: HealthCell,
 }
 
@@ -138,11 +158,28 @@ impl ClusterRouter {
         // replication traffic is observable in one place.
         let fabric = Arc::new(IoLedger::new(cfg.shards, 4096));
         let shards = (0..cfg.shards)
-            .map(|id| ShardState {
-                id,
-                primary: RwLock::new(ShardInstance::build(&cfg, id, cfg.fault_plan.clone())),
-                replica: ReplicaLog::new(id, BusResource::new(cfg.bus, Arc::clone(&fabric))),
-                health: HealthCell::new(),
+            .map(|id| {
+                // The link's fault lane is keyed per link id and draws
+                // from its own generator, so the same fleet seed yields
+                // the same device schedules with or without link faults.
+                let link = Arc::new(FaultInjector::new(cfg.fault_plan.clone().for_link(id)));
+                let bus =
+                    BusResource::new(cfg.bus, Arc::clone(&fabric)).with_faults(Arc::clone(&link));
+                ShardState {
+                    id,
+                    primary: RwLock::new(ShardInstance::build(&cfg, id, cfg.fault_plan.clone(), 1)),
+                    deposed: Mutex::new(None),
+                    replica: ReplicaLog::with_policy(
+                        id,
+                        bus,
+                        Arc::new(VirtualClock::new()),
+                        cfg.ship,
+                    ),
+                    link,
+                    epoch: Shared::new(1),
+                    needs_reconcile: Shared::new(false),
+                    health: HealthCell::new(),
+                }
             })
             .collect();
         Self {
@@ -183,6 +220,25 @@ impl ClusterRouter {
         self.shards[ix as usize].replica.len()
     }
 
+    /// Shard `ix`'s replication channel — counters (`accepted` /
+    /// `duplicates` / `fenced`), generations and the channel clock that
+    /// ack timeouts are charged to.
+    pub fn replica_log(&self, ix: u32) -> &ReplicaLog {
+        &self.shards[ix as usize].replica
+    }
+
+    /// Shard `ix`'s current fencing epoch.
+    pub fn shard_epoch(&self, ix: u32) -> u64 {
+        self.shards[ix as usize].epoch.get()
+    }
+
+    /// The fault injector on shard `ix`'s replication link. Torture
+    /// harness hook: partition (`partition_now`) / heal (`heal_link_now`)
+    /// the link directly, or read its event log for determinism audits.
+    pub fn shard_link(&self, ix: u32) -> Arc<FaultInjector> {
+        Arc::clone(&self.shards[ix as usize].link)
+    }
+
     /// Completed promotions, in order.
     pub fn events(&self) -> Vec<FailoverEvent> {
         self.events.lock().clone()
@@ -216,20 +272,49 @@ impl ClusterRouter {
             (ran, inst.injector().is_powered_off())
         };
         // The guard is dropped before promotion: the RwLock shim is not
-        // reentrant and begin_failover takes the write side.
+        // reentrant and failover takes the write side.
         if died {
-            self.begin_failover(ix);
+            self.failover(ix, false);
         } else if ran > 0 && self.cfg.replicate {
             self.ship_compacted(ix);
+        }
+        // Anti-entropy rides on background time: once the link is out of
+        // its partition window, a polling client drives the replica back
+        // into convergence without any external daemon.
+        let st = &self.shards[ix];
+        if self.cfg.replicate && st.needs_reconcile.get() && !st.replica.is_partitioned() {
+            self.reconcile_shard(ix);
         }
         ran
     }
 
-    /// Ship every keyspace on shard `ix` whose artifacts are compacted.
-    /// Sealed logs were already shipped at seal time; shipping only the
-    /// compacted form here keeps the replica log bounded.
-    fn ship_compacted(&self, ix: usize) {
-        let targets: Vec<(String, u32)> = {
+    /// Anti-entropy for every shard: exchange per-keyspace artifact
+    /// generations with each replica and re-ship only the gaps. Returns
+    /// the number of artifacts re-shipped. Shards still inside a
+    /// partition window are skipped — a later pass retries them.
+    pub fn reconcile(&self) -> usize {
+        let mut shipped = 0;
+        for ix in 0..self.shards.len() {
+            shipped += self.reconcile_shard(ix);
+        }
+        shipped
+    }
+
+    fn reconcile_shard(&self, ix: usize) -> usize {
+        let st = &self.shards[ix];
+        if !self.cfg.replicate
+            || st.health.get() != ShardHealth::Healthy
+            || st.replica.is_partitioned()
+        {
+            return 0;
+        }
+        // The generation digest itself crosses the (still unreliable)
+        // bus; a lost exchange just means a later pass retries.
+        let Some(gens) = st.replica.exchange_generations() else {
+            st.needs_reconcile.set(true);
+            return 0;
+        };
+        let mut targets: Vec<(String, u32)> = {
             let routes = self.routes.lock();
             routes
                 .keyspaces
@@ -237,6 +322,56 @@ impl ClusterRouter {
                 .map(|ck| (ck.name.clone(), ck.local[ix]))
                 .collect()
         };
+        // Ship in name order: the link lane draws faults per bus op, so
+        // the ship order must not depend on hash-map iteration order.
+        targets.sort();
+        let epoch = st.epoch.get();
+        let mut gaps: Vec<(String, kvcsd_core::KeyspaceArtifacts)> = Vec::new();
+        {
+            let inst = st.primary.read();
+            for (name, local) in targets {
+                let Ok(art) = inst.device().export_keyspace_artifacts(local) else {
+                    continue;
+                };
+                // Compare the primary's artifact fingerprint against the
+                // replica's generation; only mismatches re-ship.
+                let fp = (art.ship_kind(), art.wire_bytes(), art.pairs);
+                let have = gens.iter().find(|g| g.0 == name).map(|g| (g.1, g.2, g.3));
+                if have != Some(fp) {
+                    gaps.push((name, art));
+                }
+            }
+        }
+        let mut shipped = 0;
+        for (name, art) in gaps {
+            match st.replica.ship(&name, art, epoch) {
+                Ok(_) => shipped += 1,
+                // Link went down again mid-pass: keep the flag, retry on
+                // a later pass.
+                Err(ShipError::LinkDown { .. }) => {
+                    st.needs_reconcile.set(true);
+                    return shipped;
+                }
+            }
+        }
+        st.needs_reconcile.set(false);
+        shipped
+    }
+
+    /// Ship every keyspace on shard `ix` whose artifacts are compacted.
+    /// Sealed logs were already shipped at seal time; shipping only the
+    /// compacted form here keeps the replica log bounded.
+    fn ship_compacted(&self, ix: usize) {
+        let mut targets: Vec<(String, u32)> = {
+            let routes = self.routes.lock();
+            routes
+                .keyspaces
+                .values()
+                .map(|ck| (ck.name.clone(), ck.local[ix]))
+                .collect()
+        };
+        // Deterministic ship order (see reconcile_shard).
+        targets.sort();
         let st = &self.shards[ix];
         let mut died = false;
         // Export under the primary's read guard, but ship only after it
@@ -261,18 +396,28 @@ impl ClusterRouter {
                 }
             }
         }
+        let epoch = st.epoch.get();
         for (name, art) in to_ship {
-            st.replica.ship(&name, art);
+            if let Err(ShipError::LinkDown { .. }) = st.replica.ship(&name, art, epoch) {
+                // Background shipping never deposes the primary — nothing
+                // is gating a client ack here. Flag the gap; anti-entropy
+                // closes it after the partition heals.
+                st.needs_reconcile.set(true);
+                break;
+            }
         }
         if died {
-            self.begin_failover(ix);
+            self.failover(ix, false);
         }
     }
 
     /// Ship one keyspace's sealed logs right after a successful seal.
-    fn ship_sealed(&self, ix: usize, name: &str, local: u32) {
+    /// This gates the compaction ack: `Ok` means the artifacts are in the
+    /// replica log (or replication is off); an `Err` is always retryable
+    /// and means the caller must NOT ack durability to the client.
+    fn ship_sealed(&self, ix: usize, name: &str, local: u32) -> Result<(), KvStatus> {
         if !self.cfg.replicate {
-            return;
+            return Ok(());
         }
         let st = &self.shards[ix];
         let mut died = false;
@@ -288,17 +433,39 @@ impl ClusterRouter {
                 Err(_) => died = inst.injector().is_powered_off(),
             }
         }
-        if let Some(art) = to_ship {
-            st.replica.ship(name, art);
-        }
         if died {
-            self.begin_failover(ix);
+            self.failover(ix, false);
+            return Err(KvStatus::FailoverInProgress { shard: st.id });
         }
+        if let Some(art) = to_ship {
+            let epoch = st.epoch.get();
+            if let Err(ShipError::LinkDown { .. }) = st.replica.ship(name, art, epoch) {
+                st.needs_reconcile.set(true);
+                if self.cfg.partition_failover {
+                    // The primary cannot prove durability across the
+                    // partition. Depose it on suspicion and promote the
+                    // replica side under a new fencing epoch; the client's
+                    // resend lands on the new primary.
+                    self.failover(ix, true);
+                    return Err(KvStatus::FailoverInProgress { shard: st.id });
+                }
+                // Availability mode: keep the primary, bounce the ack as
+                // retryable. Anti-entropy re-ships after heal.
+                return Err(KvStatus::TransientDeviceError(format!(
+                    "shard {}: replication link down, seal not replicated",
+                    st.id
+                )));
+            }
+        }
+        Ok(())
     }
 
-    /// Promote shard `ix`'s replica. Exactly one caller wins the CAS;
-    /// the rest observe `FailingOver` and bounce their commands.
-    fn begin_failover(&self, ix: usize) {
+    /// Promote shard `ix`'s replica under a freshly minted fencing epoch.
+    /// Exactly one caller wins the CAS; the rest observe `FailingOver`
+    /// and bounce their commands. `suspected` marks a partition
+    /// deposition: the old primary is not dead, so it is kept around
+    /// (fenced at its stale epoch) instead of dropped.
+    fn failover(&self, ix: usize, suspected: bool) {
         let st = &self.shards[ix];
         if !st.health.begin_failover() {
             return;
@@ -307,9 +474,21 @@ impl ClusterRouter {
             st.health.set(ShardHealth::Dead);
             return;
         }
+        // Mint the successor epoch *before* building the successor: from
+        // here on, every ack and ship from the old primary is fenced.
+        let epoch = st.epoch.update(|e| {
+            *e += 1;
+            *e
+        });
+        // Raise the replica's receive fence immediately: even if nothing
+        // reseeds below (empty log at deposition), the old primary's
+        // ships must already be stale.
+        st.replica.advance_epoch(epoch);
         // The dead hardware is replaced, so the promoted instance runs a
         // clean fault plan: the fleet schedule kills each primary once.
-        let fresh = ShardInstance::build(&self.cfg, st.id, FaultPlan::none());
+        // The replication *link* keeps its injector — a new device does
+        // not repair the network.
+        let fresh = ShardInstance::build(&self.cfg, st.id, FaultPlan::none(), epoch);
         let mut replayed = 0u32;
         let mut recompacted = 0u32;
         let mut installed: HashMap<String, u32> = HashMap::new();
@@ -334,7 +513,7 @@ impl ClusterRouter {
         // Keyspaces that never shipped anything come back empty: their
         // acked PUTs were device-buffered only, which is exactly the
         // single-device (no-WAL) durability contract.
-        let names: Vec<String> = {
+        let mut names: Vec<String> = {
             let routes = self.routes.lock();
             routes
                 .keyspaces
@@ -342,6 +521,7 @@ impl ClusterRouter {
                 .map(|ck| ck.name.clone())
                 .collect()
         };
+        names.sort();
         for name in &names {
             if !installed.contains_key(name) {
                 if let KvResponse::Created { ks } = fresh
@@ -353,11 +533,17 @@ impl ClusterRouter {
             }
         }
         // Re-seed the replica log from the promoted primary so a second
-        // death on this shard still has artifacts to replay.
+        // death on this shard still has artifacts to replay. This is a
+        // *local* install at the new epoch — the promoted primary is on
+        // the replica's side of any partition, so no wire crossing and no
+        // fault exposure. The fence itself survives the clear, keeping
+        // the deposed primary's ships rejected.
         st.replica.clear();
-        for (name, local) in &installed {
+        let mut reseed: Vec<(&String, &u32)> = installed.iter().collect();
+        reseed.sort();
+        for (name, local) in reseed {
             if let Ok(art) = fresh.device().export_keyspace_artifacts(*local) {
-                st.replica.ship(name, art);
+                st.replica.reseed(name, art, epoch);
             }
         }
         {
@@ -368,13 +554,18 @@ impl ClusterRouter {
                 }
             }
         }
-        *st.primary.write() = fresh;
+        let old = std::mem::replace(&mut *st.primary.write(), fresh);
+        // A suspected primary is alive on the far side of the partition;
+        // keep it so tests (and honesty) can drive the split-brain case.
+        // A dead one is gone hardware.
+        *st.deposed.lock() = if suspected { Some(old) } else { None };
         let generation = st.health.bump_generation();
         self.events.lock().push(FailoverEvent {
             shard: st.id,
             generation,
             replayed_artifacts: replayed,
             recompacted,
+            suspected,
         });
         st.health.set(ShardHealth::Healthy);
     }
@@ -390,20 +581,27 @@ impl ClusterRouter {
             }
             ShardHealth::Dead => return Err(KvStatus::ShardUnavailable { shard: st.id }),
         }
-        let (resp, died) = {
+        let (resp, died, stale) = {
             let inst = st.primary.read();
             let resp = inst.device().handle(cmd);
             let died = matches!(resp, KvResponse::Err(KvStatus::PowerLoss))
                 || inst.injector().is_powered_off();
-            (resp, died)
+            // The ack fence: the command executed, but if a promotion
+            // minted a newer epoch meanwhile, this instance is deposed
+            // and its ack must not reach the client.
+            let stale = inst.epoch() != st.epoch.get();
+            (resp, died, stale)
         };
         if died {
-            self.begin_failover(ix);
+            self.failover(ix, false);
             return Err(if self.cfg.replicate {
                 KvStatus::FailoverInProgress { shard: st.id }
             } else {
                 KvStatus::ShardUnavailable { shard: st.id }
             });
+        }
+        if stale {
+            return Err(KvStatus::EpochFenced { shard: st.id });
         }
         resp.into_result()
     }
@@ -419,9 +617,12 @@ impl ClusterRouter {
     /// a catch-all arm that silently retries or fails it.
     fn classify_shard_error(e: &KvStatus) -> ShardErrorClass {
         match e {
-            // Mid-promotion: surface immediately so the client's
-            // fail-fast resend lands on the promoted replica.
-            KvStatus::FailoverInProgress { .. } => ShardErrorClass::Failover,
+            // Mid-promotion (or a stale-epoch ack rejected at the
+            // fence): surface immediately so the client's fail-fast
+            // resend lands on the current-epoch primary.
+            KvStatus::FailoverInProgress { .. } | KvStatus::EpochFenced { .. } => {
+                ShardErrorClass::Failover
+            }
             // Re-submission after a mid-fanout failover: the shard
             // already applied this step (sealed, or built the index), so
             // the fan-out may treat it as done.
@@ -716,8 +917,11 @@ impl ClusterRouter {
         for ix in 0..self.shard_count() as usize {
             match self.exec_on(ix, Self::wrap(deadline_ns, make(ck.local[ix]))) {
                 Ok(KvResponse::JobStarted { .. }) => {
+                    // The seal-time ship gates the ack: a client must
+                    // never see this job as started-and-durable unless
+                    // the sealed artifacts reached the replica log.
                     if ship_after {
-                        self.ship_sealed(ix, &ck.name, ck.local[ix]);
+                        self.ship_sealed(ix, &ck.name, ck.local[ix])?;
                     }
                 }
                 // The job-state poll is derived from keyspace states, so
@@ -1079,8 +1283,65 @@ impl ClusterRouter {
             true
         };
         if died {
-            self.begin_failover(ix as usize);
+            self.failover(ix as usize, false);
         }
+    }
+
+    /// Whether shard `ix` currently holds a deposed (suspected, fenced)
+    /// ex-primary.
+    pub fn has_deposed(&self, ix: u32) -> bool {
+        self.shards[ix as usize].deposed.lock().is_some()
+    }
+
+    /// Test/inspection handle on shard `ix`'s deposed ex-primary.
+    pub fn with_deposed_device<R>(&self, ix: u32, f: impl FnOnce(&KvCsdDevice) -> R) -> Option<R> {
+        let deposed = self.shards[ix as usize].deposed.lock();
+        deposed.as_ref().map(|inst| f(inst.device()))
+    }
+
+    /// Execute one *local* command on shard `ix`'s deposed ex-primary —
+    /// the split-brain probe. The command really executes (the deposed
+    /// device is alive on the far side of the partition), but the ack is
+    /// rejected at the epoch fence: at most one primary acks per epoch.
+    pub fn exec_on_deposed(&self, ix: u32, cmd: KvCommand) -> Result<KvResponse, KvStatus> {
+        let st = &self.shards[ix as usize];
+        let deposed = st.deposed.lock();
+        let inst = deposed
+            .as_ref()
+            .ok_or_else(|| KvStatus::Internal(format!("shard {}: no deposed primary", st.id)))?;
+        let resp = inst.device().handle(cmd);
+        if inst.epoch() != st.epoch.get() {
+            return Err(KvStatus::EpochFenced { shard: st.id });
+        }
+        resp.into_result()
+    }
+
+    /// Have shard `ix`'s deposed ex-primary ship keyspace `name` to the
+    /// replica log, stamped with its stale epoch. The receive fence must
+    /// reject it — the companion probe to [`Self::exec_on_deposed`].
+    pub fn ship_from_deposed(&self, ix: u32, name: &str) -> Result<ShipOutcome, ShipError> {
+        let st = &self.shards[ix as usize];
+        let (art, epoch) = {
+            let deposed = st.deposed.lock();
+            // kvcsd-check: allow(unwrap) -- torture-harness hook; calling it without a deposed primary is a test bug
+            let inst = deposed.as_ref().expect("no deposed primary to ship from");
+            let local = inst
+                .device()
+                .keyspaces()
+                .list()
+                .iter()
+                .find(|(_, n, _)| n.as_str() == name)
+                .map(|(id, _, _)| *id)
+                // kvcsd-check: allow(unwrap) -- torture-harness hook; the test names a keyspace it created
+                .expect("deposed primary does not hold this keyspace");
+            let art = inst
+                .device()
+                .export_keyspace_artifacts(local)
+                // kvcsd-check: allow(unwrap) -- torture-harness hook; the test sealed this keyspace before deposing
+                .expect("deposed keyspace has nothing exportable");
+            (art, inst.epoch())
+        };
+        st.replica.ship(name, art, epoch)
     }
 }
 
@@ -1268,6 +1529,92 @@ mod tests {
                 r => panic!("{r:?}"),
             }
         }
+    }
+
+    #[test]
+    fn link_down_seal_deposes_the_primary_and_fences_its_acks() {
+        // One shard, link partitioned from the first bus op: the
+        // seal-time ship burns its retry budget, the router deposes the
+        // primary on suspicion, and the deposed instance keeps executing
+        // but never acks.
+        let r = ClusterRouter::new(ClusterConfig {
+            shards: 1,
+            fault_plan: FaultPlan::none().with_partition_at(1, None),
+            ..ClusterConfig::default()
+        });
+        let ks = create(&r, "t");
+        put(&r, ks, b"k1", b"v1");
+        let resp = r.handle(KvCommand::Compact { ks });
+        assert!(
+            matches!(
+                resp,
+                KvResponse::Err(KvStatus::FailoverInProgress { shard: 0 })
+            ),
+            "a seal that cannot reach the replica must not ack: {resp:?}"
+        );
+        let events = r.events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].suspected, "deposed on suspicion, not death");
+        assert_eq!(r.shard_epoch(0), 2);
+        assert!(r.has_deposed(0));
+        // The deposed ex-primary still executes, but the ack is fenced.
+        let local = r
+            .with_deposed_device(0, |d| {
+                d.keyspaces()
+                    .list()
+                    .iter()
+                    .find(|(_, n, _)| n == "t")
+                    .map(|(id, _, _)| *id)
+                    .unwrap()
+            })
+            .unwrap();
+        let err = r
+            .exec_on_deposed(
+                0,
+                KvCommand::Put {
+                    ks: local,
+                    key: b"k2".to_vec(),
+                    value: b"v2".to_vec(),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, KvStatus::EpochFenced { shard: 0 });
+        // ...and after the partition heals, its ships are rejected at the
+        // replica's receive fence.
+        let fenced_before = r.replica_log(0).fenced();
+        r.shard_link(0).heal_link_now();
+        r.ship_from_deposed(0, "t").unwrap();
+        assert_eq!(r.replica_log(0).fenced(), fenced_before + 1);
+    }
+
+    #[test]
+    fn anti_entropy_reconcile_closes_the_gap_after_heal() {
+        // Availability mode: the primary survives the partition with
+        // unreplicated artifacts; reconcile() re-ships exactly the gap.
+        let r = ClusterRouter::new(ClusterConfig {
+            shards: 1,
+            partition_failover: false,
+            ..ClusterConfig::default()
+        });
+        let ks = create(&r, "t");
+        for i in 0..30u32 {
+            put(&r, ks, format!("k{i:03}").as_bytes(), &i.to_be_bytes());
+        }
+        r.shard_link(0).partition_now();
+        let resp = r.handle(KvCommand::Compact { ks });
+        assert!(
+            matches!(resp, KvResponse::Err(KvStatus::TransientDeviceError(_))),
+            "seal across a partition must bounce retryably: {resp:?}"
+        );
+        assert_eq!(r.events().len(), 0, "availability mode never deposes");
+        assert_eq!(r.replica_depth(0), 0, "nothing crossed the partition");
+        assert_eq!(r.reconcile(), 0, "reconcile skips partitioned links");
+        r.shard_link(0).heal_link_now();
+        assert_eq!(r.reconcile(), 1, "exactly the gap re-ships");
+        assert_eq!(r.replica_depth(0), 1);
+        // The retried compact now seals-and-ships cleanly.
+        compact(&r, ks);
+        assert_eq!(r.reconcile(), 0, "replica already converged");
     }
 
     #[test]

@@ -34,13 +34,20 @@ pub struct ShardInstance {
     ledger: Arc<IoLedger>,
     clock: Arc<VirtualClock>,
     injector: Arc<FaultInjector>,
+    /// Fencing epoch this instance was built to serve. A promotion mints
+    /// the next epoch, so an instance whose epoch trails the shard's
+    /// current epoch is a deposed primary: the router rejects its acks
+    /// with `KvStatus::EpochFenced` and the replica log rejects its ships
+    /// at the receive fence.
+    epoch: u64,
 }
 
 impl ShardInstance {
-    /// Build a fresh stack for shard `device_id` under `plan`. The plan is
-    /// re-keyed per device, so one fleet-wide seed yields deterministic
-    /// but *distinct* failure schedules per shard.
-    pub fn build(cfg: &ClusterConfig, device_id: u32, plan: FaultPlan) -> Self {
+    /// Build a fresh stack for shard `device_id` under `plan`, serving
+    /// fencing epoch `epoch`. The plan is re-keyed per device, so one
+    /// fleet-wide seed yields deterministic but *distinct* failure
+    /// schedules per shard.
+    pub fn build(cfg: &ClusterConfig, device_id: u32, plan: FaultPlan, epoch: u64) -> Self {
         let ledger = Arc::new(IoLedger::new(
             cfg.geometry.channels,
             cfg.geometry.page_bytes,
@@ -63,7 +70,13 @@ impl ShardInstance {
             ledger,
             clock,
             injector,
+            epoch,
         }
+    }
+
+    /// The fencing epoch this instance serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     pub fn device(&self) -> &Arc<KvCsdDevice> {
@@ -150,9 +163,9 @@ mod tests {
     fn shards_get_distinct_deterministic_fault_schedules() {
         let cfg = ClusterConfig::default();
         let plan = FaultPlan::none().with_error_prob(0.5);
-        let a = ShardInstance::build(&cfg, 0, plan.clone());
-        let b = ShardInstance::build(&cfg, 1, plan.clone());
-        let a2 = ShardInstance::build(&cfg, 0, plan);
+        let a = ShardInstance::build(&cfg, 0, plan.clone(), 1);
+        let b = ShardInstance::build(&cfg, 1, plan.clone(), 1);
+        let a2 = ShardInstance::build(&cfg, 0, plan, 1);
         let seq = |s: &ShardInstance| {
             (0..32)
                 .map(|_| s.injector().decide(OpClass::NandRead, 0))
@@ -166,8 +179,8 @@ mod tests {
     #[test]
     fn shard_clocks_are_independent() {
         let cfg = ClusterConfig::default();
-        let a = ShardInstance::build(&cfg, 0, FaultPlan::none());
-        let b = ShardInstance::build(&cfg, 1, FaultPlan::none());
+        let a = ShardInstance::build(&cfg, 0, FaultPlan::none(), 1);
+        let b = ShardInstance::build(&cfg, 1, FaultPlan::none(), 1);
         a.clock().advance(1_000_000);
         assert_eq!(a.clock().now_ns(), 1_000_000);
         assert_eq!(b.clock().now_ns(), 0, "shard B must not observe A's time");

@@ -22,9 +22,9 @@
 pub type ShardId = u32;
 
 /// Fixed bytes of a replication envelope on the bus: sequence number (8),
-/// shard id (4), artifact kind (1), keyspace-name length (2), payload
-/// length (8), CRC (4).
-pub const SHIP_HEADER_BYTES: u64 = 27;
+/// fencing epoch (8), shard id (4), artifact kind (1), keyspace-name
+/// length (2), payload length (8), CRC (4).
+pub const SHIP_HEADER_BYTES: u64 = 35;
 
 /// What a shipped artifact contains, which decides how the replica
 /// replays it at promotion time.
@@ -76,6 +76,11 @@ pub struct ReplicaShip {
     /// Monotonic per-channel sequence number; replay is in `seq` order and
     /// a later ship for the same keyspace supersedes an earlier one.
     pub seq: u64,
+    /// Fencing epoch of the primary that produced the artifact, minted at
+    /// promotion. A receiver rejects any ship below the highest epoch it
+    /// has accepted, so a partitioned stale primary cannot overwrite
+    /// state replicated by its successor.
+    pub epoch: u64,
     /// Shard whose primary produced the artifact.
     pub shard: ShardId,
     /// Keyspace the artifact belongs to.
@@ -108,6 +113,7 @@ mod tests {
     fn ship(seq: u64, keyspace: &str, kind: ShipKind, payload: u64) -> ReplicaShip {
         ReplicaShip {
             seq,
+            epoch: 1,
             shard: 1,
             keyspace: keyspace.into(),
             kind,

@@ -22,7 +22,7 @@ pub mod status;
 pub mod transport;
 
 pub use bulk::{BulkBuilder, BulkPayload, DEFAULT_BULK_BYTES};
-pub use cluster::{ReplicaShip, ShardId, ShardRoute, ShipKind};
+pub use cluster::{ReplicaShip, ShardId, ShardRoute, ShipKind, SHIP_HEADER_BYTES};
 pub use command::{
     Bound, JobId, JobState, KeyspaceDesc, KeyspaceStat, KeyspaceState, KvCommand, KvResponse,
     SecondaryIndexSpec, SecondaryKeyType, SidxKey,

@@ -60,6 +60,12 @@ pub enum KvStatus {
     /// promoting its replica. The command did not execute; an immediate
     /// retry will be routed to the promoted replica.
     FailoverInProgress { shard: u32 },
+    /// Cluster routing: the command reached a primary whose fencing epoch
+    /// is stale — it was deposed (e.g. suspected dead across a network
+    /// partition) and a successor holds a newer epoch. The ack is
+    /// rejected at the fence; an immediate retry will be routed to the
+    /// current-epoch primary.
+    EpochFenced { shard: u32 },
     /// Internal device error (wraps a flash-layer message).
     Internal(String),
 }
@@ -76,6 +82,7 @@ impl KvStatus {
                 | KvStatus::Busy
                 | KvStatus::Stalled
                 | KvStatus::FailoverInProgress { .. }
+                | KvStatus::EpochFenced { .. }
         )
     }
 }
@@ -109,6 +116,9 @@ impl fmt::Display for KvStatus {
             }
             KvStatus::FailoverInProgress { shard } => {
                 write!(f, "shard {shard} failing over to replica")
+            }
+            KvStatus::EpochFenced { shard } => {
+                write!(f, "shard {shard} rejected a stale-epoch primary (fenced)")
             }
             KvStatus::Internal(msg) => write!(f, "internal device error: {msg}"),
         }
@@ -145,6 +155,10 @@ mod tests {
                 KvStatus::FailoverInProgress { shard: 1 },
                 "shard 1 failing over",
             ),
+            (
+                KvStatus::EpochFenced { shard: 3 },
+                "shard 3 rejected a stale-epoch primary",
+            ),
         ];
         for (s, needle) in cases {
             assert!(s.to_string().contains(needle), "{s:?}");
@@ -158,6 +172,7 @@ mod tests {
             KvStatus::Busy,
             KvStatus::Stalled,
             KvStatus::FailoverInProgress { shard: 0 },
+            KvStatus::EpochFenced { shard: 0 },
         ] {
             assert!(retryable.is_retryable(), "{retryable:?}");
         }

@@ -18,6 +18,7 @@
 
 use std::sync::Arc;
 
+use crate::fault::{BusFault, FaultInjector};
 use crate::ledger::IoLedger;
 use crate::sync::Shared;
 
@@ -40,12 +41,37 @@ impl Default for BusConfig {
     }
 }
 
+/// Outcome of one fault-aware message attempt ([`BusResource::xmit`]).
+/// Every variant that put bytes on the wire reports the occupancy `ns`
+/// already charged to the ledger; the *sender* decides what the outcome
+/// means for its protocol (ack, timeout, retransmit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusXmit {
+    /// Delivered and acked within the sender's timeout. `copies` > 1 is
+    /// network duplication: the receiver must treat the extras
+    /// idempotently, and each copy occupied (and was charged to) the
+    /// fabric.
+    Delivered { ns: u64, copies: u32 },
+    /// Delivered (all `copies`), but the ack missed the sender's timeout
+    /// window — the reorder/late fault. The receiver has the message; the
+    /// sender will retransmit and the retransmit races the late original.
+    Late { ns: u64, copies: u32 },
+    /// Lost on the wire after occupying it: charged, not delivered.
+    Dropped { ns: u64 },
+    /// The link is partitioned; nothing left the NIC and nothing was
+    /// charged.
+    Partitioned,
+}
+
 /// One replication channel between a primary and its designated peer.
 #[derive(Debug)]
 pub struct BusResource {
     cfg: BusConfig,
     ledger: Arc<IoLedger>,
     busy_ns: Shared<u64>,
+    /// Link-lane fault source; `None` means a perfect network and `xmit`
+    /// degenerates to a single charged `transfer`.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl BusResource {
@@ -54,12 +80,25 @@ impl BusResource {
             cfg,
             ledger,
             busy_ns: Shared::new(0),
+            injector: None,
         }
+    }
+
+    /// Attach a link-lane fault source (see `FaultInjector::decide_bus`);
+    /// the channel consults it on every `xmit`.
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// The ledger this channel charges.
     pub fn ledger(&self) -> &Arc<IoLedger> {
         &self.ledger
+    }
+
+    /// True while the channel's link is inside a partition window.
+    pub fn is_partitioned(&self) -> bool {
+        self.injector.as_ref().is_some_and(|i| i.is_partitioned())
     }
 
     /// Ship `bytes` over the channel; returns the simulated transfer time
@@ -75,6 +114,42 @@ impl BusResource {
         self.ledger.bump("bus_busy_ns", ns);
         self.busy_ns.update(|b| *b += ns);
         ns
+    }
+
+    /// One *unreliable* message attempt: consult the link lane, then
+    /// charge a `transfer` for every copy that actually occupied the
+    /// fabric (duplicates and dropped messages both did; a partitioned
+    /// link charges nothing). Delay faults add their latency to the
+    /// returned occupancy. This is the only send primitive replication
+    /// protocols should use — `transfer` alone models a perfect wire.
+    pub fn xmit(&self, bytes: u64) -> BusXmit {
+        let fault = match &self.injector {
+            None => BusFault::Deliver {
+                copies: 1,
+                delay_ns: 0,
+            },
+            Some(inj) => inj.decide_bus(),
+        };
+        match fault {
+            BusFault::Partitioned => BusXmit::Partitioned,
+            BusFault::Drop => BusXmit::Dropped {
+                ns: self.transfer(bytes),
+            },
+            BusFault::Late { copies } => {
+                let mut ns = 0u64;
+                for _ in 0..copies {
+                    ns = ns.saturating_add(self.transfer(bytes));
+                }
+                BusXmit::Late { ns, copies }
+            }
+            BusFault::Deliver { copies, delay_ns } => {
+                let mut ns = delay_ns;
+                for _ in 0..copies {
+                    ns = ns.saturating_add(self.transfer(bytes));
+                }
+                BusXmit::Delivered { ns, copies }
+            }
+        }
     }
 
     /// Total simulated nanoseconds this channel has spent transferring.
@@ -122,6 +197,65 @@ mod tests {
         let b = bus(BusConfig::default());
         let ns = b.transfer(0);
         assert_eq!(ns, BusConfig::default().msg_overhead_ns);
+        assert_eq!(b.ledger().custom("bus_msgs"), 1);
+    }
+
+    #[test]
+    fn xmit_without_an_injector_is_a_single_charged_delivery() {
+        let b = bus(BusConfig {
+            bytes_per_sec: 1e9,
+            msg_overhead_ns: 100,
+        });
+        assert_eq!(
+            b.xmit(1000),
+            BusXmit::Delivered {
+                ns: 1100,
+                copies: 1
+            }
+        );
+        assert_eq!(b.ledger().custom("bus_msgs"), 1);
+        assert_eq!(b.ledger().custom("bus_bytes"), 1000);
+    }
+
+    #[test]
+    fn duplicated_and_dropped_xmits_still_occupy_the_fabric() {
+        use crate::fault::FaultPlan;
+        // dup_prob = 1.0: every attempt delivers two charged copies.
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::none().with_link_faults(0.0, 1.0, 0.0, 0.0),
+        ));
+        let b = bus(BusConfig {
+            bytes_per_sec: 1e9,
+            msg_overhead_ns: 10,
+        })
+        .with_faults(inj);
+        assert_eq!(b.xmit(100), BusXmit::Delivered { ns: 220, copies: 2 });
+        assert_eq!(b.ledger().custom("bus_msgs"), 2);
+        assert_eq!(b.ledger().custom("bus_bytes"), 200);
+        // drop_prob = 1.0: charged, never delivered.
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::none().with_link_faults(1.0, 0.0, 0.0, 0.0),
+        ));
+        let b = bus(BusConfig {
+            bytes_per_sec: 1e9,
+            msg_overhead_ns: 10,
+        })
+        .with_faults(inj);
+        assert_eq!(b.xmit(100), BusXmit::Dropped { ns: 110 });
+        assert_eq!(b.ledger().custom("bus_msgs"), 1);
+    }
+
+    #[test]
+    fn partitioned_xmit_charges_nothing_until_heal() {
+        use crate::fault::FaultPlan;
+        let inj = Arc::new(FaultInjector::new(FaultPlan::none()));
+        let b = bus(BusConfig::default()).with_faults(inj.clone());
+        inj.partition_now();
+        assert!(b.is_partitioned());
+        assert_eq!(b.xmit(4096), BusXmit::Partitioned);
+        assert_eq!(b.ledger().custom("bus_msgs"), 0);
+        inj.heal_link_now();
+        assert!(matches!(b.xmit(4096), BusXmit::Delivered { .. }));
         assert_eq!(b.ledger().custom("bus_msgs"), 1);
     }
 }

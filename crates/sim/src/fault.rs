@@ -24,6 +24,9 @@ pub enum OpClass {
     NandProgram,
     NandErase,
     ZnsAppend,
+    /// One cluster-bus message attempt (link lane; never consults the
+    /// device-op stream).
+    BusXmit,
 }
 
 impl OpClass {
@@ -33,6 +36,7 @@ impl OpClass {
             OpClass::NandProgram => "nand-program",
             OpClass::NandErase => "nand-erase",
             OpClass::ZnsAppend => "zns-append",
+            OpClass::BusXmit => "bus-xmit",
         }
     }
 }
@@ -74,6 +78,36 @@ pub enum FaultKind {
     Transient,
     Persistent,
     PowerCut,
+    /// Bus message lost on the wire (link lane).
+    LinkDrop,
+    /// Bus message delivered twice (link lane).
+    LinkDuplicate,
+    /// Bus message delivered after the sender's ack timeout — the
+    /// reorder/late-delivery fault (link lane).
+    LinkLate,
+    /// The link entered a bidirectional partition.
+    LinkPartition,
+    /// The partition healed.
+    LinkHeal,
+}
+
+/// What the link lane decided for one bus message attempt. The sender
+/// (see `BusResource::xmit`) turns this into charged transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusFault {
+    /// Delivered and acked. `copies` > 1 models network duplication (the
+    /// receiver sees every copy); `delay_ns` is extra in-flight latency,
+    /// still inside the sender's ack timeout.
+    Deliver { copies: u32, delay_ns: u64 },
+    /// Delivered (all `copies`), but the ack misses the sender's timeout
+    /// window: the receiver has the message, the sender will retransmit.
+    /// This is how reordering manifests under a stop-and-wait protocol —
+    /// the retransmit races the late original.
+    Late { copies: u32 },
+    /// Lost on the wire; the sender times out and retries.
+    Drop,
+    /// The link is partitioned: nothing leaves the NIC.
+    Partitioned,
 }
 
 /// Declarative description of the faults to inject.
@@ -104,6 +138,29 @@ pub struct FaultPlan {
     /// Whether a power cut landing on a program leaves a torn page
     /// (a durable prefix of the payload) instead of cleanly losing the op.
     pub torn_writes: bool,
+    /// Link this plan's injector drives bus faults for. Keyed the same
+    /// way as `device_id` (see [`FaultPlan::for_link`]) but onto an
+    /// *independent* RNG lane: link draws never perturb the device-op
+    /// stream, so the same device seed yields a byte-identical device
+    /// fault schedule with and without link faults.
+    pub link_id: u32,
+    /// Per-message probability the bus loses the message outright.
+    pub link_drop_prob: f64,
+    /// Per-message probability the bus delivers the message twice.
+    pub link_dup_prob: f64,
+    /// Per-message probability the message arrives after the sender's
+    /// ack timeout (the reorder fault: the retransmit races it).
+    pub link_reorder_prob: f64,
+    /// Per-message probability of extra in-flight latency (still acked).
+    pub link_delay_prob: f64,
+    /// The extra latency charged when the delay fault fires.
+    pub link_delay_ns: u64,
+    /// Partition the link bidirectionally at this absolute (1-based) bus
+    /// message attempt.
+    pub partition_at: Option<u64>,
+    /// Heal a scheduled partition after this many further message
+    /// attempts; `None` leaves it down until [`FaultInjector::heal_link_now`].
+    pub partition_heal_after: Option<u64>,
 }
 
 impl FaultPlan {
@@ -120,6 +177,14 @@ impl FaultPlan {
             power_cut_at: None,
             power_cut_every: None,
             torn_writes: false,
+            link_id: 0,
+            link_drop_prob: 0.0,
+            link_dup_prob: 0.0,
+            link_reorder_prob: 0.0,
+            link_delay_prob: 0.0,
+            link_delay_ns: 0,
+            partition_at: None,
+            partition_heal_after: None,
         }
     }
 
@@ -159,11 +224,42 @@ impl FaultPlan {
         self
     }
 
+    /// Set the per-message link fault probabilities in one call.
+    pub fn with_link_faults(mut self, drop: f64, dup: f64, reorder: f64, delay: f64) -> Self {
+        self.link_drop_prob = drop;
+        self.link_dup_prob = dup;
+        self.link_reorder_prob = reorder;
+        self.link_delay_prob = delay;
+        self
+    }
+
+    /// Extra latency charged when the delay fault fires.
+    pub fn with_link_delay_ns(mut self, ns: u64) -> Self {
+        self.link_delay_ns = ns;
+        self
+    }
+
+    /// Partition the link at the `at`-th bus message attempt, healing
+    /// after `heal_after` further attempts (`None` = until healed by hand).
+    pub fn with_partition_at(mut self, at: u64, heal_after: Option<u64>) -> Self {
+        self.partition_at = Some(at);
+        self.partition_heal_after = heal_after;
+        self
+    }
+
     /// Key this plan to one device of a fleet. The same `(plan, id)` pair
     /// always yields the same schedule; different ids yield decorrelated
     /// streams from the one shared seed.
     pub fn for_device(mut self, id: u32) -> Self {
         self.device_id = id;
+        self
+    }
+
+    /// Key this plan to one cluster link, the same re-keying discipline
+    /// as [`FaultPlan::for_device`]: one declarative plan shared across a
+    /// fleet yields deterministic, *distinct* per-link fault schedules.
+    pub fn for_link(mut self, id: u32) -> Self {
+        self.link_id = id;
         self
     }
 
@@ -183,12 +279,27 @@ impl FaultPlan {
         (z ^ (z >> 31)) | 1
     }
 
+    /// The seed driving the *link* lane. Salted so it never collides with
+    /// any device lane (including device 0's raw seed), and mixed for
+    /// every link id — link 0 included — so link draws are decorrelated
+    /// from device draws even when both ids are 0.
+    pub fn link_effective_seed(&self) -> u64 {
+        let mut z = (self.seed ^ 0xA5A5_5A5A_C3C3_3C3C)
+            .wrapping_add((self.link_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        // XorShift64 requires a non-zero seed.
+        (z ^ (z >> 31)) | 1
+    }
+
     fn error_prob(&self, class: OpClass) -> f64 {
         match class {
             OpClass::NandRead => self.read_error_prob,
             OpClass::NandProgram => self.program_error_prob,
             OpClass::NandErase => self.erase_error_prob,
             OpClass::ZnsAppend => self.append_error_prob,
+            // Bus faults are decided by the link lane, never by `decide`.
+            OpClass::BusXmit => 0.0,
         }
     }
 }
@@ -203,6 +314,14 @@ struct InjectorState {
     next_cut: Option<u64>,
     powered_off: bool,
     log: Vec<FaultEvent>,
+    /// The link lane: its own RNG, message counter, partition state and
+    /// event log, fully independent of the device-op stream above.
+    link_rng: XorShift64,
+    bus_ops: u64,
+    partitioned: bool,
+    /// Absolute bus-op index at which a scheduled partition heals.
+    partition_heal_at: Option<u64>,
+    link_log: Vec<FaultEvent>,
 }
 
 /// Executes a [`FaultPlan`]; shared (via `Arc`) by the whole flash stack.
@@ -221,6 +340,11 @@ impl FaultInjector {
             next_cut,
             powered_off: false,
             log: Vec::new(),
+            link_rng: XorShift64::new(plan.link_effective_seed()),
+            bus_ops: 0,
+            partitioned: false,
+            partition_heal_at: None,
+            link_log: Vec::new(),
         };
         Self {
             plan,
@@ -331,6 +455,123 @@ impl FaultInjector {
     /// schedule. Equal plans over equal workloads produce equal logs.
     pub fn events(&self) -> Vec<FaultEvent> {
         self.state.lock().log.clone()
+    }
+
+    /// Consult the link lane for one bus message attempt. Draws come from
+    /// the link RNG only: interleaving `decide_bus` calls with `decide`
+    /// calls never changes the device fault schedule, and vice versa.
+    pub fn decide_bus(&self) -> BusFault {
+        let mut st = self.state.lock();
+        st.bus_ops += 1;
+        let op = st.bus_ops;
+        // Scheduled partition window: open at `partition_at`, heal after
+        // `partition_heal_after` further attempts. Attempts against a
+        // downed link still advance the counter so the heal can fire.
+        if st.partitioned {
+            if let Some(h) = st.partition_heal_at {
+                if op >= h {
+                    st.partitioned = false;
+                    st.partition_heal_at = None;
+                    st.link_log.push(FaultEvent {
+                        op,
+                        class: OpClass::BusXmit,
+                        kind: FaultKind::LinkHeal,
+                    });
+                }
+            }
+        } else if self.plan.partition_at == Some(op) {
+            st.partitioned = true;
+            st.partition_heal_at = self.plan.partition_heal_after.map(|k| op + k);
+            st.link_log.push(FaultEvent {
+                op,
+                class: OpClass::BusXmit,
+                kind: FaultKind::LinkPartition,
+            });
+        }
+        if st.partitioned {
+            return BusFault::Partitioned;
+        }
+        let p = &self.plan;
+        if p.link_drop_prob > 0.0 && st.link_rng.next_f64() < p.link_drop_prob {
+            st.link_log.push(FaultEvent {
+                op,
+                class: OpClass::BusXmit,
+                kind: FaultKind::LinkDrop,
+            });
+            return BusFault::Drop;
+        }
+        let copies = if p.link_dup_prob > 0.0 && st.link_rng.next_f64() < p.link_dup_prob {
+            st.link_log.push(FaultEvent {
+                op,
+                class: OpClass::BusXmit,
+                kind: FaultKind::LinkDuplicate,
+            });
+            2
+        } else {
+            1
+        };
+        if p.link_reorder_prob > 0.0 && st.link_rng.next_f64() < p.link_reorder_prob {
+            st.link_log.push(FaultEvent {
+                op,
+                class: OpClass::BusXmit,
+                kind: FaultKind::LinkLate,
+            });
+            return BusFault::Late { copies };
+        }
+        let delay_ns = if p.link_delay_prob > 0.0 && st.link_rng.next_f64() < p.link_delay_prob {
+            p.link_delay_ns
+        } else {
+            0
+        };
+        BusFault::Deliver { copies, delay_ns }
+    }
+
+    /// Partition the link immediately (torture hook); recorded like a
+    /// scheduled partition. Stays down until [`FaultInjector::heal_link_now`].
+    pub fn partition_now(&self) {
+        let mut st = self.state.lock();
+        if !st.partitioned {
+            st.partitioned = true;
+            st.partition_heal_at = None;
+            let op = st.bus_ops;
+            st.link_log.push(FaultEvent {
+                op,
+                class: OpClass::BusXmit,
+                kind: FaultKind::LinkPartition,
+            });
+        }
+    }
+
+    /// Heal a partition (manual or scheduled) immediately.
+    pub fn heal_link_now(&self) {
+        let mut st = self.state.lock();
+        if st.partitioned {
+            st.partitioned = false;
+            st.partition_heal_at = None;
+            let op = st.bus_ops;
+            st.link_log.push(FaultEvent {
+                op,
+                class: OpClass::BusXmit,
+                kind: FaultKind::LinkHeal,
+            });
+        }
+    }
+
+    /// True while the link is inside a partition window.
+    pub fn is_partitioned(&self) -> bool {
+        self.state.lock().partitioned
+    }
+
+    /// Bus message attempts observed so far.
+    pub fn bus_ops(&self) -> u64 {
+        self.state.lock().bus_ops
+    }
+
+    /// Every link-lane fault fired so far, in order — kept separate from
+    /// [`FaultInjector::events`] so device schedules compare clean even
+    /// when link faults are live.
+    pub fn link_events(&self) -> Vec<FaultEvent> {
+        self.state.lock().link_log.clone()
     }
 }
 
@@ -506,6 +747,105 @@ mod tests {
             torn(2),
             "distinct devices must not tear identically"
         );
+    }
+
+    #[test]
+    fn link_lane_never_perturbs_the_device_schedule() {
+        // Same device seed => byte-identical device fault schedule with
+        // and without link faults, and regardless of interleaved bus
+        // draws. This is the composition contract the cluster relies on.
+        let quiet = FaultPlan {
+            seed: 123,
+            ..FaultPlan::none()
+        }
+        .with_error_prob(0.3)
+        .with_persistent_fraction(0.4);
+        let noisy = quiet.clone().with_link_faults(0.3, 0.3, 0.3, 0.3);
+        let run = |plan: FaultPlan, interleave: bool| {
+            let inj = FaultInjector::new(plan);
+            let mut out = Vec::new();
+            for i in 0..400u32 {
+                if interleave && i % 3 == 0 {
+                    let _ = inj.decide_bus();
+                }
+                out.push(inj.decide(OpClass::NandProgram, 256));
+            }
+            (out, inj.events())
+        };
+        let (base, base_ev) = run(quiet.clone(), false);
+        assert_eq!(run(quiet, true), (base.clone(), base_ev.clone()));
+        assert_eq!(run(noisy.clone(), false), (base.clone(), base_ev.clone()));
+        assert_eq!(run(noisy, true), (base, base_ev));
+    }
+
+    #[test]
+    fn link_faults_are_deterministic_and_keyed_per_link() {
+        let plan = FaultPlan {
+            seed: 9,
+            ..FaultPlan::none()
+        }
+        .with_link_faults(0.2, 0.2, 0.2, 0.2)
+        .with_link_delay_ns(500);
+        let run = |id: u32| {
+            let inj = FaultInjector::new(plan.clone().for_link(id));
+            let faults: Vec<BusFault> = (0..300).map(|_| inj.decide_bus()).collect();
+            (faults, inj.link_events())
+        };
+        assert_eq!(run(0), run(0));
+        assert_eq!(run(2), run(2));
+        assert_ne!(run(0).0, run(1).0);
+        assert_ne!(run(1).0, run(2).0);
+        // The lane actually produces the full fault vocabulary.
+        let (faults, _) = run(0);
+        assert!(faults.contains(&BusFault::Drop));
+        assert!(faults.iter().any(|f| matches!(f, BusFault::Late { .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, BusFault::Deliver { copies: 2, .. })));
+        assert!(faults
+            .iter()
+            .any(|f| matches!(f, BusFault::Deliver { delay_ns: 500, .. })));
+    }
+
+    #[test]
+    fn scheduled_partition_opens_and_heals_at_exact_attempts() {
+        let plan = FaultPlan {
+            seed: 4,
+            ..FaultPlan::none()
+        }
+        .with_partition_at(3, Some(4));
+        let inj = FaultInjector::new(plan);
+        let deliver = BusFault::Deliver {
+            copies: 1,
+            delay_ns: 0,
+        };
+        assert_eq!(inj.decide_bus(), deliver); // 1
+        assert_eq!(inj.decide_bus(), deliver); // 2
+        assert_eq!(inj.decide_bus(), BusFault::Partitioned); // 3: opens
+        assert!(inj.is_partitioned());
+        assert_eq!(inj.decide_bus(), BusFault::Partitioned); // 4
+        assert_eq!(inj.decide_bus(), BusFault::Partitioned); // 5
+        assert_eq!(inj.decide_bus(), BusFault::Partitioned); // 6
+        assert_eq!(inj.decide_bus(), deliver); // 7: healed at 3+4
+        assert!(!inj.is_partitioned());
+        let kinds: Vec<FaultKind> = inj.link_events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![FaultKind::LinkPartition, FaultKind::LinkHeal]);
+    }
+
+    #[test]
+    fn manual_partition_and_heal_hooks_round_trip() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        inj.partition_now();
+        assert_eq!(inj.decide_bus(), BusFault::Partitioned);
+        inj.heal_link_now();
+        assert_eq!(
+            inj.decide_bus(),
+            BusFault::Deliver {
+                copies: 1,
+                delay_ns: 0
+            }
+        );
+        assert_eq!(inj.bus_ops(), 2);
     }
 
     #[test]

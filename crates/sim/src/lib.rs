@@ -33,10 +33,12 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 
-pub use bus::{BusConfig, BusResource};
+pub use bus::{BusConfig, BusResource, BusXmit};
 pub use clock::{VirtualClock, WallTimer};
 pub use config::{CostModel, HardwareSpec};
-pub use fault::{FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultPlan, OpClass};
+pub use fault::{
+    BusFault, FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultPlan, OpClass,
+};
 pub use fsm::{IllegalTransition, TransitionTable};
 pub use ledger::{IoLedger, LedgerSnapshot};
 pub use model::{PhaseTime, TimeModel};
