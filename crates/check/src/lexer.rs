@@ -354,6 +354,29 @@ pub fn find_thread_sleep(code: &str) -> Vec<Hit> {
     hits
 }
 
+/// Raw thread creation for the `shim-spawn` rule: `thread::spawn` (also
+/// matching the qualified `std::thread::spawn` path, which ends in the
+/// same token pair) and `thread::Builder`, the named/stack-sized escape
+/// hatch that reaches the same unmanaged spawn. A local function merely
+/// *named* `spawn` — like `kvcsd_sim::sync::spawn` itself at a call
+/// site — is not flagged; the `thread::` segment is required.
+pub fn find_thread_spawn(code: &str) -> Vec<Hit> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    for needle in ["thread::spawn", "thread::Builder"] {
+        for ix in find_all(code, needle) {
+            if bounded(bytes, ix, needle.len()) {
+                hits.push(Hit {
+                    offset: ix,
+                    what: format!("`{needle}`"),
+                });
+            }
+        }
+    }
+    hits.sort_by_key(|h| h.offset);
+    hits
+}
+
 /// Direct `KvCsdDevice::new` / `KvCsdDevice::reopen` construction — the
 /// `router-bypass` rule. A type merely *named* `KvCsdDevice` in a
 /// signature or field is fine; only the constructor paths are flagged.
@@ -928,6 +951,15 @@ mod tests {
         let code = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
         let ranges = test_line_ranges(code);
         assert_eq!(ranges, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn finds_raw_thread_spawns() {
+        let code = "std::thread::spawn(f);\nthread::Builder::new().spawn(g);\nkvcsd_sim::sync::spawn(h);\nlet spawner = my_thread::spawner();\n";
+        let hits = find_thread_spawn(code);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].what, "`thread::spawn`");
+        assert_eq!(hits[1].what, "`thread::Builder`");
     }
 
     #[test]

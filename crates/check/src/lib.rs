@@ -1,12 +1,13 @@
 //! `kvcsd-check`: the workspace lint pass.
 //!
-//! Twelve repo-specific rules that `rustc`/`clippy` cannot express, each
+//! Thirteen repo-specific rules that `rustc`/`clippy` cannot express, each
 //! guarding an invariant the reproduction's correctness argument leans on
 //! (see `DESIGN.md` §9, §11 and §13):
 //!
 //! * **`sync`** — no `std::sync::{Mutex, RwLock}` outside
-//!   `kvcsd-sim::sync` itself. Every lock must go through the shims so
-//!   the debug lock-order detector sees every acquisition.
+//!   `kvcsd-sim::sync` itself (and the mc scheduler's thread-parking
+//!   internals). Every lock must go through the shims so the debug
+//!   lock-order detector sees every acquisition.
 //! * **`unwrap`** — no `.unwrap()` / `.expect(...)` in non-test library
 //!   code. Fallible paths return typed errors; the rare justified panic
 //!   carries an inline allow comment with a reason.
@@ -57,6 +58,14 @@
 //!   cross the fabric through the epoch-stamped, sequence-numbered
 //!   stop-and-wait protocol; a raw send would bypass the fencing that
 //!   keeps a deposed primary from overwriting its successor's state.
+//! * **`shim-spawn`** — no `std::thread::spawn` / `thread::Builder`
+//!   outside `crates/sim` (which implements the shim). Threads spawned
+//!   through `kvcsd_sim::sync::spawn` get fork/join happens-before edges
+//!   for the race detector and become schedulable by the kvcsd-mc
+//!   controlled scheduler; a raw spawn is invisible to both. Applies to
+//!   tests and `#[cfg(test)]` regions too — multi-threaded tests are
+//!   exactly where the detectors and the model checker earn their keep
+//!   (deliberately-racy fixtures carry reasoned allows).
 //!
 //! Exemptions are granted inline, and only with a reason:
 //!
@@ -85,7 +94,7 @@ pub mod scope;
 use lexer::Scrubbed;
 
 /// The rule identifiers, as used in `allow(...)` comments and `--rule`.
-pub const RULES: [&str; 12] = [
+pub const RULES: [&str; 13] = [
     "sync",
     "unwrap",
     "time",
@@ -98,6 +107,7 @@ pub const RULES: [&str; 12] = [
     "status-map",
     "ledger-charge",
     "epoch-fence",
+    "shim-spawn",
 ];
 
 /// Charged-wait primitives for the `guard-across-wait` rule: method
@@ -205,6 +215,7 @@ pub struct RuleSet {
     pub status_map: bool,
     pub ledger_charge: bool,
     pub epoch_fence: bool,
+    pub shim_spawn: bool,
 }
 
 impl RuleSet {
@@ -222,6 +233,7 @@ impl RuleSet {
             status_map: false,
             ledger_charge: false,
             epoch_fence: false,
+            shim_spawn: false,
         }
     }
 }
@@ -232,7 +244,11 @@ impl RuleSet {
 /// * fixture trees (any `fixtures` component) are never checked — they
 ///   exist to *contain* violations;
 /// * `sync` applies everywhere except `crates/sim/src/sync.rs` (the shim
-///   implementation wraps `std::sync` by definition);
+///   implementation wraps `std::sync` by definition) and
+///   `crates/sim/src/mc.rs` (the controlled scheduler parks real threads
+///   on a raw `std::sync::Mutex`/`Condvar` pair — the shims it schedules
+///   sit *above* it, so routing its own parking through them would
+///   recurse);
 /// * `time` applies everywhere — benches and test harnesses included, so
 ///   a stray wall-clock read cannot sneak into a determinism-sensitive
 ///   path — except `crates/sim/src/clock.rs` (home of `WallTimer`);
@@ -278,7 +294,12 @@ impl RuleSet {
 /// * `epoch-fence` applies to library source in `crates/cluster/` only,
 ///   minus `crates/cluster/src/replica.rs` — the fenced send path is the
 ///   one sanctioned caller of the bus send primitives, and code below
-///   the cluster layer (`crates/sim/`) *implements* them.
+///   the cluster layer (`crates/sim/`) *implements* them;
+/// * `shim-spawn` applies everywhere except `crates/sim/` — the shim
+///   spawn wrapper and the scheduler's managed threads are built *from*
+///   `std::thread` — with no test-region carve-out: harnesses and
+///   `#[cfg(test)]` modules spawn real threads precisely to feed the
+///   race detector and the mc scheduler, which only see shim spawns.
 pub fn rules_for(rel_path: &str) -> RuleSet {
     let parts: Vec<&str> = rel_path.split('/').collect();
     if parts.iter().any(|p| *p == "fixtures" || *p == "target") {
@@ -288,7 +309,7 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
         .iter()
         .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
     RuleSet {
-        sync: rel_path != "crates/sim/src/sync.rs",
+        sync: rel_path != "crates/sim/src/sync.rs" && rel_path != "crates/sim/src/mc.rs",
         unwrap: !harness && !rel_path.starts_with("crates/bench/"),
         time: rel_path != "crates/sim/src/clock.rs",
         sleep: !rel_path.starts_with("crates/sim/"),
@@ -309,6 +330,7 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
         epoch_fence: !harness
             && rel_path.starts_with("crates/cluster/")
             && rel_path != "crates/cluster/src/replica.rs",
+        shim_spawn: !rel_path.starts_with("crates/sim/"),
     }
 }
 
@@ -581,6 +603,18 @@ pub fn check_source_report(
                 "sleep",
                 format!(
                     "{} — waiting is simulated by charging the virtual clock, never by blocking a real thread",
+                    hit.what
+                ),
+            );
+        }
+    }
+    if rules.shim_spawn {
+        for hit in lexer::find_thread_spawn(&scrubbed.code) {
+            push(
+                scrubbed.line_of(hit.offset),
+                "shim-spawn",
+                format!(
+                    "{} — spawn through kvcsd_sim::sync::spawn so the fork/join happens-before edges reach the race detector and the thread is schedulable by the mc controlled scheduler",
                     hit.what
                 ),
             );

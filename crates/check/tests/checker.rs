@@ -160,6 +160,61 @@ fn sim_substrate_is_exempt_from_the_shared_state_rules() {
 }
 
 #[test]
+fn seeded_shim_spawn_violations_are_flagged() {
+    let v = scan(
+        "bad_shim_spawn.rs",
+        include_str!("fixtures/bad_shim_spawn.rs"),
+    );
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(
+        lines,
+        vec![8, 12, 20],
+        "bare spawn, Builder, and the cfg(test) spawn — no test carve-out: {v:#?}"
+    );
+    assert!(v.iter().all(|v| v.rule == "shim-spawn"), "{v:#?}");
+    assert!(v
+        .iter()
+        .any(|v| v.message.contains("kvcsd_sim::sync::spawn")));
+    assert!(v
+        .iter()
+        .any(|v| v.message.contains("mc controlled scheduler")));
+}
+
+#[test]
+fn shim_spawns_and_reasoned_raw_spawn_allows_scan_clean() {
+    let v = scan(
+        "good_shim_spawn.rs",
+        include_str!("fixtures/good_shim_spawn.rs"),
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn shim_spawn_exempts_the_sim_crate_only() {
+    assert!(!rules_for("crates/sim/src/sync.rs").shim_spawn);
+    assert!(
+        !rules_for("crates/sim/src/mc.rs").shim_spawn,
+        "the controlled scheduler's managed threads are raw by definition"
+    );
+    assert!(rules_for("crates/core/src/dram.rs").shim_spawn);
+    assert!(rules_for("crates/mc/src/harnesses.rs").shim_spawn);
+    assert!(
+        rules_for("tests/stress_mt.rs").shim_spawn && rules_for("tests/race.rs").shim_spawn,
+        "harness threads must be shim-spawned (racy fixtures carry allows)"
+    );
+}
+
+#[test]
+fn mc_scheduler_is_exempt_from_the_sync_rule() {
+    assert!(
+        !rules_for("crates/sim/src/mc.rs").sync,
+        "the scheduler parks threads on a raw Mutex/Condvar below the shims"
+    );
+    assert!(rules_for("crates/sim/src/clock.rs").sync);
+    assert!(rules_for("crates/mc/src/explore.rs").sync);
+}
+
+#[test]
 fn seeded_router_bypass_violations_are_flagged() {
     let v = scan(
         "bad_router_bypass.rs",

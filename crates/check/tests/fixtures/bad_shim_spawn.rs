@@ -1,0 +1,27 @@
+//! Fixture: raw `std::thread` spawns outside `crates/sim`. Never
+//! compiled; scanned by the checker's integration tests under a fake
+//! library path.
+
+use std::thread;
+
+pub fn bare() {
+    thread::spawn(|| {}).join().ok();
+}
+
+pub fn named() {
+    let _ = thread::Builder::new().name("w".into()).spawn(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    // No test-region carve-out: a raw spawn in a test hides the thread
+    // from the detectors just the same.
+    fn in_tests_too() {
+        std::thread::spawn(|| {}).join().ok();
+    }
+}
+
+pub fn spawn() {
+    // A local function named `spawn` is fine; only `thread::spawn` and
+    // `thread::Builder` trip.
+}

@@ -1,0 +1,16 @@
+//! Fixture: shim spawns and a reasoned raw-spawn allow scan clean.
+
+use kvcsd_sim::sync::spawn;
+
+pub fn managed() {
+    spawn(|| {}).join().ok();
+}
+
+pub fn qualified() {
+    kvcsd_sim::sync::spawn(|| {}).join().ok();
+}
+
+pub fn deliberately_raw() {
+    // kvcsd-check: allow(shim-spawn) -- racy fixture needs a thread with no fork edge
+    std::thread::spawn(|| {}).join().ok();
+}

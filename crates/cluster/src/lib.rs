@@ -38,10 +38,12 @@
 //! primary *and* shipped to the replica log; artifacts in the replica log
 //! survive any single-device death.
 
+pub mod model;
 pub mod replica;
 pub mod router;
 pub mod shard;
 
+pub use model::{run_two_shard, ModelOutcome};
 pub use replica::{ReplicaLog, ShipError, ShipOutcome, ShipPolicy};
 pub use router::{ClusterRouter, FailoverEvent};
 pub use shard::{ShardHealth, ShardInstance};

@@ -1,0 +1,286 @@
+//! A distilled 2-shard replication/failover protocol model for the
+//! kvcsd-mc network explorer.
+//!
+//! `tests/partition.rs` tortures the full cluster under *sampled* link
+//! faults; this module is the complementary exhaustive front: a small,
+//! deterministic protocol scenario whose every bus decision comes from an
+//! explicit script (`FaultInjector::set_bus_script`), so an explorer can
+//! enumerate all decision sequences up to a bound and check the PR-7
+//! invariants on each one — not just on the seeds a torture run happened
+//! to draw.
+//!
+//! The model keeps the real protocol pieces (a [`ReplicaLog`] per
+//! direction: stop-and-wait shipping, epoch fencing, per-keyspace
+//! idempotency, anti-entropy generation exchange) and strips everything
+//! else — no device stacks, no router, no compaction. One scenario run:
+//!
+//! 1. Primary **A** (epoch 1) ships two writes to its replica **B**.
+//!    A write counts as *acked* only if `ship` returned `Ok` **and** the
+//!    replica's fence still matches A's epoch — the model analogue of a
+//!    fence-nack on the ack path.
+//! 2. If a ship exhausts its retry budget (`LinkDown`), A is deposed: B
+//!    raises the fence to epoch 2 and promotes from its replica state.
+//!    *Invariant: every epoch-1-acked write is in the promoted state.*
+//! 3. The deposed A retries a write at epoch 1. *Invariant: it cannot
+//!    install state past the fence (at most one primary acks per
+//!    epoch).*
+//! 4. B acks a fresh write at epoch 2 on the reverse channel, the link
+//!    heals (script cleared), and bounded anti-entropy rounds reconcile
+//!    A. *Invariant: convergence within the round budget.*
+//!
+//! All bus traffic crosses [`ReplicaLog`] — the fenced send path — never
+//! raw `BusResource` primitives, so the model obeys the same
+//! `epoch-fence` lint as production cluster code.
+
+use std::sync::Arc;
+
+use kvcsd_core::{ArtifactPayload, KeyspaceArtifacts};
+use kvcsd_sim::{
+    BusConfig, BusFault, BusResource, FaultInjector, FaultPlan, IoLedger, VirtualClock,
+};
+
+use crate::replica::{ReplicaLog, ShipError, ShipPolicy};
+
+/// Epoch A is primary under; B promotes to `EPOCH_A + 1`.
+const EPOCH_A: u64 = 1;
+const EPOCH_B: u64 = 2;
+
+/// Anti-entropy passes allowed after heal before the model declares
+/// non-convergence.
+const RECONCILE_ROUNDS: usize = 4;
+
+/// What one scripted scenario run did — the explorer prunes on
+/// `decisions_consumed` (extending a script past what a run read cannot
+/// change its outcome).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelOutcome {
+    /// Link-lane decisions the run consumed (scripted + past-the-end
+    /// defaults).
+    pub decisions_consumed: usize,
+    /// Whether A was deposed and B promoted.
+    pub failed_over: bool,
+    /// Keyspaces A acked at epoch 1.
+    pub acked_epoch1: Vec<String>,
+}
+
+fn sealed(name: &str, pairs: u64) -> KeyspaceArtifacts {
+    KeyspaceArtifacts {
+        name: name.to_string(),
+        pairs,
+        data_bytes: pairs * 16,
+        min_key: Some(vec![0]),
+        max_key: Some(vec![0xFF]),
+        payload: ArtifactPayload::SealedLogs {
+            klog: vec![0u8; 64],
+            vlog: vec![0u8; 128],
+        },
+    }
+}
+
+/// A tight retry budget so a scenario consumes a small, bounded number
+/// of link decisions — what keeps exhaustive enumeration tractable.
+fn model_policy() -> ShipPolicy {
+    ShipPolicy {
+        max_attempts: 2,
+        timeout_ns: 1_000,
+        base_backoff_ns: 1_000,
+        max_backoff_ns: 1_000,
+    }
+}
+
+fn channel(injector: &Arc<FaultInjector>) -> ReplicaLog {
+    let ledger = Arc::new(IoLedger::new(1, 4096));
+    let bus = BusResource::new(BusConfig::default(), ledger).with_faults(Arc::clone(injector));
+    ReplicaLog::with_policy(0, bus, Arc::new(VirtualClock::new()), model_policy())
+}
+
+/// Run the 2-shard failover scenario with every link decision taken from
+/// `script` (clean single deliveries past its end). Returns what the run
+/// consumed and decided, or a description of the violated invariant.
+pub fn run_two_shard(script: &[BusFault]) -> Result<ModelOutcome, String> {
+    let injector = Arc::new(FaultInjector::new(FaultPlan::none()));
+    injector.set_bus_script(script.to_vec());
+    // A -> B replication: `chan`'s receiver state is B's replica store.
+    let chan = channel(&injector);
+    // B -> A after promotion: `chan_back`'s receiver state is A's store.
+    let chan_back = channel(&injector);
+
+    let mut acked: Vec<String> = Vec::new();
+    let mut failed_over = false;
+    for (ks, pairs) in [("w1", 10u64), ("w2", 20u64)] {
+        match chan.ship(ks, sealed(ks, pairs), EPOCH_A) {
+            Ok(_) => {
+                let fence = chan.applied_epoch();
+                if fence != EPOCH_A {
+                    return Err(format!(
+                        "primary A acked '{ks}' at epoch {EPOCH_A} but the replica fence is at \
+                         {fence} — an ack crossed an epoch fence"
+                    ));
+                }
+                acked.push(ks.to_string());
+            }
+            Err(ShipError::LinkDown { .. }) => {
+                failed_over = true;
+                break;
+            }
+        }
+    }
+
+    if !failed_over {
+        // Clean path: both writes acked, replica holds both.
+        for ks in &acked {
+            if !chan
+                .latest_per_keyspace()
+                .iter()
+                .any(|(s, _)| &s.keyspace == ks)
+            {
+                return Err(format!("acked write '{ks}' missing from the replica store"));
+            }
+        }
+        let decisions_consumed = injector.bus_script_consumed();
+        return Ok(ModelOutcome {
+            decisions_consumed,
+            failed_over,
+            acked_epoch1: acked,
+        });
+    }
+
+    // B promotes: fence first, then take over the replica state.
+    chan.advance_epoch(EPOCH_B);
+    let promoted = chan.latest_per_keyspace();
+    for ks in &acked {
+        if !promoted.iter().any(|(s, _)| &s.keyspace == ks) {
+            return Err(format!(
+                "acked write '{ks}' lost across failover — not in B's promoted state"
+            ));
+        }
+    }
+
+    // The deposed primary retries at its stale epoch. Whatever the wire
+    // does (deliver, duplicate, late), nothing may land past the fence.
+    let stale = chan.ship("w1", sealed("w1", 99), EPOCH_A);
+    if chan.applied_epoch() < EPOCH_B {
+        return Err(format!(
+            "fence regressed to {} after a stale-epoch ship (result {stale:?})",
+            chan.applied_epoch()
+        ));
+    }
+    if chan
+        .latest_per_keyspace()
+        .iter()
+        .any(|(_, a)| a.pairs == 99)
+    {
+        return Err(
+            "deposed primary installed state past the epoch fence — two primaries acked in one \
+             epoch"
+                .to_string(),
+        );
+    }
+
+    // B is primary at epoch 2 now; its ack path is the reverse channel.
+    let b_acked = match chan_back.ship("w3", sealed("w3", 30), EPOCH_B) {
+        Ok(_) => {
+            if chan_back.applied_epoch() != EPOCH_B {
+                return Err(format!(
+                    "primary B acked 'w3' at epoch {EPOCH_B} but A's fence is at {}",
+                    chan_back.applied_epoch()
+                ));
+            }
+            true
+        }
+        Err(ShipError::LinkDown { .. }) => false,
+    };
+
+    // Heal: the script stops owning the link, and the plan underneath is
+    // fault-free. Capture consumption first — clearing resets the count.
+    let decisions_consumed = injector.bus_script_consumed();
+    injector.clear_bus_script();
+
+    // Anti-entropy: B reconciles A from its authority state (the promoted
+    // artifacts plus w3 if it was acked) over the healed link.
+    let mut authority: Vec<(String, KeyspaceArtifacts)> = promoted
+        .iter()
+        .map(|(s, a)| (s.keyspace.clone(), a.clone()))
+        .collect();
+    if b_acked {
+        authority.push(("w3".to_string(), sealed("w3", 30)));
+    }
+    let mut converged = authority.is_empty();
+    for _ in 0..RECONCILE_ROUNDS {
+        if converged {
+            break;
+        }
+        let Some(gens) = chan_back.exchange_generations() else {
+            continue;
+        };
+        for (ks, art) in &authority {
+            if !gens.iter().any(|(name, ..)| name == ks) {
+                let _ = chan_back.ship(ks, art.clone(), EPOCH_B);
+            }
+        }
+        let have = chan_back.generations();
+        converged = authority
+            .iter()
+            .all(|(ks, _)| have.iter().any(|(name, ..)| name == ks));
+    }
+    if !converged {
+        return Err(format!(
+            "anti-entropy failed to converge within {RECONCILE_ROUNDS} rounds after heal"
+        ));
+    }
+
+    Ok(ModelOutcome {
+        decisions_consumed,
+        failed_over,
+        acked_epoch1: acked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_script_acks_both_writes_without_failover() {
+        let out = run_two_shard(&[]).expect("clean run must satisfy every invariant");
+        assert!(!out.failed_over);
+        assert_eq!(out.acked_epoch1, vec!["w1".to_string(), "w2".to_string()]);
+        assert_eq!(out.decisions_consumed, 2, "one delivery per write");
+    }
+
+    #[test]
+    fn double_drop_deposes_a_and_promotes_b() {
+        // w1 delivers; both attempts of w2 drop -> LinkDown -> failover.
+        let out = run_two_shard(&[
+            BusFault::Deliver {
+                copies: 1,
+                delay_ns: 0,
+            },
+            BusFault::Drop,
+            BusFault::Drop,
+        ])
+        .expect("failover path must satisfy every invariant");
+        assert!(out.failed_over);
+        assert_eq!(out.acked_epoch1, vec!["w1".to_string()]);
+        // w1 (1) + w2 (2) + stale retry (up to 2) + w3 (1) decisions.
+        assert!(out.decisions_consumed >= 5);
+    }
+
+    #[test]
+    fn duplicates_and_late_deliveries_stay_idempotent() {
+        let out = run_two_shard(&[
+            BusFault::Deliver {
+                copies: 2,
+                delay_ns: 0,
+            },
+            BusFault::Late { copies: 1 },
+            BusFault::Deliver {
+                copies: 1,
+                delay_ns: 0,
+            },
+        ])
+        .expect("dup/late wire behavior must stay idempotent");
+        assert!(!out.failed_over);
+        assert_eq!(out.acked_epoch1.len(), 2);
+    }
+}

@@ -215,7 +215,7 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..8 {
             let b = Arc::clone(&b);
-            handles.push(std::thread::spawn(move || {
+            handles.push(kvcsd_sim::sync::spawn(move || {
                 for _ in 0..1000 {
                     if b.try_reserve(7) {
                         assert!(b.used() <= 10_000);

@@ -1,0 +1,499 @@
+//! The schedule-tree explorer: DFS over controlled executions with
+//! dynamic partial-order reduction, preemption bounding and optional
+//! state-hash pruning.
+//!
+//! Each iteration runs one [`Execution`]: replay the current stack's
+//! chosen grants, then extend with fresh choice points until the harness
+//! finishes, fails, or gets pruned. Backtracking pops the stack to the
+//! deepest node with an unexplored branch and re-runs. The closure must
+//! be deterministic under a fixed schedule — every run of the same grant
+//! sequence must declare the same ops — which holds for shim-only
+//! harnesses because the shims are the only nondeterminism source in
+//! controlled mode.
+//!
+//! # DPOR
+//!
+//! The reduction is the classic backtrack-set + sleep-set scheme:
+//!
+//! * Two transitions are **dependent** iff they touch the same object
+//!   and at least one access is exclusive. `start` and `join` commute
+//!   with everything: their only effect is on their own thread (a
+//!   child's exit *enabling* a pending `join` needs no reordering,
+//!   because the join itself has no shared effect to order).
+//! * At every fresh choice point, each thread's declared op is compared
+//!   against executed steps bottom-up; the most recent dependent step by
+//!   another thread gets that thread added to its node's **backtrack
+//!   set** (or all its enabled threads, when the declaring thread was
+//!   not enabled there). No happens-before filter is applied — that
+//!   only adds redundant backtrack points, never loses any.
+//! * A node's **sleep set** carries threads whose subtrees were already
+//!   explored and whose pending op commutes with everything executed
+//!   since; picking one would re-visit a permutation. A node where all
+//!   enabled threads are asleep ends the execution as redundant (not a
+//!   deadlock).
+//!
+//! With `dpor: false` every enabled thread goes in every backtrack set
+//! and sleep sets stay empty — the naive full DFS the reduction is
+//! measured against.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use kvcsd_sim::mc::{Access, Execution, OpKind, Pending, Step};
+
+use crate::{FailureKind, McConfig, McFailure, McReport, Trace, TraceStep};
+
+/// One explored choice point on the DFS stack.
+struct Node {
+    /// Every parked thread's declared op at this point (disabled ones
+    /// included — they matter for DPOR insertion and deadlock reports).
+    pending: Vec<Pending>,
+    /// The branch currently being explored.
+    chosen: u32,
+    /// Threads queued for later branches (DPOR insertions land here).
+    backtrack: BTreeSet<u32>,
+    /// Branches already fully explored.
+    done: BTreeSet<u32>,
+    /// Sleep set at node creation.
+    sleep: BTreeSet<u32>,
+    /// The thread that was running when this point was reached.
+    prev: Option<u32>,
+    /// Preemptive switches on the path strictly above this node.
+    preemptions: u32,
+}
+
+impl Node {
+    fn pend(&self, tid: u32) -> Option<&Pending> {
+        self.pending.iter().find(|p| p.tid == tid)
+    }
+
+    fn op(&self, tid: u32) -> Option<(OpKind, u64)> {
+        self.pend(tid).map(|p| (p.kind, p.obj))
+    }
+
+    fn chosen_op(&self) -> (OpKind, u64) {
+        self.op(self.chosen).unwrap_or((OpKind::Start, 0))
+    }
+
+    fn enabled(&self, tid: u32) -> bool {
+        self.pend(tid).is_some_and(|p| p.enabled)
+    }
+
+    /// Preemption cost of granting `tid` here: 1 when it switches away
+    /// from a previous thread whose next op is still enabled.
+    fn cost(&self, tid: u32) -> u32 {
+        match self.prev {
+            Some(p) if p != tid && self.enabled(p) => 1,
+            _ => 0,
+        }
+    }
+
+    fn within_budget(&self, cfg: &McConfig, tid: u32) -> bool {
+        cfg.preemption_bound
+            .is_none_or(|b| self.preemptions + self.cost(tid) <= b)
+    }
+}
+
+/// Same object, at least one exclusive access. `Start`/`Join` report no
+/// access and commute with everything.
+fn dependent(a: (OpKind, u64), b: (OpKind, u64)) -> bool {
+    match (a.0.access(), b.0.access()) {
+        (Some(x), Some(y)) => a.1 == b.1 && (x == Access::Exclusive || y == Access::Exclusive),
+        _ => false,
+    }
+}
+
+fn trace_of(name: &str, stack: &[Node]) -> Trace {
+    Trace {
+        name: name.to_string(),
+        steps: stack
+            .iter()
+            .map(|n| {
+                let (kind, obj) = n.chosen_op();
+                TraceStep {
+                    tid: n.chosen,
+                    kind: kind.name().to_string(),
+                    obj,
+                }
+            })
+            .collect(),
+    }
+}
+
+fn write_trace(cfg: &McConfig, trace: &Trace) -> Option<PathBuf> {
+    let dir = cfg
+        .trace_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("target/mc-failures"));
+    let path = dir.join(format!("{}.mctrace", trace.name));
+    match trace.save(&path) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
+/// Control-state surrogate for optional pruning: per-thread progress
+/// counts plus every declared op. Blind to data values — see the
+/// `hash_pruning` doc on `McConfig`.
+fn state_hash(stack: &[Node], pending: &[Pending]) -> u64 {
+    let mut counts: Vec<(u32, u32)> = Vec::new();
+    for n in stack {
+        match counts.iter_mut().find(|(t, _)| *t == n.chosen) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((n.chosen, 1)),
+        }
+    }
+    counts.sort_unstable();
+    let mut h = DefaultHasher::new();
+    counts.hash(&mut h);
+    for p in pending {
+        p.tid.hash(&mut h);
+        p.kind.hash(&mut h);
+        p.obj.hash(&mut h);
+        p.enabled.hash(&mut h);
+    }
+    h.finish()
+}
+
+enum RunEnd {
+    /// Finished cleanly, was sleep-blocked, or was hash-pruned.
+    Ok,
+    Failure(FailureKind, String),
+}
+
+pub(crate) fn run(name: &str, cfg: &McConfig, f: Arc<dyn Fn() + Send + Sync>) -> McReport {
+    let mut stack: Vec<Node> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut schedules = 0u64;
+    let mut completed = true;
+    loop {
+        if schedules >= cfg.max_schedules {
+            completed = false;
+            break;
+        }
+        let end = run_one(cfg, &f, &mut stack, &mut seen);
+        schedules += 1;
+        if let RunEnd::Failure(kind, message) = end {
+            let trace = trace_of(name, &stack);
+            let trace_file = write_trace(cfg, &trace);
+            return McReport {
+                name: name.to_string(),
+                schedules,
+                completed: false,
+                controlled: true,
+                failure: Some(McFailure {
+                    kind,
+                    message,
+                    trace,
+                    trace_file,
+                }),
+            };
+        }
+        if !advance(cfg, &mut stack) {
+            break;
+        }
+    }
+    McReport {
+        name: name.to_string(),
+        schedules,
+        completed,
+        controlled: true,
+        failure: None,
+    }
+}
+
+/// One controlled execution: replay the stack's grants, then extend.
+/// On return the stack holds exactly the steps this execution took.
+fn run_one(
+    cfg: &McConfig,
+    f: &Arc<dyn Fn() + Send + Sync>,
+    stack: &mut Vec<Node>,
+    seen: &mut HashSet<u64>,
+) -> RunEnd {
+    let mut exec = Execution::begin();
+    {
+        let f = Arc::clone(f);
+        exec.start(move || f());
+    }
+    let mut depth = 0usize;
+    loop {
+        match exec.next() {
+            Step::Done => {
+                exec.finish();
+                return RunEnd::Ok;
+            }
+            Step::Panicked => {
+                let out = exec.finish();
+                let message = out.panic.unwrap_or_else(|| {
+                    format!("{} managed thread(s) panicked", out.panicked_threads)
+                });
+                stack.truncate(depth);
+                return RunEnd::Failure(FailureKind::Panic, message);
+            }
+            Step::Choice(pending) => {
+                if depth < stack.len() {
+                    let tid = stack[depth].chosen;
+                    exec.grant(tid);
+                    depth += 1;
+                    continue;
+                }
+                if depth >= cfg.max_steps {
+                    drop(exec);
+                    return RunEnd::Failure(
+                        FailureKind::StepLimit,
+                        format!(
+                            "execution exceeded {} scheduling points — livelock, or a harness \
+                             too large to enumerate (raise max_steps or shrink the harness)",
+                            cfg.max_steps
+                        ),
+                    );
+                }
+                let enabled: Vec<u32> = pending
+                    .iter()
+                    .filter(|p| p.enabled)
+                    .map(|p| p.tid)
+                    .collect();
+                if enabled.is_empty() {
+                    let desc = pending
+                        .iter()
+                        .map(|p| format!("t{} blocked on {} obj {}", p.tid, p.kind.name(), p.obj))
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    drop(exec);
+                    return RunEnd::Failure(
+                        FailureKind::Deadlock,
+                        format!("modeled deadlock: {desc}"),
+                    );
+                }
+                if cfg.hash_pruning && !seen.insert(state_hash(stack, &pending)) {
+                    drop(exec);
+                    return RunEnd::Ok;
+                }
+
+                let (prev, preemptions, sleep) = match stack.last() {
+                    None => (None, 0, BTreeSet::new()),
+                    Some(par) => {
+                        let cop = par.chosen_op();
+                        let sleep = if cfg.dpor {
+                            par.sleep
+                                .iter()
+                                .chain(par.done.iter())
+                                .copied()
+                                .filter(|&u| u != par.chosen)
+                                .filter(|&u| par.op(u).is_some_and(|op| !dependent(cop, op)))
+                                .collect()
+                        } else {
+                            BTreeSet::new()
+                        };
+                        (
+                            Some(par.chosen),
+                            par.preemptions + par.cost(par.chosen),
+                            sleep,
+                        )
+                    }
+                };
+
+                // DPOR backtrack insertion: each declared op revisits the
+                // most recent dependent step by another thread.
+                if cfg.dpor {
+                    for p in &pending {
+                        let pop = (p.kind, p.obj);
+                        for i in (0..depth).rev() {
+                            if stack[i].chosen == p.tid {
+                                continue;
+                            }
+                            if !dependent(stack[i].chosen_op(), pop) {
+                                continue;
+                            }
+                            if stack[i].enabled(p.tid) {
+                                stack[i].backtrack.insert(p.tid);
+                            } else {
+                                let all: Vec<u32> = stack[i]
+                                    .pending
+                                    .iter()
+                                    .filter(|q| q.enabled)
+                                    .map(|q| q.tid)
+                                    .collect();
+                                stack[i].backtrack.extend(all);
+                            }
+                            break;
+                        }
+                    }
+                }
+
+                let mut node = Node {
+                    pending,
+                    chosen: 0,
+                    backtrack: BTreeSet::new(),
+                    done: BTreeSet::new(),
+                    sleep,
+                    prev,
+                    preemptions,
+                };
+                // First branch: stick with the running thread when
+                // possible (free under the preemption bound), else the
+                // lowest awake enabled tid.
+                let pick = prev
+                    .filter(|&p| {
+                        enabled.contains(&p)
+                            && !node.sleep.contains(&p)
+                            && node.within_budget(cfg, p)
+                    })
+                    .or_else(|| {
+                        enabled
+                            .iter()
+                            .copied()
+                            .find(|&t| !node.sleep.contains(&t) && node.within_budget(cfg, t))
+                    });
+                let Some(tid) = pick else {
+                    // Every enabled thread is asleep (this interleaving
+                    // commutes into an explored one) or over budget.
+                    drop(exec);
+                    return RunEnd::Ok;
+                };
+                node.chosen = tid;
+                if cfg.dpor {
+                    node.backtrack.insert(tid);
+                } else {
+                    node.backtrack.extend(enabled.iter().copied());
+                }
+                stack.push(node);
+                exec.grant(tid);
+                depth += 1;
+            }
+        }
+    }
+}
+
+/// Pop to the deepest node with an unexplored branch and select it.
+/// False = the whole tree is explored.
+fn advance(cfg: &McConfig, stack: &mut Vec<Node>) -> bool {
+    while let Some(mut top) = stack.pop() {
+        top.done.insert(top.chosen);
+        let next = top.backtrack.iter().copied().find(|&t| {
+            !top.done.contains(&t)
+                && !top.sleep.contains(&t)
+                && top.enabled(t)
+                && top.within_budget(cfg, t)
+        });
+        if let Some(t) = next {
+            top.chosen = t;
+            stack.push(top);
+            return true;
+        }
+    }
+    false
+}
+
+/// Replay one recorded schedule, verifying each grant against the trace
+/// and finishing the tail (past the trace's end) deterministically.
+pub(crate) fn replay(cfg: &McConfig, f: Arc<dyn Fn() + Send + Sync>, trace: &Trace) -> McReport {
+    let name = trace.name.clone();
+    let mut exec = Execution::begin();
+    {
+        let f = Arc::clone(&f);
+        exec.start(move || f());
+    }
+    let mut executed: Vec<TraceStep> = Vec::new();
+    let fail = |executed: Vec<TraceStep>, kind, message: String| McReport {
+        name: trace.name.clone(),
+        schedules: 1,
+        completed: false,
+        controlled: true,
+        failure: Some(McFailure {
+            kind,
+            message,
+            trace: Trace {
+                name: trace.name.clone(),
+                steps: executed,
+            },
+            trace_file: None,
+        }),
+    };
+    loop {
+        match exec.next() {
+            Step::Done => {
+                exec.finish();
+                return McReport {
+                    name,
+                    schedules: 1,
+                    completed: true,
+                    controlled: true,
+                    failure: None,
+                };
+            }
+            Step::Panicked => {
+                let out = exec.finish();
+                let message = out.panic.unwrap_or_else(|| {
+                    format!("{} managed thread(s) panicked", out.panicked_threads)
+                });
+                return fail(executed, FailureKind::Panic, message);
+            }
+            Step::Choice(pending) => {
+                if executed.len() >= cfg.max_steps {
+                    drop(exec);
+                    return fail(
+                        executed,
+                        FailureKind::StepLimit,
+                        format!("replay exceeded {} scheduling points", cfg.max_steps),
+                    );
+                }
+                let at = executed.len();
+                let tid = match trace.steps.get(at) {
+                    Some(step) => {
+                        let Some(p) = pending.iter().find(|p| p.tid == step.tid) else {
+                            drop(exec);
+                            return fail(
+                                executed,
+                                FailureKind::ReplayDivergence,
+                                format!(
+                                    "trace step {at} grants t{} but that thread is not parked",
+                                    step.tid
+                                ),
+                            );
+                        };
+                        if p.kind.name() != step.kind || p.obj != step.obj || !p.enabled {
+                            let got = format!("{} obj {}", p.kind.name(), p.obj);
+                            let want = format!("{} obj {}", step.kind, step.obj);
+                            let enabled = p.enabled;
+                            drop(exec);
+                            return fail(
+                                executed,
+                                FailureKind::ReplayDivergence,
+                                format!(
+                                    "trace step {at} expects t{} at {want}, found {got} \
+                                     (enabled: {enabled})",
+                                    step.tid
+                                ),
+                            );
+                        }
+                        step.tid
+                    }
+                    // Past the trace: any deterministic policy works,
+                    // first-enabled keeps the tail canonical.
+                    None => match pending.iter().find(|p| p.enabled) {
+                        Some(p) => p.tid,
+                        None => {
+                            drop(exec);
+                            return fail(
+                                executed,
+                                FailureKind::Deadlock,
+                                "modeled deadlock in the replay tail".to_string(),
+                            );
+                        }
+                    },
+                };
+                let (kind, obj) = pending
+                    .iter()
+                    .find(|p| p.tid == tid)
+                    .map(|p| (p.kind.name().to_string(), p.obj))
+                    .unwrap_or_else(|| ("start".to_string(), 0));
+                executed.push(TraceStep { tid, kind, obj });
+                exec.grant(tid);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Replayable counterexample traces.
+//!
+//! A trace is the serialized schedule of one controlled execution: for
+//! every scheduling point, which thread was granted and what operation
+//! it had declared (`tid`, op kind, object id). Because the runtime
+//! assigns thread and object ids deterministically in first-touch order
+//! under a serialized schedule, replaying the same grant sequence against
+//! the same harness closure reproduces the same execution — the declared
+//! `(kind, obj)` at every step double-checks that nothing diverged.
+//!
+//! The on-disk format is line-oriented text so a failing CI run's
+//! artifact is directly readable:
+//!
+//! ```text
+//! # kvcsd-mc trace v1
+//! harness racy-increment
+//! step 0 start 0
+//! step 1 shared-get 2
+//! ```
+//!
+//! Op kinds are stored by their stable kebab-case names (see
+//! `kvcsd_sim::mc::OpKind::name`), not enum discriminants, so traces stay
+//! valid across recompiles and readable in both debug and release builds
+//! (release builds can parse traces even though they cannot replay them).
+
+use std::path::Path;
+
+const HEADER: &str = "# kvcsd-mc trace v1";
+
+/// One granted scheduling point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Managed thread id (0 = the harness root).
+    pub tid: u32,
+    /// Stable kebab-case op name (`mutex-lock`, `shared-rmw`, ...).
+    pub kind: String,
+    /// Sync-object id, or the child tid for `join`.
+    pub obj: u64,
+}
+
+/// A full counterexample schedule for one named harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Harness name; `KVCSD_MC_REPLAY` only applies a trace to the
+    /// harness it was recorded from.
+    pub name: String,
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str("harness ");
+        out.push_str(&self.name);
+        out.push('\n');
+        for s in &self.steps {
+            out.push_str(&format!("step {} {} {}\n", s.tid, s.kind, s.obj));
+        }
+        out
+    }
+
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut name = None;
+        let mut steps = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("harness ") {
+                name = Some(rest.trim().to_string());
+                continue;
+            }
+            let Some(rest) = line.strip_prefix("step ") else {
+                return Err(format!("trace line {}: unrecognized `{line}`", ln + 1));
+            };
+            let mut it = rest.split_whitespace();
+            let (tid, kind, obj) = match (it.next(), it.next(), it.next()) {
+                (Some(t), Some(k), Some(o)) => (t, k, o),
+                _ => return Err(format!("trace line {}: malformed step `{line}`", ln + 1)),
+            };
+            let tid: u32 = tid
+                .parse()
+                .map_err(|_| format!("trace line {}: bad tid `{tid}`", ln + 1))?;
+            let obj: u64 = obj
+                .parse()
+                .map_err(|_| format!("trace line {}: bad obj `{obj}`", ln + 1))?;
+            steps.push(TraceStep {
+                tid,
+                kind: kind.to_string(),
+                obj,
+            });
+        }
+        let Some(name) = name else {
+            return Err("trace has no `harness <name>` line".to_string());
+        };
+        Ok(Trace { name, steps })
+    }
+
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, self.serialize()).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    pub fn load(path: &Path) -> Result<Trace, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Trace::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let t = Trace {
+            name: "racy-increment".to_string(),
+            steps: vec![
+                TraceStep {
+                    tid: 0,
+                    kind: "start".to_string(),
+                    obj: 0,
+                },
+                TraceStep {
+                    tid: 2,
+                    kind: "shared-rmw".to_string(),
+                    obj: 7,
+                },
+            ],
+        };
+        let text = t.serialize();
+        assert!(text.starts_with(HEADER));
+        assert_eq!(Trace::parse(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Trace::parse("step 0 start 0\n").is_err(), "missing harness");
+        assert!(Trace::parse("harness x\nstep nope\n").is_err());
+        assert!(Trace::parse("harness x\nwat 1 2 3\n").is_err());
+        assert!(Trace::parse("harness x\nstep a start 0\n").is_err());
+    }
+}

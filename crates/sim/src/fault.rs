@@ -322,6 +322,11 @@ struct InjectorState {
     /// Absolute bus-op index at which a scheduled partition heals.
     partition_heal_at: Option<u64>,
     link_log: Vec<FaultEvent>,
+    /// Scripted link-lane decisions (kvcsd-mc's network explorer):
+    /// consumed in order, bypassing the RNG and partition windows; past
+    /// the end every attempt is a clean single delivery.
+    script: Option<Vec<BusFault>>,
+    script_pos: usize,
 }
 
 /// Executes a [`FaultPlan`]; shared (via `Arc`) by the whole flash stack.
@@ -345,6 +350,8 @@ impl FaultInjector {
             partitioned: false,
             partition_heal_at: None,
             link_log: Vec::new(),
+            script: None,
+            script_pos: 0,
         };
         Self {
             plan,
@@ -464,6 +471,38 @@ impl FaultInjector {
         let mut st = self.state.lock();
         st.bus_ops += 1;
         let op = st.bus_ops;
+        // A script owns the link lane outright: decisions come from it in
+        // order (clean single delivery past the end), and neither the RNG
+        // nor partition windows are consulted — exhaustive enumeration
+        // must not share fate with probabilistic draws.
+        if st.script.is_some() {
+            let pos = st.script_pos;
+            st.script_pos += 1;
+            let fault = st
+                .script
+                .as_ref()
+                .and_then(|s| s.get(pos))
+                .copied()
+                .unwrap_or(BusFault::Deliver {
+                    copies: 1,
+                    delay_ns: 0,
+                });
+            let kind = match fault {
+                BusFault::Drop => Some(FaultKind::LinkDrop),
+                BusFault::Late { .. } => Some(FaultKind::LinkLate),
+                BusFault::Deliver { copies, .. } if copies > 1 => Some(FaultKind::LinkDuplicate),
+                BusFault::Deliver { .. } => None,
+                BusFault::Partitioned => Some(FaultKind::LinkPartition),
+            };
+            if let Some(kind) = kind {
+                st.link_log.push(FaultEvent {
+                    op,
+                    class: OpClass::BusXmit,
+                    kind,
+                });
+            }
+            return fault;
+        }
         // Scheduled partition window: open at `partition_at`, heal after
         // `partition_heal_after` further attempts. Attempts against a
         // downed link still advance the counter so the heal can fire.
@@ -524,6 +563,34 @@ impl FaultInjector {
             0
         };
         BusFault::Deliver { copies, delay_ns }
+    }
+
+    /// Replace the link lane's probabilistic draws with an explicit
+    /// decision script (the kvcsd-mc network explorer's hook). The next
+    /// `decide_bus` consumes the script from its start; attempts past the
+    /// end are clean single deliveries, so a finite script fully
+    /// determines an unbounded protocol run.
+    pub fn set_bus_script(&self, script: Vec<BusFault>) {
+        let mut st = self.state.lock();
+        st.script = Some(script);
+        st.script_pos = 0;
+    }
+
+    /// Drop the decision script and return the link lane to its plan's
+    /// probabilistic behavior (the "network heals" hook: subsequent
+    /// attempts deliver per the plan, which for `FaultPlan::none` means
+    /// perfectly).
+    pub fn clear_bus_script(&self) {
+        let mut st = self.state.lock();
+        st.script = None;
+        st.script_pos = 0;
+    }
+
+    /// How many link decisions the current script has served (including
+    /// past-the-end defaults). Explorers use this to prune: extending a
+    /// script beyond what a scenario consumed cannot change its outcome.
+    pub fn bus_script_consumed(&self) -> usize {
+        self.state.lock().script_pos
     }
 
     /// Partition the link immediately (torture hook); recorded like a

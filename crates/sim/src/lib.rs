@@ -26,6 +26,7 @@ pub mod config;
 pub mod fault;
 pub mod fsm;
 pub mod ledger;
+pub mod mc;
 pub mod model;
 pub mod perturb;
 pub mod phase;

@@ -72,7 +72,20 @@ fn env_seed() -> u64 {
 /// taking precedence over `KVCSD_PERTURB`. A seed of 0 turns
 /// perturbation off. Call it before the threads under test start, or
 /// already-running threads keep their previous schedules.
+///
+/// Panics if the kvcsd-mc controlled scheduler is active: seeded
+/// perturbation and exhaustive scheduling are mutually exclusive (the
+/// reverse direction is enforced by `mc::Execution::begin`).
 pub fn install_seed(seed: u64) {
+    #[cfg(debug_assertions)]
+    if seed != 0 && crate::mc::controlled_active() {
+        panic!(
+            "KVCSD_PERTURB and the kvcsd-mc controlled scheduler are mutually exclusive: \
+             a perturbation seed was installed while an mc execution is active. The mc \
+             explorer already owns every scheduling decision — injected yields would only \
+             distort it. Finish the mc execution first, or drop the seed."
+        );
+    }
     OVERRIDE_SEED.store(seed, Ordering::Relaxed);
 }
 

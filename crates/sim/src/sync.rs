@@ -67,6 +67,17 @@
 //!   flags. The `update` closure must not acquire other shim locks (these
 //!   ops are leaves and skip the lock-order graph).
 //!
+//! # Controlled scheduling (model checking)
+//!
+//! Debug builds carry one more instrumentation layer: every shim
+//! operation is a *scheduling point* for the `kvcsd-mc` model checker
+//! (see [`crate::mc`] and `DESIGN.md` §15). Outside an mc execution the
+//! hooks are a single relaxed atomic load; inside one, the accessing
+//! thread declares its operation and parks until the explorer grants it,
+//! which serializes the program and lets the checker enumerate
+//! interleavings exhaustively. The race detector and lockdep stay fully
+//! active under mc — each explored schedule is also race-checked.
+//!
 //! The canonical lock order of the device stack is documented in
 //! `DESIGN.md` §9; the happens-before model and the `Shared<T>` migration
 //! rules are in `DESIGN.md` §11.
@@ -355,6 +366,23 @@ mod racedetect {
 
     static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
 
+    /// Retired thread ids available for reuse, each with the epoch floor
+    /// its next owner must start above. Without recycling, an mc run
+    /// spawning a few threads per execution across tens of thousands of
+    /// executions would grow every vector clock to tens of thousands of
+    /// components. A *joined* thread's id can be reused safely: the
+    /// joiner adopted its final clock, so every recorded access of the
+    /// old owner is in the reuser's past once the floor is respected.
+    /// (The known false negative: a reused tid makes the *old* owner's
+    /// accesses look same-thread to the new one. That pair is already
+    /// ordered through the join for every joiner-descended thread, which
+    /// covers all mc executions; only exotic detached-sibling patterns
+    /// lose a report.)
+    fn free_tids() -> &'static Mutex<Vec<(usize, u32)>> {
+        static FREE: OnceLock<Mutex<Vec<(usize, u32)>>> = OnceLock::new();
+        FREE.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
     struct ThreadState {
         tid: usize,
         name: String,
@@ -373,14 +401,23 @@ mod racedetect {
             .try_with(|slot| {
                 let mut slot = slot.borrow_mut();
                 let st = slot.get_or_insert_with(|| {
-                    let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
                     let name = std::thread::current()
                         .name()
                         .unwrap_or("<unnamed>")
                         .to_string();
                     let mut clock = VClock::default();
-                    // Start at epoch 1 so a recorded access is always
-                    // distinguishable from "never seen this thread" (0).
+                    let tid = match relock(free_tids()).pop() {
+                        Some((tid, floor)) => {
+                            clock.grow_to(tid + 1);
+                            clock.0[tid] = floor;
+                            tid
+                        }
+                        None => NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                    };
+                    // Start one above the floor (epoch 1 for a fresh id)
+                    // so a recorded access is always distinguishable from
+                    // "never seen this thread" (0) and never collides
+                    // with the previous owner's epochs.
                     clock.tick(tid);
                     ThreadState { tid, name, clock }
                 });
@@ -589,12 +626,23 @@ mod racedetect {
         let _ = try_with_thread(|t| t.clock.join(c));
     }
 
-    /// This thread's final clock, for the joiner to adopt.
-    pub(super) fn export() -> VClock {
+    /// This thread's id and final clock, for the joiner to adopt (and to
+    /// retire the id); `None` when the detector is disabled.
+    pub(super) fn export_final() -> Option<(usize, VClock)> {
         if !enabled() {
-            return VClock::default();
+            return None;
         }
-        try_with_thread(|t| t.clock.clone()).unwrap_or_default()
+        try_with_thread(|t| (t.tid, t.clock.clone()))
+    }
+
+    /// Return a joined thread's id to the free list. Callers must have
+    /// adopted `final_clock` first — that join edge is what makes the
+    /// reuse sound.
+    pub(super) fn retire(tid: usize, final_clock: &VClock) {
+        if !enabled() {
+            return;
+        }
+        relock(free_tids()).push((tid, final_clock.get(tid)));
     }
 }
 
@@ -605,6 +653,8 @@ pub struct Mutex<T: ?Sized> {
     class: u32,
     #[cfg(debug_assertions)]
     clocks: racedetect::LockClocks,
+    #[cfg(debug_assertions)]
+    mc: crate::mc::McSlot,
     inner: sync::Mutex<T>,
 }
 
@@ -616,6 +666,8 @@ pub struct MutexGuard<'a, T: ?Sized> {
     #[cfg(debug_assertions)]
     clocks: &'a racedetect::LockClocks,
     #[cfg(debug_assertions)]
+    mc: &'a crate::mc::McSlot,
+    #[cfg(debug_assertions)]
     _token: Option<lockorder::HeldToken>,
     inner: sync::MutexGuard<'a, T>,
 }
@@ -626,6 +678,7 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
         // Runs before the field drops release the underlying lock, so the
         // release clock is published before the next acquirer can enter.
         self.clocks.release_write();
+        crate::mc::release_sync(self.mc, crate::mc::Access::Exclusive);
     }
 }
 
@@ -650,6 +703,8 @@ impl<T> Mutex<T> {
             class: lockorder::class_of(std::panic::Location::caller()),
             #[cfg(debug_assertions)]
             clocks: racedetect::LockClocks::new(),
+            #[cfg(debug_assertions)]
+            mc: crate::mc::McSlot::new(),
             inner: sync::Mutex::new(value),
         }
     }
@@ -670,6 +725,8 @@ impl<T: ?Sized> Mutex<T> {
     #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(debug_assertions)]
+        crate::mc::point_sync(&self.mc, crate::mc::OpKind::MutexLock);
+        #[cfg(debug_assertions)]
         crate::perturb::maybe_yield();
         #[cfg(debug_assertions)]
         let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
@@ -680,6 +737,8 @@ impl<T: ?Sized> Mutex<T> {
             #[cfg(debug_assertions)]
             clocks: &self.clocks,
             #[cfg(debug_assertions)]
+            mc: &self.mc,
+            #[cfg(debug_assertions)]
             _token: token,
             inner,
         }
@@ -687,11 +746,15 @@ impl<T: ?Sized> Mutex<T> {
 
     #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(debug_assertions)]
+        crate::mc::point_sync(&self.mc, crate::mc::OpKind::MutexTry);
         let inner = match self.inner.try_lock() {
             Ok(g) => g,
             Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
             Err(sync::TryLockError::WouldBlock) => return None,
         };
+        #[cfg(debug_assertions)]
+        crate::mc::try_acquired(&self.mc);
         #[cfg(debug_assertions)]
         let token = lockorder::acquire(self.class, std::panic::Location::caller(), false);
         #[cfg(debug_assertions)]
@@ -699,6 +762,8 @@ impl<T: ?Sized> Mutex<T> {
         Some(MutexGuard {
             #[cfg(debug_assertions)]
             clocks: &self.clocks,
+            #[cfg(debug_assertions)]
+            mc: &self.mc,
             #[cfg(debug_assertions)]
             _token: token,
             inner,
@@ -717,6 +782,8 @@ pub struct RwLock<T: ?Sized> {
     class: u32,
     #[cfg(debug_assertions)]
     clocks: racedetect::LockClocks,
+    #[cfg(debug_assertions)]
+    mc: crate::mc::McSlot,
     inner: sync::RwLock<T>,
 }
 
@@ -726,6 +793,8 @@ pub struct RwLockReadGuard<'a, T: ?Sized> {
     #[cfg(debug_assertions)]
     clocks: &'a racedetect::LockClocks,
     #[cfg(debug_assertions)]
+    mc: &'a crate::mc::McSlot,
+    #[cfg(debug_assertions)]
     _token: Option<lockorder::HeldToken>,
     inner: sync::RwLockReadGuard<'a, T>,
 }
@@ -734,6 +803,7 @@ pub struct RwLockReadGuard<'a, T: ?Sized> {
 impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
     fn drop(&mut self) {
         self.clocks.release_read();
+        crate::mc::release_sync(self.mc, crate::mc::Access::Shared);
     }
 }
 
@@ -750,6 +820,8 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
     #[cfg(debug_assertions)]
     clocks: &'a racedetect::LockClocks,
     #[cfg(debug_assertions)]
+    mc: &'a crate::mc::McSlot,
+    #[cfg(debug_assertions)]
     _token: Option<lockorder::HeldToken>,
     inner: sync::RwLockWriteGuard<'a, T>,
 }
@@ -758,6 +830,7 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
 impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
         self.clocks.release_write();
+        crate::mc::release_sync(self.mc, crate::mc::Access::Exclusive);
     }
 }
 
@@ -782,6 +855,8 @@ impl<T> RwLock<T> {
             class: lockorder::class_of(std::panic::Location::caller()),
             #[cfg(debug_assertions)]
             clocks: racedetect::LockClocks::new(),
+            #[cfg(debug_assertions)]
+            mc: crate::mc::McSlot::new(),
             inner: sync::RwLock::new(value),
         }
     }
@@ -802,6 +877,8 @@ impl<T: ?Sized> RwLock<T> {
     #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(debug_assertions)]
+        crate::mc::point_sync(&self.mc, crate::mc::OpKind::RwRead);
+        #[cfg(debug_assertions)]
         crate::perturb::maybe_yield();
         #[cfg(debug_assertions)]
         let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
@@ -812,6 +889,8 @@ impl<T: ?Sized> RwLock<T> {
             #[cfg(debug_assertions)]
             clocks: &self.clocks,
             #[cfg(debug_assertions)]
+            mc: &self.mc,
+            #[cfg(debug_assertions)]
             _token: token,
             inner,
         }
@@ -819,6 +898,8 @@ impl<T: ?Sized> RwLock<T> {
 
     #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        crate::mc::point_sync(&self.mc, crate::mc::OpKind::RwWrite);
         #[cfg(debug_assertions)]
         crate::perturb::maybe_yield();
         #[cfg(debug_assertions)]
@@ -829,6 +910,8 @@ impl<T: ?Sized> RwLock<T> {
         RwLockWriteGuard {
             #[cfg(debug_assertions)]
             clocks: &self.clocks,
+            #[cfg(debug_assertions)]
+            mc: &self.mc,
             #[cfg(debug_assertions)]
             _token: token,
             inner,
@@ -863,14 +946,25 @@ pub struct Shared<T> {
     cell: racedetect::RaceCell,
     #[cfg(debug_assertions)]
     clocks: racedetect::LockClocks,
+    #[cfg(debug_assertions)]
+    mc: crate::mc::McSlot,
     inner: sync::RwLock<T>,
 }
 
 /// Shared guard returned by [`Shared::read`].
 pub struct SharedReadGuard<'a, T> {
     #[cfg(debug_assertions)]
+    mc: &'a crate::mc::McSlot,
+    #[cfg(debug_assertions)]
     _token: Option<lockorder::HeldToken>,
     inner: sync::RwLockReadGuard<'a, T>,
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for SharedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        crate::mc::release_sync(self.mc, crate::mc::Access::Shared);
+    }
 }
 
 impl<T> std::ops::Deref for SharedReadGuard<'_, T> {
@@ -883,8 +977,17 @@ impl<T> std::ops::Deref for SharedReadGuard<'_, T> {
 /// Exclusive guard returned by [`Shared::write`].
 pub struct SharedWriteGuard<'a, T> {
     #[cfg(debug_assertions)]
+    mc: &'a crate::mc::McSlot,
+    #[cfg(debug_assertions)]
     _token: Option<lockorder::HeldToken>,
     inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for SharedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        crate::mc::release_sync(self.mc, crate::mc::Access::Exclusive);
+    }
 }
 
 impl<T> std::ops::Deref for SharedWriteGuard<'_, T> {
@@ -914,6 +1017,8 @@ impl<T> Shared<T> {
             cell: racedetect::RaceCell::new(loc),
             #[cfg(debug_assertions)]
             clocks: racedetect::LockClocks::new(),
+            #[cfg(debug_assertions)]
+            mc: crate::mc::McSlot::new(),
             inner: sync::RwLock::new(value),
         }
     }
@@ -933,6 +1038,8 @@ impl<T> Shared<T> {
     #[track_caller]
     pub fn read(&self) -> SharedReadGuard<'_, T> {
         #[cfg(debug_assertions)]
+        crate::mc::point_sync(&self.mc, crate::mc::OpKind::SharedRead);
+        #[cfg(debug_assertions)]
         crate::perturb::maybe_yield();
         #[cfg(debug_assertions)]
         let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
@@ -940,6 +1047,8 @@ impl<T> Shared<T> {
         #[cfg(debug_assertions)]
         self.cell.on_read(std::panic::Location::caller());
         SharedReadGuard {
+            #[cfg(debug_assertions)]
+            mc: &self.mc,
             #[cfg(debug_assertions)]
             _token: token,
             inner,
@@ -951,6 +1060,8 @@ impl<T> Shared<T> {
     #[track_caller]
     pub fn write(&self) -> SharedWriteGuard<'_, T> {
         #[cfg(debug_assertions)]
+        crate::mc::point_sync(&self.mc, crate::mc::OpKind::SharedWrite);
+        #[cfg(debug_assertions)]
         crate::perturb::maybe_yield();
         #[cfg(debug_assertions)]
         let token = lockorder::acquire(self.class, std::panic::Location::caller(), true);
@@ -958,6 +1069,8 @@ impl<T> Shared<T> {
         #[cfg(debug_assertions)]
         self.cell.on_write(std::panic::Location::caller());
         SharedWriteGuard {
+            #[cfg(debug_assertions)]
+            mc: &self.mc,
             #[cfg(debug_assertions)]
             _token: token,
             inner,
@@ -970,6 +1083,8 @@ impl<T> Shared<T> {
     #[track_caller]
     pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
         #[cfg(debug_assertions)]
+        crate::mc::point_sync(&self.mc, crate::mc::OpKind::SharedRmw);
+        #[cfg(debug_assertions)]
         crate::perturb::maybe_yield();
         let mut g = recover(self.inner.write());
         #[cfg(debug_assertions)]
@@ -979,7 +1094,10 @@ impl<T> Shared<T> {
         }
         let out = f(&mut g);
         #[cfg(debug_assertions)]
-        self.clocks.release_write();
+        {
+            self.clocks.release_write();
+            crate::mc::release_sync(&self.mc, crate::mc::Access::Exclusive);
+        }
         out
     }
 
@@ -996,6 +1114,8 @@ impl<T> Shared<T> {
         T: Copy,
     {
         #[cfg(debug_assertions)]
+        crate::mc::point_sync(&self.mc, crate::mc::OpKind::SharedGet);
+        #[cfg(debug_assertions)]
         crate::perturb::maybe_yield();
         let g = recover(self.inner.read());
         #[cfg(debug_assertions)]
@@ -1003,6 +1123,7 @@ impl<T> Shared<T> {
             self.clocks.acquire_read();
             self.cell.on_read(std::panic::Location::caller());
             self.clocks.release_read();
+            crate::mc::release_sync(&self.mc, crate::mc::Access::Shared);
         }
         *g
     }
@@ -1029,6 +1150,9 @@ impl<T: std::fmt::Debug> std::fmt::Debug for Shared<T> {
 
 /// [`std::thread::spawn`] with fork edges for the race detector: the
 /// child starts ordered after everything the parent did before the spawn.
+/// Under an mc execution the child is also *registered* with the
+/// controlled scheduler before it starts, so its first action is a
+/// scheduling point.
 pub fn spawn<F, T>(f: F) -> JoinHandle<T>
 where
     F: FnOnce() -> T + Send + 'static,
@@ -1036,16 +1160,7 @@ where
 {
     #[cfg(debug_assertions)]
     {
-        let snapshot = racedetect::fork();
-        let slot = std::sync::Arc::new(sync::Mutex::new(None));
-        let slot2 = std::sync::Arc::clone(&slot);
-        let inner = std::thread::spawn(move || {
-            racedetect::adopt(&snapshot);
-            let out = f();
-            *recover(slot2.lock()) = Some(racedetect::export());
-            out
-        });
-        JoinHandle { inner, clock: slot }
+        spawn_impl(crate::mc::register_spawn(), f)
     }
     #[cfg(not(debug_assertions))]
     {
@@ -1055,20 +1170,66 @@ where
     }
 }
 
+#[cfg(debug_assertions)]
+fn spawn_impl<F, T>(tok: Option<crate::mc::SpawnToken>, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let mc_child = tok.as_ref().map(|t| t.ids());
+    let snapshot = racedetect::fork();
+    let slot = std::sync::Arc::new(sync::Mutex::new(None));
+    let slot2 = std::sync::Arc::clone(&slot);
+    let inner = std::thread::spawn(move || {
+        // Declared first so it drops last: the final clock is exported
+        // before the scheduler marks this thread exited.
+        let _scope = tok.map(crate::mc::enter_thread);
+        racedetect::adopt(&snapshot);
+        let out = f();
+        *recover(slot2.lock()) = racedetect::export_final();
+        out
+    });
+    JoinHandle {
+        inner,
+        clock: slot,
+        mc_child,
+    }
+}
+
+/// Spawn an mc execution's root thread under an already-registered
+/// scheduler identity (see [`crate::mc::Execution::start`]).
+#[cfg(debug_assertions)]
+pub(crate) fn spawn_root<F>(tok: crate::mc::SpawnToken, f: F) -> JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    spawn_impl(Some(tok), f)
+}
+
 /// Handle returned by [`spawn`]; [`join`](JoinHandle::join) adds the join
 /// edge, ordering the parent after everything the child did.
 pub struct JoinHandle<T> {
     inner: std::thread::JoinHandle<T>,
     #[cfg(debug_assertions)]
-    clock: std::sync::Arc<sync::Mutex<Option<racedetect::VClock>>>,
+    clock: std::sync::Arc<sync::Mutex<Option<(usize, racedetect::VClock)>>>,
+    /// The child's controlled-scheduler identity, when it was spawned
+    /// under an mc execution.
+    #[cfg(debug_assertions)]
+    mc_child: Option<(u64, u32)>,
 }
 
 impl<T> JoinHandle<T> {
     pub fn join(self) -> std::thread::Result<T> {
+        // Under mc, joining is a scheduling point that only becomes
+        // enabled once the child has exited — so the real join below
+        // cannot block a granted thread.
+        #[cfg(debug_assertions)]
+        crate::mc::point_join(self.mc_child);
         let out = self.inner.join();
         #[cfg(debug_assertions)]
-        if let Some(c) = recover(self.clock.lock()).take() {
+        if let Some((tid, c)) = recover(self.clock.lock()).take() {
             racedetect::adopt(&c);
+            racedetect::retire(tid, &c);
         }
         out
     }

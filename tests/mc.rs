@@ -1,0 +1,213 @@
+//! Acceptance tests for kvcsd-mc: bounded-exhaustive verification of the
+//! concurrency harnesses and the 2-shard protocol model, plus the
+//! explorer's own self-tests (counterexample discovery, replayable
+//! traces, DPOR < naive, release no-op).
+//!
+//! Everything except the release-profile test is debug-only: the
+//! controlled scheduler compiles out in release and `check` degrades to
+//! a single uncontrolled run.
+
+#![allow(dead_code)]
+
+use kvcsd_mc::{harnesses, FailureKind, McConfig};
+
+#[cfg(debug_assertions)]
+fn temp_trace_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("kvcsd-mc-{}-{tag}", std::process::id()))
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn health_promotion_has_exactly_one_winner_under_all_interleavings() {
+    let report = harnesses::health_promotion(&McConfig::default());
+    report.assert_ok();
+    assert!(report.controlled && report.completed);
+    assert!(
+        report.schedules >= 6,
+        "three racing CAS attempts have at least 3! dependent orders, saw {}",
+        report.schedules
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn admission_band_transitions_hold_under_all_interleavings() {
+    let report = harnesses::admission_bands(&McConfig::default());
+    report.assert_ok();
+    assert!(report.controlled && report.completed);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn replica_dedup_is_idempotent_under_all_interleavings() {
+    let report = harnesses::replica_dedup(&McConfig::default());
+    report.assert_ok();
+    assert!(report.controlled && report.completed);
+    assert!(
+        report.schedules >= 100,
+        "two concurrent ships share seq counter, bus and receiver state — the schedule \
+         space should not collapse (saw {})",
+        report.schedules
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn two_shard_epoch_fence_model_holds_for_all_scripts_to_depth_3() {
+    let report = kvcsd_mc::verify_two_shard(3);
+    report.assert_ok();
+    assert!(
+        report.runs >= 40,
+        "depth-3 sweep over a 3-letter alphabet should run dozens of scripts, saw {}",
+        report.runs
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn racy_fixture_is_caught_within_bounded_schedules_with_a_replayable_trace() {
+    let dir = temp_trace_dir("racy");
+    let cfg = McConfig {
+        trace_dir: Some(dir.clone()),
+        ..McConfig::default()
+    };
+    let report = harnesses::racy_increment(&cfg);
+    let failure = report.failure.as_ref().expect("lost update must be found");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("lost update"),
+        "{}",
+        failure.message
+    );
+    assert!(
+        report.schedules <= 32,
+        "a 2-thread lost update must surface within a handful of schedules, took {}",
+        report.schedules
+    );
+    assert!(!failure.trace.steps.is_empty());
+
+    // The trace file is on disk and parses back to the same schedule.
+    let path = failure.trace_file.as_ref().expect("trace must be written");
+    let loaded = kvcsd_mc::Trace::load(path).expect("trace file must parse");
+    assert_eq!(loaded, failure.trace);
+
+    // Replaying the trace reproduces the identical failure in one run.
+    let replayed = harnesses::racy_increment_replay(&loaded);
+    assert_eq!(replayed.schedules, 1);
+    let rf = replayed.failure.expect("replay must reproduce the failure");
+    assert_eq!(rf.kind, FailureKind::Panic);
+    assert_eq!(rf.message, failure.message, "identical failure on replay");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn replay_env_var_short_circuits_exploration() {
+    let dir = temp_trace_dir("env");
+    let cfg = McConfig {
+        trace_dir: Some(dir.clone()),
+        ..McConfig::default()
+    };
+    // Record a counterexample under a name unique to this test, so the
+    // env var cannot affect the other tests in this binary.
+    let recorded = kvcsd_mc::check("env-replay-fixture", &cfg, harnesses::racy_increment_body);
+    let failure = recorded.failure.expect("fixture must fail");
+    let path = failure.trace_file.expect("trace must be written");
+    assert!(
+        recorded.schedules > 1,
+        "exploration took multiple schedules"
+    );
+
+    std::env::set_var("KVCSD_MC_REPLAY", &path);
+    let replayed = kvcsd_mc::check("env-replay-fixture", &cfg, harnesses::racy_increment_body);
+    std::env::remove_var("KVCSD_MC_REPLAY");
+
+    assert_eq!(
+        replayed.schedules, 1,
+        "KVCSD_MC_REPLAY must replay the one traced schedule instead of exploring"
+    );
+    let rf = replayed.failure.expect("replay must reproduce the failure");
+    assert_eq!(rf.message, failure.message);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn dpor_explores_fewer_schedules_than_naive_dfs() {
+    let dpor = harnesses::three_locks(&McConfig::default());
+    let naive = harnesses::three_locks(&McConfig {
+        dpor: false,
+        ..McConfig::default()
+    });
+    dpor.assert_ok();
+    naive.assert_ok();
+    assert!(dpor.completed && naive.completed);
+    assert!(
+        dpor.schedules < naive.schedules,
+        "DPOR ({}) must beat naive DFS ({}) when one thread's work commutes",
+        dpor.schedules,
+        naive.schedules
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn modeled_deadlock_is_reported_without_hanging() {
+    use kvcsd_sim::sync::{spawn, Mutex};
+    use std::sync::Arc;
+
+    let dir = temp_trace_dir("deadlock");
+    let cfg = McConfig {
+        trace_dir: Some(dir.clone()),
+        ..McConfig::default()
+    };
+    // Parent holds the lock across join; the child needs it to exit:
+    // a deadlock no lock-order cycle analysis can see (single lock).
+    let report = kvcsd_mc::check("join-deadlock", &cfg, || {
+        let m = Arc::new(Mutex::new(0u32));
+        let guard = m.lock();
+        let m2 = Arc::clone(&m);
+        let child = spawn(move || *m2.lock());
+        let _ = child.join();
+        drop(guard);
+    });
+    let failure = report.failure.expect("the deadlock must be modeled");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        failure.message.contains("mutex-lock") && failure.message.contains("join"),
+        "{}",
+        failure.message
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn preemption_bound_restricts_the_explored_space() {
+    let full = harnesses::replica_dedup(&McConfig::default());
+    let bounded = harnesses::replica_dedup(&McConfig {
+        preemption_bound: Some(2),
+        ..McConfig::default()
+    });
+    full.assert_ok();
+    bounded.assert_ok();
+    assert!(
+        bounded.schedules < full.schedules,
+        "a preemption bound of 2 must cut the dedup schedule space ({} vs {})",
+        bounded.schedules,
+        full.schedules
+    );
+}
+
+#[cfg(not(debug_assertions))]
+#[test]
+fn release_profile_runs_once_uncontrolled() {
+    let report = kvcsd_mc::check("release-noop", &McConfig::default(), || {
+        // Nothing shared, nothing scheduled: the release fallback just
+        // calls this once on the OS scheduler.
+    });
+    assert!(!report.controlled);
+    assert_eq!(report.schedules, 1);
+    assert!(report.failure.is_none());
+}

@@ -33,7 +33,7 @@ use kvcsd::proto::{
     Bound, DeviceHandler, JobState, KeyspaceState, SecondaryIndexSpec, SecondaryKeyType,
 };
 use kvcsd::sim::config::SimConfig;
-use kvcsd::sim::sync::{Mutex, Shared};
+use kvcsd::sim::sync::{spawn, Mutex, Shared};
 use kvcsd::sim::IoLedger;
 use kvcsd_client::KvCsd;
 
@@ -185,7 +185,7 @@ fn concurrent_ingest_compact_query() {
     let runner = {
         let dev = Arc::clone(&dev);
         let stop = Arc::clone(&stop);
-        thread::spawn(move || {
+        spawn(move || {
             while !stop.get() {
                 dev.run_pending_jobs();
                 thread::yield_now();
@@ -198,7 +198,7 @@ fn concurrent_ingest_compact_query() {
         .map(|ix| {
             let client = client.clone();
             let published = Arc::clone(&published);
-            thread::spawn(move || writer(ix, client, published))
+            spawn(move || writer(ix, client, published))
         })
         .collect();
     let readers: Vec<_> = (0..READERS)
@@ -206,7 +206,7 @@ fn concurrent_ingest_compact_query() {
             let client = client.clone();
             let published = Arc::clone(&published);
             let stop = Arc::clone(&stop);
-            thread::spawn(move || reader(client, published, stop))
+            spawn(move || reader(client, published, stop))
         })
         .collect();
 
