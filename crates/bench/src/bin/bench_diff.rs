@@ -1,0 +1,299 @@
+//! Readable old -> new delta table for bench snapshot mismatches.
+//!
+//! CI diffs each committed `BENCH_*.json` against a fresh run; on
+//! mismatch it invokes this binary so the log shows *which metric moved
+//! and by how much* instead of a raw unified diff:
+//!
+//! ```text
+//! cargo run -p kvcsd-bench --bin bench_diff -- BENCH_cluster.json /tmp/BENCH_cluster.json
+//! ```
+//!
+//! The snapshots are flat, machine-written JSON, parsed here with a
+//! ~100-line recursive-descent reader (no serde in the workspace).
+//! Array elements are labeled by their `"phase"` / `"arm"` field when
+//! present so rows read as `clean.phases[put].p99_ns`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use kvcsd_sim::stats::TextTable;
+
+#[derive(Debug, Clone)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// Numbers keep their source text so `12.0` vs `12` is a real diff.
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.src.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.src.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.src[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        Ok(Json::Num(
+            String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.src.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // Snapshot strings are plain identifiers; keep the
+                    // escape verbatim rather than decoding it.
+                    out.push(self.src[self.pos] as char);
+                    self.pos += 1;
+                    if let Some(&b) = self.src.get(self.pos) {
+                        out.push(b as char);
+                        self.pos += 1;
+                    }
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.src.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.src.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.src.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.ws();
+            match self.src.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Flatten to `path -> scalar text`, labeling array elements by their
+/// `phase`/`arm`/`name` field (falling back to the index).
+fn flatten(v: &Json, path: &str, out: &mut BTreeMap<String, String>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                flatten(v, &p, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = match item {
+                    Json::Obj(fields) => fields
+                        .iter()
+                        .find(|(k, _)| matches!(k.as_str(), "phase" | "arm" | "name"))
+                        .and_then(|(_, v)| match v {
+                            Json::Str(s) => Some(s.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_else(|| i.to_string()),
+                    _ => i.to_string(),
+                };
+                flatten(item, &format!("{path}[{label}]"), out);
+            }
+        }
+        Json::Num(s) => {
+            out.insert(path.to_string(), s.clone());
+        }
+        Json::Str(s) => {
+            out.insert(path.to_string(), format!("\"{s}\""));
+        }
+        Json::Bool(b) => {
+            out.insert(path.to_string(), b.to_string());
+        }
+        Json::Null => {
+            out.insert(path.to_string(), "null".to_string());
+        }
+    }
+}
+
+fn load(path: &str) -> BTreeMap<String, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = match Parser::new(&text).value() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_diff: {path} is not valid snapshot JSON: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut out = BTreeMap::new();
+    flatten(&json, "", &mut out);
+    out
+}
+
+fn delta(old: &str, new: &str) -> String {
+    match (old.parse::<f64>(), new.parse::<f64>()) {
+        (Ok(o), Ok(n)) if o != 0.0 => {
+            let pct = (n - o) / o * 100.0;
+            format!("{pct:+.1}%")
+        }
+        _ => "~".to_string(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [old_path, new_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <committed.json> <fresh.json>");
+        std::process::exit(2);
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+
+    let mut table = TextTable::new(["metric", "old", "new", "delta"]);
+    let mut changed = 0usize;
+    for (k, ov) in &old {
+        match new.get(k) {
+            Some(nv) if nv != ov => {
+                table.row([k.as_str(), ov.as_str(), nv.as_str(), &delta(ov, nv)]);
+                changed += 1;
+            }
+            Some(_) => {}
+            None => {
+                table.row([k.as_str(), ov.as_str(), "(gone)", "~"]);
+                changed += 1;
+            }
+        }
+    }
+    for (k, nv) in &new {
+        if !old.contains_key(k) {
+            table.row([k.as_str(), "(new)", nv.as_str(), "~"]);
+            changed += 1;
+        }
+    }
+
+    if changed == 0 {
+        println!("bench_diff: no metric changes between {old_path} and {new_path}");
+        return;
+    }
+    let mut msg = String::new();
+    let _ = writeln!(
+        msg,
+        "bench snapshot drifted: {changed} metric(s) differ ({old_path} -> {new_path})\n"
+    );
+    msg.push_str(&table.render());
+    print!("{msg}");
+    std::process::exit(1);
+}

@@ -21,6 +21,7 @@
 
 use kvcsd_cluster::{ClusterConfig, ClusterRouter};
 use kvcsd_proto::{Bound, DeviceHandler, JobState, KvCommand, KvResponse};
+use kvcsd_sim::stats::nearest_rank;
 use kvcsd_sim::FaultPlan;
 
 const SHARDS: u32 = 2;
@@ -58,10 +59,6 @@ fn fleet_ns(r: &ClusterRouter) -> u64 {
     t + r.fabric_ledger().custom("bus_busy_ns")
 }
 
-fn percentile(sorted: &[u64], p: u64) -> u64 {
-    sorted[(sorted.len() - 1) * p as usize / 100]
-}
-
 struct Phase {
     name: &'static str,
     ops: u64,
@@ -77,8 +74,8 @@ impl Phase {
             name,
             ops: lats.len() as u64,
             total_ns: lats.iter().sum(),
-            p50_ns: percentile(&lats, 50),
-            p99_ns: percentile(&lats, 99),
+            p50_ns: nearest_rank(&lats, 50),
+            p99_ns: nearest_rank(&lats, 99),
         }
     }
 

@@ -420,6 +420,79 @@ fn epoch_fence_scope_is_cluster_library_minus_the_send_path() {
 }
 
 #[test]
+fn seeded_window_bypass_violations_are_flagged() {
+    let rel = "crates/client/src/demo.rs";
+    let v = check_source(
+        Path::new(rel),
+        rel,
+        include_str!("fixtures/bad_window_bypass.rs"),
+    );
+    let hits: Vec<(usize, &str)> = v.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(
+        hits,
+        vec![(6, "window-bypass"), (15, "window-bypass")],
+        "both execute calls flagged, cfg(test) baseline exempt: {v:#?}"
+    );
+    assert!(v
+        .iter()
+        .all(|v| v.message.contains("InflightWindow") && v.message.contains("lock-step")));
+}
+
+#[test]
+fn reasoned_window_bypass_allow_and_pipelined_path_scan_clean() {
+    let rel = "crates/client/src/demo.rs";
+    let v = check_source(
+        Path::new(rel),
+        rel,
+        include_str!("fixtures/good_window_bypass.rs"),
+    );
+    assert!(v.is_empty(), "allow consumed, window path clean: {v:#?}");
+}
+
+#[test]
+fn window_bypass_scope_is_client_and_cluster_minus_the_window_module() {
+    assert!(rules_for("crates/client/src/api.rs").window_bypass);
+    assert!(rules_for("crates/client/src/accel.rs").window_bypass);
+    assert!(rules_for("crates/cluster/src/router.rs").window_bypass);
+    assert!(
+        !rules_for("crates/client/src/window.rs").window_bypass,
+        "the in-flight window is the sanctioned transport driver"
+    );
+    assert!(
+        !rules_for("crates/proto/src/transport.rs").window_bypass,
+        "the proto layer owns execute itself"
+    );
+    assert!(!rules_for("crates/bench/src/bin/ingest.rs").window_bypass);
+    assert!(!rules_for("tests/pipeline.rs").window_bypass);
+}
+
+#[test]
+fn pipeline_submit_and_poll_are_charged_waits() {
+    let src = "impl Pump {\n\
+               \x20   pub fn drive(&self) {\n\
+               \x20       let stats = self.stats.lock();\n\
+               \x20       self.qp.submit(ping());\n\
+               \x20       stats.note();\n\
+               \x20   }\n\
+               \x20   pub fn drain(&self) {\n\
+               \x20       let view = self.view.read();\n\
+               \x20       self.qp.poll_completions();\n\
+               \x20       view.observe();\n\
+               \x20   }\n\
+               }\n";
+    let v = scan("pump.rs", src);
+    let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    assert_eq!(
+        lines,
+        vec![4, 9],
+        "a guard across submit (depth stall) and across poll (clock advance): {v:#?}"
+    );
+    assert!(v.iter().all(|v| v.rule == "guard-across-wait"), "{v:#?}");
+    assert!(v.iter().any(|v| v.message.contains("`submit`")));
+    assert!(v.iter().any(|v| v.message.contains("`poll_completions`")));
+}
+
+#[test]
 fn status_map_flags_unclassified_variants() {
     let enum_src = include_str!("fixtures/status_enum.rs");
     let bad = include_str!("fixtures/bad_status_cover.rs");

@@ -1,0 +1,26 @@
+//! Fixture: client library code driving the queue pair lock-step
+//! instead of pipelining through the in-flight window.
+
+impl Api {
+    pub fn get_now(&self, key: Vec<u8>) -> KvResponse {
+        self.qp.execute(KvCommand::Get { ks: self.ks, key })
+    }
+
+    pub fn put_now(&self, key: Vec<u8>, value: Vec<u8>) -> KvResponse {
+        let cmd = KvCommand::Put {
+            ks: self.ks,
+            key,
+            value,
+        };
+        self.qp.execute(cmd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lock_step_baselines_are_exempt() {
+        let qp = test_qp();
+        qp.execute(ping());
+    }
+}

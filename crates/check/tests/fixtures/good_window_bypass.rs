@@ -1,0 +1,21 @@
+//! Fixture: a sanctioned lock-step round-trip, annotated with a
+//! reasoned allow — the tag must be consumed (no unused-allow
+//! violation). Pipelined submissions through the window scan clean
+//! without any annotation.
+
+impl Prober {
+    pub fn handshake(&self) -> KvResponse {
+        // kvcsd-check: allow(window-bypass) -- one-shot connection handshake before the window exists; nothing to pipeline
+        self.qp.execute(KvCommand::Ping)
+    }
+
+    pub fn ingest(&self, cmds: Vec<KvCommand>) {
+        let mut ops = Vec::new();
+        for cmd in cmds {
+            ops.push(self.window.submit(None, cmd));
+        }
+        for op in ops {
+            let _ = self.window.wait(op);
+        }
+    }
+}

@@ -5,11 +5,13 @@ use std::sync::Arc;
 
 use kvcsd_proto::{
     Bound, BulkBuilder, DeviceHandler, JobId, JobState, KeyspaceDesc, KeyspaceStat, KeyspaceState,
-    KvCommand, KvResponse, KvStatus, QueuePair, SecondaryIndexSpec, SidxKey, DEFAULT_BULK_BYTES,
+    KvCommand, KvResponse, QueuePair, SecondaryIndexSpec, SidxKey, DEFAULT_BULK_BYTES,
 };
 use kvcsd_sim::{IoLedger, VirtualClock};
 
+use crate::accel::WriteAccelerator;
 use crate::error::ClientError;
+use crate::window::InflightWindow;
 use crate::Result;
 
 /// Bounded retry with exponential backoff for retryable device errors.
@@ -60,76 +62,22 @@ impl RetryPolicy {
 
 /// Send `cmd`, resending on retryable statuses within the policy budget.
 ///
-/// When a `deadline_ns` is set the command is wrapped in
-/// [`KvCommand::WithDeadline`] so the device enforces it too, and the
-/// retry loop becomes deadline-aware: a retry whose backoff would land at
-/// or past the deadline is never scheduled — the loop fails fast with
-/// [`KvStatus::DeadlineExceeded`] instead of burning the backoff budget
-/// on work that cannot complete in time. Backoff advances the shared
-/// virtual clock (when one is attached) in addition to being charged to
-/// the ledger, so device-side deadline checks see the waited time.
+/// This is a thin wrapper over an ephemeral single-op
+/// [`InflightWindow`]: the window owns the retry state machine (backoff
+/// doubling charged to the ledger and the attached clock, failover/fence
+/// redirect fast paths, deadline-aware fail-fast with
+/// [`KvStatus::DeadlineExceeded`]), so the lock-step call paths and the
+/// pipelined ingest paths share one implementation. The fresh
+/// [`QueuePair`] clone gives the window a private completion queue, so
+/// concurrent sessions never see each other's completions.
 fn exec_with_retry(
     qp: &QueuePair,
     policy: &RetryPolicy,
-    clock: Option<&VirtualClock>,
+    clock: Option<&Arc<VirtualClock>>,
     deadline_ns: Option<u64>,
     cmd: KvCommand,
 ) -> Result<KvResponse> {
-    let cmd = match deadline_ns {
-        Some(deadline_ns) => KvCommand::WithDeadline {
-            deadline_ns,
-            cmd: Box::new(cmd),
-        },
-        None => cmd,
-    };
-    let mut attempts = 0u32;
-    loop {
-        attempts += 1;
-        match qp.execute(cmd.clone()).into_result() {
-            Ok(resp) => return Ok(resp),
-            Err(status) if status.is_retryable() => {
-                let retry = attempts - 1; // retries spent so far
-                if retry >= policy.max_retries {
-                    if policy.max_retries == 0 {
-                        return Err(ClientError::Device(status));
-                    }
-                    return Err(ClientError::RetriesExhausted {
-                        attempts,
-                        last: status,
-                    });
-                }
-                // A failover redirect is not an overload signal: the dead
-                // primary is gone and the router will send the resend to
-                // the promoted replica, so backing off only adds latency
-                // to a command that can succeed right now. Resend
-                // immediately and charge a redirect instead of a retry.
-                if matches!(status, KvStatus::FailoverInProgress { .. }) {
-                    qp.ledger().bump("client_failover_redirects", 1);
-                    continue;
-                }
-                // An epoch fence is the same shape: the command reached a
-                // deposed primary whose successor already holds a newer
-                // epoch, so the resend will be routed to the current
-                // primary and can succeed right now.
-                if matches!(status, KvStatus::EpochFenced { .. }) {
-                    qp.ledger().bump("client_fence_redirects", 1);
-                    continue;
-                }
-                let backoff = policy.backoff_ns(retry + 1);
-                if let (Some(clock), Some(d)) = (clock, deadline_ns) {
-                    if clock.now_ns().saturating_add(backoff) >= d {
-                        return Err(ClientError::Device(KvStatus::DeadlineExceeded));
-                    }
-                }
-                qp.ledger().bump("client_retries", 1);
-                qp.ledger().bump("client_retry_backoff_ns", backoff);
-                if let Some(clock) = clock {
-                    clock.advance(backoff);
-                }
-            }
-            Err(status) => return Err(ClientError::Device(status)),
-        }
-    }
+    InflightWindow::new(qp.clone(), *policy, clock.cloned()).call(deadline_ns, cmd)
 }
 
 /// Handle to one KV-CSD device.
@@ -180,7 +128,7 @@ impl KvCsd {
         exec_with_retry(
             &self.qp,
             &self.policy,
-            self.clock.as_deref(),
+            self.clock.as_ref(),
             self.deadline_ns,
             cmd,
         )
@@ -259,7 +207,7 @@ impl Keyspace {
         exec_with_retry(
             &self.qp,
             &self.policy,
-            self.clock.as_deref(),
+            self.clock.as_ref(),
             self.deadline_ns,
             cmd,
         )
@@ -289,6 +237,20 @@ impl Keyspace {
         }
     }
 
+    /// Open a pipelined [`WriteAccelerator`] on this keyspace: staged,
+    /// key-sorted ~128 KB bulk PUTs kept in flight at depth instead of
+    /// lock-step round trips. See `accel` module docs for the
+    /// `flush()`/drop and acked-only durability contract.
+    pub fn write_accelerator(&self) -> WriteAccelerator {
+        WriteAccelerator::new(
+            self.qp.clone(),
+            self.id,
+            self.policy,
+            self.clock.clone(),
+            self.deadline_ns,
+        )
+    }
+
     /// Explicit fsync: make buffered writes durable through the device
     /// WAL (a no-op when the device runs with the WAL disabled, the mode
     /// the paper expects of checkpoint-restart production applications).
@@ -307,6 +269,7 @@ impl Keyspace {
                 id: job,
                 policy: self.policy,
                 clock: self.clock.clone(),
+                poll_streak: Arc::new(kvcsd_sim::sync::Shared::new(0)),
             }),
             other => Err(unexpected("JobStarted", &other)),
         }
@@ -322,6 +285,7 @@ impl Keyspace {
                 id: job,
                 policy: self.policy,
                 clock: self.clock.clone(),
+                poll_streak: Arc::new(kvcsd_sim::sync::Shared::new(0)),
             }),
             other => Err(unexpected("JobStarted", &other)),
         }
@@ -335,6 +299,7 @@ impl Keyspace {
                 id: job,
                 policy: self.policy,
                 clock: self.clock.clone(),
+                poll_streak: Arc::new(kvcsd_sim::sync::Shared::new(0)),
             }),
             other => Err(unexpected("JobStarted", &other)),
         }
@@ -478,6 +443,11 @@ impl BulkWriter {
     }
 }
 
+/// First repeat-poll backoff; doubles per consecutive non-terminal poll.
+const POLL_BACKOFF_BASE_NS: u64 = 10_000;
+/// Ceiling on the per-poll backoff charge.
+const POLL_BACKOFF_CAP_NS: u64 = 1_000_000;
+
 /// Handle to a device-side background job.
 #[derive(Debug, Clone)]
 pub struct Job {
@@ -485,6 +455,9 @@ pub struct Job {
     id: JobId,
     policy: RetryPolicy,
     clock: Option<Arc<VirtualClock>>,
+    /// Consecutive non-terminal polls; shared across clones so a spin
+    /// loop cannot dodge the backoff by cloning the handle.
+    poll_streak: Arc<kvcsd_sim::sync::Shared<u32>>,
 }
 
 impl Job {
@@ -493,16 +466,42 @@ impl Job {
     }
 
     /// Ask the device for the job's state (one command round trip).
+    ///
+    /// Hot polling is charged: after the first non-terminal answer, each
+    /// repeat poll pays a capped, doubling virtual-time backoff
+    /// (`client_poll_backoff_ns` on the ledger, advanced on the attached
+    /// clock) so a spin loop yields background-job time instead of
+    /// starving it. A terminal answer resets the streak.
     pub fn poll(&self) -> Result<JobState> {
-        match exec_with_retry(
+        let streak = self.poll_streak.get();
+        if streak > 0 {
+            let backoff = (POLL_BACKOFF_BASE_NS << (streak - 1).min(20)).min(POLL_BACKOFF_CAP_NS);
+            self.qp.ledger().bump("client_poll_backoff_ns", backoff);
+            if let Some(clock) = self.clock.as_deref() {
+                clock.advance(backoff);
+            }
+        }
+        let polled = exec_with_retry(
             &self.qp,
             &self.policy,
-            self.clock.as_deref(),
+            self.clock.as_ref(),
             None,
             KvCommand::PollJob { job: self.id },
-        )? {
-            KvResponse::Job { state } => Ok(state),
-            other => Err(unexpected("Job", &other)),
+        );
+        match polled {
+            Ok(KvResponse::Job { state }) => {
+                if state.is_terminal() {
+                    self.poll_streak.set(0);
+                } else {
+                    self.poll_streak.update(|s| *s = s.saturating_add(1));
+                }
+                Ok(state)
+            }
+            Ok(other) => Err(unexpected("Job", &other)),
+            Err(e) => {
+                self.poll_streak.set(0);
+                Err(e)
+            }
         }
     }
 
@@ -955,5 +954,49 @@ mod tests {
         assert!(d.pcie_d2h_bytes < result_bytes + 10 * 8 + 64);
         // The device read far more from flash than it shipped to the host.
         assert!(d.storage_read_bytes() > d.pcie_d2h_bytes);
+    }
+
+    #[test]
+    fn hot_job_polling_is_charged_a_capped_backoff() {
+        let (_, dev, ledger) = testbed();
+        let clock = Arc::clone(dev.clock());
+        let client = KvCsd::connect(
+            Arc::<KvCsdDevice>::clone(&dev) as Arc<dyn DeviceHandler>,
+            Arc::clone(&ledger),
+        )
+        .with_clock(Arc::clone(&clock));
+        let ks = client.create_keyspace("spin").unwrap();
+        let mut bulk = ks.bulk_writer();
+        for i in 0..100u32 {
+            bulk.put(&key(i), &value(i)).unwrap();
+        }
+        bulk.finish().unwrap();
+        let job = ks.compact().unwrap();
+
+        let t0 = clock.now_ns();
+        assert_eq!(job.poll().unwrap(), JobState::Pending);
+        assert_eq!(clock.now_ns(), t0, "the first poll is free");
+        // A spin loop now yields virtual time: 10us doubling to the 1ms
+        // cap (10k + 20k + 40k + ... + 640k + 1M + 1M + ...).
+        for _ in 0..10 {
+            assert_eq!(job.poll().unwrap(), JobState::Pending);
+        }
+        let spun = clock.now_ns() - t0;
+        assert!(spun > 0, "repeat polls must charge the clock");
+        let before = clock.now_ns();
+        job.poll().unwrap();
+        assert_eq!(
+            clock.now_ns() - before,
+            1_000_000,
+            "the per-poll charge is capped at 1ms"
+        );
+        assert_eq!(ledger.custom("client_poll_backoff_ns"), clock.now_ns() - t0);
+
+        dev.run_pending_jobs();
+        assert_eq!(job.poll().unwrap(), JobState::Done);
+        // Terminal answers reset the streak: the next poll is free.
+        let before = clock.now_ns();
+        assert_eq!(job.poll().unwrap(), JobState::Done);
+        assert_eq!(clock.now_ns(), before);
     }
 }

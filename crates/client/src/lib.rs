@@ -13,11 +13,15 @@
 //! host-side marshalling cost is charged to the host CPU; all bytes cross
 //! the simulated PCIe link through [`kvcsd_proto::QueuePair`].
 
+pub mod accel;
 pub mod api;
 pub mod error;
+pub mod window;
 
+pub use accel::WriteAccelerator;
 pub use api::{BulkWriter, Job, Keyspace, KvCsd, RetryPolicy};
 pub use error::{status_class, ClientError, StatusClass};
+pub use window::{InflightWindow, OpId};
 
 /// Result alias for client operations.
 pub type Result<T> = std::result::Result<T, ClientError>;

@@ -140,6 +140,10 @@ pub struct ClusterRouter {
     cfg: ClusterConfig,
     shards: Vec<ShardState>,
     fabric: Arc<IoLedger>,
+    /// Router-side virtual time: every fan-out advances it by the
+    /// *slowest* shard's busy delta, never the sum — the host drives all
+    /// shards' queues concurrently (see [`ClusterRouter::drive_concurrent`]).
+    host_clock: Arc<VirtualClock>,
     routes: Mutex<RouteTable>,
     events: Mutex<Vec<FailoverEvent>>,
 }
@@ -186,6 +190,7 @@ impl ClusterRouter {
             cfg,
             shards,
             fabric,
+            host_clock: Arc::new(VirtualClock::new()),
             routes: Mutex::new(RouteTable::default()),
             events: Mutex::new(Vec::new()),
         }
@@ -199,6 +204,15 @@ impl ClusterRouter {
     /// bus_busy_ns across every shard's channel).
     pub fn fabric_ledger(&self) -> &Arc<IoLedger> {
         &self.fabric
+    }
+
+    /// The router's own virtual clock. Each fan-out advances it by the
+    /// slowest shard's busy-time delta, so it reads as the wall time of
+    /// a host driving every shard's queue concurrently. A pipelined
+    /// [`kvcsd_proto::QueuePair`] over the router uses it as its
+    /// execution probe (`crates/bench/src/bin/ingest.rs`).
+    pub fn host_clock(&self) -> &Arc<VirtualClock> {
+        &self.host_clock
     }
 
     pub fn shard_health(&self, ix: u32) -> ShardHealth {
@@ -250,11 +264,46 @@ impl ClusterRouter {
     /// grants background time on every `PollJob`, so a polling client
     /// makes progress without an external driver.
     pub fn run_background(&self) -> usize {
-        let mut ran = 0;
-        for ix in 0..self.shards.len() {
-            ran += self.run_shard_background(ix);
-        }
-        ran
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        self.drive_concurrent(&all, |ix| self.run_shard_background(ix))
+            .into_iter()
+            .sum()
+    }
+
+    /// Total busy virtual time shard `ix` has accumulated so far:
+    /// device-side compute and transfer from the primary's ledger, its
+    /// private clock, and the replication channel clock. Only *deltas*
+    /// of this metric are meaningful — see [`ClusterRouter::drive_concurrent`].
+    fn shard_busy_ns(&self, ix: usize) -> u64 {
+        let st = &self.shards[ix];
+        let (clock_ns, s) = {
+            let inst = st.primary.read();
+            (inst.clock().now_ns(), inst.ledger().snapshot())
+        };
+        clock_ns
+            + s.host_cpu_ns
+            + s.soc_cpu_ns
+            + s.bridge_busy_ns
+            + s.max_channel_busy_ns()
+            + st.replica.clock().now_ns()
+    }
+
+    /// Run `f` once per shard in `shards` (in order, so results and
+    /// errors keep shard-order semantics), then advance the router clock
+    /// by the *maximum* per-shard busy delta: the host drives every
+    /// shard's queue concurrently, so a fan-out costs the slowest
+    /// shard's time, not the sum of all shards'.
+    fn drive_concurrent<R>(&self, shards: &[usize], mut f: impl FnMut(usize) -> R) -> Vec<R> {
+        let before: Vec<u64> = shards.iter().map(|&ix| self.shard_busy_ns(ix)).collect();
+        let out: Vec<R> = shards.iter().map(|&ix| f(ix)).collect();
+        let worst = shards
+            .iter()
+            .zip(&before)
+            .map(|(&ix, &b)| self.shard_busy_ns(ix).saturating_sub(b))
+            .max()
+            .unwrap_or(0);
+        self.host_clock.advance(worst);
+        out
     }
 
     fn run_shard_background(&self, ix: usize) -> usize {
@@ -857,23 +906,32 @@ impl ClusterRouter {
             let ix = self.cfg.strategy.shard_for(k, n) as usize;
             per_shard[ix].push((k.to_vec(), v.to_vec()));
         }
-        let mut inserted = 0u64;
-        for (ix, pairs) in per_shard.into_iter().enumerate() {
-            if pairs.is_empty() {
-                continue;
-            }
+        // Scatter to every covered shard concurrently — the write costs
+        // the slowest shard's time — then gather counts (first error in
+        // shard order wins).
+        let covered: Vec<usize> = (0..n as usize)
+            .filter(|&ix| !per_shard[ix].is_empty())
+            .collect();
+        let results = self.drive_concurrent(&covered, |ix| -> Result<u64, KvStatus> {
+            let pairs = std::mem::take(&mut per_shard[ix]);
+            let mut sent = 0u64;
             let mut b = kvcsd_proto::BulkBuilder::default_size();
             for (k, v) in &pairs {
                 if !b.push(k, v) {
                     // Sub-message full: flush it and continue packing.
-                    inserted += self.send_bulk(deadline_ns, ix, ck.local[ix], b)?;
+                    sent += self.send_bulk(deadline_ns, ix, ck.local[ix], b)?;
                     b = kvcsd_proto::BulkBuilder::default_size();
                     if !b.push(k, v) {
                         return Err(KvStatus::BadValue);
                     }
                 }
             }
-            inserted += self.send_bulk(deadline_ns, ix, ck.local[ix], b)?;
+            sent += self.send_bulk(deadline_ns, ix, ck.local[ix], b)?;
+            Ok(sent)
+        });
+        let mut inserted = 0u64;
+        for sent in results {
+            inserted += sent?;
         }
         Ok(KvResponse::BulkPutOk { inserted })
     }
@@ -961,8 +1019,12 @@ impl ClusterRouter {
         let mut worst: Option<KvStatus> = None;
         let mut running = false;
         let mut missing_index = false;
-        for ix in 0..self.shard_count() as usize {
-            let stat = match self.exec_on(ix, KvCommand::Stat { ks: ck.local[ix] }) {
+        let all: Vec<usize> = (0..self.shard_count() as usize).collect();
+        let results = self.drive_concurrent(&all, |ix| {
+            self.exec_on(ix, KvCommand::Stat { ks: ck.local[ix] })
+        });
+        for (ix, resp) in results.into_iter().enumerate() {
+            let stat = match resp {
                 Ok(KvResponse::Stat(s)) => s,
                 Ok(other) => return Err(unexpected(&other)),
                 Err(e) => match Self::classify_shard_error(&e) {
@@ -1016,9 +1078,12 @@ impl ClusterRouter {
         shards: &[usize],
         make: impl Fn(u32) -> KvCommand,
     ) -> Result<Vec<Entries>, KvStatus> {
-        let mut parts = Vec::with_capacity(shards.len());
-        for &ix in shards {
-            match self.exec_on(ix, make(ck.local[ix]))? {
+        // Every covering shard is driven concurrently (router time is
+        // the slowest shard's); errors still surface in shard order.
+        let results = self.drive_concurrent(shards, |ix| self.exec_on(ix, make(ck.local[ix])));
+        let mut parts = Vec::with_capacity(results.len());
+        for resp in results {
+            match resp? {
                 KvResponse::Entries(es) => parts.push(es),
                 other => return Err(unexpected(&other)),
             }
@@ -1034,8 +1099,12 @@ impl ClusterRouter {
         let mut min_key: Option<Vec<u8>> = None;
         let mut max_key: Option<Vec<u8>> = None;
         let mut secondary: Vec<String> = Vec::new();
-        for ix in 0..self.shard_count() as usize {
-            let s = match self.exec_on(ix, KvCommand::Stat { ks: ck.local[ix] })? {
+        let all: Vec<usize> = (0..self.shard_count() as usize).collect();
+        let results = self.drive_concurrent(&all, |ix| {
+            self.exec_on(ix, KvCommand::Stat { ks: ck.local[ix] })
+        });
+        for resp in results {
+            let s = match resp? {
                 KvResponse::Stat(s) => s,
                 other => return Err(unexpected(&other)),
             };
@@ -1395,6 +1464,39 @@ mod tests {
             }
         }
         panic!("compaction did not finish");
+    }
+
+    /// The same busy metric `drive_concurrent` uses, reconstructed from
+    /// the public accessors.
+    fn busy(r: &ClusterRouter, ix: u32) -> u64 {
+        let s = r.shard_ledger(ix).snapshot();
+        r.shard_clock(ix).now_ns()
+            + s.host_cpu_ns
+            + s.soc_cpu_ns
+            + s.bridge_busy_ns
+            + s.max_channel_busy_ns()
+            + r.replica_log(ix).clock().now_ns()
+    }
+
+    #[test]
+    fn fan_out_charges_the_slowest_shard_not_the_sum() {
+        let r = router(2);
+        let ks = create(&r, "t");
+        let b0 = [busy(&r, 0), busy(&r, 1)];
+        let h0 = r.host_clock().now_ns();
+        let mut b = kvcsd_proto::BulkBuilder::default_size();
+        for i in 0..400u32 {
+            assert!(b.push(format!("k{i:05}").as_bytes(), &[9u8; 32]));
+        }
+        ok(r.handle(KvCommand::BulkPut {
+            ks,
+            payload: b.finish(),
+        }));
+        let d = [busy(&r, 0) - b0[0], busy(&r, 1) - b0[1]];
+        let h = r.host_clock().now_ns() - h0;
+        assert!(d[0] > 0 && d[1] > 0, "both shards did work: {d:?}");
+        assert_eq!(h, d[0].max(d[1]), "router time is the slowest shard's");
+        assert!(h < d[0] + d[1], "fan-out must not serialize shard time");
     }
 
     #[test]

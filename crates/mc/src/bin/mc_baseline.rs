@@ -37,6 +37,7 @@ fn main() {
         ("replica-dedup-pb2", harnesses::replica_dedup(&bounded)),
         ("three-locks-dpor", harnesses::three_locks(&full)),
         ("three-locks-naive", harnesses::three_locks(&naive)),
+        ("window-matching", harnesses::window_matching(&full)),
     ] {
         // racy-increment is *supposed* to fail: its baseline entry is
         // the schedule count at which the counterexample is found.

@@ -11,11 +11,13 @@
 
 use std::sync::Arc;
 
+use kvcsd_client::{InflightWindow, RetryPolicy};
 use kvcsd_cluster::shard::HealthCell;
 use kvcsd_cluster::ReplicaLog;
 use kvcsd_core::{
     AdmissionConfig, AdmissionGate, ArtifactPayload, Decision, KeyspaceArtifacts, PressureSample,
 };
+use kvcsd_proto::{DeviceHandler, KvCommand, KvResponse, QueuePair};
 use kvcsd_sim::sync::{spawn, Mutex, Shared};
 use kvcsd_sim::{BusConfig, BusResource, IoLedger, VirtualClock};
 
@@ -199,4 +201,57 @@ pub fn three_locks_body() {
 
 pub fn three_locks(cfg: &McConfig) -> McReport {
     check("three-locks", cfg, three_locks_body)
+}
+
+/// Echo device: a `Get` completes with its own key as the value, so a
+/// completion routed to the wrong in-flight op is self-evident.
+struct EchoDevice;
+
+impl DeviceHandler for EchoDevice {
+    fn handle(&self, cmd: KvCommand) -> KvResponse {
+        match cmd {
+            KvCommand::Get { key, .. } => KvResponse::Value(key),
+            _ => KvResponse::PutOk,
+        }
+    }
+}
+
+/// Two threads share one [`InflightWindow`] and each submit + wait one
+/// op with a distinct key. Under every interleaving, each thread must
+/// claim exactly its own completion (a thread's `wait` may drain —
+/// *pump* — the other's completion into the done map, never steal it),
+/// and both threads must terminate: the submit/poll critical section
+/// must be deadlock-free and the wait loop bounded.
+pub fn window_matching_body() {
+    let qp = QueuePair::new(Arc::new(EchoDevice), Arc::new(IoLedger::new(1, 4096)));
+    let win = Arc::new(InflightWindow::new(qp, RetryPolicy::none(), None));
+    let threads: Vec<_> = (0..2u8)
+        .map(|i| {
+            let win = Arc::clone(&win);
+            spawn(move || {
+                let key = vec![i];
+                let op = win.submit(
+                    None,
+                    KvCommand::Get {
+                        ks: 0,
+                        key: key.clone(),
+                    },
+                );
+                match win.wait(op) {
+                    Ok(KvResponse::Value(v)) => {
+                        assert_eq!(v, key, "completion matched to the wrong op")
+                    }
+                    other => panic!("wait: {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+    assert_eq!(win.inflight_len(), 0, "no orphaned ops after both claims");
+}
+
+pub fn window_matching(cfg: &McConfig) -> McReport {
+    check("window-matching", cfg, window_matching_body)
 }

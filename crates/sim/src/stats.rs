@@ -16,6 +16,26 @@ pub fn human_bytes(bytes: u64) -> String {
     }
 }
 
+/// Exact nearest-rank percentile over an ascending-sorted sample
+/// vector: the `ceil(p·n/100)`-th smallest value (1-indexed), the
+/// textbook definition. `p` is clamped to `[0, 100]`; an empty sample
+/// yields 0.
+///
+/// Contrast with the naive `sorted[(n-1)·p/100]`: for n=200, p=99 the
+/// naive index is 197 (the 198th smallest) while nearest-rank demands
+/// the 198th rank = index 197 only when `ceil` and the truncation
+/// agree — for n=150, p=99 naive gives index 147 but nearest-rank is
+/// the 149th smallest (index 148). Benchmarks report the exact rank.
+pub fn nearest_rank(sorted: &[u64], p: u64) -> u64 {
+    let n = sorted.len() as u64;
+    if n == 0 {
+        return 0;
+    }
+    let p = p.min(100);
+    let rank = (p * n).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
 /// Format a duration in seconds with adaptive units ("18.2 ms").
 pub fn human_secs(secs: f64) -> String {
     if secs >= 1.0 {
@@ -92,6 +112,23 @@ impl TextTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nearest_rank_is_the_exact_ceil_rank() {
+        assert_eq!(nearest_rank(&[], 50), 0);
+        assert_eq!(nearest_rank(&[7], 0), 7);
+        assert_eq!(nearest_rank(&[7], 100), 7);
+        let v: Vec<u64> = (1..=150).collect();
+        // ceil(99·150/100) = 149th smallest = 149.
+        assert_eq!(nearest_rank(&v, 99), 149);
+        // The old truncating index would have picked 148 here.
+        assert_ne!(nearest_rank(&v, 99), v[(v.len() - 1) * 99 / 100]);
+        assert_eq!(nearest_rank(&v, 50), 75);
+        assert_eq!(nearest_rank(&v, 100), 150);
+        let v: Vec<u64> = (1..=200).collect();
+        assert_eq!(nearest_rank(&v, 99), 198);
+        assert_eq!(nearest_rank(&v, 50), 100);
+    }
 
     #[test]
     fn bytes_formatting() {

@@ -53,6 +53,20 @@ fn replica_dedup_is_idempotent_under_all_interleavings() {
 
 #[cfg(debug_assertions)]
 #[test]
+fn window_completion_matching_holds_under_all_interleavings() {
+    let report = harnesses::window_matching(&McConfig::default());
+    report.assert_ok();
+    assert!(report.controlled && report.completed);
+    assert!(
+        report.schedules >= 2,
+        "two threads share the window's submit/poll critical section — the schedule \
+         space must not collapse (saw {})",
+        report.schedules
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
 fn two_shard_epoch_fence_model_holds_for_all_scripts_to_depth_3() {
     let report = kvcsd_mc::verify_two_shard(3);
     report.assert_ok();
